@@ -1,0 +1,121 @@
+// Experiment E13: semijoin algebra evaluation is linear by construction.
+// Compares SA= evaluation against the equivalent join+projection RA plan
+// (both semantically equal; the SA plan's intermediates stay ≤ |D|), and
+// times the specialized semijoin kernels.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "ra/rewrite.h"
+#include "sa/fast_semijoin.h"
+#include "sa/full_reducer.h"
+#include "util/timer.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace setalg;
+
+core::Database Family(std::size_t n) { return workload::TwoRelationDatabase(n, 31); }
+
+void PrintSemijoinVsJoinTable() {
+  std::printf("== E13: SA= semijoin vs naive join embedding ==\n");
+  std::printf("%-8s  %-12s  %-12s  %-16s  %-16s\n", "n", "semijoin-ms", "join-ms",
+              "semijoin-max-int", "join-max-int");
+  // R ⋉_{2=1} T vs π(R ⋈_{2=1} T) — same answer, different intermediates.
+  auto semi = ra::SemiJoin(ra::Rel("R", 2), ra::Rel("T", 2), {{2, ra::Cmp::kEq, 1}});
+  auto join = ra::Project(
+      ra::Join(ra::Rel("R", 2), ra::Rel("T", 2), {{2, ra::Cmp::kEq, 1}}), {1, 2});
+  for (std::size_t n : {2000u, 8000u, 32000u}) {
+    const auto db = Family(n);
+    util::WallTimer semi_timer;
+    ra::EvalStats semi_stats;
+    benchmark::DoNotOptimize(ra::Eval(semi, db, &semi_stats));
+    const double semi_ms = semi_timer.ElapsedMillis();
+    util::WallTimer join_timer;
+    ra::EvalStats join_stats;
+    benchmark::DoNotOptimize(ra::Eval(join, db, &join_stats));
+    const double join_ms = join_timer.ElapsedMillis();
+    std::printf("%-8zu  %-12.3f  %-12.3f  %-16zu  %-16zu\n", n, semi_ms, join_ms,
+                semi_stats.max_intermediate, join_stats.max_intermediate);
+  }
+  std::printf("(expected shape: the semijoin plan's max intermediate stays at\n"
+              " most |R| while the join materializes every matching pair)\n\n");
+}
+
+void PrintKernelTable() {
+  std::printf("== semijoin kernel selection on one instance (n = 16000) ==\n");
+  const auto db = Family(16000);
+  const auto& r = db.relation("R");
+  const auto& t = db.relation("T");
+  struct Case {
+    const char* name;
+    std::vector<ra::JoinAtom> atoms;
+  } cases[] = {
+      {"eq", {{2, ra::Cmp::kEq, 1}}},
+      {"eq+lt", {{2, ra::Cmp::kEq, 1}, {1, ra::Cmp::kLt, 2}}},
+      {"pure-lt", {{1, ra::Cmp::kLt, 2}}},
+      {"eq+lt+neq",
+       {{2, ra::Cmp::kEq, 1}, {1, ra::Cmp::kLt, 2}, {1, ra::Cmp::kNeq, 1}}},
+  };
+  for (const auto& c : cases) {
+    sa::SemijoinKernel kernel;
+    util::WallTimer timer;
+    const auto out = sa::Semijoin(r, t, c.atoms, &kernel);
+    std::printf("  %-10s -> kernel %-15s  %8.3f ms  (%zu rows kept)\n", c.name,
+                sa::SemijoinKernelToString(kernel), timer.ElapsedMillis(),
+                out.size());
+  }
+  std::printf("\n");
+}
+
+void BM_SemijoinEval(benchmark::State& state) {
+  auto semi = ra::SemiJoin(ra::Rel("R", 2), ra::Rel("T", 2), {{2, ra::Cmp::kEq, 1}});
+  const auto db = Family(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ra::Eval(semi, db));
+  }
+}
+BENCHMARK(BM_SemijoinEval)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_JoinEmbeddingEval(benchmark::State& state) {
+  auto join = ra::Project(
+      ra::Join(ra::Rel("R", 2), ra::Rel("T", 2), {{2, ra::Cmp::kEq, 1}}), {1, 2});
+  const auto db = Family(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ra::Eval(join, db));
+  }
+}
+BENCHMARK(BM_JoinEmbeddingEval)->Arg(4000)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_FastSemijoinKernel(benchmark::State& state) {
+  const auto db = Family(static_cast<std::size_t>(state.range(0)));
+  const std::vector<ra::JoinAtom> atoms = {{2, ra::Cmp::kEq, 1},
+                                           {1, ra::Cmp::kLt, 2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::Semijoin(db.relation("R"), db.relation("T"), atoms));
+  }
+}
+BENCHMARK(BM_FastSemijoinKernel)->Arg(16000)->Unit(benchmark::kMillisecond);
+
+void BM_FullReducerFixpoint(benchmark::State& state) {
+  const auto base = Family(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Database db = base;
+    benchmark::DoNotOptimize(
+        sa::ReduceToFixpoint(&db, {{"R", 2, "T", 1}, {"T", 2, "R", 1}}));
+  }
+}
+BENCHMARK(BM_FullReducerFixpoint)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSemijoinVsJoinTable();
+  PrintKernelTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The beer-drinkers walkthrough: Example 3 (SA=), Example 7 (GF),
+// Theorem 8 translations, and the Section 4.1 inexpressibility argument on
+// Fig. 6 (query Q separates two guarded-bisimilar databases).
+//
+//   build/examples/beer_drinkers
+#include <cstdio>
+
+#include "bisim/bisimulation.h"
+#include "gf/eval.h"
+#include "gf/translate.h"
+#include "ra/eval.h"
+#include "ra/rewrite.h"
+#include "witness/figures.h"
+
+int main() {
+  using namespace setalg;
+
+  const witness::BeerExample beer = witness::MakeBeerExample();
+
+  std::printf("Example 3 — 'drinkers that visit a lousy bar' in SA=:\n  %s\n",
+              witness::LousyBarDrinkersSa()->ToString().c_str());
+  std::printf("Example 7 — the same query in the guarded fragment:\n  %s\n\n",
+              witness::LousyBarDrinkersGf()->ToString().c_str());
+
+  // Theorem 8: translate the GF formula back into SA= mechanically.
+  auto translated =
+      gf::GfToSaEq(*witness::LousyBarDrinkersGf(), {"x"}, beer.schema);
+  std::printf("Theorem 8 translation produced an SA= expression with %zu nodes.\n\n",
+              translated->NumNodes());
+
+  // Section 4.1: query Q on the Fig. 6 pair.
+  const auto q = witness::QueryQRa();
+  const auto q_on_a = ra::Eval(q, beer.a);
+  const auto q_on_b = ra::Eval(q, beer.b);
+  std::printf("Query Q ('visits a bar serving a beer they like'):\n");
+  std::printf("  on A: %zu answer(s) —", q_on_a.size());
+  for (std::size_t i = 0; i < q_on_a.size(); ++i) {
+    std::printf(" %s", beer.names.Name(q_on_a.tuple(i)[0]).c_str());
+  }
+  std::printf("\n  on B: %zu answer(s)\n\n", q_on_b.size());
+
+  // Yet A,alex and B,alex are guarded bisimilar: verify both the paper's
+  // explicit bisimulation and the greatest-fixpoint checker.
+  const auto explicit_set = witness::MakeFig6Bisimulation(beer);
+  const std::string verified =
+      bisim::VerifyBisimulation(explicit_set, beer.a, beer.b, {});
+  std::printf("Paper's explicit bisimulation (%zu partial isos): %s\n",
+              explicit_set.size(), verified.empty() ? "VALID" : verified.c_str());
+
+  bisim::BisimulationChecker checker(&beer.a, &beer.b, {});
+  const core::Value alex = beer.names.Code("alex");
+  std::printf("Fixpoint checker: A,alex ~ B,alex ? %s\n",
+              checker.AreBisimilar(core::Tuple{alex}, core::Tuple{alex}) ? "yes"
+                                                                         : "no");
+
+  // Consequence (Corollary 14 + Theorem 18): Q is not SA=-expressible, so
+  // every RA expression for Q is quadratic. The rewriter corroborates: it
+  // cannot certify Q's cyclic join linear.
+  std::printf("RewriteRaToSaEq(Q) -> %s\n",
+              ra::RewriteRaToSaEq(q).has_value() ? "rewrote (unexpected!)"
+                                                 : "not syntactically linear");
+  return 0;
+}

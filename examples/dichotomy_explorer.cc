@@ -1,0 +1,85 @@
+// Dichotomy explorer: classify an RA expression as linear or quadratic by
+// measurement (Theorem 17) and attempt the Theorem 18 rewrite to SA=.
+//
+//   build/examples/dichotomy_explorer                 # built-in catalog
+//   build/examples/dichotomy_explorer 'join[2=1](R, S)'
+//
+// Expressions are parsed against the division schema {R/2, S/1} and
+// measured on a scalable synthetic family.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ra/growth.h"
+#include "ra/parse.h"
+#include "ra/rewrite.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace {
+
+setalg::core::Database Family(std::size_t n) {
+  using namespace setalg;
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  util::Rng rng(11);
+  core::Relation r(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.Add({static_cast<core::Value>(rng.NextBounded(n) + 1),
+           static_cast<core::Value>(rng.NextBounded(n) + 1)});
+  }
+  db.SetRelation("R", std::move(r));
+  core::Relation s(1);
+  for (std::size_t i = 0; i < n / 4; ++i) {
+    s.Add({static_cast<core::Value>(rng.NextBounded(n) + 1)});
+  }
+  db.SetRelation("S", std::move(s));
+  return db;
+}
+
+void Explore(const std::string& text) {
+  using namespace setalg;
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  auto parsed = ra::Parse(text, schema);
+  if (!parsed.ok()) {
+    std::printf("%-60s  PARSE ERROR: %s\n", text.c_str(), parsed.error().c_str());
+    return;
+  }
+  const auto report =
+      ra::MeasureGrowth(*parsed, Family, ra::GeometricSizes(400, 6400, 5));
+  auto rewritten = ra::RewriteRaToSaEq(*parsed);
+  std::printf("%-60s  exponent %.2f  -> %-9s  rewrite: %s\n", text.c_str(),
+              report.exponent(), ra::GrowthClassToString(report.classification),
+              rewritten.has_value() ? "SA= (certified linear)" : "failed");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Theorem 17 dichotomy, measured: max intermediate size ~ |D|^e\n");
+  std::printf("%-60s  %s\n", "expression", "fitted exponent / class / Thm 18");
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) Explore(argv[i]);
+    return 0;
+  }
+  const std::vector<std::string> catalog = {
+      "R",
+      "pi[1](R)",
+      "sigma[1=2](R)",
+      "join[2=1](R, S)",
+      "pi[1,2](join[2=1](R, S))",
+      "join[1=1;2=2](R, R)",
+      "product(pi[1](R), S)",
+      "join[1<1](pi[1](R), S)",
+      "diff(pi[1](R), pi[1](diff(join[](pi[1](R), S), R)))",
+  };
+  for (const auto& text : catalog) Explore(text);
+  std::printf("\nNote the gap: exponents land near 1 or near 2, never between\n"
+              "(Theorem 17), and the Theorem 18 rewriter succeeds exactly on\n"
+              "the linear ones here.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "bisim/bisimulation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::bisim {
+namespace {
+
+std::vector<core::Value> Intersect(const std::vector<core::Value>& a,
+                                   const std::vector<core::Value>& b) {
+  std::vector<core::Value> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::string VerifyBisimulation(const std::vector<PartialIso>& isos,
+                               const core::Database& a, const core::Database& b,
+                               const core::ConstantSet& constants) {
+  if (isos.empty()) return "a bisimulation must be a nonempty set";
+  for (const auto& f : isos) {
+    std::string error = CheckCPartialIso(f, a, b, constants);
+    if (!error.empty()) {
+      return util::StrCat("member ", f.ToString(), " is not a C-partial iso: ", error);
+    }
+  }
+  const auto guarded_a = a.GuardedSets();
+  const auto guarded_b = b.GuardedSets();
+  for (const auto& f : isos) {
+    const auto domain = f.Domain();
+    const auto range = f.Range();
+    // Forth: every guarded set X' of A has a compatible g: X' → Y' in I.
+    for (const auto& x_prime : guarded_a) {
+      bool found = false;
+      for (const auto& g : isos) {
+        if (g.Domain() != x_prime) continue;
+        if (g.AgreesOn(f, Intersect(domain, x_prime))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return util::StrCat("forth fails for ", f.ToString(), " at guarded set of A");
+      }
+    }
+    // Back: every guarded set Y' of B has a compatible g with range Y'.
+    for (const auto& y_prime : guarded_b) {
+      bool found = false;
+      for (const auto& g : isos) {
+        if (g.Range() != y_prime) continue;
+        if (g.InverseAgreesOn(f, Intersect(range, y_prime))) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return util::StrCat("back fails for ", f.ToString(), " at guarded set of B");
+      }
+    }
+  }
+  return "";
+}
+
+BisimulationChecker::BisimulationChecker(const core::Database* a,
+                                         const core::Database* b,
+                                         core::ConstantSet constants)
+    : a_(a), b_(b), constants_(std::move(constants)) {
+  SETALG_DCHECK(std::is_sorted(constants_.begin(), constants_.end()));
+  guarded_a_ = a_->GuardedSets();
+  guarded_b_ = b_->GuardedSets();
+  by_domain_.resize(guarded_a_.size());
+  by_range_.resize(guarded_b_.size());
+
+  std::map<std::vector<core::Value>, std::size_t> domain_index, range_index;
+  for (std::size_t i = 0; i < guarded_a_.size(); ++i) domain_index[guarded_a_[i]] = i;
+  for (std::size_t i = 0; i < guarded_b_.size(); ++i) range_index[guarded_b_[i]] = i;
+
+  // Candidates: positional maps between same-arity stored tuples that are
+  // C-partial isomorphisms.
+  const auto tuples_a = a_->TupleSpace();
+  const auto tuples_b = b_->TupleSpace();
+  for (const auto& ta : tuples_a) {
+    for (const auto& tb : tuples_b) {
+      if (ta.size() != tb.size()) continue;
+      auto iso = PartialIso::FromTuples(ta, tb);
+      if (!iso.has_value()) continue;
+      if (!CheckCPartialIso(*iso, *a_, *b_, constants_).empty()) continue;
+      Candidate candidate;
+      candidate.domain = iso->Domain();
+      candidate.range = iso->Range();
+      candidate.iso = std::move(*iso);
+      const std::size_t index = candidates_.size();
+      // Identical maps can arise from different tuple pairs; dedupe.
+      bool duplicate = false;
+      auto dom_it = domain_index.find(candidate.domain);
+      SETALG_CHECK(dom_it != domain_index.end());
+      for (std::size_t other : by_domain_[dom_it->second]) {
+        if (candidates_[other].iso.pairs() == candidate.iso.pairs()) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      by_domain_[dom_it->second].push_back(index);
+      auto range_it = range_index.find(candidate.range);
+      SETALG_CHECK(range_it != range_index.end());
+      by_range_[range_it->second].push_back(index);
+      candidates_.push_back(std::move(candidate));
+    }
+  }
+  initial_candidates_ = candidates_.size();
+
+  // Greatest-fixpoint refinement: drop candidates violating back/forth.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++refinement_passes_;
+    for (auto& candidate : candidates_) {
+      if (!candidate.alive) continue;
+      if (!Satisfied(candidate.iso, candidate.domain, candidate.range)) {
+        candidate.alive = false;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool BisimulationChecker::Satisfied(const PartialIso& iso,
+                                    const std::vector<core::Value>& domain,
+                                    const std::vector<core::Value>& range) const {
+  // Forth.
+  for (std::size_t gi = 0; gi < guarded_a_.size(); ++gi) {
+    const auto overlap = Intersect(domain, guarded_a_[gi]);
+    bool found = false;
+    for (std::size_t ci : by_domain_[gi]) {
+      const Candidate& g = candidates_[ci];
+      if (!g.alive) continue;
+      if (g.iso.AgreesOn(iso, overlap)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Back.
+  for (std::size_t gi = 0; gi < guarded_b_.size(); ++gi) {
+    const auto overlap = Intersect(range, guarded_b_[gi]);
+    bool found = false;
+    for (std::size_t ci : by_range_[gi]) {
+      const Candidate& g = candidates_[ci];
+      if (!g.alive) continue;
+      if (g.iso.InverseAgreesOn(iso, overlap)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool BisimulationChecker::AreBisimilar(core::TupleView a_tuple,
+                                       core::TupleView b_tuple) const {
+  SETALG_CHECK_STREAM(a_->IsCStored(a_tuple, constants_))
+      << "left tuple is not C-stored in A";
+  SETALG_CHECK_STREAM(b_->IsCStored(b_tuple, constants_))
+      << "right tuple is not C-stored in B";
+  auto iso = PartialIso::FromTuples(a_tuple, b_tuple);
+  if (!iso.has_value()) return false;
+  if (!CheckCPartialIso(*iso, *a_, *b_, constants_).empty()) return false;
+  return Satisfied(*iso, iso->Domain(), iso->Range());
+}
+
+std::vector<PartialIso> BisimulationChecker::MaximalBisimulation() const {
+  std::vector<PartialIso> result;
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive) result.push_back(candidate.iso);
+  }
+  return result;
+}
+
+std::size_t BisimulationChecker::surviving_candidates() const {
+  std::size_t count = 0;
+  for (const auto& candidate : candidates_) {
+    if (candidate.alive) ++count;
+  }
+  return count;
+}
+
+}  // namespace setalg::bisim

@@ -1,0 +1,162 @@
+#include "bisim/partial_iso.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::bisim {
+
+std::optional<PartialIso> PartialIso::FromTuples(core::TupleView a, core::TupleView b) {
+  if (a.size() != b.size()) return std::nullopt;
+  std::vector<std::pair<core::Value, core::Value>> pairs;
+  pairs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) pairs.emplace_back(a[i], b[i]);
+  return FromPairs(std::move(pairs));
+}
+
+std::optional<PartialIso> PartialIso::FromPairs(
+    std::vector<std::pair<core::Value, core::Value>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  PartialIso iso;
+  for (std::size_t i = 0; i + 1 < pairs.size(); ++i) {
+    if (pairs[i].first == pairs[i + 1].first) return std::nullopt;  // Not a function.
+  }
+  iso.forward_ = pairs;
+  for (auto& [x, y] : pairs) std::swap(x, y);
+  std::sort(pairs.begin(), pairs.end());
+  for (std::size_t i = 0; i + 1 < pairs.size(); ++i) {
+    if (pairs[i].first == pairs[i + 1].first) return std::nullopt;  // Not injective.
+  }
+  iso.backward_ = std::move(pairs);
+  return iso;
+}
+
+std::vector<core::Value> PartialIso::Domain() const {
+  std::vector<core::Value> domain;
+  domain.reserve(forward_.size());
+  for (const auto& [x, y] : forward_) domain.push_back(x);
+  return domain;
+}
+
+std::vector<core::Value> PartialIso::Range() const {
+  std::vector<core::Value> range;
+  range.reserve(backward_.size());
+  for (const auto& [y, x] : backward_) range.push_back(y);
+  return range;
+}
+
+bool PartialIso::MapsValue(core::Value x) const {
+  return std::binary_search(
+      forward_.begin(), forward_.end(), std::make_pair(x, core::Value{0}),
+      [](const auto& p, const auto& q) { return p.first < q.first; });
+}
+
+bool PartialIso::MapsValueInverse(core::Value y) const {
+  return std::binary_search(
+      backward_.begin(), backward_.end(), std::make_pair(y, core::Value{0}),
+      [](const auto& p, const auto& q) { return p.first < q.first; });
+}
+
+core::Value PartialIso::Map(core::Value x) const {
+  auto it = std::lower_bound(
+      forward_.begin(), forward_.end(), std::make_pair(x, core::Value{0}),
+      [](const auto& p, const auto& q) { return p.first < q.first; });
+  SETALG_CHECK(it != forward_.end() && it->first == x);
+  return it->second;
+}
+
+core::Value PartialIso::MapInverse(core::Value y) const {
+  auto it = std::lower_bound(
+      backward_.begin(), backward_.end(), std::make_pair(y, core::Value{0}),
+      [](const auto& p, const auto& q) { return p.first < q.first; });
+  SETALG_CHECK(it != backward_.end() && it->first == y);
+  return it->second;
+}
+
+bool PartialIso::AgreesOn(const PartialIso& other,
+                          const std::vector<core::Value>& values) const {
+  for (core::Value v : values) {
+    if (MapsValue(v) && other.MapsValue(v) && Map(v) != other.Map(v)) return false;
+  }
+  return true;
+}
+
+bool PartialIso::InverseAgreesOn(const PartialIso& other,
+                                 const std::vector<core::Value>& values) const {
+  for (core::Value v : values) {
+    if (MapsValueInverse(v) && other.MapsValueInverse(v) &&
+        MapInverse(v) != other.MapInverse(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PartialIso::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(forward_.size());
+  for (const auto& [x, y] : forward_) {
+    parts.push_back(util::StrCat(x, "->", y));
+  }
+  return util::StrCat("{", util::Join(parts, ", "), "}");
+}
+
+std::string CheckCPartialIso(const PartialIso& f, const core::Database& a,
+                             const core::Database& b,
+                             const core::ConstantSet& constants) {
+  // Order preservation of f ∪ id_C. Collect the extended pair set; it must
+  // remain a partial bijection and be monotone in both coordinates.
+  std::vector<std::pair<core::Value, core::Value>> extended = f.pairs();
+  for (core::Value c : constants) extended.emplace_back(c, c);
+  std::sort(extended.begin(), extended.end());
+  extended.erase(std::unique(extended.begin(), extended.end()), extended.end());
+  for (std::size_t i = 0; i + 1 < extended.size(); ++i) {
+    if (extended[i].first == extended[i + 1].first) {
+      return util::StrCat("value ", extended[i].first,
+                          " conflicts with a constant mapping");
+    }
+    if (extended[i].second >= extended[i + 1].second) {
+      return util::StrCat("order not preserved (relative to constants) between ",
+                          extended[i].first, " and ", extended[i + 1].first);
+    }
+  }
+
+  // Relation preservation over all tuples with values in dom(f).
+  const std::vector<core::Value> domain = f.Domain();
+  for (const auto& name : a.schema().Names()) {
+    const core::Relation& ra = a.relation(name);
+    const core::Relation& rb = b.relation(name);
+    const std::size_t r = ra.arity();
+    if (r == 0) {
+      if ((ra.size() > 0) != (rb.size() > 0)) {
+        return util::StrCat("zero-ary relation ", name, " differs");
+      }
+      continue;
+    }
+    if (domain.empty()) continue;
+    // Odometer over domain^r.
+    std::vector<std::size_t> idx(r, 0);
+    core::Tuple t(r), image(r);
+    for (;;) {
+      for (std::size_t p = 0; p < r; ++p) {
+        t[p] = domain[idx[p]];
+        image[p] = f.Map(t[p]);
+      }
+      if (ra.Contains(t) != rb.Contains(image)) {
+        return util::StrCat("relation ", name, " not preserved on ",
+                            core::TupleToString(t));
+      }
+      std::size_t p = 0;
+      while (p < r && ++idx[p] == domain.size()) {
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == r) break;
+    }
+  }
+  return "";
+}
+
+}  // namespace setalg::bisim

@@ -1,0 +1,84 @@
+// C-partial isomorphisms between databases (Definition 10).
+//
+// A finite partial map f: X → Y between the domains of databases A and B
+// is a C-partial isomorphism when it is bijective, preserves membership in
+// every relation for all tuples over X, and preserves the order — where,
+// following the intent of the paper's construction in Lemma 24, order is
+// preserved *relative to the constants*: the extension f ∪ id_C must be
+// order-preserving. (This subsumes the condition x=c ⇔ f(x)=c, and is what
+// makes GF with order-against-constant atoms invariant under C-guarded
+// bisimulation; see DESIGN.md.)
+#ifndef SETALG_BISIM_PARTIAL_ISO_H_
+#define SETALG_BISIM_PARTIAL_ISO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace setalg::bisim {
+
+/// A finite partial bijection between value domains.
+class PartialIso {
+ public:
+  PartialIso() = default;
+
+  /// The positional map induced by a pair of equal-arity tuples: each a_i
+  /// maps to b_i. Returns nullopt if that is not a well-defined bijection
+  /// (one value to two images, or two values to one image).
+  static std::optional<PartialIso> FromTuples(core::TupleView a, core::TupleView b);
+
+  /// Builds from explicit pairs; nullopt under the same conditions.
+  static std::optional<PartialIso> FromPairs(
+      std::vector<std::pair<core::Value, core::Value>> pairs);
+
+  std::size_t size() const { return forward_.size(); }
+  bool empty() const { return forward_.empty(); }
+
+  /// Domain X, sorted.
+  std::vector<core::Value> Domain() const;
+  /// Range Y, sorted.
+  std::vector<core::Value> Range() const;
+
+  bool MapsValue(core::Value x) const;
+  bool MapsValueInverse(core::Value y) const;
+
+  /// Forward image; x must be in the domain.
+  core::Value Map(core::Value x) const;
+  /// Inverse image; y must be in the range.
+  core::Value MapInverse(core::Value y) const;
+
+  /// True iff f and g agree on every value of `values` they both map
+  /// (used for the back-and-forth overlap conditions).
+  bool AgreesOn(const PartialIso& other, const std::vector<core::Value>& values) const;
+  bool InverseAgreesOn(const PartialIso& other,
+                       const std::vector<core::Value>& values) const;
+
+  /// Mapping pairs sorted by source value.
+  const std::vector<std::pair<core::Value, core::Value>>& pairs() const {
+    return forward_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  // Sorted by .first; backward_ sorted by .first = target value.
+  std::vector<std::pair<core::Value, core::Value>> forward_;
+  std::vector<std::pair<core::Value, core::Value>> backward_;
+};
+
+/// Full Definition 10 check of f as a C-partial isomorphism from A to B.
+/// Verifies (a) the extension f ∪ id_C is a well-defined order-preserving
+/// bijection and (b) for every relation R of arity r and every tuple over
+/// dom(f)^r, membership in A(R) coincides with membership of the image in
+/// B(R). Returns an explanatory message, or "" when f qualifies.
+std::string CheckCPartialIso(const PartialIso& f, const core::Database& a,
+                             const core::Database& b,
+                             const core::ConstantSet& constants);
+
+}  // namespace setalg::bisim
+
+#endif  // SETALG_BISIM_PARTIAL_ISO_H_

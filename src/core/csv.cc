@@ -1,0 +1,72 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/str.h"
+
+namespace setalg::core {
+
+util::Result<Relation> ReadRelationCsv(const std::string& text, NameMap* names) {
+  std::vector<Tuple> rows;
+  std::size_t arity = 0;
+  bool arity_known = false;
+  std::size_t line_number = 0;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    ++line_number;
+    const auto line = util::StripWhitespace(raw_line);
+    if (line.empty()) continue;
+    Tuple row;
+    for (const auto& raw_field : util::Split(std::string(line), ',')) {
+      const auto field = util::StripWhitespace(raw_field);
+      long long value = 0;
+      if (util::ParseInt64(field, &value)) {
+        row.push_back(static_cast<Value>(value));
+      } else if (names != nullptr) {
+        row.push_back(names->Intern(std::string(field)));
+      } else {
+        return util::Result<Relation>::Error(util::StrCat(
+            "line ", line_number, ": non-integer field '", std::string(field),
+            "' and no name map provided"));
+      }
+    }
+    if (!arity_known) {
+      arity = row.size();
+      arity_known = true;
+    } else if (row.size() != arity) {
+      return util::Result<Relation>::Error(
+          util::StrCat("line ", line_number, ": expected ", arity, " fields, got ",
+                       row.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!arity_known) {
+    return util::Result<Relation>::Error("empty input: cannot infer arity");
+  }
+  return Relation::FromRows(arity, rows);
+}
+
+util::Result<Relation> ReadRelationCsvFile(const std::string& path, NameMap* names) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Result<Relation>::Error(util::StrCat("cannot open file: ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadRelationCsv(buffer.str(), names);
+}
+
+std::string WriteRelationCsv(const Relation& relation, const NameMap* names) {
+  std::string out;
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    TupleView t = relation.tuple(i);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      if (j > 0) out += ",";
+      out += names != nullptr ? names->Name(t[j]) : std::to_string(t[j]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace setalg::core

@@ -1,0 +1,31 @@
+// CSV import/export for relations, used by the raq CLI example and tests.
+//
+// Fields that parse as integers become those integer values; other fields
+// are interned through a caller-supplied NameMap (arrival order).
+#ifndef SETALG_CORE_CSV_H_
+#define SETALG_CORE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/name_map.h"
+#include "core/relation.h"
+#include "util/result.h"
+
+namespace setalg::core {
+
+/// Parses CSV text (one tuple per line, comma-separated, no header) into a
+/// relation. All rows must have the same width. Empty lines are skipped.
+/// `names` may be nullptr, in which case non-integer fields are an error.
+util::Result<Relation> ReadRelationCsv(const std::string& text, NameMap* names);
+
+/// Reads a relation from a file; see ReadRelationCsv.
+util::Result<Relation> ReadRelationCsvFile(const std::string& path, NameMap* names);
+
+/// Writes one tuple per line; values that have interned names are written
+/// as those names when `names` is non-null.
+std::string WriteRelationCsv(const Relation& relation, const NameMap* names);
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_CSV_H_

@@ -1,0 +1,119 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::core {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  for (const auto& name : schema_.Names()) {
+    relations_.emplace(name, Relation(schema_.Arity(name)));
+  }
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  SETALG_CHECK_STREAM(it != relations_.end()) << "unknown relation: " << name;
+  return it->second;
+}
+
+void Database::SetRelation(const std::string& name, Relation relation) {
+  SETALG_CHECK_EQ(schema_.Arity(name), relation.arity());
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Relation* Database::mutable_relation(const std::string& name) {
+  auto it = relations_.find(name);
+  SETALG_CHECK_STREAM(it != relations_.end()) << "unknown relation: " << name;
+  return &it->second;
+}
+
+std::size_t Database::size() const {
+  std::size_t total = 0;
+  for (const auto& name : schema_.Names()) total += relation(name).size();
+  return total;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> domain;
+  for (const auto& name : schema_.Names()) {
+    const auto part = relation(name).ActiveDomain();
+    domain.insert(domain.end(), part.begin(), part.end());
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+std::vector<Tuple> Database::TupleSpace() const {
+  std::set<Tuple> space;
+  for (const auto& name : schema_.Names()) {
+    const Relation& r = relation(name);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      space.insert(ToTuple(r.tuple(i)));
+    }
+  }
+  return std::vector<Tuple>(space.begin(), space.end());
+}
+
+std::vector<std::vector<Value>> Database::GuardedSets() const {
+  std::set<std::vector<Value>> sets;
+  for (const auto& name : schema_.Names()) {
+    const Relation& r = relation(name);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      sets.insert(TupleValueSet(r.tuple(i)));
+    }
+  }
+  return std::vector<std::vector<Value>>(sets.begin(), sets.end());
+}
+
+bool Database::IsCStored(TupleView t, const ConstantSet& constants) const {
+  SETALG_DCHECK(std::is_sorted(constants.begin(), constants.end()));
+  std::vector<Value> reduced;
+  for (Value v : t) {
+    if (!std::binary_search(constants.begin(), constants.end(), v)) {
+      reduced.push_back(v);
+    }
+  }
+  std::sort(reduced.begin(), reduced.end());
+  reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+  if (reduced.empty()) {
+    // π with zero columns of any nonempty relation yields {()} ∋ ().
+    for (const auto& name : schema_.Names()) {
+      if (!relation(name).empty()) return true;
+    }
+    return false;
+  }
+  for (const auto& name : schema_.Names()) {
+    const Relation& r = relation(name);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      const auto guarded = TupleValueSet(r.tuple(i));
+      if (std::includes(guarded.begin(), guarded.end(), reduced.begin(),
+                        reduced.end())) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& name : schema_.Names()) {
+    out += util::StrCat(name, " = ", relation(name).ToString(), "\n");
+  }
+  return out;
+}
+
+bool Database::operator==(const Database& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  for (const auto& name : schema_.Names()) {
+    if (!(relation(name) == other.relation(name))) return false;
+  }
+  return true;
+}
+
+}  // namespace setalg::core

@@ -1,0 +1,70 @@
+// Databases over a schema, plus the paper's derived notions:
+// size |D| (Definition 15), tuple space (Definition 25), guarded sets
+// (Definition 9), and C-stored tuples (Definition 4).
+#ifndef SETALG_CORE_DATABASE_H_
+#define SETALG_CORE_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace setalg::core {
+
+/// An assignment of a finite relation to each relation name of a schema.
+class Database {
+ public:
+  /// An empty database over the empty schema (useful as a placeholder).
+  Database() = default;
+
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Read access to a stored relation; the name must be in the schema.
+  const Relation& relation(const std::string& name) const;
+
+  /// Replaces the stored relation; arity must match the schema.
+  void SetRelation(const std::string& name, Relation relation);
+
+  /// Mutable access (e.g. to Add tuples in place).
+  Relation* mutable_relation(const std::string& name);
+
+  /// |D|: the sum of the cardinalities of all relations (Definition 15).
+  std::size_t size() const;
+
+  /// All values occurring in any relation, sorted and unique.
+  std::vector<Value> ActiveDomain() const;
+
+  /// The tuple space T_D (Definition 25): the set union of all relations.
+  /// Tuples of different arities are all included; the result is
+  /// deduplicated (a tuple present in two relations appears once).
+  std::vector<Tuple> TupleSpace() const;
+
+  /// The guarded sets of D (Definition 9): { set(t̄) | t̄ ∈ T_D }, each
+  /// sorted and unique, with duplicate sets removed.
+  std::vector<std::vector<Value>> GuardedSets() const;
+
+  /// Definition 4: d̄ is C-stored in D iff the tuple obtained by deleting
+  /// all C-values from d̄ appears in some projection π_{i1..ip}(D(R)).
+  /// Equivalently: all non-C values of d̄ occur together in one stored
+  /// tuple. The empty reduced tuple is C-stored iff some relation is
+  /// nonempty (the empty projection of a nonempty relation is {()}).
+  bool IsCStored(TupleView t, const ConstantSet& constants) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Database& other) const;
+
+ private:
+  Schema schema_;
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_DATABASE_H_

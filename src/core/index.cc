@@ -1,0 +1,70 @@
+#include "core/index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace setalg::core {
+
+HashIndex::HashIndex(const Relation* relation, std::vector<std::size_t> key_columns)
+    : relation_(relation), key_columns_(std::move(key_columns)) {
+  for (std::size_t c : key_columns_) SETALG_CHECK_LT(c, relation_->arity());
+  Tuple key(key_columns_.size());
+  for (std::size_t row = 0; row < relation_->size(); ++row) {
+    TupleView t = relation_->tuple(row);
+    for (std::size_t k = 0; k < key_columns_.size(); ++k) key[k] = t[key_columns_[k]];
+    buckets_[HashTuple(key)].push_back(static_cast<std::uint32_t>(row));
+  }
+}
+
+bool HashIndex::HasMatch(TupleView key) const {
+  auto it = buckets_.find(HashTuple(key));
+  if (it == buckets_.end()) return false;
+  for (std::uint32_t row : it->second) {
+    if (MatchesKey(row, key)) return true;
+  }
+  return false;
+}
+
+std::size_t HashIndex::CountMatches(TupleView key) const {
+  auto it = buckets_.find(HashTuple(key));
+  if (it == buckets_.end()) return 0;
+  std::size_t count = 0;
+  for (std::uint32_t row : it->second) {
+    if (MatchesKey(row, key)) ++count;
+  }
+  return count;
+}
+
+bool HashIndex::MatchesKey(std::uint32_t row, TupleView key) const {
+  SETALG_DCHECK(key.size() == key_columns_.size());
+  TupleView t = relation_->tuple(row);
+  for (std::size_t k = 0; k < key_columns_.size(); ++k) {
+    if (t[key_columns_[k]] != key[k]) return false;
+  }
+  return true;
+}
+
+SortedIndex::SortedIndex(const Relation* relation, std::size_t column) {
+  SETALG_CHECK_LT(column, relation->arity());
+  entries_.reserve(relation->size());
+  for (std::size_t row = 0; row < relation->size(); ++row) {
+    entries_.emplace_back(relation->tuple(row)[column],
+                          static_cast<std::uint32_t>(row));
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+bool SortedIndex::MinValue(Value* out) const {
+  if (entries_.empty()) return false;
+  *out = entries_.front().first;
+  return true;
+}
+
+bool SortedIndex::MaxValue(Value* out) const {
+  if (entries_.empty()) return false;
+  *out = entries_.back().first;
+  return true;
+}
+
+}  // namespace setalg::core

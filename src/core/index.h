@@ -1,0 +1,84 @@
+// Access paths over relations: an equality hash index on a column subset
+// and a single-column sorted index for range predicates. These back the
+// join/semijoin evaluators and several set-join algorithms.
+#ifndef SETALG_CORE_INDEX_H_
+#define SETALG_CORE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace setalg::core {
+
+/// Hash index mapping a key (values of `key_columns` in order) to the rows
+/// of the indexed relation carrying that key. The relation must outlive
+/// and not mutate under the index.
+class HashIndex {
+ public:
+  HashIndex(const Relation* relation, std::vector<std::size_t> key_columns);
+
+  /// Invokes fn(row_index) for every row whose key equals `key`
+  /// (hash probe + exact verification).
+  template <typename Fn>
+  void ForEachMatch(TupleView key, Fn&& fn) const {
+    auto it = buckets_.find(HashTuple(key));
+    if (it == buckets_.end()) return;
+    for (std::uint32_t row : it->second) {
+      if (MatchesKey(row, key)) fn(static_cast<std::size_t>(row));
+    }
+  }
+
+  /// True iff some row matches the key.
+  bool HasMatch(TupleView key) const;
+
+  /// Number of rows matching the key.
+  std::size_t CountMatches(TupleView key) const;
+
+  const std::vector<std::size_t>& key_columns() const { return key_columns_; }
+
+ private:
+  bool MatchesKey(std::uint32_t row, TupleView key) const;
+
+  const Relation* relation_;
+  std::vector<std::size_t> key_columns_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+};
+
+/// Rows of a relation ordered by one column; supports range scans for the
+/// order predicates < and >.
+class SortedIndex {
+ public:
+  SortedIndex(const Relation* relation, std::size_t column);
+
+  /// Rows whose column value is strictly less than `bound`, via callback.
+  template <typename Fn>
+  void ForEachLess(Value bound, Fn&& fn) const {
+    for (const auto& [value, row] : entries_) {
+      if (value >= bound) break;
+      fn(static_cast<std::size_t>(row));
+    }
+  }
+
+  /// Rows whose column value is strictly greater than `bound`.
+  template <typename Fn>
+  void ForEachGreater(Value bound, Fn&& fn) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first <= bound) break;
+      fn(static_cast<std::size_t>(it->second));
+    }
+  }
+
+  /// Smallest column value, if any.
+  bool MinValue(Value* out) const;
+  /// Largest column value, if any.
+  bool MaxValue(Value* out) const;
+
+ private:
+  std::vector<std::pair<Value, std::uint32_t>> entries_;
+};
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_INDEX_H_

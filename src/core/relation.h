@@ -1,0 +1,88 @@
+// A relation: a finite *set* of same-arity tuples over the universe.
+//
+// Storage is flat and row-major (one std::vector<Value>), kept sorted and
+// deduplicated lazily. Per Definition 15 the size of a relation is its
+// cardinality, which is what all the complexity statements count.
+#ifndef SETALG_CORE_RELATION_H_
+#define SETALG_CORE_RELATION_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "core/value.h"
+
+namespace setalg::core {
+
+/// A finite relation with set semantics.
+///
+/// Mutation model: Add() appends rows; the relation re-normalizes (sorts and
+/// deduplicates) lazily before any read. Not thread-safe.
+class Relation {
+ public:
+  /// An empty relation of the given arity. Arity 0 is allowed (the two
+  /// zero-ary relations {} and {()} act as booleans).
+  explicit Relation(std::size_t arity);
+
+  /// Convenience constructor from a list of rows, e.g.
+  /// `Relation::FromRows(2, {{1, 2}, {3, 4}})`.
+  static Relation FromRows(std::size_t arity,
+                           std::initializer_list<std::initializer_list<Value>> rows);
+  static Relation FromRows(std::size_t arity, const std::vector<Tuple>& rows);
+
+  std::size_t arity() const { return arity_; }
+
+  /// Cardinality (Definition 15).
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// The i-th tuple in sorted order, 0 <= i < size().
+  TupleView tuple(std::size_t i) const;
+
+  /// Appends a tuple (duplicates are eliminated on normalization).
+  void Add(TupleView t);
+  void Add(std::initializer_list<Value> t);
+
+  /// Reserves space for `rows` additional tuples.
+  void Reserve(std::size_t rows);
+
+  /// Membership test (binary search over the normalized storage).
+  bool Contains(TupleView t) const;
+
+  /// Forces normalization now (sort + unique). Reads normalize implicitly.
+  void Normalize() const;
+
+  /// All values occurring anywhere in the relation, sorted and unique.
+  std::vector<Value> ActiveDomain() const;
+
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Multi-line human-readable rendering (for examples and test failures).
+  std::string ToString() const;
+
+  /// Direct access to the flat normalized storage (row-major).
+  const std::vector<Value>& flat() const;
+
+ private:
+  std::size_t arity_;
+  mutable std::vector<Value> values_;
+  mutable bool dirty_ = false;
+  // Cardinality cache, valid when !dirty_.
+  mutable std::size_t row_count_ = 0;
+};
+
+/// Set union of two relations of equal arity.
+Relation Union(const Relation& a, const Relation& b);
+
+/// Set difference a − b (equal arity).
+Relation Difference(const Relation& a, const Relation& b);
+
+/// Set intersection (equal arity).
+Relation Intersect(const Relation& a, const Relation& b);
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_RELATION_H_

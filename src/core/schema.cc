@@ -1,0 +1,38 @@
+#include "core/schema.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::core {
+
+void Schema::AddRelation(const std::string& name, std::size_t arity) {
+  SETALG_CHECK_STREAM(!HasRelation(name)) << "duplicate relation name: " << name;
+  SETALG_CHECK(!name.empty());
+  names_.push_back(name);
+  arities_[name] = arity;
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return arities_.find(name) != arities_.end();
+}
+
+std::size_t Schema::Arity(const std::string& name) const {
+  auto it = arities_.find(name);
+  SETALG_CHECK_STREAM(it != arities_.end()) << "unknown relation: " << name;
+  return it->second;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return names_ == other.names_ && arities_ == other.arities_;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(names_.size());
+  for (const auto& name : names_) {
+    parts.push_back(util::StrCat(name, "/", arities_.at(name)));
+  }
+  return util::StrCat("{", util::Join(parts, ", "), "}");
+}
+
+}  // namespace setalg::core

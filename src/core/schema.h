@@ -1,0 +1,41 @@
+// Database schemas: relation names with fixed arities.
+#ifndef SETALG_CORE_SCHEMA_H_
+#define SETALG_CORE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace setalg::core {
+
+/// A finite set of relation names, each with an arity.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Declares a relation. The name must be fresh.
+  void AddRelation(const std::string& name, std::size_t arity);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Arity lookup; the relation must exist.
+  std::size_t Arity(const std::string& name) const;
+
+  /// Relation names in declaration order.
+  const std::vector<std::string>& Names() const { return names_; }
+
+  std::size_t NumRelations() const { return names_.size(); }
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> arities_;
+};
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_SCHEMA_H_

@@ -1,0 +1,50 @@
+#include "core/tuple.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/str.h"
+
+namespace setalg::core {
+
+int CompareTuples(TupleView a, TupleView b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  if (a.size() < b.size()) return -1;
+  if (a.size() > b.size()) return 1;
+  return 0;
+}
+
+bool TupleEquals(TupleView a, TupleView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::uint64_t HashTuple(TupleView t) {
+  std::uint64_t h = util::Mix64(t.size());
+  for (Value v : t) h = util::HashCombine(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+Tuple ToTuple(TupleView t) { return Tuple(t.begin(), t.end()); }
+
+std::vector<Value> TupleValueSet(TupleView t) {
+  std::vector<Value> values(t.begin(), t.end());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+std::string TupleToString(TupleView t) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace setalg::core

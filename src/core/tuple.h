@@ -1,0 +1,60 @@
+// Tuples over the universe: an owning Tuple and a non-owning TupleView,
+// with lexicographic comparison and hashing.
+#ifndef SETALG_CORE_TUPLE_H_
+#define SETALG_CORE_TUPLE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace setalg::core {
+
+/// An owning tuple.
+using Tuple = std::vector<Value>;
+
+/// A non-owning view of a tuple (e.g. a row inside a Relation).
+using TupleView = std::span<const Value>;
+
+/// Lexicographic three-way comparison. Shorter tuples order before longer
+/// ones when one is a prefix of the other.
+int CompareTuples(TupleView a, TupleView b);
+
+bool TupleEquals(TupleView a, TupleView b);
+
+/// Order-dependent 64-bit hash of the tuple contents.
+std::uint64_t HashTuple(TupleView t);
+
+/// Materializes a view into an owning tuple.
+Tuple ToTuple(TupleView t);
+
+/// The set of elements occurring in the tuple — set(d̄) in the paper —
+/// returned sorted and deduplicated.
+std::vector<Value> TupleValueSet(TupleView t);
+
+/// Renders as "(v1, v2, ...)".
+std::string TupleToString(TupleView t);
+
+/// Strict-weak-order functor for sorted containers of owning tuples.
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+
+/// Hash functor for unordered containers of owning tuples.
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    return static_cast<std::size_t>(HashTuple(t));
+  }
+};
+
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const { return TupleEquals(a, b); }
+};
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_TUPLE_H_

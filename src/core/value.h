@@ -1,0 +1,25 @@
+// The universe U of data values.
+//
+// The paper assumes an infinite, totally ordered universe. We use int64:
+// all the results need is a total order and unboundedly many fresh values
+// on either side of any finite constant set. String-valued examples (the
+// medical and beer-drinkers databases) go through core::NameMap, which
+// interns strings order-preservingly so `<` on codes is lexicographic.
+#ifndef SETALG_CORE_VALUE_H_
+#define SETALG_CORE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace setalg::core {
+
+/// A basic data value from the totally ordered universe U.
+using Value = std::int64_t;
+
+/// A set of distinguished constants C (always kept sorted and unique).
+using ConstantSet = std::vector<Value>;
+
+}  // namespace setalg::core
+
+#endif  // SETALG_CORE_VALUE_H_

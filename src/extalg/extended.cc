@@ -1,0 +1,148 @@
+#include "extalg/extended.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace setalg::extalg {
+
+using core::Relation;
+using core::Tuple;
+using core::TupleView;
+using core::Value;
+
+core::Relation GroupCount(const core::Relation& input,
+                          const std::vector<std::size_t>& group_columns) {
+  for (std::size_t c : group_columns) {
+    SETALG_CHECK(c >= 1 && c <= input.arity());
+  }
+  std::map<Tuple, std::size_t> counts;
+  Tuple key(group_columns.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    TupleView t = input.tuple(i);
+    for (std::size_t k = 0; k < group_columns.size(); ++k) {
+      key[k] = t[group_columns[k] - 1];
+    }
+    ++counts[key];
+  }
+  Relation out(group_columns.size() + 1);
+  if (group_columns.empty()) {
+    // Global aggregate: defined even on empty input (count 0).
+    out.Add({static_cast<Value>(input.size())});
+    return out;
+  }
+  Tuple row(group_columns.size() + 1);
+  for (const auto& [group, count] : counts) {
+    std::copy(group.begin(), group.end(), row.begin());
+    row.back() = static_cast<Value>(count);
+    out.Add(row);
+  }
+  return out;
+}
+
+core::Relation SortBy(const core::Relation& input,
+                      const std::vector<std::size_t>& columns) {
+  for (std::size_t c : columns) {
+    SETALG_CHECK(c >= 1 && c <= input.arity());
+  }
+  // Set semantics make the sort a no-op on contents; returning a copy keeps
+  // the operator total and the pipeline uniform.
+  return input;
+}
+
+namespace {
+
+// Appends a step record.
+void Record(std::vector<StepStats>* stats, const char* name, const Relation& r) {
+  if (stats != nullptr) stats->push_back({name, r.size()});
+}
+
+// R ⋈_{B=C} S for binary R and unary S: keeps the R pairs whose element is
+// in the divisor. Linear via a hash set.
+Relation FilterByDivisor(const Relation& r, const Relation& s) {
+  std::unordered_set<Value> divisor;
+  divisor.reserve(s.size() * 2);
+  for (std::size_t i = 0; i < s.size(); ++i) divisor.insert(s.tuple(i)[0]);
+  Relation out(2);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    TupleView t = r.tuple(i);
+    if (divisor.count(t[1]) > 0) out.Add(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+core::Relation ContainmentDivisionLinear(const core::Relation& r,
+                                         const core::Relation& s,
+                                         std::vector<StepStats>* stats) {
+  SETALG_CHECK_EQ(r.arity(), 2u);
+  SETALG_CHECK_EQ(s.arity(), 1u);
+  // Step 1: R ⋈_{B=C} S — each R tuple joins at most one divisor value.
+  Relation joined = FilterByDivisor(r, s);
+  Record(stats, "join R with S", joined);
+  // Step 2: γ_{A,count(B)} over the join.
+  Relation per_group = GroupCount(joined, {1});
+  Record(stats, "gamma A,count(B)", per_group);
+  // Step 3: γ_{∅,count(C)}(S).
+  Relation total = GroupCount(s, {});
+  Record(stats, "gamma count(C) of S", total);
+  // Step 4: join on count equality and project A.
+  const Value divisor_size = total.tuple(0)[0];
+  Relation out(1);
+  for (std::size_t i = 0; i < per_group.size(); ++i) {
+    TupleView t = per_group.tuple(i);
+    if (t[1] == divisor_size) out.Add({t[0]});
+  }
+  Record(stats, "count-match and project A", out);
+  if (divisor_size == 0) {
+    // ÷ by the empty set: every candidate qualifies (vacuous containment).
+    Relation all(1);
+    for (std::size_t i = 0; i < r.size(); ++i) all.Add({r.tuple(i)[0]});
+    return all;
+  }
+  return out;
+}
+
+core::Relation EqualityDivisionLinear(const core::Relation& r,
+                                      const core::Relation& s,
+                                      std::vector<StepStats>* stats) {
+  SETALG_CHECK_EQ(r.arity(), 2u);
+  SETALG_CHECK_EQ(s.arity(), 1u);
+  Relation joined = FilterByDivisor(r, s);
+  Record(stats, "join R with S", joined);
+  Relation matched_counts = GroupCount(joined, {1});
+  Record(stats, "gamma A,count(matched B)", matched_counts);
+  Relation group_counts = GroupCount(r, {1});
+  Record(stats, "gamma A,count(all B)", group_counts);
+  Relation total = GroupCount(s, {});
+  Record(stats, "gamma count(C) of S", total);
+  const Value divisor_size = total.tuple(0)[0];
+
+  // Equality needs matched == |S| and total == |S|; merge the two grouped
+  // counts (both sorted by A).
+  std::unordered_map<Value, Value> totals;
+  totals.reserve(group_counts.size() * 2);
+  for (std::size_t i = 0; i < group_counts.size(); ++i) {
+    TupleView t = group_counts.tuple(i);
+    totals[t[0]] = t[1];
+  }
+  Relation out(1);
+  for (std::size_t i = 0; i < matched_counts.size(); ++i) {
+    TupleView t = matched_counts.tuple(i);
+    if (t[1] == divisor_size && totals[t[0]] == divisor_size) out.Add({t[0]});
+  }
+  Record(stats, "count-match both and project A", out);
+  return out;
+}
+
+std::size_t MaxStepSize(const std::vector<StepStats>& stats) {
+  std::size_t max_size = 0;
+  for (const auto& step : stats) max_size = std::max(max_size, step.output_size);
+  return max_size;
+}
+
+}  // namespace setalg::extalg

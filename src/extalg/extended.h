@@ -1,0 +1,61 @@
+// The extended relational algebra of the paper's Section 5: grouping (γ)
+// with count aggregation and sorting, and the *linear* division
+// expressions they enable:
+//
+//   containment-division:
+//     π_A( γ_{A,count(B)}(R ⋈_{B=C} S)  ⋈_{count(B)=count(C)}  γ_{∅,count(C)}(S) )
+//
+// Every step's output is at most linear in its input, so the pipeline's
+// intermediate sizes stay O(n) — in contrast with Theorem 17/Prop. 26,
+// which show plain RA cannot do this. Each building block is exposed, and
+// the pipelines record per-step cardinalities for the experiments.
+#ifndef SETALG_EXTALG_EXTENDED_H_
+#define SETALG_EXTALG_EXTENDED_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace setalg::extalg {
+
+/// γ_{group_columns, count(*)}: groups the input by the given (1-based)
+/// columns and appends the group cardinality as a new last column. With an
+/// empty column list this is the global count γ_{∅,count} (arity-1 output).
+core::Relation GroupCount(const core::Relation& input,
+                          const std::vector<std::size_t>& group_columns);
+
+/// Sort operator: returns the input's tuples ordered by the given columns
+/// (our relations are canonically sorted sets, so this materializes the
+/// projection-compatible reordering — exposed mainly to mirror the paper's
+/// "grouping, sorting and aggregation" operator set).
+core::Relation SortBy(const core::Relation& input,
+                      const std::vector<std::size_t>& columns);
+
+/// One pipeline step's instrumentation.
+struct StepStats {
+  std::string name;
+  std::size_t output_size = 0;
+};
+
+/// The Section 5 linear containment-division: R(A,B) ÷⊇ S(B).
+/// Steps recorded (when `stats` non-null): semijoin-filtered join,
+/// per-group count, global divisor count, count-match selection.
+core::Relation ContainmentDivisionLinear(const core::Relation& r,
+                                         const core::Relation& s,
+                                         std::vector<StepStats>* stats = nullptr);
+
+/// The analogous linear equality-division (paper's remark after the
+/// containment expression, following Graefe–Cole): additionally the total
+/// group count must equal |S|.
+core::Relation EqualityDivisionLinear(const core::Relation& r,
+                                      const core::Relation& s,
+                                      std::vector<StepStats>* stats = nullptr);
+
+/// Max step output across the pipeline (the extended-algebra analogue of
+/// Definition 16's c(E')).
+std::size_t MaxStepSize(const std::vector<StepStats>& stats);
+
+}  // namespace setalg::extalg
+
+#endif  // SETALG_EXTALG_EXTENDED_H_

@@ -1,0 +1,181 @@
+#include "gf/eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace setalg::gf {
+namespace {
+
+bool CompareValues(core::Value a, ra::Cmp op, core::Value b) {
+  switch (op) {
+    case ra::Cmp::kEq:
+      return a == b;
+    case ra::Cmp::kNeq:
+      return a != b;
+    case ra::Cmp::kLt:
+      return a < b;
+    case ra::Cmp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+core::Value Lookup(const Assignment& assignment, const std::string& var) {
+  auto it = assignment.find(var);
+  SETALG_CHECK_STREAM(it != assignment.end()) << "unbound variable: " << var;
+  return it->second;
+}
+
+}  // namespace
+
+bool Holds(const Formula& f, const core::Database& db, const Assignment& assignment) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kVarCompare:
+      return CompareValues(Lookup(assignment, f.var1()), f.cmp(),
+                           Lookup(assignment, f.var2()));
+    case FormulaKind::kConstCompare:
+      return CompareValues(Lookup(assignment, f.var1()), f.cmp(), f.constant());
+    case FormulaKind::kRelAtom: {
+      const core::Relation& r = db.relation(f.relation_name());
+      core::Tuple t;
+      t.reserve(f.atom_vars().size());
+      for (const auto& v : f.atom_vars()) t.push_back(Lookup(assignment, v));
+      return r.Contains(t);
+    }
+    case FormulaKind::kNot:
+      return !Holds(*f.children()[0], db, assignment);
+    case FormulaKind::kAnd:
+      return Holds(*f.children()[0], db, assignment) &&
+             Holds(*f.children()[1], db, assignment);
+    case FormulaKind::kOr:
+      return Holds(*f.children()[0], db, assignment) ||
+             Holds(*f.children()[1], db, assignment);
+    case FormulaKind::kImplies:
+      return !Holds(*f.children()[0], db, assignment) ||
+             Holds(*f.children()[1], db, assignment);
+    case FormulaKind::kIff:
+      return Holds(*f.children()[0], db, assignment) ==
+             Holds(*f.children()[1], db, assignment);
+    case FormulaKind::kExists: {
+      // Quantified variables range over the guard relation's tuples.
+      const Formula& guard = *f.guard();
+      const core::Relation& r = db.relation(guard.relation_name());
+      const std::set<std::string> quantified(f.quantified().begin(),
+                                             f.quantified().end());
+      for (std::size_t row = 0; row < r.size(); ++row) {
+        core::TupleView t = r.tuple(row);
+        Assignment extended = assignment;
+        bool consistent = true;
+        // Track per-tuple bindings so repeated quantified variables must
+        // agree across guard positions; quantified variables shadow any
+        // outer binding of the same name.
+        std::set<std::string> bound_here;
+        for (std::size_t p = 0; p < guard.atom_vars().size() && consistent; ++p) {
+          const std::string& v = guard.atom_vars()[p];
+          if (quantified.count(v) > 0) {
+            if (bound_here.count(v) > 0) {
+              consistent = extended[v] == t[p];
+            } else {
+              extended[v] = t[p];
+              bound_here.insert(v);
+            }
+          } else {
+            consistent = Lookup(assignment, v) == t[p];
+          }
+        }
+        if (consistent && Holds(*f.body(), db, extended)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+core::Relation EvaluateCStored(const Formula& f, const core::Database& db,
+                               const std::vector<std::string>& vars,
+                               const core::ConstantSet& constants) {
+  const auto free_vars = f.FreeVariables();
+  for (const auto& v : free_vars) {
+    SETALG_CHECK_STREAM(std::find(vars.begin(), vars.end(), v) != vars.end())
+        << "free variable " << v << " missing from the variable order";
+  }
+  const std::size_t k = vars.size();
+  core::Relation out(k);
+
+  // Candidate tuples: values drawn from one guarded set plus the constants
+  // (exactly the C-stored tuples — Definition 4), enumerated per guarded
+  // set and deduplicated by the output relation.
+  std::vector<std::vector<core::Value>> pools;
+  for (const auto& guarded : db.GuardedSets()) {
+    std::vector<core::Value> pool = guarded;
+    pool.insert(pool.end(), constants.begin(), constants.end());
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    pools.push_back(std::move(pool));
+  }
+  if (k == 0) {
+    // The empty tuple is C-stored iff some relation is nonempty.
+    if (db.IsCStored(core::TupleView(), constants) && Holds(f, db, {})) {
+      out.Add(core::Tuple{});
+    }
+    return out;
+  }
+
+  core::Tuple tuple(k);
+  Assignment assignment;
+  for (const auto& pool : pools) {
+    // Odometer over pool^k.
+    std::vector<std::size_t> idx(k, 0);
+    for (;;) {
+      for (std::size_t p = 0; p < k; ++p) tuple[p] = pool[idx[p]];
+      if (db.IsCStored(tuple, constants) && !out.Contains(tuple)) {
+        assignment.clear();
+        for (std::size_t p = 0; p < k; ++p) assignment[vars[p]] = tuple[p];
+        if (Holds(f, db, assignment)) out.Add(tuple);
+      }
+      std::size_t p = 0;
+      while (p < k && ++idx[p] == pool.size()) {
+        idx[p] = 0;
+        ++p;
+      }
+      if (p == k) break;
+    }
+  }
+  return out;
+}
+
+core::Relation EvaluateOverValues(const Formula& f, const core::Database& db,
+                                  const std::vector<std::string>& vars,
+                                  const std::vector<core::Value>& values) {
+  const std::size_t k = vars.size();
+  core::Relation out(k);
+  if (k == 0) {
+    if (Holds(f, db, {})) out.Add(core::Tuple{});
+    return out;
+  }
+  SETALG_CHECK(!values.empty());
+  core::Tuple tuple(k);
+  Assignment assignment;
+  std::vector<std::size_t> idx(k, 0);
+  for (;;) {
+    for (std::size_t p = 0; p < k; ++p) tuple[p] = values[idx[p]];
+    assignment.clear();
+    for (std::size_t p = 0; p < k; ++p) assignment[vars[p]] = tuple[p];
+    if (Holds(f, db, assignment)) out.Add(tuple);
+    std::size_t p = 0;
+    while (p < k && ++idx[p] == values.size()) {
+      idx[p] = 0;
+      ++p;
+    }
+    if (p == k) break;
+  }
+  return out;
+}
+
+}  // namespace setalg::gf

@@ -1,0 +1,39 @@
+// Evaluation of guarded-fragment formulas over a database.
+//
+// Semantics follow the paper: first-order logic interpreted over the
+// active domain, with the guard making quantification range over stored
+// tuples only (which is also what makes evaluation cheap).
+#ifndef SETALG_GF_EVAL_H_
+#define SETALG_GF_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "gf/formula.h"
+
+namespace setalg::gf {
+
+/// A (partial) variable assignment.
+using Assignment = std::map<std::string, core::Value>;
+
+/// True iff D ⊨ f under `assignment`, which must bind every free variable.
+bool Holds(const Formula& f, const core::Database& db, const Assignment& assignment);
+
+/// The satisfying C-stored tuples over the given variable order:
+/// { d̄ C-stored in D | D ⊨ f(d̄) } — the right-hand side of Theorem 8's
+/// converse direction. `vars` must cover the free variables of f.
+core::Relation EvaluateCStored(const Formula& f, const core::Database& db,
+                               const std::vector<std::string>& vars,
+                               const core::ConstantSet& constants);
+
+/// Reference evaluation over an explicit candidate value set: returns all
+/// tuples in values^|vars| satisfying f. Exponential; for testing only.
+core::Relation EvaluateOverValues(const Formula& f, const core::Database& db,
+                                  const std::vector<std::string>& vars,
+                                  const std::vector<core::Value>& values);
+
+}  // namespace setalg::gf
+
+#endif  // SETALG_GF_EVAL_H_

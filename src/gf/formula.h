@@ -1,0 +1,137 @@
+// The guarded fragment GF of first-order logic (Definition 6).
+//
+// Formulas are built from atoms (x=y, x<y, x~c, R(x̄)), boolean
+// connectives, and *guarded* quantification ∃ȳ(α(x̄,ȳ) ∧ φ(x̄,ȳ)) where α
+// is a relation atom containing every free variable of φ.
+//
+// Deviation from the paper's literal Definition 6, documented in DESIGN.md:
+// constant-comparison atoms allow <,> as well as = (x<c, x>c). With both
+// order and constants in the language this is required for the Theorem 8
+// correspondence to hold (SA= can compare a column against a tagged
+// constant via σ_{i<j}∘τ_c); correspondingly, C-partial isomorphisms
+// (bisim module) preserve order relative to the constants.
+#ifndef SETALG_GF_FORMULA_H_
+#define SETALG_GF_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value.h"
+#include "ra/expr.h"
+
+namespace setalg::gf {
+
+enum class FormulaKind {
+  kTrue,          // ⊤ (internal convenience; definable as x=x under a guard)
+  kFalse,         // ⊥
+  kVarCompare,    // x op y
+  kConstCompare,  // x op c
+  kRelAtom,       // R(x1, ..., xk), repeats allowed
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kExists,  // ∃ȳ(α ∧ φ) with α a relation atom guarding φ
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable GF formula node. Build via the free functions below.
+class Formula {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  /// kVarCompare / kConstCompare payloads.
+  const std::string& var1() const { return var1_; }
+  const std::string& var2() const { return var2_; }
+  ra::Cmp cmp() const { return cmp_; }
+  core::Value constant() const { return constant_; }
+
+  /// kRelAtom payload.
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<std::string>& atom_vars() const { return atom_vars_; }
+
+  /// Children: 1 for kNot, 2 for binary connectives, body for kExists.
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  /// kExists payload: the guard atom and the quantified variables.
+  const FormulaPtr& guard() const { return guard_; }
+  const std::vector<std::string>& quantified() const { return quantified_; }
+  const FormulaPtr& body() const { return children_[0]; }
+
+  /// Free variables of the formula.
+  std::set<std::string> FreeVariables() const;
+
+  /// Constants mentioned (from x~c atoms), sorted unique.
+  core::ConstantSet Constants() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class FormulaFactory;
+  Formula() = default;
+
+  FormulaKind kind_ = FormulaKind::kTrue;
+  std::string var1_, var2_;
+  ra::Cmp cmp_ = ra::Cmp::kEq;
+  core::Value constant_ = 0;
+  std::string relation_name_;
+  std::vector<std::string> atom_vars_;
+  std::vector<FormulaPtr> children_;
+  FormulaPtr guard_;
+  std::vector<std::string> quantified_;
+};
+
+// ---------------------------------------------------------------------------
+// Builders.
+// ---------------------------------------------------------------------------
+
+FormulaPtr True();
+FormulaPtr False();
+
+/// Atom `x op y` (variables). Definition 6 admits = and <; all four
+/// comparators are accepted for convenience (≠, > are definable).
+FormulaPtr VarCmp(const std::string& x, ra::Cmp op, const std::string& y);
+FormulaPtr VarEq(const std::string& x, const std::string& y);
+FormulaPtr VarLt(const std::string& x, const std::string& y);
+
+/// Atom `x op c` (variable against constant).
+FormulaPtr ConstCmp(const std::string& x, ra::Cmp op, core::Value c);
+FormulaPtr VarEqConst(const std::string& x, core::Value c);
+
+/// Relation atom R(vars...); repeats allowed.
+FormulaPtr Atom(const std::string& relation, std::vector<std::string> vars);
+
+FormulaPtr Not(FormulaPtr f);
+FormulaPtr And(FormulaPtr a, FormulaPtr b);
+FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+FormulaPtr Iff(FormulaPtr a, FormulaPtr b);
+
+/// Conjunction / disjunction of a list (empty list ⇒ ⊤ / ⊥).
+FormulaPtr AndAll(std::vector<FormulaPtr> fs);
+FormulaPtr OrAll(std::vector<FormulaPtr> fs);
+
+/// Guarded quantification ∃quantified (guard ∧ body). `guard` must be a
+/// relation atom; every quantified variable and every free variable of
+/// `body` must occur in the guard (checked).
+FormulaPtr Exists(FormulaPtr guard, std::vector<std::string> quantified,
+                  FormulaPtr body);
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+/// Checks Definition 6 well-formedness against a schema: relation atoms
+/// exist with matching arity and every quantifier is properly guarded.
+/// Returns an error message, or "" if the formula is valid GF.
+std::string ValidateGf(const Formula& f, const core::Schema& schema);
+
+}  // namespace setalg::gf
+
+#endif  // SETALG_GF_FORMULA_H_

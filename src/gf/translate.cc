@@ -1,0 +1,521 @@
+#include "gf/translate.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::gf {
+namespace {
+
+// Number of (columns ⊔ constants)^positions mappings we are willing to
+// enumerate in one piece expansion — a guard against accidental blow-up.
+constexpr std::size_t kMaxPieces = 500000;
+
+std::size_t CheckedPieceCount(std::size_t base, std::size_t exponent) {
+  std::size_t count = 1;
+  for (std::size_t i = 0; i < exponent; ++i) {
+    count *= base;
+    SETALG_CHECK_STREAM(count <= kMaxPieces)
+        << "piece enumeration too large: " << base << "^" << exponent;
+  }
+  return count;
+}
+
+std::size_t PositionOf(const std::vector<std::string>& vars, const std::string& v) {
+  auto it = std::find(vars.begin(), vars.end(), v);
+  SETALG_CHECK_STREAM(it != vars.end()) << "variable not in scope: " << v;
+  return static_cast<std::size_t>(it - vars.begin()) + 1;  // 1-based.
+}
+
+// ---------------------------------------------------------------------------
+// C-stored universe.
+// ---------------------------------------------------------------------------
+
+ra::ExprPtr UniversePiece(const std::string& relation, std::size_t relation_arity,
+                          const std::vector<std::optional<core::Value>>& mapping,
+                          const std::vector<std::size_t>& columns) {
+  // `mapping[p]` is a constant for constant positions; `columns[p]` is the
+  // source column (1-based) for column positions (ignored otherwise).
+  std::vector<core::Value> tags;
+  for (std::size_t p = 0; p < mapping.size(); ++p) {
+    if (mapping[p].has_value()) tags.push_back(*mapping[p]);
+  }
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+
+  ra::ExprPtr expr = ra::Rel(relation, relation_arity);
+  for (core::Value c : tags) expr = ra::Tag(expr, c);
+  std::vector<std::size_t> projection;
+  projection.reserve(mapping.size());
+  for (std::size_t p = 0; p < mapping.size(); ++p) {
+    if (mapping[p].has_value()) {
+      const std::size_t tag_index = static_cast<std::size_t>(
+          std::lower_bound(tags.begin(), tags.end(), *mapping[p]) - tags.begin());
+      projection.push_back(relation_arity + tag_index + 1);
+    } else {
+      projection.push_back(columns[p]);
+    }
+  }
+  return ra::Project(expr, projection);
+}
+
+}  // namespace
+
+ra::ExprPtr CStoredUniverse(std::size_t k, const core::Schema& schema,
+                            const core::ConstantSet& constants) {
+  SETALG_CHECK_STREAM(schema.NumRelations() > 0)
+      << "C-stored universe needs a nonempty schema";
+  ra::ExprPtr result;
+  for (const auto& name : schema.Names()) {
+    const std::size_t a = schema.Arity(name);
+    CheckedPieceCount(a + constants.size(), k);
+    // Odometer over (columns ⊔ constants)^k. Choice index < a means column
+    // index+1; otherwise constant constants[index - a].
+    std::vector<std::size_t> choice(k, 0);
+    const std::size_t base = a + constants.size();
+    if (base == 0 && k > 0) continue;  // Arity-0 relation, no constants.
+    for (;;) {
+      std::vector<std::optional<core::Value>> mapping(k);
+      std::vector<std::size_t> columns(k, 0);
+      for (std::size_t p = 0; p < k; ++p) {
+        if (choice[p] < a) {
+          columns[p] = choice[p] + 1;
+        } else {
+          mapping[p] = constants[choice[p] - a];
+        }
+      }
+      ra::ExprPtr piece = UniversePiece(name, a, mapping, columns);
+      result = result == nullptr ? piece : ra::Union(result, piece);
+      if (k == 0) break;
+      std::size_t p = 0;
+      while (p < k && ++choice[p] == base) {
+        choice[p] = 0;
+        ++p;
+      }
+      if (p == k) break;
+    }
+  }
+  SETALG_CHECK(result != nullptr);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SA= → GF (Theorem 8 forward).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// An argument slot of the translation: either a GF variable or a constant.
+struct Arg {
+  static Arg Variable(std::string name) {
+    Arg a;
+    a.var = std::move(name);
+    return a;
+  }
+  static Arg Constant(core::Value value) {
+    Arg a;
+    a.is_const = true;
+    a.value = value;
+    return a;
+  }
+  bool is_const = false;
+  std::string var;
+  core::Value value = 0;
+};
+
+class SaToGfTranslator {
+ public:
+  SaToGfTranslator(const core::Schema& schema, core::ConstantSet constants)
+      : schema_(schema), constants_(std::move(constants)) {}
+
+  FormulaPtr Translate(const ra::Expr& e, const std::vector<Arg>& args) {
+    SETALG_CHECK_EQ(args.size(), e.arity());
+    switch (e.kind()) {
+      case ra::OpKind::kRelation:
+        return TranslateRelation(e, args);
+      case ra::OpKind::kUnion:
+        return Or(Translate(*e.child(0), args), Translate(*e.child(1), args));
+      case ra::OpKind::kDifference:
+        return And(Translate(*e.child(0), args), Not(Translate(*e.child(1), args)));
+      case ra::OpKind::kProjection:
+        return TranslateProjectedMembership(*e.child(0), e.projection(), args);
+      case ra::OpKind::kSelection: {
+        FormulaPtr inner = Translate(*e.child(0), args);
+        return And(std::move(inner), CompareArgs(args[e.selection_i() - 1],
+                                                 e.selection_op(),
+                                                 args[e.selection_j() - 1]));
+      }
+      case ra::OpKind::kConstTag: {
+        std::vector<Arg> child_args(args.begin(), args.end() - 1);
+        FormulaPtr inner = Translate(*e.child(0), child_args);
+        return And(std::move(inner),
+                   CompareArgs(args.back(), ra::Cmp::kEq, Arg::Constant(e.tag_value())));
+      }
+      case ra::OpKind::kSemiJoin: {
+        FormulaPtr left = Translate(*e.child(0), args);
+        // ∃ b̄ ∈ E2 with b̄[j] = args[i] for each (i=j) ∈ θ — which is
+        // exactly membership of the selected args in π_{j̄}(E2).
+        std::vector<std::size_t> proj;
+        std::vector<Arg> selected;
+        for (const auto& atom : e.atoms()) {
+          SETALG_CHECK(atom.op == ra::Cmp::kEq);
+          proj.push_back(atom.right);
+          selected.push_back(args[atom.left - 1]);
+        }
+        FormulaPtr exists =
+            TranslateProjectedMembership(*e.child(1), proj, selected);
+        return And(std::move(left), std::move(exists));
+      }
+      case ra::OpKind::kJoin:
+        SETALG_CHECK_STREAM(false) << "SaEqToGf requires an SA= expression";
+    }
+    return False();
+  }
+
+ private:
+  std::string Fresh() { return util::StrCat("_z", ++fresh_counter_); }
+
+  static FormulaPtr CompareArgs(const Arg& a, ra::Cmp op, const Arg& b) {
+    if (!a.is_const && !b.is_const) return VarCmp(a.var, op, b.var);
+    if (!a.is_const && b.is_const) return ConstCmp(a.var, op, b.value);
+    if (a.is_const && !b.is_const) return ConstCmp(b.var, ra::MirrorCmp(op), a.value);
+    // Constant vs constant folds.
+    bool holds = false;
+    switch (op) {
+      case ra::Cmp::kEq:
+        holds = a.value == b.value;
+        break;
+      case ra::Cmp::kNeq:
+        holds = a.value != b.value;
+        break;
+      case ra::Cmp::kLt:
+        holds = a.value < b.value;
+        break;
+      case ra::Cmp::kGt:
+        holds = a.value > b.value;
+        break;
+    }
+    return holds ? True() : False();
+  }
+
+  // Membership of `args` in the relation named by `e` (base case): place
+  // variable args directly in the guard atom, bind constant positions to
+  // fresh quantified variables constrained by x=c atoms.
+  FormulaPtr TranslateRelation(const ra::Expr& e, const std::vector<Arg>& args) {
+    std::vector<std::string> atom_vars(args.size());
+    std::vector<std::string> fresh;
+    std::vector<FormulaPtr> constraints;
+    for (std::size_t p = 0; p < args.size(); ++p) {
+      if (args[p].is_const) {
+        atom_vars[p] = Fresh();
+        fresh.push_back(atom_vars[p]);
+        constraints.push_back(ConstCmp(atom_vars[p], ra::Cmp::kEq, args[p].value));
+      } else {
+        atom_vars[p] = args[p].var;
+      }
+    }
+    FormulaPtr atom = Atom(e.relation_name(), atom_vars);
+    if (fresh.empty()) return atom;
+    return Exists(std::move(atom), std::move(fresh), AndAll(std::move(constraints)));
+  }
+
+  // The workhorse: "some tuple d̄ ∈ E has d̄[proj[j]] = args[j] for all j".
+  // Covers projection (π_{proj}(E) membership) and the semijoin existence
+  // subformula. Enumerates C-storedness pieces: the witnessing d̄ lives
+  // inside one stored tuple T(w̄) plus constants.
+  FormulaPtr TranslateProjectedMembership(const ra::Expr& inner,
+                                          const std::vector<std::size_t>& proj,
+                                          const std::vector<Arg>& args) {
+    SETALG_CHECK_EQ(proj.size(), args.size());
+    const std::size_t n = inner.arity();
+    std::vector<FormulaPtr> pieces;
+    for (const auto& relation : schema_.Names()) {
+      const std::size_t a = schema_.Arity(relation);
+      const std::size_t base = a + constants_.size();
+      if (base == 0 && n > 0) continue;
+      CheckedPieceCount(base, n);
+      std::vector<std::size_t> choice(n, 0);
+      for (;;) {
+        FormulaPtr piece = BuildPiece(inner, proj, args, relation, a, choice);
+        if (piece != nullptr) pieces.push_back(std::move(piece));
+        if (n == 0) break;
+        std::size_t p = 0;
+        while (p < n && ++choice[p] == base) {
+          choice[p] = 0;
+          ++p;
+        }
+        if (p == n) break;
+      }
+    }
+    return OrAll(std::move(pieces));
+  }
+
+  // One piece: relation T of arity a, mapping encoded by `choice`
+  // (choice[p] < a ⇒ column choice[p]+1; otherwise constant). Returns
+  // nullptr for inconsistent mappings.
+  FormulaPtr BuildPiece(const ra::Expr& inner, const std::vector<std::size_t>& proj,
+                        const std::vector<Arg>& args, const std::string& relation,
+                        std::size_t a, const std::vector<std::size_t>& choice) {
+    const std::size_t n = inner.arity();
+    // Per-column state of the guard atom.
+    std::vector<std::string> occupant(a);           // Arg variable, if placed.
+    std::vector<std::optional<core::Value>> creq(a);  // Required constant.
+    std::vector<FormulaPtr> outer;  // Constraints on non-guard arg variables.
+    std::vector<Arg> inner_args(n);
+
+    // Projected args constraining position p.
+    std::vector<std::vector<const Arg*>> at_position(n);
+    for (std::size_t j = 0; j < proj.size(); ++j) {
+      at_position[proj[j] - 1].push_back(&args[j]);
+    }
+
+    for (std::size_t p = 0; p < n; ++p) {
+      if (choice[p] >= a) {
+        // Position p maps to a constant.
+        const core::Value c = constants_[choice[p] - a];
+        for (const Arg* arg : at_position[p]) {
+          if (arg->is_const) {
+            if (arg->value != c) return nullptr;  // Inconsistent piece.
+          } else {
+            outer.push_back(ConstCmp(arg->var, ra::Cmp::kEq, c));
+          }
+        }
+        inner_args[p] = Arg::Constant(c);
+        continue;
+      }
+      const std::size_t q = choice[p];  // 0-based column.
+      for (const Arg* arg : at_position[p]) {
+        if (arg->is_const) {
+          if (creq[q].has_value() && *creq[q] != arg->value) return nullptr;
+          creq[q] = arg->value;
+        } else if (occupant[q].empty()) {
+          occupant[q] = arg->var;
+        } else if (occupant[q] != arg->var) {
+          // Two different arg variables forced equal; only one can occupy
+          // the guard slot, the other is constrained outside the guard.
+          outer.push_back(VarEq(occupant[q], arg->var));
+        }
+      }
+      inner_args[p] = Arg::Variable(std::string());  // Resolved below.
+    }
+
+    // Finalize guard variables and the inner constraints.
+    std::vector<std::string> guard_vars(a);
+    std::vector<std::string> fresh;
+    std::vector<FormulaPtr> inner_constraints;
+    for (std::size_t q = 0; q < a; ++q) {
+      if (!occupant[q].empty()) {
+        guard_vars[q] = occupant[q];
+      } else {
+        guard_vars[q] = Fresh();
+        fresh.push_back(guard_vars[q]);
+      }
+      if (creq[q].has_value()) {
+        inner_constraints.push_back(ConstCmp(guard_vars[q], ra::Cmp::kEq, *creq[q]));
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!inner_args[p].is_const) {
+        inner_args[p] = Arg::Variable(guard_vars[choice[p]]);
+      }
+    }
+    inner_constraints.push_back(Translate(inner, inner_args));
+
+    FormulaPtr guard = Atom(relation, guard_vars);
+    FormulaPtr body = AndAll(std::move(inner_constraints));
+    FormulaPtr core = fresh.empty() ? And(std::move(guard), std::move(body))
+                                    : Exists(std::move(guard), std::move(fresh),
+                                             std::move(body));
+    return And(AndAll(std::move(outer)), std::move(core));
+  }
+
+  const core::Schema& schema_;
+  core::ConstantSet constants_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr SaEqToGf(const ra::ExprPtr& expr, const std::vector<std::string>& vars,
+                    const core::Schema& schema) {
+  SETALG_CHECK_STREAM(ra::IsSaEq(*expr)) << "SaEqToGf requires an SA= expression";
+  SETALG_CHECK_EQ(vars.size(), expr->arity());
+  SETALG_CHECK_STREAM(ValidateAgainstSchema(*expr, schema).empty())
+      << ValidateAgainstSchema(*expr, schema);
+  std::set<std::string> distinct(vars.begin(), vars.end());
+  SETALG_CHECK_EQ(distinct.size(), vars.size());
+  SaToGfTranslator translator(schema, ra::CollectConstants(*expr));
+  std::vector<Arg> args;
+  args.reserve(vars.size());
+  for (const auto& v : vars) args.push_back(Arg::Variable(v));
+  return translator.Translate(*expr, args);
+}
+
+// ---------------------------------------------------------------------------
+// GF → SA= (Theorem 8 converse).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class GfToSaTranslator {
+ public:
+  GfToSaTranslator(const core::Schema& schema, core::ConstantSet constants)
+      : schema_(schema), constants_(std::move(constants)) {}
+
+  ra::ExprPtr Translate(const Formula& f, const std::vector<std::string>& vars) {
+    const std::size_t k = vars.size();
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+        return Universe(k);
+      case FormulaKind::kFalse: {
+        ra::ExprPtr u = Universe(k);
+        return ra::Diff(u, u);
+      }
+      case FormulaKind::kVarCompare: {
+        const std::size_t i = PositionOf(vars, f.var1());
+        const std::size_t j = PositionOf(vars, f.var2());
+        ra::ExprPtr u = Universe(k);
+        switch (f.cmp()) {
+          case ra::Cmp::kEq:
+            return ra::SelectEq(u, i, j);
+          case ra::Cmp::kLt:
+            return ra::SelectLt(u, i, j);
+          case ra::Cmp::kGt:
+            return ra::SelectLt(u, j, i);
+          case ra::Cmp::kNeq:
+            return ra::Diff(u, ra::SelectEq(u, i, j));
+        }
+        return u;
+      }
+      case FormulaKind::kConstCompare: {
+        const std::size_t i = PositionOf(vars, f.var1());
+        ra::ExprPtr u = Universe(k);
+        // Tag the constant (column k+1), compare, drop the tag.
+        ra::ExprPtr tagged = ra::Tag(u, f.constant());
+        std::vector<std::size_t> keep(k);
+        for (std::size_t p = 0; p < k; ++p) keep[p] = p + 1;
+        switch (f.cmp()) {
+          case ra::Cmp::kEq:
+            return ra::Project(ra::SelectEq(tagged, i, k + 1), keep);
+          case ra::Cmp::kLt:
+            return ra::Project(ra::SelectLt(tagged, i, k + 1), keep);
+          case ra::Cmp::kGt:
+            return ra::Project(ra::SelectLt(tagged, k + 1, i), keep);
+          case ra::Cmp::kNeq:
+            return ra::Project(ra::Diff(tagged, ra::SelectEq(tagged, i, k + 1)), keep);
+        }
+        return u;
+      }
+      case FormulaKind::kRelAtom: {
+        // Collapse repeated variables with selections on the atom relation,
+        // then keep the universe tuples matching it on the shared columns.
+        const std::size_t arity = f.atom_vars().size();
+        ra::ExprPtr pattern = ra::Rel(f.relation_name(), arity);
+        std::map<std::string, std::size_t> first_col;
+        for (std::size_t q = 0; q < arity; ++q) {
+          const std::string& v = f.atom_vars()[q];
+          auto it = first_col.find(v);
+          if (it == first_col.end()) {
+            first_col[v] = q + 1;
+          } else {
+            pattern = ra::SelectEq(pattern, it->second, q + 1);
+          }
+        }
+        std::vector<ra::JoinAtom> atoms;
+        for (const auto& [v, col] : first_col) {
+          atoms.push_back({PositionOf(vars, v), ra::Cmp::kEq, col});
+        }
+        return ra::SemiJoin(Universe(k), pattern, atoms);
+      }
+      case FormulaKind::kNot:
+        return ra::Diff(Universe(k), Translate(*f.children()[0], vars));
+      case FormulaKind::kAnd: {
+        ra::ExprPtr a = Translate(*f.children()[0], vars);
+        ra::ExprPtr b = Translate(*f.children()[1], vars);
+        return ra::Diff(a, ra::Diff(a, b));
+      }
+      case FormulaKind::kOr:
+        return ra::Union(Translate(*f.children()[0], vars),
+                         Translate(*f.children()[1], vars));
+      case FormulaKind::kImplies:
+        return ra::Union(ra::Diff(Universe(k), Translate(*f.children()[0], vars)),
+                         Translate(*f.children()[1], vars));
+      case FormulaKind::kIff: {
+        ra::ExprPtr a = Translate(*f.children()[0], vars);
+        ra::ExprPtr b = Translate(*f.children()[1], vars);
+        ra::ExprPtr u = Universe(k);
+        ra::ExprPtr a_and_b = ra::Diff(a, ra::Diff(a, b));
+        ra::ExprPtr neither = ra::Diff(ra::Diff(u, a), b);
+        return ra::Union(a_and_b, neither);
+      }
+      case FormulaKind::kExists: {
+        // Scope variables: the guard's distinct variables, in order of
+        // first occurrence (guardedness ⇒ they cover the body).
+        std::vector<std::string> scope;
+        for (const auto& v : f.guard()->atom_vars()) {
+          if (std::find(scope.begin(), scope.end(), v) == scope.end()) {
+            scope.push_back(v);
+          }
+        }
+        ra::ExprPtr guard_expr = Translate(*f.guard(), scope);
+        ra::ExprPtr body_expr = Translate(*f.body(), scope);
+        ra::ExprPtr scope_expr =
+            ra::Diff(guard_expr, ra::Diff(guard_expr, body_expr));
+        // Link the enclosing tuple to the scope tuple on the shared,
+        // non-quantified variables.
+        const std::set<std::string> quantified(f.quantified().begin(),
+                                               f.quantified().end());
+        std::vector<ra::JoinAtom> atoms;
+        for (std::size_t s = 0; s < scope.size(); ++s) {
+          const std::string& v = scope[s];
+          if (quantified.count(v) > 0) continue;
+          if (std::find(vars.begin(), vars.end(), v) == vars.end()) continue;
+          atoms.push_back({PositionOf(vars, v), ra::Cmp::kEq, s + 1});
+        }
+        return ra::SemiJoin(Universe(k), scope_expr, atoms);
+      }
+    }
+    SETALG_CHECK_STREAM(false) << "unreachable";
+    return nullptr;
+  }
+
+ private:
+  ra::ExprPtr Universe(std::size_t k) {
+    auto it = universe_cache_.find(k);
+    if (it != universe_cache_.end()) return it->second;
+    ra::ExprPtr u = CStoredUniverse(k, schema_, constants_);
+    universe_cache_[k] = u;
+    return u;
+  }
+
+  const core::Schema& schema_;
+  core::ConstantSet constants_;
+  std::unordered_map<std::size_t, ra::ExprPtr> universe_cache_;
+};
+
+}  // namespace
+
+ra::ExprPtr GfToSaEq(const Formula& f, const std::vector<std::string>& vars,
+                     const core::Schema& schema,
+                     const core::ConstantSet& extra_constants) {
+  SETALG_CHECK_STREAM(ValidateGf(f, schema).empty()) << ValidateGf(f, schema);
+  for (const auto& v : f.FreeVariables()) {
+    SETALG_CHECK_STREAM(std::find(vars.begin(), vars.end(), v) != vars.end())
+        << "free variable " << v << " missing from the variable order";
+  }
+  core::ConstantSet constants = f.Constants();
+  constants.insert(constants.end(), extra_constants.begin(), extra_constants.end());
+  std::sort(constants.begin(), constants.end());
+  constants.erase(std::unique(constants.begin(), constants.end()), constants.end());
+  GfToSaTranslator translator(schema, constants);
+  ra::ExprPtr result = translator.Translate(f, vars);
+  SETALG_CHECK(ra::IsSaEq(*result));
+  return result;
+}
+
+}  // namespace setalg::gf

@@ -1,0 +1,50 @@
+// The Theorem 8 translations between SA= and GF.
+//
+// Forward:  for every SA= expression E of arity k there is a GF formula
+//           φ_E(x1..xk) with {d̄ | D ⊨ φ_E(d̄)} = E(D) for all D.
+// Converse: for every GF formula φ(x1..xk) with constants in C there is an
+//           SA= expression E_φ with E_φ(D) = {d̄ C-stored | D ⊨ φ(d̄)}.
+//
+// Both constructions hinge on C-storedness (Definition 4): every tuple an
+// SA= expression can output has all its non-constant values inside a
+// single stored tuple. The forward translation therefore enumerates
+// "pieces" — a relation name plus a mapping from tuple positions to that
+// relation's columns or constants — and guards each piece with the actual
+// relation atom; the converse translation relativizes every connective to
+// the SA= expression computing the C-stored universe.
+#ifndef SETALG_GF_TRANSLATE_H_
+#define SETALG_GF_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "gf/formula.h"
+#include "ra/expr.h"
+
+namespace setalg::gf {
+
+/// SA= expression computing all C-stored k-tuples over the schema — the
+/// finite union over relations T and position mappings {1..k} → columns(T)
+/// ⊔ C of the corresponding project/tag expressions.
+ra::ExprPtr CStoredUniverse(std::size_t k, const core::Schema& schema,
+                            const core::ConstantSet& constants);
+
+/// Theorem 8, forward direction. `expr` must be SA= (checked); `vars`
+/// names its output columns (|vars| = arity, distinct). The result is a
+/// valid GF formula over `schema` whose satisfying assignments are exactly
+/// E(D) for every database D over the schema.
+FormulaPtr SaEqToGf(const ra::ExprPtr& expr, const std::vector<std::string>& vars,
+                    const core::Schema& schema);
+
+/// Theorem 8, converse direction. `vars` must cover the free variables of
+/// `f` (and fixes the output column order). `extra_constants` are added to
+/// the constant set C derived from the formula (useful to align C across
+/// experiments). The result is SA=.
+ra::ExprPtr GfToSaEq(const Formula& f, const std::vector<std::string>& vars,
+                     const core::Schema& schema,
+                     const core::ConstantSet& extra_constants = {});
+
+}  // namespace setalg::gf
+
+#endif  // SETALG_GF_TRANSLATE_H_

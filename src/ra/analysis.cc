@@ -1,0 +1,127 @@
+#include "ra/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace setalg::ra {
+
+ConstrainedSets ComputeConstrainedSets(const Expr& join) {
+  SETALG_CHECK(join.kind() == OpKind::kJoin || join.kind() == OpKind::kSemiJoin);
+  const std::size_t n = join.child(0)->arity();
+  const std::size_t m = join.child(1)->arity();
+  std::set<std::size_t> c1, c2;
+  for (const auto& atom : join.atoms()) {
+    if (atom.op == Cmp::kEq) {
+      c1.insert(atom.left);
+      c2.insert(atom.right);
+    }
+  }
+  ConstrainedSets sets;
+  sets.constrained1.assign(c1.begin(), c1.end());
+  sets.constrained2.assign(c2.begin(), c2.end());
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (c1.find(i) == c1.end()) sets.unc1.push_back(i);
+  }
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (c2.find(j) == c2.end()) sets.unc2.push_back(j);
+  }
+  return sets;
+}
+
+std::vector<core::Value> FreeValues(const Expr& join, int side, core::TupleView tuple,
+                                    const core::ConstantSet& constants) {
+  SETALG_CHECK(side == 1 || side == 2);
+  SETALG_DCHECK(std::is_sorted(constants.begin(), constants.end()));
+  const ConstrainedSets sets = ComputeConstrainedSets(join);
+  const auto& constrained = side == 1 ? sets.constrained1 : sets.constrained2;
+  SETALG_CHECK_EQ(tuple.size(), join.child(side == 1 ? 0 : 1)->arity());
+
+  // Values at equality-constrained positions.
+  std::set<core::Value> bound;
+  for (std::size_t pos : constrained) bound.insert(tuple[pos - 1]);
+
+  std::set<core::Value> free_values;
+  for (core::Value v : tuple) {
+    if (bound.count(v) > 0) continue;
+    if (!constants.empty() && v >= constants.front() && v <= constants.back()) {
+      // v ∈ C or v lies in a (finite, over ℤ) interval [c_i, c_{i+1}].
+      continue;
+    }
+    free_values.insert(v);
+  }
+  return std::vector<core::Value>(free_values.begin(), free_values.end());
+}
+
+std::map<std::size_t, core::Value> ConstantColumns(const Expr& e) {
+  using ColumnMap = std::map<std::size_t, core::Value>;
+  switch (e.kind()) {
+    case OpKind::kRelation:
+      return {};
+    case OpKind::kConstTag: {
+      ColumnMap map = ConstantColumns(*e.child(0));
+      map[e.arity()] = e.tag_value();
+      return map;
+    }
+    case OpKind::kProjection: {
+      const ColumnMap child = ConstantColumns(*e.child(0));
+      ColumnMap map;
+      for (std::size_t k = 0; k < e.projection().size(); ++k) {
+        auto it = child.find(e.projection()[k]);
+        if (it != child.end()) map[k + 1] = it->second;
+      }
+      return map;
+    }
+    case OpKind::kSelection: {
+      ColumnMap map = ConstantColumns(*e.child(0));
+      if (e.selection_op() == Cmp::kEq) {
+        // σ_{i=j}: constancy propagates across the equated columns.
+        auto i_it = map.find(e.selection_i());
+        auto j_it = map.find(e.selection_j());
+        if (i_it != map.end() && j_it == map.end()) {
+          map[e.selection_j()] = i_it->second;
+        } else if (j_it != map.end() && i_it == map.end()) {
+          map[e.selection_i()] = j_it->second;
+        }
+      }
+      return map;
+    }
+    case OpKind::kUnion: {
+      const ColumnMap left = ConstantColumns(*e.child(0));
+      const ColumnMap right = ConstantColumns(*e.child(1));
+      ColumnMap map;
+      for (const auto& [col, value] : left) {
+        auto it = right.find(col);
+        if (it != right.end() && it->second == value) map[col] = value;
+      }
+      return map;
+    }
+    case OpKind::kDifference:
+    case OpKind::kSemiJoin:
+      // Output tuples are a subset of the left input's.
+      return ConstantColumns(*e.child(0));
+    case OpKind::kJoin: {
+      ColumnMap map = ConstantColumns(*e.child(0));
+      const std::size_t n = e.child(0)->arity();
+      for (const auto& [col, value] : ConstantColumns(*e.child(1))) {
+        map[col + n] = value;
+      }
+      // Equality atoms propagate constancy across sides.
+      for (const auto& atom : e.atoms()) {
+        if (atom.op != Cmp::kEq) continue;
+        auto l_it = map.find(atom.left);
+        auto r_it = map.find(atom.right + n);
+        if (l_it != map.end() && r_it == map.end()) {
+          map[atom.right + n] = l_it->second;
+        } else if (r_it != map.end() && l_it == map.end()) {
+          map[atom.left] = r_it->second;
+        }
+      }
+      return map;
+    }
+  }
+  return {};
+}
+
+}  // namespace setalg::ra

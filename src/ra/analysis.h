@@ -1,0 +1,49 @@
+// Static analyses from Section 3 of the paper:
+//   - constrained/unconstrained join positions (Definition 20),
+//   - free values of a tuple w.r.t. a join (Definition 22),
+//   - provably-constant output columns (used by the Theorem 18 rewriter).
+#ifndef SETALG_RA_ANALYSIS_H_
+#define SETALG_RA_ANALYSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "core/tuple.h"
+#include "core/value.h"
+#include "ra/expr.h"
+
+namespace setalg::ra {
+
+/// The sets of Definition 20 for a join/semijoin node E = E1 θ E2.
+/// Positions are 1-based; constrained_ℓ collects the positions mentioned in
+/// θ's equality atoms on side ℓ, and unc_ℓ is the complement.
+struct ConstrainedSets {
+  std::vector<std::size_t> constrained1;
+  std::vector<std::size_t> unc1;
+  std::vector<std::size_t> constrained2;
+  std::vector<std::size_t> unc2;
+};
+
+/// Computes Definition 20 for a node of kind kJoin or kSemiJoin.
+ConstrainedSets ComputeConstrainedSets(const Expr& join);
+
+/// Definition 22: the free values of a tuple d̄ ∈ E_side(D) w.r.t. the join
+/// E = E1 θ E2 with constants in C. A value is free iff it occurs in d̄, is
+/// not at any equality-constrained position, is not a constant, and does
+/// not lie in a finite interval [c_i, c_{i+1}] between consecutive
+/// constants. Over the integer universe every such interval is finite, so
+/// the last condition excludes exactly the values in [min C, max C].
+///
+/// `side` is 1 for tuples of E1 and 2 for tuples of E2. `constants` must be
+/// sorted (as produced by CollectConstants).
+std::vector<core::Value> FreeValues(const Expr& join, int side, core::TupleView tuple,
+                                    const core::ConstantSet& constants);
+
+/// Columns of `e` that provably hold one fixed constant on every database,
+/// as a map from 1-based column index to that constant. Sound but not
+/// complete: derived from τ tags propagated through the operators.
+std::map<std::size_t, core::Value> ConstantColumns(const Expr& e);
+
+}  // namespace setalg::ra
+
+#endif  // SETALG_RA_ANALYSIS_H_

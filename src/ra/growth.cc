@@ -1,0 +1,67 @@
+#include "ra/growth.h"
+
+#include <cmath>
+
+#include "ra/eval.h"
+#include "util/check.h"
+
+namespace setalg::ra {
+
+const char* GrowthClassToString(GrowthClass c) {
+  switch (c) {
+    case GrowthClass::kLinear:
+      return "linear";
+    case GrowthClass::kQuadratic:
+      return "quadratic";
+    case GrowthClass::kUnclear:
+      return "unclear";
+  }
+  return "?";
+}
+
+GrowthReport MeasureGrowth(const ExprPtr& expr, const DatabaseFamily& family,
+                           const std::vector<std::size_t>& ns,
+                           const GrowthThresholds& thresholds) {
+  SETALG_CHECK_GE(ns.size(), 2u);
+  GrowthReport report;
+  std::vector<std::size_t> xs, ys;
+  for (std::size_t n : ns) {
+    const core::Database db = family(n);
+    EvalStats stats;
+    const core::Relation out = Eval(expr, db, &stats);
+    GrowthSample sample;
+    sample.n = n;
+    sample.db_size = db.size();
+    sample.max_intermediate = stats.max_intermediate;
+    sample.output_size = out.size();
+    report.samples.push_back(sample);
+    xs.push_back(sample.db_size == 0 ? 1 : sample.db_size);
+    ys.push_back(sample.max_intermediate);
+  }
+  report.fit = util::FitGrowthExponent(xs, ys);
+  if (report.fit.slope <= thresholds.linear_below) {
+    report.classification = GrowthClass::kLinear;
+  } else if (report.fit.slope >= thresholds.quadratic_above) {
+    report.classification = GrowthClass::kQuadratic;
+  } else {
+    report.classification = GrowthClass::kUnclear;
+  }
+  return report;
+}
+
+std::vector<std::size_t> GeometricSizes(std::size_t lo, std::size_t hi, std::size_t k) {
+  SETALG_CHECK(lo > 0 && hi >= lo && k >= 2);
+  std::vector<std::size_t> sizes;
+  const double ratio = std::pow(static_cast<double>(hi) / static_cast<double>(lo),
+                                1.0 / static_cast<double>(k - 1));
+  double current = static_cast<double>(lo);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto size = static_cast<std::size_t>(std::llround(current));
+    if (sizes.empty() || size > sizes.back()) sizes.push_back(size);
+    current *= ratio;
+  }
+  if (sizes.back() != hi) sizes.push_back(hi);
+  return sizes;
+}
+
+}  // namespace setalg::ra

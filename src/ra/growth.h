@@ -1,0 +1,62 @@
+// Empirical growth classification — the measurable face of Theorem 17.
+//
+// Given an expression and a scalable database family, evaluates the
+// expression on instances of increasing size, records the maximum
+// intermediate-result cardinality (the c(E') of Definition 16), and fits
+// the polynomial growth exponent. The dichotomy theorem predicts the
+// exponent clusters at 1 (linear) or 2 (quadratic) and nowhere in between.
+#ifndef SETALG_RA_GROWTH_H_
+#define SETALG_RA_GROWTH_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "ra/expr.h"
+#include "util/stats.h"
+
+namespace setalg::ra {
+
+/// A scalable family of databases: parameter n -> instance of size Θ(n).
+using DatabaseFamily = std::function<core::Database(std::size_t)>;
+
+enum class GrowthClass { kLinear, kQuadratic, kUnclear };
+
+const char* GrowthClassToString(GrowthClass c);
+
+/// One measurement point.
+struct GrowthSample {
+  std::size_t n = 0;                 // Family parameter.
+  std::size_t db_size = 0;           // |D| (Definition 15).
+  std::size_t max_intermediate = 0;  // max c(E') over subexpressions E'.
+  std::size_t output_size = 0;       // |E(D)|.
+};
+
+/// The fitted growth report.
+struct GrowthReport {
+  std::vector<GrowthSample> samples;
+  /// Log-log fit of max_intermediate against db_size.
+  util::LineFit fit;
+  GrowthClass classification = GrowthClass::kUnclear;
+
+  double exponent() const { return fit.slope; }
+};
+
+/// Thresholds for classification: exponent <= linear_below → linear,
+/// >= quadratic_above → quadratic, otherwise unclear.
+struct GrowthThresholds {
+  double linear_below = 1.4;
+  double quadratic_above = 1.6;
+};
+
+/// Evaluates `expr` on family(n) for each n in `ns` and fits the exponent.
+GrowthReport MeasureGrowth(const ExprPtr& expr, const DatabaseFamily& family,
+                           const std::vector<std::size_t>& ns,
+                           const GrowthThresholds& thresholds = {});
+
+/// Geometric sequence of k sizes from lo to hi (inclusive-ish, deduped).
+std::vector<std::size_t> GeometricSizes(std::size_t lo, std::size_t hi, std::size_t k);
+
+}  // namespace setalg::ra
+
+#endif  // SETALG_RA_GROWTH_H_

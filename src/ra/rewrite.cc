@@ -1,0 +1,294 @@
+#include "ra/rewrite.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ra/analysis.h"
+#include "util/check.h"
+
+namespace setalg::ra {
+namespace {
+
+std::vector<std::size_t> IdentityColumns(std::size_t arity) {
+  std::vector<std::size_t> columns(arity);
+  for (std::size_t i = 0; i < arity; ++i) columns[i] = i + 1;
+  return columns;
+}
+
+// σ_{i op k} on two columns of `input`, expressing ≠ and > through the
+// primitive selections (Definition 1 only has σ_{i=j} and σ_{i<j}).
+ExprPtr SelectColumns(ExprPtr input, std::size_t i, Cmp op, std::size_t k) {
+  switch (op) {
+    case Cmp::kEq:
+      return SelectEq(std::move(input), i, k);
+    case Cmp::kLt:
+      return SelectLt(std::move(input), i, k);
+    case Cmp::kGt:
+      return SelectLt(std::move(input), k, i);
+    case Cmp::kNeq: {
+      ExprPtr eq = SelectEq(input, i, k);
+      return Diff(std::move(input), std::move(eq));
+    }
+  }
+  return input;
+}
+
+// σ_{i op 'c'}: tag the constant, select against the tagged column, drop it.
+ExprPtr SelectCmpConst(ExprPtr input, std::size_t i, Cmp op, core::Value c) {
+  const std::size_t n = input->arity();
+  ExprPtr tagged = Tag(std::move(input), c);
+  return Project(SelectColumns(std::move(tagged), i, op, n + 1), IdentityColumns(n));
+}
+
+// σ_{'c' op j}: mirror of the above (constant on the left of the operator).
+ExprPtr SelectConstCmp(ExprPtr input, core::Value c, Cmp op, std::size_t j) {
+  const std::size_t n = input->arity();
+  ExprPtr tagged = Tag(std::move(input), c);
+  return Project(SelectColumns(std::move(tagged), n + 1, op, j), IdentityColumns(n));
+}
+
+void SplitAtoms(const std::vector<JoinAtom>& atoms, std::vector<JoinAtom>* eq,
+                std::vector<JoinAtom>* residual) {
+  for (const auto& atom : atoms) {
+    (atom.op == Cmp::kEq ? eq : residual)->push_back(atom);
+  }
+}
+
+}  // namespace
+
+ExprPtr SemiJoinToJoin(const ExprPtr& e) {
+  std::vector<ExprPtr> children;
+  children.reserve(e->children().size());
+  for (const auto& child : e->children()) children.push_back(SemiJoinToJoin(child));
+
+  switch (e->kind()) {
+    case OpKind::kRelation:
+      return e;
+    case OpKind::kUnion:
+      return Union(children[0], children[1]);
+    case OpKind::kDifference:
+      return Diff(children[0], children[1]);
+    case OpKind::kProjection:
+      return Project(children[0], e->projection());
+    case OpKind::kSelection:
+      return e->selection_op() == Cmp::kEq
+                 ? SelectEq(children[0], e->selection_i(), e->selection_j())
+                 : SelectLt(children[0], e->selection_i(), e->selection_j());
+    case OpKind::kConstTag:
+      return Tag(children[0], e->tag_value());
+    case OpKind::kJoin:
+      return Join(children[0], children[1], e->atoms());
+    case OpKind::kSemiJoin: {
+      const std::size_t n = children[0]->arity();
+      const bool all_eq =
+          std::all_of(e->atoms().begin(), e->atoms().end(),
+                      [](const JoinAtom& a) { return a.op == Cmp::kEq; });
+      if (all_eq) {
+        // Linear embedding: project the right side onto the (distinct)
+        // joined columns first, so each left row matches at most one
+        // right row.
+        std::vector<std::size_t> right_cols;
+        for (const auto& atom : e->atoms()) right_cols.push_back(atom.right);
+        std::sort(right_cols.begin(), right_cols.end());
+        right_cols.erase(std::unique(right_cols.begin(), right_cols.end()),
+                         right_cols.end());
+        std::vector<JoinAtom> atoms;
+        for (const auto& atom : e->atoms()) {
+          const std::size_t pos =
+              static_cast<std::size_t>(std::lower_bound(right_cols.begin(),
+                                                        right_cols.end(), atom.right) -
+                                       right_cols.begin()) +
+              1;
+          atoms.push_back({atom.left, Cmp::kEq, pos});
+        }
+        ExprPtr projected_right = Project(children[1], right_cols);
+        return Project(Join(children[0], std::move(projected_right), std::move(atoms)),
+                       IdentityColumns(n));
+      }
+      // General embedding (not linear): π_{1..n}(E1 ⋈θ E2).
+      return Project(Join(children[0], children[1], e->atoms()), IdentityColumns(n));
+    }
+  }
+  SETALG_CHECK_STREAM(false) << "unreachable";
+  return e;
+}
+
+namespace {
+
+// Builds the Z2-form SA= expression for a join node whose right side has no
+// free positions: every right column is either equality-constrained (value
+// copied from the left via g) or provably a constant.
+ExprPtr BuildRightDetermined(const Expr& join, ExprPtr left, ExprPtr right,
+                             const ConstrainedSets& sets,
+                             const std::map<std::size_t, core::Value>& right_const) {
+  const std::size_t n = join.child(0)->arity();
+  const std::size_t m = join.child(1)->arity();
+  std::vector<JoinAtom> eq, residual;
+  SplitAtoms(join.atoms(), &eq, &residual);
+
+  // g(j) = min { i | (i,j) ∈ θ= } for constrained right positions.
+  std::map<std::size_t, std::size_t> g;
+  for (const auto& atom : eq) {
+    auto it = g.find(atom.right);
+    if (it == g.end() || atom.left < it->second) g[atom.right] = atom.left;
+  }
+
+  ExprPtr cur = SemiJoin(std::move(left), std::move(right), eq);  // arity n, SA=.
+
+  // Enforce the non-equality conjuncts on the reconstructed pair.
+  for (const auto& atom : residual) {
+    auto g_it = g.find(atom.right);
+    if (g_it != g.end()) {
+      cur = SelectColumns(std::move(cur), atom.left, atom.op, g_it->second);
+    } else {
+      const core::Value c = right_const.at(atom.right);
+      cur = SelectCmpConst(std::move(cur), atom.left, atom.op, c);
+    }
+  }
+
+  // Reconstruct the right tuple: tag the constants needed by unconstrained
+  // positions, then project (left columns, then the reconstruction of each
+  // right column).
+  std::vector<core::Value> tags;
+  for (std::size_t j : sets.unc2) tags.push_back(right_const.at(j));
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  for (core::Value v : tags) cur = Tag(std::move(cur), v);
+
+  std::vector<std::size_t> out_columns = IdentityColumns(n);
+  for (std::size_t j = 1; j <= m; ++j) {
+    auto g_it = g.find(j);
+    if (g_it != g.end()) {
+      out_columns.push_back(g_it->second);
+    } else {
+      const core::Value c = right_const.at(j);
+      const std::size_t tag_pos = static_cast<std::size_t>(
+          std::lower_bound(tags.begin(), tags.end(), c) - tags.begin());
+      out_columns.push_back(n + tag_pos + 1);
+    }
+  }
+  return Project(std::move(cur), std::move(out_columns));
+}
+
+// Mirror case: the left side has no free positions; keep the right tuples
+// and reconstruct the left tuple from them.
+ExprPtr BuildLeftDetermined(const Expr& join, ExprPtr left, ExprPtr right,
+                            const ConstrainedSets& sets,
+                            const std::map<std::size_t, core::Value>& left_const) {
+  const std::size_t n = join.child(0)->arity();
+  const std::size_t m = join.child(1)->arity();
+  std::vector<JoinAtom> eq, residual;
+  SplitAtoms(join.atoms(), &eq, &residual);
+
+  // g2(i) = min { j | (i,j) ∈ θ= } for constrained left positions.
+  std::map<std::size_t, std::size_t> g2;
+  for (const auto& atom : eq) {
+    auto it = g2.find(atom.left);
+    if (it == g2.end() || atom.right < it->second) g2[atom.left] = atom.right;
+  }
+
+  // Mirror the equality atoms: the semijoin now filters the right side.
+  std::vector<JoinAtom> mirrored;
+  mirrored.reserve(eq.size());
+  for (const auto& atom : eq) mirrored.push_back({atom.right, Cmp::kEq, atom.left});
+
+  ExprPtr cur = SemiJoin(std::move(right), std::move(left), mirrored);  // arity m.
+
+  for (const auto& atom : residual) {
+    auto g_it = g2.find(atom.left);
+    if (g_it != g2.end()) {
+      // a_i op b_j becomes b_{g2(i)} op b_j on the kept right tuples.
+      cur = SelectColumns(std::move(cur), g_it->second, atom.op, atom.right);
+    } else {
+      const core::Value c = left_const.at(atom.left);
+      cur = SelectConstCmp(std::move(cur), c, atom.op, atom.right);
+    }
+  }
+
+  std::vector<core::Value> tags;
+  for (std::size_t i : sets.unc1) tags.push_back(left_const.at(i));
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  for (core::Value v : tags) cur = Tag(std::move(cur), v);
+
+  std::vector<std::size_t> out_columns;
+  for (std::size_t i = 1; i <= n; ++i) {
+    auto g_it = g2.find(i);
+    if (g_it != g2.end()) {
+      out_columns.push_back(g_it->second);
+    } else {
+      const core::Value c = left_const.at(i);
+      const std::size_t tag_pos = static_cast<std::size_t>(
+          std::lower_bound(tags.begin(), tags.end(), c) - tags.begin());
+      out_columns.push_back(m + tag_pos + 1);
+    }
+  }
+  for (std::size_t j = 1; j <= m; ++j) out_columns.push_back(j);
+  return Project(std::move(cur), std::move(out_columns));
+}
+
+std::optional<ExprPtr> RewriteNode(const ExprPtr& e) {
+  std::vector<ExprPtr> children;
+  children.reserve(e->children().size());
+  for (const auto& child : e->children()) {
+    auto rewritten = RewriteNode(child);
+    if (!rewritten.has_value()) return std::nullopt;
+    children.push_back(std::move(*rewritten));
+  }
+
+  switch (e->kind()) {
+    case OpKind::kRelation:
+      return e;
+    case OpKind::kUnion:
+      return Union(children[0], children[1]);
+    case OpKind::kDifference:
+      return Diff(children[0], children[1]);
+    case OpKind::kProjection:
+      return Project(children[0], e->projection());
+    case OpKind::kSelection:
+      return e->selection_op() == Cmp::kEq
+                 ? SelectEq(children[0], e->selection_i(), e->selection_j())
+                 : SelectLt(children[0], e->selection_i(), e->selection_j());
+    case OpKind::kConstTag:
+      return Tag(children[0], e->tag_value());
+    case OpKind::kSemiJoin:
+      // The input is required to be RA.
+      return std::nullopt;
+    case OpKind::kJoin: {
+      const ConstrainedSets sets = ComputeConstrainedSets(*e);
+      const auto left_const = ConstantColumns(*e->child(0));
+      const auto right_const = ConstantColumns(*e->child(1));
+      const bool right_determined =
+          std::all_of(sets.unc2.begin(), sets.unc2.end(), [&](std::size_t j) {
+            return right_const.find(j) != right_const.end();
+          });
+      if (right_determined) {
+        return BuildRightDetermined(*e, children[0], children[1], sets, right_const);
+      }
+      const bool left_determined =
+          std::all_of(sets.unc1.begin(), sets.unc1.end(), [&](std::size_t i) {
+            return left_const.find(i) != left_const.end();
+          });
+      if (left_determined) {
+        return BuildLeftDetermined(*e, children[0], children[1], sets, left_const);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ExprPtr> RewriteRaToSaEq(const ExprPtr& e) {
+  SETALG_CHECK_STREAM(IsRa(*e)) << "RewriteRaToSaEq requires an RA expression";
+  auto result = RewriteNode(e);
+  if (result.has_value()) {
+    SETALG_CHECK_STREAM(IsSaEq(**result))
+        << "rewriter produced a non-SA= expression: " << (*result)->ToString();
+  }
+  return result;
+}
+
+}  // namespace setalg::ra

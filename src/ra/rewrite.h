@@ -1,0 +1,33 @@
+// Expression rewrites connecting RA and SA=:
+//
+//   - SemiJoinToJoin: the embedding of semijoins into RA. For equality
+//     semijoins it uses the linear form from the paper (Section 3):
+//     R ⋉_{2=1} S = π_{1,2}(R ⋈_{2=1} π₁(S)).
+//   - RewriteRaToSaEq: the constructive translation behind Theorem 18.
+//     Given an RA expression whose joins can be *syntactically* certified
+//     linear (one side of every join has no unconstrained, non-constant
+//     positions — the discharge of the Lemma 24 side condition), produces
+//     an equivalent SA= expression. Returns nullopt when certification
+//     fails; the general decision problem is undecidable, so failure does
+//     not prove the expression quadratic (use growth measurement for the
+//     empirical answer).
+#ifndef SETALG_RA_REWRITE_H_
+#define SETALG_RA_REWRITE_H_
+
+#include <optional>
+
+#include "ra/expr.h"
+
+namespace setalg::ra {
+
+/// Recursively replaces every semijoin node by an equivalent join-based RA
+/// subexpression. The result is in RA.
+ExprPtr SemiJoinToJoin(const ExprPtr& e);
+
+/// Theorem 18 rewriter: attempts to produce an SA= expression equivalent
+/// to the given RA expression. `e` must be in RA.
+std::optional<ExprPtr> RewriteRaToSaEq(const ExprPtr& e);
+
+}  // namespace setalg::ra
+
+#endif  // SETALG_RA_REWRITE_H_

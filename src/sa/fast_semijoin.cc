@@ -1,0 +1,239 @@
+#include "sa/fast_semijoin.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/tuple.h"
+#include "util/check.h"
+
+namespace setalg::sa {
+namespace {
+
+using core::Relation;
+using core::Tuple;
+using core::TupleView;
+using core::Value;
+using ra::Cmp;
+using ra::JoinAtom;
+
+bool CompareValues(Value a, Cmp op, Value b) {
+  switch (op) {
+    case Cmp::kEq:
+      return a == b;
+    case Cmp::kNeq:
+      return a != b;
+    case Cmp::kLt:
+      return a < b;
+    case Cmp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+// Per-key aggregate for the keyed min/max kernel: for each equality key of
+// the right input, the min and max of the order column, the number of rows
+// and the number of distinct values in the ≠ column case.
+struct KeyAggregate {
+  Value min = std::numeric_limits<Value>::max();
+  Value max = std::numeric_limits<Value>::min();
+  // For ≠: whether at least two distinct values occur, plus the single
+  // value seen otherwise.
+  Value first_value = 0;
+  bool has_value = false;
+  bool two_distinct = false;
+
+  void Update(Value v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    if (!has_value) {
+      first_value = v;
+      has_value = true;
+    } else if (v != first_value) {
+      two_distinct = true;
+    }
+  }
+
+  bool Satisfiable(Cmp op, Value left_value) const {
+    switch (op) {
+      case Cmp::kLt:
+        return left_value < max;
+      case Cmp::kGt:
+        return left_value > min;
+      case Cmp::kNeq:
+        return two_distinct || (has_value && first_value != left_value);
+      case Cmp::kEq:
+        return false;  // Equality atoms never reach the aggregate path.
+    }
+    return false;
+  }
+};
+
+Relation GroupedScan(const Relation& left, const Relation& right,
+                     const std::vector<JoinAtom>& eq,
+                     const std::vector<JoinAtom>& residual) {
+  Relation out(left.arity());
+  if (eq.empty()) {
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      TupleView lt = left.tuple(i);
+      for (std::size_t j = 0; j < right.size(); ++j) {
+        TupleView rt = right.tuple(j);
+        bool all = true;
+        for (const auto& atom : residual) {
+          if (!CompareValues(lt[atom.left - 1], atom.op, rt[atom.right - 1])) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          out.Add(lt);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  // Group the right side by its equality key, then scan groups.
+  std::unordered_map<Tuple, std::vector<std::uint32_t>, core::TupleHash, core::TupleEq>
+      groups;
+  Tuple key(eq.size());
+  for (std::size_t j = 0; j < right.size(); ++j) {
+    TupleView rt = right.tuple(j);
+    for (std::size_t k = 0; k < eq.size(); ++k) key[k] = rt[eq[k].right - 1];
+    groups[key].push_back(static_cast<std::uint32_t>(j));
+  }
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    TupleView lt = left.tuple(i);
+    for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+    auto it = groups.find(key);
+    if (it == groups.end()) continue;
+    for (std::uint32_t j : it->second) {
+      TupleView rt = right.tuple(j);
+      bool all = true;
+      for (const auto& atom : residual) {
+        if (!CompareValues(lt[atom.left - 1], atom.op, rt[atom.right - 1])) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        out.Add(lt);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* SemijoinKernelToString(SemijoinKernel kernel) {
+  switch (kernel) {
+    case SemijoinKernel::kTrivial:
+      return "trivial";
+    case SemijoinKernel::kHashExistence:
+      return "hash-existence";
+    case SemijoinKernel::kKeyedMinMax:
+      return "keyed-minmax";
+    case SemijoinKernel::kGlobalMinMax:
+      return "global-minmax";
+    case SemijoinKernel::kGroupedScan:
+      return "grouped-scan";
+  }
+  return "?";
+}
+
+core::Relation Semijoin(const core::Relation& left, const core::Relation& right,
+                        const std::vector<ra::JoinAtom>& atoms,
+                        SemijoinKernel* kernel_used) {
+  auto report = [&](SemijoinKernel k) {
+    if (kernel_used != nullptr) *kernel_used = k;
+  };
+  for (const auto& atom : atoms) {
+    SETALG_CHECK(atom.left >= 1 && atom.left <= left.arity());
+    SETALG_CHECK(atom.right >= 1 && atom.right <= right.arity());
+  }
+
+  if (left.empty() || right.empty()) {
+    report(SemijoinKernel::kTrivial);
+    return Relation(left.arity());
+  }
+  if (atoms.empty()) {
+    // ∃b̄ ∈ right holds for every left tuple since right is nonempty.
+    report(SemijoinKernel::kTrivial);
+    return left;
+  }
+
+  std::vector<JoinAtom> eq, residual;
+  for (const auto& atom : atoms) {
+    (atom.op == Cmp::kEq ? &eq : &residual)->push_back(atom);
+  }
+
+  if (residual.empty()) {
+    report(SemijoinKernel::kHashExistence);
+    std::unordered_map<Tuple, bool, core::TupleHash, core::TupleEq> keys;
+    Tuple key(eq.size());
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      TupleView rt = right.tuple(j);
+      for (std::size_t k = 0; k < eq.size(); ++k) key[k] = rt[eq[k].right - 1];
+      keys.emplace(key, true);
+    }
+    Relation out(left.arity());
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      TupleView lt = left.tuple(i);
+      for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+      if (keys.find(key) != keys.end()) out.Add(lt);
+    }
+    return out;
+  }
+
+  if (residual.size() == 1 && residual[0].op != Cmp::kEq) {
+    const JoinAtom& order_atom = residual[0];
+    if (eq.empty()) {
+      // Single pure order/≠ conjunct: one global aggregate suffices.
+      report(SemijoinKernel::kGlobalMinMax);
+      KeyAggregate aggregate;
+      for (std::size_t j = 0; j < right.size(); ++j) {
+        aggregate.Update(right.tuple(j)[order_atom.right - 1]);
+      }
+      Relation out(left.arity());
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        TupleView lt = left.tuple(i);
+        if (aggregate.Satisfiable(order_atom.op, lt[order_atom.left - 1])) {
+          out.Add(lt);
+        }
+      }
+      return out;
+    }
+    // Equalities + one order/≠ conjunct: per-key aggregates.
+    report(SemijoinKernel::kKeyedMinMax);
+    std::unordered_map<Tuple, KeyAggregate, core::TupleHash, core::TupleEq> aggregates;
+    Tuple key(eq.size());
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      TupleView rt = right.tuple(j);
+      for (std::size_t k = 0; k < eq.size(); ++k) key[k] = rt[eq[k].right - 1];
+      aggregates[key].Update(rt[order_atom.right - 1]);
+    }
+    Relation out(left.arity());
+    for (std::size_t i = 0; i < left.size(); ++i) {
+      TupleView lt = left.tuple(i);
+      for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+      auto it = aggregates.find(key);
+      if (it != aggregates.end() &&
+          it->second.Satisfiable(order_atom.op, lt[order_atom.left - 1])) {
+        out.Add(lt);
+      }
+    }
+    return out;
+  }
+
+  report(SemijoinKernel::kGroupedScan);
+  return GroupedScan(left, right, eq, residual);
+}
+
+core::Relation AntiSemijoin(const core::Relation& left, const core::Relation& right,
+                            const std::vector<ra::JoinAtom>& atoms) {
+  return core::Difference(left, Semijoin(left, right, atoms));
+}
+
+}  // namespace setalg::sa

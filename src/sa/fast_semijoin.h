@@ -1,0 +1,44 @@
+// Standalone semijoin kernels.
+//
+// Semijoin algebra expressions are linear in intermediate-result size by
+// definition; these kernels additionally make the common cases fast:
+//   - equality-only conditions: one hash probe per left row,
+//   - equality plus one order conjunct: per-key min/max aggregates,
+//   - a single pure order conjunct: global min/max,
+//   - anything else: grouped scan fallback.
+// The generic evaluator (ra/eval.h) is the semantic reference; these
+// kernels must agree with it (property-tested).
+#ifndef SETALG_SA_FAST_SEMIJOIN_H_
+#define SETALG_SA_FAST_SEMIJOIN_H_
+
+#include <vector>
+
+#include "core/relation.h"
+#include "ra/expr.h"
+
+namespace setalg::sa {
+
+/// Which specialized path Semijoin() took (exposed for tests/benches).
+enum class SemijoinKernel {
+  kTrivial,        // Empty condition or empty inputs.
+  kHashExistence,  // Equality-only θ.
+  kKeyedMinMax,    // Equalities + one order conjunct.
+  kGlobalMinMax,   // Single pure order conjunct.
+  kGroupedScan,    // General fallback.
+};
+
+const char* SemijoinKernelToString(SemijoinKernel kernel);
+
+/// Computes left ⋉_θ right. If `kernel_used` is non-null it reports the
+/// selected kernel.
+core::Relation Semijoin(const core::Relation& left, const core::Relation& right,
+                        const std::vector<ra::JoinAtom>& atoms,
+                        SemijoinKernel* kernel_used = nullptr);
+
+/// Computes the anti-semijoin left ▷_θ right = left − (left ⋉_θ right).
+core::Relation AntiSemijoin(const core::Relation& left, const core::Relation& right,
+                            const std::vector<ra::JoinAtom>& atoms);
+
+}  // namespace setalg::sa
+
+#endif  // SETALG_SA_FAST_SEMIJOIN_H_

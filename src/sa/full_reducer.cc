@@ -1,0 +1,140 @@
+#include "sa/full_reducer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sa/fast_semijoin.h"
+#include "util/check.h"
+
+namespace setalg::sa {
+namespace {
+
+// Applies target := target ⋉ source on the linked columns. Returns the
+// number of tuples removed.
+std::size_t ApplySemijoin(core::Database* db, const std::string& target,
+                          std::size_t target_column, const std::string& source,
+                          std::size_t source_column) {
+  const core::Relation& t = db->relation(target);
+  const core::Relation& s = db->relation(source);
+  const std::size_t before = t.size();
+  core::Relation reduced =
+      Semijoin(t, s, {{target_column, ra::Cmp::kEq, source_column}});
+  const std::size_t after = reduced.size();
+  db->SetRelation(target, std::move(reduced));
+  return before - after;
+}
+
+std::vector<std::string> LinkRelations(const std::vector<JoinLink>& links) {
+  std::set<std::string> names;
+  for (const auto& link : links) {
+    names.insert(link.left);
+    names.insert(link.right);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace
+
+ReductionReport ReduceToFixpoint(core::Database* db,
+                                 const std::vector<JoinLink>& links) {
+  ReductionReport report;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++report.passes;
+    for (const auto& link : links) {
+      std::size_t removed =
+          ApplySemijoin(db, link.left, link.left_column, link.right, link.right_column);
+      removed +=
+          ApplySemijoin(db, link.right, link.right_column, link.left, link.left_column);
+      report.steps += 2;
+      report.tuples_removed += removed;
+      if (removed > 0) changed = true;
+    }
+  }
+  return report;
+}
+
+bool LinksFormForest(const std::vector<JoinLink>& links) {
+  // Union-find over relation names; a link joining two already-connected
+  // relations closes a cycle.
+  std::map<std::string, std::string> parent;
+  auto find = [&](std::string x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& name : LinkRelations(links)) parent[name] = name;
+  for (const auto& link : links) {
+    const std::string a = find(link.left);
+    const std::string b = find(link.right);
+    if (a == b) return false;
+    parent[a] = b;
+  }
+  return true;
+}
+
+ReductionReport TreeReduce(core::Database* db, const std::vector<JoinLink>& links) {
+  SETALG_CHECK_STREAM(LinksFormForest(links))
+      << "TreeReduce requires a forest of join links";
+  ReductionReport report;
+  report.passes = 2;
+
+  // Build adjacency; then order edges by a rooted traversal (per component).
+  const std::vector<std::string> names = LinkRelations(links);
+  std::map<std::string, std::vector<std::size_t>> adjacent;
+  for (std::size_t e = 0; e < links.size(); ++e) {
+    adjacent[links[e].left].push_back(e);
+    adjacent[links[e].right].push_back(e);
+  }
+
+  // Edges in visit order: parent-edge recorded when first reaching a node.
+  struct DirectedEdge {
+    std::string parent, child;
+    std::size_t parent_column, child_column;
+  };
+  std::vector<DirectedEdge> down_order;  // Root-to-leaf direction.
+  std::set<std::string> visited;
+  for (const auto& root : names) {
+    if (visited.count(root) > 0) continue;
+    std::vector<std::string> stack = {root};
+    visited.insert(root);
+    while (!stack.empty()) {
+      const std::string node = stack.back();
+      stack.pop_back();
+      for (std::size_t e : adjacent[node]) {
+        const auto& link = links[e];
+        const std::string other = link.left == node ? link.right : link.left;
+        if (visited.count(other) > 0) continue;
+        visited.insert(other);
+        DirectedEdge edge;
+        edge.parent = node;
+        edge.child = other;
+        edge.parent_column = link.left == node ? link.left_column : link.right_column;
+        edge.child_column = link.left == node ? link.right_column : link.left_column;
+        down_order.push_back(edge);
+        stack.push_back(other);
+      }
+    }
+  }
+
+  // Pass 1 (leaves to root): process edges in reverse visit order, reducing
+  // each parent by its child.
+  for (auto it = down_order.rbegin(); it != down_order.rend(); ++it) {
+    report.tuples_removed += ApplySemijoin(db, it->parent, it->parent_column,
+                                           it->child, it->child_column);
+    ++report.steps;
+  }
+  // Pass 2 (root to leaves): reduce each child by its parent.
+  for (const auto& edge : down_order) {
+    report.tuples_removed += ApplySemijoin(db, edge.child, edge.child_column,
+                                           edge.parent, edge.parent_column);
+    ++report.steps;
+  }
+  return report;
+}
+
+}  // namespace setalg::sa

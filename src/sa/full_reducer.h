@@ -1,0 +1,57 @@
+// Semijoin programs in the sense of Bernstein–Chiu and Bernstein–Goodman
+// (the paper's references [5,6]): reducing the relations of a join query by
+// semijoins only, removing dangling tuples.
+//
+// For acyclic (tree-shaped) join queries a two-pass program (leaves→root,
+// root→leaves) yields the full reduction; for cyclic queries semijoins
+// alone cannot always fully reduce — the fixpoint loop still reaches the
+// best semijoin-achievable reduction. This is the classical backdrop for
+// the paper's Section 5 remark that cyclic queries (like the beer-drinkers
+// query Q) are not computable by semijoins.
+#ifndef SETALG_SA_FULL_REDUCER_H_
+#define SETALG_SA_FULL_REDUCER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace setalg::sa {
+
+/// An equality link between two relations of a join query: columns
+/// `left_column` of `left` and `right_column` of `right` must be equal
+/// (1-based columns).
+struct JoinLink {
+  std::string left;
+  std::size_t left_column;
+  std::string right;
+  std::size_t right_column;
+};
+
+/// Result of running a semijoin program.
+struct ReductionReport {
+  /// Semijoin applications performed.
+  std::size_t steps = 0;
+  /// Passes over the link list (fixpoint variant).
+  std::size_t passes = 0;
+  /// Tuples removed across all relations.
+  std::size_t tuples_removed = 0;
+};
+
+/// Repeatedly applies both directions of every link until no relation
+/// shrinks. Always terminates (sizes strictly decrease); reaches the
+/// greatest semijoin-consistent sub-database.
+ReductionReport ReduceToFixpoint(core::Database* db, const std::vector<JoinLink>& links);
+
+/// Two-pass full reducer for tree queries. `links` must form a forest over
+/// the referenced relations (checked); the program semijoins leaves upward
+/// then the root back downward. For tree queries the result equals the
+/// fixpoint reduction (property-tested).
+ReductionReport TreeReduce(core::Database* db, const std::vector<JoinLink>& links);
+
+/// True iff the link graph (relations as vertices) is a forest.
+bool LinksFormForest(const std::vector<JoinLink>& links);
+
+}  // namespace setalg::sa
+
+#endif  // SETALG_SA_FULL_REDUCER_H_

@@ -1,0 +1,249 @@
+#include "setjoin/division.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/database.h"
+#include "core/index.h"
+#include "setjoin/grouped.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace setalg::setjoin {
+namespace {
+
+using core::Relation;
+using core::TupleView;
+using core::Value;
+
+// Distinct A values of r, in sorted order.
+std::vector<Value> Candidates(const Relation& r) {
+  std::vector<Value> out;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const Value a = r.tuple(i)[0];
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Value> DivisorElements(const Relation& s) {
+  std::vector<Value> out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out.push_back(s.tuple(i)[0]);
+  return out;  // Already sorted and unique (set semantics).
+}
+
+// Nested-loop division: for every candidate a and every divisor element b,
+// probe R for (a, b). Quadratic in the worst case.
+Relation NestedLoopDivide(const Relation& r, const Relation& s, bool equality) {
+  Relation out(1);
+  const auto candidates = Candidates(r);
+  const auto divisor = DivisorElements(s);
+  core::HashIndex index(&r, {0, 1});
+  core::Tuple probe(2);
+  for (Value a : candidates) {
+    bool all = true;
+    probe[0] = a;
+    for (Value b : divisor) {
+      probe[1] = b;
+      if (!index.HasMatch(probe)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    if (equality) {
+      // Additionally require that a relates to nothing outside S: the
+      // group size must equal |S|.
+      std::size_t group_size = 0;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (r.tuple(i)[0] == a) ++group_size;
+      }
+      if (group_size != divisor.size()) continue;
+    }
+    out.Add({a});
+  }
+  return out;
+}
+
+// Sort-merge division: r is sorted by (A, B), so each group's B-list is a
+// sorted run; merge it against the sorted divisor.
+Relation SortMergeDivide(const Relation& r, const Relation& s, bool equality) {
+  Relation out(1);
+  const auto divisor = DivisorElements(s);
+  std::size_t i = 0;
+  const std::size_t n = r.size();
+  while (i < n) {
+    const Value a = r.tuple(i)[0];
+    std::size_t matched = 0;
+    std::size_t group_size = 0;
+    std::size_t d = 0;
+    while (i < n && r.tuple(i)[0] == a) {
+      const Value b = r.tuple(i)[1];
+      ++group_size;
+      while (d < divisor.size() && divisor[d] < b) ++d;
+      if (d < divisor.size() && divisor[d] == b) {
+        ++matched;
+        ++d;
+      }
+      ++i;
+    }
+    const bool contains = matched == divisor.size();
+    const bool qualifies =
+        equality ? contains && group_size == divisor.size() : contains;
+    if (qualifies) out.Add({a});
+  }
+  return out;
+}
+
+// Graefe's hash-division: number the divisor 0..|S|-1 in a hash table; keep
+// one bitmap per candidate; a candidate qualifies when its bitmap is full.
+Relation HashDivide(const Relation& r, const Relation& s, bool equality) {
+  Relation out(1);
+  const auto divisor = DivisorElements(s);
+  std::unordered_map<Value, std::size_t> divisor_slots;
+  divisor_slots.reserve(divisor.size() * 2);
+  for (std::size_t k = 0; k < divisor.size(); ++k) divisor_slots[divisor[k]] = k;
+
+  struct CandidateState {
+    util::Bitset bitmap;
+    std::size_t group_size = 0;
+  };
+  std::unordered_map<Value, CandidateState> states;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    TupleView t = r.tuple(i);
+    auto& state = states[t[0]];
+    if (state.bitmap.empty() && !divisor.empty()) {
+      state.bitmap = util::Bitset(divisor.size());
+    }
+    ++state.group_size;
+    auto slot = divisor_slots.find(t[1]);
+    if (slot != divisor_slots.end()) state.bitmap.Set(slot->second);
+  }
+  for (const auto& [a, state] : states) {
+    const bool contains = divisor.empty() || state.bitmap.AllSet();
+    const bool qualifies =
+        equality ? contains && state.group_size == divisor.size() : contains;
+    if (qualifies) out.Add({a});
+  }
+  return out;
+}
+
+// Aggregate (counting) division — the Section 5 strategy: count per
+// candidate how many divisor elements it matches; compare against |S|.
+Relation AggregateDivide(const Relation& r, const Relation& s, bool equality) {
+  Relation out(1);
+  const auto divisor = DivisorElements(s);
+  std::unordered_set<Value> divisor_set(divisor.begin(), divisor.end());
+  std::unordered_map<Value, std::pair<std::size_t, std::size_t>> counts;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    TupleView t = r.tuple(i);
+    auto& [hits, total] = counts[t[0]];
+    ++total;
+    if (divisor_set.count(t[1]) > 0) ++hits;
+  }
+  for (const auto& [a, hit_total] : counts) {
+    const bool contains = hit_total.first == divisor.size();
+    const bool qualifies =
+        equality ? contains && hit_total.second == divisor.size() : contains;
+    if (qualifies) out.Add({a});
+  }
+  return out;
+}
+
+// Evaluates the classic RA expression on a transient two-relation database.
+Relation ClassicRaDivide(const Relation& r, const Relation& s, bool equality,
+                         ra::EvalStats* stats) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.SetRelation("R", r);
+  db.SetRelation("S", s);
+  const ra::ExprPtr expr = equality ? ClassicEqualityDivisionExpr("R", "S")
+                                    : ClassicDivisionExpr("R", "S");
+  return ra::Eval(expr, db, stats);
+}
+
+}  // namespace
+
+const char* DivisionAlgorithmToString(DivisionAlgorithm algorithm) {
+  switch (algorithm) {
+    case DivisionAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case DivisionAlgorithm::kSortMerge:
+      return "sort-merge";
+    case DivisionAlgorithm::kHashDivision:
+      return "hash-division";
+    case DivisionAlgorithm::kAggregate:
+      return "aggregate";
+    case DivisionAlgorithm::kClassicRa:
+      return "classic-ra";
+  }
+  return "?";
+}
+
+std::vector<DivisionAlgorithm> AllDivisionAlgorithms() {
+  return {DivisionAlgorithm::kNestedLoop, DivisionAlgorithm::kSortMerge,
+          DivisionAlgorithm::kHashDivision, DivisionAlgorithm::kAggregate,
+          DivisionAlgorithm::kClassicRa};
+}
+
+namespace {
+
+Relation Dispatch(const Relation& r, const Relation& s, DivisionAlgorithm algorithm,
+                  bool equality, ra::EvalStats* stats) {
+  SETALG_CHECK_EQ(r.arity(), 2u);
+  SETALG_CHECK_EQ(s.arity(), 1u);
+  switch (algorithm) {
+    case DivisionAlgorithm::kNestedLoop:
+      return NestedLoopDivide(r, s, equality);
+    case DivisionAlgorithm::kSortMerge:
+      return SortMergeDivide(r, s, equality);
+    case DivisionAlgorithm::kHashDivision:
+      return HashDivide(r, s, equality);
+    case DivisionAlgorithm::kAggregate:
+      return AggregateDivide(r, s, equality);
+    case DivisionAlgorithm::kClassicRa:
+      return ClassicRaDivide(r, s, equality, stats);
+  }
+  SETALG_CHECK_STREAM(false) << "unreachable";
+  return Relation(1);
+}
+
+}  // namespace
+
+core::Relation Divide(const core::Relation& r, const core::Relation& s,
+                      DivisionAlgorithm algorithm, ra::EvalStats* stats) {
+  return Dispatch(r, s, algorithm, /*equality=*/false, stats);
+}
+
+core::Relation DivideEqual(const core::Relation& r, const core::Relation& s,
+                           DivisionAlgorithm algorithm, ra::EvalStats* stats) {
+  return Dispatch(r, s, algorithm, /*equality=*/true, stats);
+}
+
+ra::ExprPtr ClassicDivisionExpr(const std::string& r_name, const std::string& s_name) {
+  ra::ExprPtr r = ra::Rel(r_name, 2);
+  ra::ExprPtr s = ra::Rel(s_name, 1);
+  ra::ExprPtr candidates = ra::Project(r, {1});
+  // π_A(R) − π_A((π_A(R) × S) − R): the product enumerates every required
+  // (a, b) pair; the subtraction finds the missing ones.
+  ra::ExprPtr required = ra::Product(candidates, s);
+  ra::ExprPtr missing = ra::Diff(required, r);
+  return ra::Diff(candidates, ra::Project(missing, {1}));
+}
+
+ra::ExprPtr ClassicEqualityDivisionExpr(const std::string& r_name,
+                                        const std::string& s_name) {
+  ra::ExprPtr r = ra::Rel(r_name, 2);
+  ra::ExprPtr s = ra::Rel(s_name, 1);
+  ra::ExprPtr containment = ClassicDivisionExpr(r_name, s_name);
+  // A's related to some b outside S: π_A(R − π_{1,2}(R ⋈_{2=1} S)).
+  ra::ExprPtr inside = ra::Project(ra::Join(r, s, {{2, ra::Cmp::kEq, 1}}), {1, 2});
+  ra::ExprPtr outside = ra::Project(ra::Diff(r, inside), {1});
+  return ra::Diff(containment, outside);
+}
+
+}  // namespace setalg::setjoin

@@ -1,0 +1,64 @@
+// Relational division R(A,B) ÷ S(B), in both variants:
+//   containment: { a | { b | R(a,b) } ⊇ S }
+//   equality:    { a | { b | R(a,b) } = S }
+//
+// Implemented algorithms, following Graefe's taxonomy ("Relational
+// division: four algorithms and their performance", the paper's [11,12]):
+//   - nested-loop division: per candidate, probe every divisor element;
+//   - sort-merge division: merge each sorted group against the sorted divisor;
+//   - hash-division: divisor hash table + per-candidate bitmaps;
+//   - aggregate (counting) division: count divisor hits per candidate —
+//     the O(n log n) strategy the paper's Section 5 expresses with
+//     grouping and count aggregation;
+//   - classic-RA division: evaluates the textbook expression
+//     π_A(R) − π_A((π_A(R) × S) − R) through the instrumented RA
+//     evaluator. Proposition 26 proves any such RA expression must
+//     materialize Ω(n²) intermediates — this is the experiment's baseline.
+#ifndef SETALG_SETJOIN_DIVISION_H_
+#define SETALG_SETJOIN_DIVISION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+
+namespace setalg::setjoin {
+
+enum class DivisionAlgorithm {
+  kNestedLoop,
+  kSortMerge,
+  kHashDivision,
+  kAggregate,
+  kClassicRa,
+};
+
+const char* DivisionAlgorithmToString(DivisionAlgorithm algorithm);
+
+/// All algorithms, for parameterized tests/benches.
+std::vector<DivisionAlgorithm> AllDivisionAlgorithms();
+
+/// Containment division. `r` has arity 2, `s` arity 1. Returns the unary
+/// relation of qualifying A values. If `stats` is non-null and the
+/// algorithm is kClassicRa, evaluation statistics are recorded there.
+core::Relation Divide(const core::Relation& r, const core::Relation& s,
+                      DivisionAlgorithm algorithm, ra::EvalStats* stats = nullptr);
+
+/// Set-equality division: A values whose B-set is exactly S.
+core::Relation DivideEqual(const core::Relation& r, const core::Relation& s,
+                           DivisionAlgorithm algorithm,
+                           ra::EvalStats* stats = nullptr);
+
+/// The textbook RA expression π_A(R) − π_A((π_A(R) × S) − R) over relation
+/// names `r_name` (binary) and `s_name` (unary).
+ra::ExprPtr ClassicDivisionExpr(const std::string& r_name, const std::string& s_name);
+
+/// The RA expression for equality division: containment division minus the
+/// A's that relate to some b outside S.
+ra::ExprPtr ClassicEqualityDivisionExpr(const std::string& r_name,
+                                        const std::string& s_name);
+
+}  // namespace setalg::setjoin
+
+#endif  // SETALG_SETJOIN_DIVISION_H_

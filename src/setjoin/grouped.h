@@ -1,0 +1,63 @@
+// Grouped view of a binary relation R(key, element): each key mapped to its
+// sorted element set. The common substrate of the division and set-join
+// algorithms ("set-valued attributes" materialized from first normal form).
+#ifndef SETALG_SETJOIN_GROUPED_H_
+#define SETALG_SETJOIN_GROUPED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace setalg::setjoin {
+
+/// One group: a key and its element set (sorted, unique).
+struct Group {
+  core::Value key;
+  std::vector<core::Value> elements;
+};
+
+/// Groups of a binary relation, ordered by key.
+class GroupedRelation {
+ public:
+  /// Groups `relation` (arity 2) by `key_column` (1-based; the other
+  /// column provides the elements).
+  static GroupedRelation FromBinary(const core::Relation& relation,
+                                    std::size_t key_column = 1);
+
+  std::size_t NumGroups() const { return groups_.size(); }
+  const Group& group(std::size_t i) const { return groups_[i]; }
+  const std::vector<Group>& groups() const { return groups_; }
+
+  /// Finds a group by key; returns nullptr if absent.
+  const Group* Find(core::Value key) const;
+
+  /// Total number of (key, element) pairs.
+  std::size_t TotalElements() const;
+
+  /// The largest element set size.
+  std::size_t MaxGroupSize() const;
+
+ private:
+  std::vector<Group> groups_;
+};
+
+/// True iff sorted vector `sub` ⊆ sorted vector `super`.
+bool SortedSubset(const std::vector<core::Value>& sub,
+                  const std::vector<core::Value>& super);
+
+/// True iff the sorted vectors intersect.
+bool SortedIntersects(const std::vector<core::Value>& a,
+                      const std::vector<core::Value>& b);
+
+/// 64-bit Bloom-style signature of an element set: each element sets one
+/// bit. s ⊆ r implies sig(s) & ~sig(r) == 0 (one-sided filter).
+std::uint64_t SetSignature(const std::vector<core::Value>& elements);
+
+/// Order-independent exact hash of the element set (for set-equality join).
+std::uint64_t SetHash(const std::vector<core::Value>& elements);
+
+}  // namespace setalg::setjoin
+
+#endif  // SETALG_SETJOIN_GROUPED_H_

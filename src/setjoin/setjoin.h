@@ -1,0 +1,70 @@
+// Set joins between R(A,B) and S(C,D), relating keys by a predicate on
+// their element sets (the paper's Section 1):
+//   containment: R B⊇D S = { (a,c) | {b|R(a,b)} ⊇ {d|S(c,d)} }
+//   equality:    sets equal
+//   overlap:     sets intersect — which, as the paper notes, "boils down
+//                to an ordinary equijoin".
+//
+// Containment-join algorithms (no sub-quadratic algorithm is known — the
+// paper, end of Section 1):
+//   - nested loop over group pairs with sorted-subset tests;
+//   - signature nested loop (Helmer–Moerkotte [13]): 64-bit Bloom
+//     signatures prune pairs before the exact test;
+//   - partitioned set join (after Ramasamy et al. [16]): divisor groups are
+//     routed to the partition of one designated element, candidate groups
+//     are replicated to the partitions of all their elements;
+//   - inverted-index counting (after Mamoulis [15]): postings of the
+//     candidate side are intersected by counting hits per candidate.
+// Set-equality join uses canonical set hashing: O(n log n) plus output
+// size (the paper's footnote 1).
+#ifndef SETALG_SETJOIN_SETJOIN_H_
+#define SETALG_SETJOIN_SETJOIN_H_
+
+#include <vector>
+
+#include "core/relation.h"
+#include "setjoin/grouped.h"
+
+namespace setalg::setjoin {
+
+enum class ContainmentAlgorithm {
+  kNestedLoop,
+  kSignatureNestedLoop,
+  kPartitioned,
+  kInvertedIndex,
+};
+
+const char* ContainmentAlgorithmToString(ContainmentAlgorithm algorithm);
+std::vector<ContainmentAlgorithm> AllContainmentAlgorithms();
+
+/// Set-containment join on pre-grouped inputs: pairs (a, c) with
+/// set(a) ⊇ set(c). `r` is the containing side (A groups), `s` the
+/// contained side (C groups).
+core::Relation SetContainmentJoin(const GroupedRelation& r, const GroupedRelation& s,
+                                  ContainmentAlgorithm algorithm);
+
+/// Convenience overload on binary relations (grouped on column 1).
+core::Relation SetContainmentJoin(const core::Relation& r, const core::Relation& s,
+                                  ContainmentAlgorithm algorithm);
+
+enum class EqualityJoinAlgorithm {
+  kNestedLoop,       // Quadratic baseline.
+  kCanonicalHash,    // Sort each set once, hash, verify within buckets.
+};
+
+const char* EqualityJoinAlgorithmToString(EqualityJoinAlgorithm algorithm);
+
+/// Set-equality join: pairs (a, c) with set(a) = set(c).
+core::Relation SetEqualityJoin(const GroupedRelation& r, const GroupedRelation& s,
+                               EqualityJoinAlgorithm algorithm);
+core::Relation SetEqualityJoin(const core::Relation& r, const core::Relation& s,
+                               EqualityJoinAlgorithm algorithm);
+
+/// Set-overlap join: pairs (a, c) whose sets intersect. Implemented as the
+/// equijoin π_{A,C}(R ⋈_{B=D} S) (deduplicated), via an inverted index.
+core::Relation SetOverlapJoin(const GroupedRelation& r, const GroupedRelation& s);
+core::Relation SetOverlapJoin(const core::Relation& r, const core::Relation& s);
+
+}  // namespace setalg::setjoin
+
+#endif  // SETALG_SETJOIN_SETJOIN_H_

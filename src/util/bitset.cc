@@ -1,0 +1,77 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+namespace setalg::util {
+
+Bitset::Bitset(std::size_t size, bool value)
+    : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+  if (value) ClearTrailingBits();
+}
+
+void Bitset::Set(std::size_t i) {
+  SETALG_DCHECK(i < size_);
+  words_[i >> 6] |= 1ULL << (i & 63);
+}
+
+void Bitset::Reset(std::size_t i) {
+  SETALG_DCHECK(i < size_);
+  words_[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+bool Bitset::Test(std::size_t i) const {
+  SETALG_DCHECK(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+void Bitset::Fill(bool value) {
+  for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+  if (value) ClearTrailingBits();
+}
+
+std::size_t Bitset::Count() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : words_) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  SETALG_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  SETALG_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  SETALG_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  SETALG_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+void Bitset::ClearTrailingBits() {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+}  // namespace setalg::util

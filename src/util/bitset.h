@@ -1,0 +1,59 @@
+// Dynamic bitset used by hash-division bitmaps and set-join signatures.
+#ifndef SETALG_UTIL_BITSET_H_
+#define SETALG_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace setalg::util {
+
+/// A fixed-size-after-construction bitset with the operations the set-join
+/// algorithms need: set/test, popcount, all-set test, subset test, and
+/// word-level AND/OR.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t size, bool value = false);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Set(std::size_t i);
+  void Reset(std::size_t i);
+  bool Test(std::size_t i) const;
+
+  /// Sets every bit to `value`.
+  void Fill(bool value);
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  bool AllSet() const { return Count() == size_; }
+  bool NoneSet() const { return Count() == 0; }
+
+  /// True iff every set bit of *this is also set in other. Sizes must match.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// True iff the intersection is nonempty. Sizes must match.
+  bool Intersects(const Bitset& other) const;
+
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+  bool operator==(const Bitset& other) const;
+
+  /// 64-bit words backing the set (trailing bits of the last word are zero).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void ClearTrailingBits();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_BITSET_H_

@@ -1,0 +1,83 @@
+// Lightweight CHECK macros for internal invariants.
+//
+// Library code validates programmer-supplied structures (expression trees,
+// schemas) eagerly at construction time. Violations are programming errors,
+// so per the project style (no exceptions) we abort with a readable message.
+#ifndef SETALG_UTIL_CHECK_H_
+#define SETALG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace setalg::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+// Stream sink so `SETALG_CHECK(x) << "context " << y;` works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Used on the success path; swallows the streamed operands.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace setalg::util
+
+#define SETALG_CHECK(condition)                                                    \
+  ((condition)) ? (void)0                                                         \
+                : (void)::setalg::util::internal::CheckMessageBuilder(__FILE__,    \
+                                                                      __LINE__,    \
+                                                                      #condition)
+
+#define SETALG_CHECK_STREAM(condition)                                             \
+  if (condition)                                                                   \
+    ;                                                                              \
+  else                                                                             \
+    ::setalg::util::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define SETALG_CHECK_EQ(a, b) SETALG_CHECK_STREAM((a) == (b)) << (a) << " vs " << (b)
+#define SETALG_CHECK_NE(a, b) SETALG_CHECK_STREAM((a) != (b)) << (a) << " vs " << (b)
+#define SETALG_CHECK_LT(a, b) SETALG_CHECK_STREAM((a) < (b)) << (a) << " vs " << (b)
+#define SETALG_CHECK_LE(a, b) SETALG_CHECK_STREAM((a) <= (b)) << (a) << " vs " << (b)
+#define SETALG_CHECK_GT(a, b) SETALG_CHECK_STREAM((a) > (b)) << (a) << " vs " << (b)
+#define SETALG_CHECK_GE(a, b) SETALG_CHECK_STREAM((a) >= (b)) << (a) << " vs " << (b)
+
+#ifdef NDEBUG
+#define SETALG_DCHECK(condition) ((void)0)
+#else
+#define SETALG_DCHECK(condition) SETALG_CHECK(condition)
+#endif
+
+#endif  // SETALG_UTIL_CHECK_H_

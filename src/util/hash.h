@@ -1,0 +1,52 @@
+// Hashing primitives used across the library: FNV-1a over byte ranges,
+// SplitMix-style integer finalization, and order-dependent combining.
+#ifndef SETALG_UTIL_HASH_H_
+#define SETALG_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace setalg::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over an arbitrary byte range.
+inline std::uint64_t FnvHashBytes(const void* data, std::size_t size,
+                                  std::uint64_t seed = kFnvOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t FnvHashString(std::string_view s) {
+  return FnvHashBytes(s.data(), s.size());
+}
+
+/// SplitMix64 finalizer: a fast, well-mixing bijection on 64-bit integers.
+inline constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent hash combining (boost-style with 64-bit constants).
+inline constexpr std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Order-independent (commutative) combining, for hashing sets.
+inline constexpr std::uint64_t HashCombineUnordered(std::uint64_t seed,
+                                                    std::uint64_t value) {
+  return seed + Mix64(value);
+}
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_HASH_H_

@@ -1,0 +1,66 @@
+// Minimal Result<T> for fallible operations (parsing, file I/O).
+//
+// The library proper never throws; operations that can fail on user input
+// return Result<T> carrying either a value or an error message.
+#ifndef SETALG_UTIL_RESULT_H_
+#define SETALG_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace setalg::util {
+
+/// A value-or-error-message holder, in the spirit of arrow::Result / StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Named constructor for the error case.
+  static Result<T> Error(std::string message) {
+    Result<T> r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error message; only valid when !ok().
+  const std::string& error() const {
+    SETALG_CHECK_STREAM(!ok()) << "error() called on ok Result";
+    return error_;
+  }
+
+  /// The value; only valid when ok().
+  const T& value() const& {
+    SETALG_CHECK_STREAM(ok()) << "value() called on error Result: " << error_;
+    return *value_;
+  }
+  T& value() & {
+    SETALG_CHECK_STREAM(ok()) << "value() called on error Result: " << error_;
+    return *value_;
+  }
+  T&& value() && {
+    SETALG_CHECK_STREAM(ok()) << "value() called on error Result: " << error_;
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_RESULT_H_

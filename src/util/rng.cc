@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace setalg::util {
+
+std::vector<std::size_t> Rng::SampleDistinct(std::size_t k, std::size_t n) {
+  SETALG_CHECK_LE(k, n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    std::size_t candidate = NextBounded(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  SETALG_CHECK(n > 0);
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cumulative_[i] = total;
+  }
+  for (auto& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+}  // namespace setalg::util

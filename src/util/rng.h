@@ -1,0 +1,110 @@
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// A small xoshiro256** generator plus the distributions the workload module
+// needs (uniform ints/doubles, Bernoulli, Zipf, shuffles, subset sampling).
+// Everything is seeded explicitly so every experiment is reproducible.
+#ifndef SETALG_UTIL_RNG_H_
+#define SETALG_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace setalg::util {
+
+/// xoshiro256** PRNG. Deterministic, fast, and good enough for synthetic data.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator; distinct seeds give independent-looking streams.
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes, per the
+    // xoshiro authors' recommendation.
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      lane = Mix64(x);
+    }
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 1;
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    SETALG_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    SETALG_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> SampleDistinct(std::size_t k, std::size_t n);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Zipf(s) sampler over {1, ..., n} using precomputed cumulative weights.
+/// s = 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Draws a value in [1, n].
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t n() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_RNG_H_

@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace setalg::util {
+
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  SETALG_CHECK_EQ(xs.size(), ys.size());
+  SETALG_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_xy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+    sum_xx += xs[i] * xs[i];
+    sum_xy += xs[i] * ys[i];
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  LineFit fit;
+  if (denom == 0.0) {
+    // All x equal: degenerate; report a flat line through the mean.
+    fit.slope = 0.0;
+    fit.intercept = sum_y / n;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sum_xy - sum_x * sum_y) / denom;
+  fit.intercept = (sum_y - fit.slope * sum_x) / n;
+
+  const double mean_y = sum_y / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+LineFit FitGrowthExponent(const std::vector<std::size_t>& ns,
+                          const std::vector<std::size_t>& sizes) {
+  SETALG_CHECK_EQ(ns.size(), sizes.size());
+  std::vector<double> xs, ys;
+  xs.reserve(ns.size());
+  ys.reserve(ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    xs.push_back(std::log(static_cast<double>(ns[i])));
+    ys.push_back(std::log(static_cast<double>(sizes[i] == 0 ? 1 : sizes[i])));
+  }
+  return FitLine(xs, ys);
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace setalg::util

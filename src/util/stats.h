@@ -1,0 +1,41 @@
+// Growth fitting and summary statistics for the empirical dichotomy
+// experiments (Theorem 17): given (n, size) samples we fit the slope of
+// log(size) against log(n), i.e. the polynomial growth exponent.
+#ifndef SETALG_UTIL_STATS_H_
+#define SETALG_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace setalg::util {
+
+/// Least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares over the given points. Requires >= 2 points.
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Fits the exponent e of size ~ n^e from (n, size) samples via a log-log
+/// line fit. Zero sizes are clamped to 1 so empty intermediates do not
+/// produce -inf. Requires >= 2 samples with distinct n.
+LineFit FitGrowthExponent(const std::vector<std::size_t>& ns,
+                          const std::vector<std::size_t>& sizes);
+
+/// Summary statistics of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_STATS_H_

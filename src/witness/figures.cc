@@ -1,0 +1,308 @@
+#include "witness/figures.h"
+
+#include "util/check.h"
+
+namespace setalg::witness {
+
+using core::Database;
+using core::Relation;
+using core::Schema;
+using core::Value;
+
+MedicalExample MakeMedicalExample() {
+  MedicalExample example;
+  example.schema.AddRelation("Person", 2);
+  example.schema.AddRelation("Disease", 2);
+  example.schema.AddRelation("Symptoms", 1);
+
+  example.names.InternSorted({"An", "Bob", "Carol", "flu", "Lyme", "headache",
+                              "memory loss", "neck pain", "sore throat"});
+  auto v = [&](const char* name) { return example.names.Code(name); };
+
+  Database db(example.schema);
+  Relation person(2);
+  person.Add({v("An"), v("headache")});
+  person.Add({v("An"), v("sore throat")});
+  person.Add({v("An"), v("neck pain")});
+  person.Add({v("Bob"), v("headache")});
+  person.Add({v("Bob"), v("sore throat")});
+  person.Add({v("Bob"), v("memory loss")});
+  person.Add({v("Bob"), v("neck pain")});
+  person.Add({v("Carol"), v("headache")});
+  db.SetRelation("Person", std::move(person));
+
+  Relation disease(2);
+  disease.Add({v("flu"), v("headache")});
+  disease.Add({v("flu"), v("sore throat")});
+  disease.Add({v("Lyme"), v("headache")});
+  disease.Add({v("Lyme"), v("sore throat")});
+  disease.Add({v("Lyme"), v("memory loss")});
+  disease.Add({v("Lyme"), v("neck pain")});
+  db.SetRelation("Disease", std::move(disease));
+
+  Relation symptoms(1);
+  symptoms.Add({v("headache")});
+  symptoms.Add({v("neck pain")});
+  db.SetRelation("Symptoms", std::move(symptoms));
+
+  example.db = std::move(db);
+  return example;
+}
+
+core::Database MakeFig2Database() {
+  Schema schema;
+  schema.AddRelation("R", 3);
+  schema.AddRelation("S", 3);
+  schema.AddRelation("T", 2);
+  Database db(schema);
+  // a..g encoded 1..7.
+  const Value a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;
+  db.mutable_relation("R")->Add({a, b, c});
+  db.mutable_relation("R")->Add({d, e, f});
+  db.mutable_relation("S")->Add({d, a, b});
+  db.mutable_relation("T")->Add({e, a});
+  db.mutable_relation("T")->Add({f, c});
+  return db;
+}
+
+namespace {
+
+Schema Fig3Schema() {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  return schema;
+}
+
+}  // namespace
+
+core::Database MakeFig3A() {
+  Database db(Fig3Schema());
+  db.mutable_relation("R")->Add({1, 2});
+  db.mutable_relation("R")->Add({2, 3});
+  db.mutable_relation("S")->Add({1, 2});
+  db.mutable_relation("T")->Add({2, 3});
+  return db;
+}
+
+core::Database MakeFig3B() {
+  Database db(Fig3Schema());
+  db.mutable_relation("R")->Add({6, 7});
+  db.mutable_relation("R")->Add({7, 8});
+  db.mutable_relation("R")->Add({9, 10});
+  db.mutable_relation("R")->Add({10, 11});
+  db.mutable_relation("S")->Add({6, 7});
+  db.mutable_relation("S")->Add({9, 10});
+  db.mutable_relation("T")->Add({7, 8});
+  db.mutable_relation("T")->Add({10, 11});
+  return db;
+}
+
+std::vector<bisim::PartialIso> MakeFig3Bisimulation() {
+  auto iso = [](core::Tuple from, core::Tuple to) {
+    auto result = bisim::PartialIso::FromTuples(from, to);
+    SETALG_CHECK(result.has_value());
+    return *result;
+  };
+  return {
+      iso({1, 2}, {6, 7}),
+      iso({2, 3}, {7, 8}),
+      iso({1, 2}, {9, 10}),
+      iso({2, 3}, {10, 11}),
+  };
+}
+
+Fig4Example MakeFig4Example() {
+  Fig4Example example;
+  example.schema.AddRelation("R", 3);
+  example.schema.AddRelation("S", 3);
+  example.schema.AddRelation("T", 2);
+  Database db(example.schema);
+  db.mutable_relation("R")->Add({1, 2, 3});
+  db.mutable_relation("R")->Add({8, 9, 10});
+  db.mutable_relation("S")->Add({3, 4, 5});
+  db.mutable_relation("T")->Add({6, 1});
+  db.mutable_relation("T")->Add({4, 7});
+  example.db = std::move(db);
+
+  // E = (R ⋈_{1=2} T) ⋈_{3=1} (S ⋈_{2=1} T).
+  ra::ExprPtr e1 = ra::Join(ra::Rel("R", 3), ra::Rel("T", 2),
+                            {{1, ra::Cmp::kEq, 2}});
+  ra::ExprPtr e2 = ra::Join(ra::Rel("S", 3), ra::Rel("T", 2),
+                            {{2, ra::Cmp::kEq, 1}});
+  example.expr = ra::Join(std::move(e1), std::move(e2), {{3, ra::Cmp::kEq, 1}});
+  example.a_witness = {1, 2, 3, 6, 1};
+  example.b_witness = {3, 4, 5, 4, 7};
+  return example;
+}
+
+namespace {
+
+Schema DivisionSchema() {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  return schema;
+}
+
+}  // namespace
+
+core::Database MakeFig5A() {
+  Database db(DivisionSchema());
+  for (Value a : {1, 2}) {
+    for (Value s : {7, 8}) db.mutable_relation("R")->Add({a, s});
+  }
+  db.mutable_relation("S")->Add({7});
+  db.mutable_relation("S")->Add({8});
+  return db;
+}
+
+core::Database MakeFig5B() {
+  Database db(DivisionSchema());
+  db.mutable_relation("R")->Add({1, 7});
+  db.mutable_relation("R")->Add({1, 8});
+  db.mutable_relation("R")->Add({2, 8});
+  db.mutable_relation("R")->Add({2, 9});
+  db.mutable_relation("R")->Add({3, 7});
+  db.mutable_relation("R")->Add({3, 9});
+  for (Value s : {7, 8, 9}) db.mutable_relation("S")->Add({s});
+  return db;
+}
+
+std::vector<bisim::PartialIso> MakeFig5Bisimulation() {
+  const Database a = MakeFig5A();
+  const Database b = MakeFig5B();
+  std::vector<bisim::PartialIso> isos;
+  auto add = [&isos](core::TupleView from, core::TupleView to) {
+    auto iso = bisim::PartialIso::FromTuples(from, to);
+    SETALG_CHECK(iso.has_value());
+    isos.push_back(*iso);
+  };
+  add(core::Tuple{1}, core::Tuple{1});
+  for (const char* name : {"R", "S"}) {
+    const Relation& ra = a.relation(name);
+    const Relation& rb = b.relation(name);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      for (std::size_t j = 0; j < rb.size(); ++j) {
+        add(ra.tuple(i), rb.tuple(j));
+      }
+    }
+  }
+  return isos;
+}
+
+core::Database MakeDivisionFamilyA(std::size_t n, std::size_t m) {
+  SETALG_CHECK(n >= 1 && m >= 2);
+  Database db(DivisionSchema());
+  const Value base = static_cast<Value>(n) + 2;
+  Relation r(2);
+  r.Reserve(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      r.Add({static_cast<Value>(i + 1), base + static_cast<Value>(j)});
+    }
+  }
+  db.SetRelation("R", std::move(r));
+  Relation s(1);
+  for (std::size_t j = 0; j < m; ++j) s.Add({base + static_cast<Value>(j)});
+  db.SetRelation("S", std::move(s));
+  return db;
+}
+
+core::Database MakeDivisionFamilyB(std::size_t n, std::size_t m) {
+  SETALG_CHECK(n >= 1 && m >= 2);
+  Database db(DivisionSchema());
+  const Value base = static_cast<Value>(n) + 2;
+  Relation r(2);
+  r.Reserve((n + 1) * m);
+  for (std::size_t i = 0; i < n + 1; ++i) {
+    for (std::size_t j = 0; j < m + 1; ++j) {
+      if (j == i % (m + 1)) continue;  // Key i misses one divisor value.
+      r.Add({static_cast<Value>(i + 1), base + static_cast<Value>(j)});
+    }
+  }
+  db.SetRelation("R", std::move(r));
+  Relation s(1);
+  for (std::size_t j = 0; j < m + 1; ++j) s.Add({base + static_cast<Value>(j)});
+  db.SetRelation("S", std::move(s));
+  return db;
+}
+
+BeerExample MakeBeerExample() {
+  BeerExample example;
+  example.schema.AddRelation("Likes", 2);
+  example.schema.AddRelation("Serves", 2);
+  example.schema.AddRelation("Visits", 2);
+  example.names.InternSorted({"alex", "bart", "pareto bar", "qwerty bar", "westmalle",
+                              "westvleteren"});
+  auto v = [&](const char* name) { return example.names.Code(name); };
+
+  Database a(example.schema);
+  a.mutable_relation("Visits")->Add({v("alex"), v("pareto bar")});
+  a.mutable_relation("Serves")->Add({v("pareto bar"), v("westmalle")});
+  a.mutable_relation("Likes")->Add({v("alex"), v("westmalle")});
+  example.a = std::move(a);
+
+  Database b(example.schema);
+  b.mutable_relation("Visits")->Add({v("alex"), v("pareto bar")});
+  b.mutable_relation("Visits")->Add({v("bart"), v("qwerty bar")});
+  b.mutable_relation("Serves")->Add({v("pareto bar"), v("westmalle")});
+  b.mutable_relation("Serves")->Add({v("qwerty bar"), v("westvleteren")});
+  b.mutable_relation("Likes")->Add({v("alex"), v("westvleteren")});
+  b.mutable_relation("Likes")->Add({v("bart"), v("westmalle")});
+  example.b = std::move(b);
+  return example;
+}
+
+std::vector<bisim::PartialIso> MakeFig6Bisimulation(const BeerExample& example) {
+  std::vector<bisim::PartialIso> isos;
+  auto add = [&isos](core::TupleView from, core::TupleView to) {
+    auto iso = bisim::PartialIso::FromTuples(from, to);
+    SETALG_CHECK(iso.has_value());
+    isos.push_back(*iso);
+  };
+  const Value alex = example.names.Code("alex");
+  add(core::Tuple{alex}, core::Tuple{alex});
+  for (const char* name : {"Likes", "Serves", "Visits"}) {
+    const Relation& ra = example.a.relation(name);
+    const Relation& rb = example.b.relation(name);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      for (std::size_t j = 0; j < rb.size(); ++j) {
+        add(ra.tuple(i), rb.tuple(j));
+      }
+    }
+  }
+  return isos;
+}
+
+ra::ExprPtr LousyBarDrinkersSa() {
+  ra::ExprPtr serves = ra::Rel("Serves", 2);
+  ra::ExprPtr likes = ra::Rel("Likes", 2);
+  ra::ExprPtr visits = ra::Rel("Visits", 2);
+  ra::ExprPtr lousy = ra::Diff(
+      ra::Project(serves, {1}),
+      ra::Project(ra::SemiJoin(serves, likes, {{2, ra::Cmp::kEq, 2}}), {1}));
+  return ra::Project(ra::SemiJoin(visits, lousy, {{2, ra::Cmp::kEq, 1}}), {1});
+}
+
+gf::FormulaPtr LousyBarDrinkersGf() {
+  // ∃y(Visits(x,y) ∧ ¬∃z(Serves(y,z) ∧ ∃w Likes(w,z))).
+  gf::FormulaPtr someone_likes =
+      gf::Exists(gf::Atom("Likes", {"w", "z"}), {"w"}, gf::True());
+  gf::FormulaPtr bar_ok =
+      gf::Exists(gf::Atom("Serves", {"y", "z"}), {"z"}, someone_likes);
+  return gf::Exists(gf::Atom("Visits", {"x", "y"}), {"y"}, gf::Not(bar_ok));
+}
+
+ra::ExprPtr QueryQRa() {
+  ra::ExprPtr visits = ra::Rel("Visits", 2);
+  ra::ExprPtr serves = ra::Rel("Serves", 2);
+  ra::ExprPtr likes = ra::Rel("Likes", 2);
+  // (Visits ⋈_{bar} Serves) ⋈_{drinker, beer} Likes, projected to drinker.
+  ra::ExprPtr vs = ra::Join(visits, serves, {{2, ra::Cmp::kEq, 1}});
+  ra::ExprPtr vsl = ra::Join(vs, likes, {{1, ra::Cmp::kEq, 1}, {4, ra::Cmp::kEq, 2}});
+  return ra::Project(vsl, {1});
+}
+
+}  // namespace setalg::witness

@@ -1,0 +1,123 @@
+// Every figure and worked example of the paper as an executable artifact:
+//
+//   Fig. 1  medical database (Person/Disease/Symptoms) for set joins,
+//   Fig. 2  the C-stored-tuples illustration over {R/3, S/3, T/2},
+//   Fig. 3  + Example 12: the guarded-bisimilar pair with its explicit
+//           bisimulation,
+//   Fig. 4  the Lemma 24 running example (database D, expression
+//           E = (R ⋈₁₌₂ T) ⋈₃₌₁ (S ⋈₂₌₁ T), witness tuples),
+//   Fig. 5  + Proposition 26: the division-separating bisimilar pair and
+//           its scaled generalization A_n/B_n,
+//   Fig. 6  + Section 4.1: the beer-drinkers pair separating query Q,
+//   Examples 3/7: the lousy-bar query in SA and GF.
+#ifndef SETALG_WITNESS_FIGURES_H_
+#define SETALG_WITNESS_FIGURES_H_
+
+#include <vector>
+
+#include "bisim/partial_iso.h"
+#include "core/database.h"
+#include "core/name_map.h"
+#include "gf/formula.h"
+#include "ra/expr.h"
+
+namespace setalg::witness {
+
+// --------------------------------------------------------------------------
+// Fig. 1: the medical example.
+// --------------------------------------------------------------------------
+
+struct MedicalExample {
+  core::Schema schema;  // Person/2, Disease/2, Symptoms/1.
+  core::Database db;
+  core::NameMap names;
+};
+
+/// Person, Disease and Symptoms exactly as printed in Fig. 1 (strings
+/// interned in lexicographic order).
+MedicalExample MakeMedicalExample();
+
+// --------------------------------------------------------------------------
+// Fig. 2: C-stored tuples.
+// --------------------------------------------------------------------------
+
+/// The database D over {R/3, S/3, T/2} of Fig. 2, with values a..g encoded
+/// as 1..7 in alphabetical order.
+core::Database MakeFig2Database();
+
+// --------------------------------------------------------------------------
+// Fig. 3 and Example 12.
+// --------------------------------------------------------------------------
+
+/// Schema {R/2, S/2, T/2}.
+core::Database MakeFig3A();
+core::Database MakeFig3B();
+
+/// Example 12's explicit ∅-guarded bisimulation between Fig. 3's A and B.
+std::vector<bisim::PartialIso> MakeFig3Bisimulation();
+
+// --------------------------------------------------------------------------
+// Fig. 4: Lemma 24 running example.
+// --------------------------------------------------------------------------
+
+struct Fig4Example {
+  core::Schema schema;  // R/3, S/3, T/2.
+  core::Database db;    // D of Fig. 4.
+  ra::ExprPtr expr;     // E = (R ⋈_{1=2} T) ⋈_{3=1} (S ⋈_{2=1} T).
+  core::Tuple a_witness;  // ā = (1,2,3,6,1) ∈ E1(D).
+  core::Tuple b_witness;  // b̄ = (3,4,5,4,7) ∈ E2(D).
+};
+
+Fig4Example MakeFig4Example();
+
+// --------------------------------------------------------------------------
+// Fig. 5 and Proposition 26.
+// --------------------------------------------------------------------------
+
+/// Schema {R/2, S/1}. A: R = {1,2}×{7,8}, S = {7,8} (division = {1,2});
+/// B: three drinkers each missing one of {7,8,9} (division = ∅).
+core::Database MakeFig5A();
+core::Database MakeFig5B();
+
+/// Proposition 26's bisimulation: {1→1} ∪ all same-relation tuple pairs.
+std::vector<bisim::PartialIso> MakeFig5Bisimulation();
+
+/// Scaled generalization: A(n,m) is the full bipartite R = [1..n] ×
+/// [base..base+m-1] with S the full divisor (division = all n keys);
+/// B(n,m) has n+1 keys over m+1 divisor values, key i missing the i-th
+/// value (division = ∅). For m ≥ 2 the pairs are ∅-guarded bisimilar.
+core::Database MakeDivisionFamilyA(std::size_t n, std::size_t m);
+core::Database MakeDivisionFamilyB(std::size_t n, std::size_t m);
+
+// --------------------------------------------------------------------------
+// Fig. 6 and Section 4.1 (beer drinkers).
+// --------------------------------------------------------------------------
+
+struct BeerExample {
+  core::Schema schema;  // Likes/2, Serves/2, Visits/2.
+  core::Database a;     // Fig. 6 left.
+  core::Database b;     // Fig. 6 right.
+  core::NameMap names;
+};
+
+BeerExample MakeBeerExample();
+
+/// Section 4.1's bisimulation: {alex→alex} ∪ all same-relation pairs.
+std::vector<bisim::PartialIso> MakeFig6Bisimulation(const BeerExample& example);
+
+/// Example 3: drinkers visiting a lousy bar, in SA= —
+/// π₁(Visits ⋉_{2=1} (π₁(Serves) − π₁(Serves ⋉_{2=2} Likes))).
+ra::ExprPtr LousyBarDrinkersSa();
+
+/// Example 7: the same query as a GF formula
+/// ∃y(Visits(x,y) ∧ ¬∃z(Serves(y,z) ∧ ∃w Likes(w,z))) over variable "x".
+gf::FormulaPtr LousyBarDrinkersGf();
+
+/// Section 4.1's query Q, "drinkers that visit a bar that serves a beer
+/// they like", as (cyclic, quadratic) RA:
+/// π₁((Visits ⋈_{2=1} Serves) ⋈_{1=1;4=2} Likes).
+ra::ExprPtr QueryQRa();
+
+}  // namespace setalg::witness
+
+#endif  // SETALG_WITNESS_FIGURES_H_

@@ -1,0 +1,163 @@
+#include "witness/pumping.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "ra/analysis.h"
+#include "ra/eval.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace setalg::witness {
+namespace {
+
+using core::Database;
+using core::Relation;
+using core::Tuple;
+using core::TupleView;
+using core::Value;
+
+bool IsSubset(const std::vector<Value>& sub, const std::vector<Value>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+// Order-preserving re-embedding fixing the constants: values in
+// [min C, max C] stay put; values above/below are stretched by `stride`.
+// With C empty, everything is scaled by the stride.
+Value Embed(Value v, const core::ConstantSet& constants, Value stride) {
+  if (constants.empty()) {
+    SETALG_CHECK_STREAM(v < (1LL << 40) && v > -(1LL << 40)) << "value too large";
+    return v * stride;
+  }
+  const Value lo = constants.front();
+  const Value hi = constants.back();
+  if (v >= lo && v <= hi) return v;
+  if (v > hi) return hi + (v - hi) * stride;
+  return lo - (lo - v) * stride;
+}
+
+}  // namespace
+
+std::string ValidatePumpingSpec(const PumpingSpec& spec) {
+  if (spec.db == nullptr) return "spec.db is null";
+  if (spec.expr == nullptr || spec.expr->kind() != ra::OpKind::kJoin) {
+    return "spec.expr must be a join node";
+  }
+  const core::ConstantSet constants = ra::CollectConstants(*spec.expr);
+  const Relation e1 = ra::Eval(spec.expr->child(0), *spec.db);
+  const Relation e2 = ra::Eval(spec.expr->child(1), *spec.db);
+  if (!e1.Contains(spec.a_witness)) return "a_witness is not in E1(D)";
+  if (!e2.Contains(spec.b_witness)) return "b_witness is not in E2(D)";
+  for (const auto& atom : spec.expr->atoms()) {
+    const Value a = spec.a_witness[atom.left - 1];
+    const Value b = spec.b_witness[atom.right - 1];
+    bool holds = false;
+    switch (atom.op) {
+      case ra::Cmp::kEq:
+        holds = a == b;
+        break;
+      case ra::Cmp::kNeq:
+        holds = a != b;
+        break;
+      case ra::Cmp::kLt:
+        holds = a < b;
+        break;
+      case ra::Cmp::kGt:
+        holds = a > b;
+        break;
+    }
+    if (!holds) return "witness pair does not satisfy θ";
+  }
+  const auto max_free1 = ra::FreeValues(*spec.expr, 1, spec.a_witness, constants);
+  const auto max_free2 = ra::FreeValues(*spec.expr, 2, spec.b_witness, constants);
+  auto effective = [](const std::vector<Value>& chosen,
+                      const std::vector<Value>& maximal) {
+    return chosen.empty() ? maximal : chosen;
+  };
+  std::vector<Value> f1 = effective(spec.free1, max_free1);
+  std::vector<Value> f2 = effective(spec.free2, max_free2);
+  std::sort(f1.begin(), f1.end());
+  std::sort(f2.begin(), f2.end());
+  if (f1.empty()) return "no free values on the left (Lemma 24 needs both)";
+  if (f2.empty()) return "no free values on the right";
+  if (!IsSubset(f1, max_free1)) return "free1 is not a subset of FreeValues(E1, ā)";
+  if (!IsSubset(f2, max_free2)) return "free2 is not a subset of FreeValues(E2, b̄)";
+  return "";
+}
+
+core::Database BuildPumpedDatabase(const PumpingSpec& spec, std::size_t n) {
+  SETALG_CHECK_GE(n, 1u);
+  SETALG_CHECK_STREAM(ValidatePumpingSpec(spec).empty()) << ValidatePumpingSpec(spec);
+  const core::ConstantSet constants = ra::CollectConstants(*spec.expr);
+
+  std::vector<Value> free1 = spec.free1, free2 = spec.free2;
+  if (free1.empty()) free1 = ra::FreeValues(*spec.expr, 1, spec.a_witness, constants);
+  if (free2.empty()) free2 = ra::FreeValues(*spec.expr, 2, spec.b_witness, constants);
+  std::set<Value> free_union(free1.begin(), free1.end());
+  free_union.insert(free2.begin(), free2.end());
+  const std::set<Value> f1(free1.begin(), free1.end());
+  const std::set<Value> f2(free2.begin(), free2.end());
+
+  const Value stride = static_cast<Value>(n) + 1;
+  auto embed = [&](Value v) { return Embed(v, constants, stride); };
+  // new⁽ᵏ⁾(x) = embed(x) + k (same relative order as x; see header).
+  auto fresh = [&](Value v, std::size_t k) {
+    return embed(v) + static_cast<Value>(k);
+  };
+
+  Database out(spec.db->schema());
+  for (const auto& name : spec.db->schema().Names()) {
+    const Relation& source = spec.db->relation(name);
+    Relation target(source.arity());
+    target.Reserve(source.size() * (2 * n));
+    Tuple row(source.arity());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      TupleView t = source.tuple(i);
+      // Embedded original.
+      for (std::size_t p = 0; p < t.size(); ++p) row[p] = embed(t[p]);
+      target.Add(row);
+      // Family-1 copies: rename the free1 values.
+      bool touches1 = std::any_of(t.begin(), t.end(),
+                                  [&](Value v) { return f1.count(v) > 0; });
+      if (touches1) {
+        for (std::size_t k = 1; k < n; ++k) {
+          for (std::size_t p = 0; p < t.size(); ++p) {
+            row[p] = f1.count(t[p]) > 0 ? fresh(t[p], k) : embed(t[p]);
+          }
+          target.Add(row);
+        }
+      }
+      // Family-2 copies: rename the free2 values.
+      bool touches2 = std::any_of(t.begin(), t.end(),
+                                  [&](Value v) { return f2.count(v) > 0; });
+      if (touches2) {
+        for (std::size_t k = 1; k < n; ++k) {
+          for (std::size_t p = 0; p < t.size(); ++p) {
+            row[p] = f2.count(t[p]) > 0 ? fresh(t[p], k) : embed(t[p]);
+          }
+          target.Add(row);
+        }
+      }
+    }
+    out.SetRelation(name, std::move(target));
+  }
+  return out;
+}
+
+std::vector<PumpingSample> MeasurePumping(const PumpingSpec& spec,
+                                          const std::vector<std::size_t>& ns) {
+  std::vector<PumpingSample> samples;
+  samples.reserve(ns.size());
+  for (std::size_t n : ns) {
+    const Database dn = BuildPumpedDatabase(spec, n);
+    PumpingSample sample;
+    sample.n = n;
+    sample.db_size = dn.size();
+    sample.output_size = ra::Eval(spec.expr, dn).size();
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace setalg::witness

@@ -1,0 +1,62 @@
+// The Lemma 24 pumping construction: given a join E = E1 ⋈_θ E2, a
+// database D, and a joining witness pair (ā, b̄) with nonempty free values
+// on both sides, builds the database family (D_n) with |D_n| ≤ 2|D|·n
+// while |E(D_n)| ≥ n².
+//
+// Fresh-value bookkeeping (the paper's "isomorphic copy / translate"
+// step): D's domain is first re-embedded order-preservingly, fixing the
+// constants pointwise and stretching everything outside [min C, max C] by
+// a stride > n. Free values (which by Definition 22 never lie between
+// consecutive constants) then receive their n−1 fresh neighbours
+// new⁽ᵏ⁾(x) = embed(x) + k, which keeps every fresh value in the same
+// relative order as x with respect to all other (embedded) values and the
+// constants.
+#ifndef SETALG_WITNESS_PUMPING_H_
+#define SETALG_WITNESS_PUMPING_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "ra/expr.h"
+
+namespace setalg::witness {
+
+/// Inputs of the construction.
+struct PumpingSpec {
+  /// The join node E = E1 ⋈_θ E2 (kind must be kJoin).
+  ra::ExprPtr expr;
+  /// The base database D.
+  const core::Database* db = nullptr;
+  /// ā ∈ E1(D) and b̄ ∈ E2(D), joining under θ (validated).
+  core::Tuple a_witness;
+  core::Tuple b_witness;
+  /// Free-value sets to pump. Empty means "use FreeValues(...)" (Def. 22);
+  /// any nonempty subset of the free values is also valid (the paper's
+  /// Fig. 4 pumps the subset {1,2} on the left).
+  std::vector<core::Value> free1;
+  std::vector<core::Value> free2;
+};
+
+/// Validates the spec (witnesses evaluate and join; free sets are
+/// nonempty subsets of the Definition 22 free values). Returns an error
+/// message or "".
+std::string ValidatePumpingSpec(const PumpingSpec& spec);
+
+/// Builds D_n (n >= 1; D_1 is the embedded copy of D).
+core::Database BuildPumpedDatabase(const PumpingSpec& spec, std::size_t n);
+
+/// One measurement row of the Lemma 24 experiment.
+struct PumpingSample {
+  std::size_t n = 0;
+  std::size_t db_size = 0;      // |D_n|
+  std::size_t output_size = 0;  // |E(D_n)|
+};
+
+/// Evaluates E on D_n for each n and reports sizes (the Lemma predicts
+/// db_size ≤ 2|D|·n and output_size ≥ n²).
+std::vector<PumpingSample> MeasurePumping(const PumpingSpec& spec,
+                                          const std::vector<std::size_t>& ns);
+
+}  // namespace setalg::witness
+
+#endif  // SETALG_WITNESS_PUMPING_H_

@@ -1,0 +1,159 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+
+namespace setalg::workload {
+
+using core::Relation;
+using core::Value;
+
+namespace {
+
+// Draws one element in [1, domain] (uniform or Zipf-skewed).
+Value DrawElement(util::Rng* rng, const util::ZipfDistribution* zipf,
+                  std::size_t domain) {
+  if (zipf != nullptr) return static_cast<Value>(zipf->Sample(rng));
+  return static_cast<Value>(rng->NextBounded(domain) + 1);
+}
+
+}  // namespace
+
+DivisionInstance MakeDivisionInstance(const DivisionConfig& config) {
+  SETALG_CHECK(config.divisor_size <= config.domain_size);
+  SETALG_CHECK(config.num_groups > 0 && config.group_size > 0);
+  util::Rng rng(config.seed);
+  std::optional<util::ZipfDistribution> zipf;
+  if (config.zipf_skew > 0) zipf.emplace(config.domain_size, config.zipf_skew);
+
+  DivisionInstance instance;
+  // Divisor: a random sample of distinct elements.
+  const auto divisor_indices = rng.SampleDistinct(config.divisor_size,
+                                                  config.domain_size);
+  std::vector<Value> divisor;
+  divisor.reserve(divisor_indices.size());
+  for (std::size_t i : divisor_indices) divisor.push_back(static_cast<Value>(i + 1));
+  std::sort(divisor.begin(), divisor.end());
+  for (Value b : divisor) instance.s.Add({b});
+
+  instance.r.Reserve(config.num_groups * config.group_size);
+  for (std::size_t g = 0; g < config.num_groups; ++g) {
+    const Value a = static_cast<Value>(g + 1);
+    const bool force_match = rng.NextDouble() < config.match_fraction;
+    std::size_t drawn = 0;
+    if (force_match) {
+      for (Value b : divisor) instance.r.Add({a, b});
+      drawn = divisor.size();
+    }
+    for (; drawn < config.group_size; ++drawn) {
+      instance.r.Add({a, DrawElement(&rng, zipf ? &*zipf : nullptr,
+                                     config.domain_size)});
+    }
+  }
+  return instance;
+}
+
+SetJoinInstance MakeSetJoinInstance(const SetJoinConfig& config) {
+  SETALG_CHECK(config.r_groups > 0 && config.s_groups > 0);
+  util::Rng rng(config.seed);
+  std::optional<util::ZipfDistribution> zipf;
+  if (config.zipf_skew > 0) zipf.emplace(config.domain_size, config.zipf_skew);
+  auto draw = [&]() {
+    return DrawElement(&rng, zipf ? &*zipf : nullptr, config.domain_size);
+  };
+
+  SetJoinInstance instance;
+  std::vector<std::vector<Value>> r_sets(config.r_groups);
+  instance.r.Reserve(config.r_groups * config.r_group_size);
+  for (std::size_t g = 0; g < config.r_groups; ++g) {
+    const Value a = static_cast<Value>(g + 1);
+    for (std::size_t k = 0; k < config.r_group_size; ++k) {
+      const Value b = draw();
+      r_sets[g].push_back(b);
+      instance.r.Add({a, b});
+    }
+    std::sort(r_sets[g].begin(), r_sets[g].end());
+    r_sets[g].erase(std::unique(r_sets[g].begin(), r_sets[g].end()), r_sets[g].end());
+  }
+  instance.s.Reserve(config.s_groups * config.s_group_size);
+  for (std::size_t g = 0; g < config.s_groups; ++g) {
+    const Value c = static_cast<Value>(g + 1);
+    if (rng.NextDouble() < config.containment_fraction) {
+      // Sample (with replacement) from a random R group so the set is
+      // contained by construction.
+      const auto& source = r_sets[rng.NextBounded(r_sets.size())];
+      const std::size_t take = std::min(config.s_group_size, source.size());
+      const auto picks = rng.SampleDistinct(take, source.size());
+      for (std::size_t p : picks) instance.s.Add({c, source[p]});
+    } else {
+      for (std::size_t k = 0; k < config.s_group_size; ++k) {
+        instance.s.Add({c, draw()});
+      }
+    }
+  }
+  return instance;
+}
+
+core::Relation UniformBinaryRelation(std::size_t rows, std::size_t domain,
+                                     std::uint64_t seed) {
+  SETALG_CHECK(domain > 0);
+  util::Rng rng(seed);
+  Relation r(2);
+  r.Reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    r.Add({static_cast<Value>(rng.NextBounded(domain) + 1),
+           static_cast<Value>(rng.NextBounded(domain) + 1)});
+  }
+  return r;
+}
+
+core::Relation PathRelation(std::size_t n) {
+  Relation r(2);
+  r.Reserve(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    r.Add({static_cast<Value>(i), static_cast<Value>(i + 1)});
+  }
+  return r;
+}
+
+core::Database DivisionFamilyDatabase(std::size_t n, std::size_t divisor_size,
+                                      std::uint64_t seed) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  DivisionConfig config;
+  config.num_groups = std::max<std::size_t>(1, n / 8);
+  config.group_size = 8;
+  config.domain_size = std::max<std::size_t>(divisor_size + 1, n / 4 + 2);
+  config.divisor_size = divisor_size;
+  config.match_fraction = 0.3;
+  config.seed = seed;
+  DivisionInstance instance = MakeDivisionInstance(config);
+  db.SetRelation("R", std::move(instance.r));
+  db.SetRelation("S", std::move(instance.s));
+  return db;
+}
+
+core::Database SparseBinaryDatabase(std::size_t n, std::uint64_t seed) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  core::Database db(schema);
+  db.SetRelation("R", UniformBinaryRelation(n, std::max<std::size_t>(2, n), seed));
+  return db;
+}
+
+core::Database TwoRelationDatabase(std::size_t n, std::uint64_t seed) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  const std::size_t domain = std::max<std::size_t>(2, n);
+  db.SetRelation("R", UniformBinaryRelation(n, domain, seed));
+  db.SetRelation("T", UniformBinaryRelation(n, domain, seed ^ 0x9e3779b97f4a7c15ULL));
+  return db;
+}
+
+}  // namespace setalg::workload

@@ -1,0 +1,83 @@
+// Reproducible synthetic workloads for the experiments: set-valued
+// relations with controlled group counts / set sizes / skew, division
+// instances with controlled selectivity, and scalable database families
+// for the growth (dichotomy) measurements. Every generator is seeded.
+#ifndef SETALG_WORKLOAD_GENERATORS_H_
+#define SETALG_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "util/rng.h"
+
+namespace setalg::workload {
+
+/// A division instance: R(A,B) and divisor S(B).
+struct DivisionInstance {
+  core::Relation r{2};
+  core::Relation s{1};
+};
+
+struct DivisionConfig {
+  std::size_t num_groups = 100;      // Distinct A values.
+  std::size_t group_size = 8;        // Elements per A (before dedup).
+  std::size_t domain_size = 64;      // Element universe size.
+  std::size_t divisor_size = 4;      // |S|.
+  double match_fraction = 0.3;       // Fraction of groups forced ⊇ S.
+  double zipf_skew = 0.0;            // Element skew (0 = uniform).
+  std::uint64_t seed = 1;
+};
+
+/// Generates a division instance where ~match_fraction of the groups are
+/// guaranteed to contain the divisor (so results are non-trivial at every
+/// selectivity).
+DivisionInstance MakeDivisionInstance(const DivisionConfig& config);
+
+/// A set-join instance: two grouped binary relations R(A,B), S(C,D).
+struct SetJoinInstance {
+  core::Relation r{2};
+  core::Relation s{2};
+};
+
+struct SetJoinConfig {
+  std::size_t r_groups = 100;
+  std::size_t s_groups = 100;
+  std::size_t r_group_size = 10;
+  std::size_t s_group_size = 4;      // Contained side: smaller sets.
+  std::size_t domain_size = 64;
+  double containment_fraction = 0.1;  // S groups sampled from an R group.
+  double zipf_skew = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a set-join instance; a containment_fraction of the S groups
+/// are sampled as subsets of random R groups so the containment join has
+/// matches; for set-equality experiments those subsets are full copies
+/// when s_group_size >= r_group_size.
+SetJoinInstance MakeSetJoinInstance(const SetJoinConfig& config);
+
+/// Uniform random binary relation with `rows` tuples over a value domain
+/// of the given size (values 1..domain).
+core::Relation UniformBinaryRelation(std::size_t rows, std::size_t domain,
+                                     std::uint64_t seed);
+
+/// The path relation {(i, i+1) | 1 <= i < n} — a canonical sparse family.
+core::Relation PathRelation(std::size_t n);
+
+/// Database families for growth experiments over schema {R/2, S/1}:
+/// R uniform with `rows` = n and domain √n·`density`, S a sample of
+/// `divisor` values. |D| = Θ(n).
+core::Database DivisionFamilyDatabase(std::size_t n, std::size_t divisor_size,
+                                      std::uint64_t seed);
+
+/// Family over schema {R/2}: R = uniform n tuples over domain ~ n.
+core::Database SparseBinaryDatabase(std::size_t n, std::uint64_t seed);
+
+/// Family over schema {R/2, T/2}: two uniform relations of n tuples each
+/// over a shared domain (for multi-relation expressions).
+core::Database TwoRelationDatabase(std::size_t n, std::uint64_t seed);
+
+}  // namespace setalg::workload
+
+#endif  // SETALG_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,238 @@
+// Algebraic-law property tests: classical relational-algebra identities
+// checked on randomized databases. These guard the evaluator and the
+// rewriters against whole classes of bugs (wrong column arithmetic, broken
+// set semantics, asymmetric join handling).
+#include <gtest/gtest.h>
+
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "setjoin/division.h"
+#include "setjoin/setjoin.h"
+#include "test_util.h"
+
+namespace setalg {
+namespace {
+
+using ra::Cmp;
+using ra::ExprPtr;
+using setalg::testing::MakeRel;
+using setalg::testing::RandomDatabase;
+
+core::Schema TwoBinarySchema() {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  return schema;
+}
+
+class AlgebraLawTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  core::Database Db() const { return RandomDatabase(TwoBinarySchema(), 40, 7,
+                                                    GetParam()); }
+};
+
+TEST_P(AlgebraLawTest, UnionIsCommutativeAndAssociative) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  EXPECT_EQ(ra::Eval(ra::Union(r, t), db), ra::Eval(ra::Union(t, r), db));
+  EXPECT_EQ(ra::Eval(ra::Union(ra::Union(r, t), r), db),
+            ra::Eval(ra::Union(r, ra::Union(t, r)), db));
+}
+
+TEST_P(AlgebraLawTest, UnionAndDiffIdempotence) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  EXPECT_EQ(ra::Eval(ra::Union(r, r), db), ra::Eval(r, db));
+  EXPECT_TRUE(ra::Eval(ra::Diff(r, r), db).empty());
+}
+
+TEST_P(AlgebraLawTest, DifferenceDistributesOverUnionOnTheRight) {
+  // (A ∪ B) − C = (A − C) ∪ (B − C).
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  auto c = ra::SelectLt(ra::Rel("R", 2), 1, 2);
+  EXPECT_EQ(ra::Eval(ra::Diff(ra::Union(r, t), c), db),
+            ra::Eval(ra::Union(ra::Diff(r, c), ra::Diff(t, c)), db));
+}
+
+TEST_P(AlgebraLawTest, SelectionsCommute) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  EXPECT_EQ(ra::Eval(ra::SelectEq(ra::SelectLt(r, 1, 2), 1, 1), db),
+            ra::Eval(ra::SelectLt(ra::SelectEq(r, 1, 1), 1, 2), db));
+}
+
+TEST_P(AlgebraLawTest, ProjectionComposition) {
+  // π_{p}(π_{q}(E)) = π_{q∘p}(E).
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto lhs = ra::Project(ra::Project(r, {2, 1}), {2});
+  auto rhs = ra::Project(r, {1});
+  EXPECT_EQ(ra::Eval(lhs, db), ra::Eval(rhs, db));
+}
+
+TEST_P(AlgebraLawTest, SelectionDistributesOverUnionAndDiff) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  EXPECT_EQ(ra::Eval(ra::SelectLt(ra::Union(r, t), 1, 2), db),
+            ra::Eval(ra::Union(ra::SelectLt(r, 1, 2), ra::SelectLt(t, 1, 2)), db));
+  EXPECT_EQ(ra::Eval(ra::SelectLt(ra::Diff(r, t), 1, 2), db),
+            ra::Eval(ra::Diff(ra::SelectLt(r, 1, 2), ra::SelectLt(t, 1, 2)), db));
+}
+
+TEST_P(AlgebraLawTest, JoinIsCommutativeUpToColumnPermutation) {
+  const auto db = Db();
+  auto rt = ra::Join(ra::Rel("R", 2), ra::Rel("T", 2), {{2, Cmp::kEq, 1}});
+  auto tr = ra::Join(ra::Rel("T", 2), ra::Rel("R", 2), {{1, Cmp::kEq, 2}});
+  EXPECT_EQ(ra::Eval(rt, db), ra::Eval(ra::Project(tr, {3, 4, 1, 2}), db));
+}
+
+TEST_P(AlgebraLawTest, JoinDistributesOverUnion) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  auto lhs = ra::Join(ra::Union(r, t), t, {{2, Cmp::kEq, 1}});
+  auto rhs = ra::Union(ra::Join(r, t, {{2, Cmp::kEq, 1}}),
+                       ra::Join(t, t, {{2, Cmp::kEq, 1}}));
+  EXPECT_EQ(ra::Eval(lhs, db), ra::Eval(rhs, db));
+}
+
+TEST_P(AlgebraLawTest, SelectionPushesThroughJoin) {
+  // σ on left columns commutes with the join.
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  auto outside = ra::SelectLt(ra::Join(r, t, {{2, Cmp::kEq, 1}}), 1, 2);
+  auto inside = ra::Join(ra::SelectLt(r, 1, 2), t, {{2, Cmp::kEq, 1}});
+  EXPECT_EQ(ra::Eval(outside, db), ra::Eval(inside, db));
+}
+
+TEST_P(AlgebraLawTest, SemijoinAbsorption) {
+  // R ⋉ (R ⋉ T) = R ⋉ T, and R ⋉ R = R on shared key columns.
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  auto rt = ra::SemiJoin(r, t, {{2, Cmp::kEq, 1}});
+  EXPECT_EQ(ra::Eval(ra::SemiJoin(rt, t, {{2, Cmp::kEq, 1}}), db),
+            ra::Eval(rt, db));
+  EXPECT_EQ(ra::Eval(ra::SemiJoin(r, r, {{1, Cmp::kEq, 1}, {2, Cmp::kEq, 2}}), db),
+            ra::Eval(r, db));
+}
+
+TEST_P(AlgebraLawTest, SemijoinDistributesOverUnionOnTheLeft) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  auto lhs = ra::SemiJoin(ra::Union(r, t), t, {{1, Cmp::kEq, 2}});
+  auto rhs = ra::Union(ra::SemiJoin(r, t, {{1, Cmp::kEq, 2}}),
+                       ra::SemiJoin(t, t, {{1, Cmp::kEq, 2}}));
+  EXPECT_EQ(ra::Eval(lhs, db), ra::Eval(rhs, db));
+}
+
+TEST_P(AlgebraLawTest, SemijoinIgnoresRightSideDuplication) {
+  // E1 ⋉ E2 = E1 ⋉ (E2 ∪ E2) — existence is insensitive to multiplicity.
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto t = ra::Rel("T", 2);
+  EXPECT_EQ(ra::Eval(ra::SemiJoin(r, t, {{2, Cmp::kLt, 2}}), db),
+            ra::Eval(ra::SemiJoin(r, ra::Union(t, t), {{2, Cmp::kLt, 2}}), db));
+}
+
+TEST_P(AlgebraLawTest, TagThenProjectIsIdentity) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  EXPECT_EQ(ra::Eval(ra::Project(ra::Tag(r, 99), {1, 2}), db), ra::Eval(r, db));
+}
+
+TEST_P(AlgebraLawTest, TagsCommute) {
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto ab = ra::Project(ra::Tag(ra::Tag(r, 5), 6), {1, 2, 4, 3});
+  auto ba = ra::Tag(ra::Tag(r, 6), 5);
+  EXPECT_EQ(ra::Eval(ab, db), ra::Eval(ba, db));
+}
+
+TEST_P(AlgebraLawTest, ProductWithSingletonIsTag) {
+  // R × τ_c(π_{}(R)) = τ_c(R) whenever R is nonempty.
+  const auto db = Db();
+  auto r = ra::Rel("R", 2);
+  auto singleton = ra::Tag(ra::Project(ra::Rel("R", 2), {}), 42);
+  EXPECT_EQ(ra::Eval(ra::Product(r, singleton), db), ra::Eval(ra::Tag(r, 42), db));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLawTest, ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Division laws.
+// ---------------------------------------------------------------------------
+
+class DivisionLawTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  core::Relation R() const {
+    return setalg::testing::RandomDatabase(TwoBinarySchema(), 60, 8, GetParam())
+        .relation("R");
+  }
+  static core::Relation Divisor(std::initializer_list<core::Value> values) {
+    core::Relation s(1);
+    for (core::Value v : values) s.Add({v});
+    return s;
+  }
+};
+
+TEST_P(DivisionLawTest, DividingByUnionIntersectsResults) {
+  // R ÷ (S1 ∪ S2) = (R ÷ S1) ∩ (R ÷ S2).
+  const auto r = R();
+  const auto s1 = Divisor({1, 2});
+  const auto s2 = Divisor({2, 3});
+  const auto both = core::Union(s1, s2);
+  const auto lhs =
+      setjoin::Divide(r, both, setjoin::DivisionAlgorithm::kHashDivision);
+  const auto rhs = core::Intersect(
+      setjoin::Divide(r, s1, setjoin::DivisionAlgorithm::kHashDivision),
+      setjoin::Divide(r, s2, setjoin::DivisionAlgorithm::kHashDivision));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(DivisionLawTest, DivisionIsAntitoneInTheDivisor) {
+  const auto r = R();
+  const auto small = Divisor({1});
+  const auto large = Divisor({1, 2, 3});
+  const auto with_small =
+      setjoin::Divide(r, small, setjoin::DivisionAlgorithm::kAggregate);
+  const auto with_large =
+      setjoin::Divide(r, large, setjoin::DivisionAlgorithm::kAggregate);
+  EXPECT_EQ(core::Intersect(with_small, with_large), with_large);
+}
+
+TEST_P(DivisionLawTest, EqualityDivisionRefinesContainment) {
+  const auto r = R();
+  const auto s = Divisor({1, 2});
+  const auto equal =
+      setjoin::DivideEqual(r, s, setjoin::DivisionAlgorithm::kSortMerge);
+  const auto contains =
+      setjoin::Divide(r, s, setjoin::DivisionAlgorithm::kSortMerge);
+  EXPECT_EQ(core::Intersect(equal, contains), equal);
+}
+
+TEST_P(DivisionLawTest, DivisionAgreesWithSetContainmentJoinColumn) {
+  // R ÷ S = π_A of the containment join against the single group {S}.
+  const auto r = R();
+  const auto s = Divisor({2, 4});
+  core::Relation s_grouped(2);
+  for (std::size_t i = 0; i < s.size(); ++i) s_grouped.Add({7, s.tuple(i)[0]});
+  const auto join = setjoin::SetContainmentJoin(
+      r, s_grouped, setjoin::ContainmentAlgorithm::kInvertedIndex);
+  core::Relation from_join(1);
+  for (std::size_t i = 0; i < join.size(); ++i) from_join.Add({join.tuple(i)[0]});
+  EXPECT_EQ(setjoin::Divide(r, s, setjoin::DivisionAlgorithm::kHashDivision),
+            from_join);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivisionLawTest,
+                         ::testing::Range<std::uint64_t>(10, 15));
+
+}  // namespace
+}  // namespace setalg

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "bisim/bisimulation.h"
+#include "bisim/partial_iso.h"
+#include "test_util.h"
+#include "witness/figures.h"
+
+namespace setalg::bisim {
+namespace {
+
+using setalg::testing::MakeRel;
+
+// ---------------------------------------------------------------------------
+// PartialIso.
+// ---------------------------------------------------------------------------
+
+TEST(PartialIso, FromTuplesBuildsPositionalMap) {
+  auto iso = PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{6, 7});
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(iso->Map(1), 6);
+  EXPECT_EQ(iso->Map(2), 7);
+  EXPECT_EQ(iso->MapInverse(7), 2);
+  EXPECT_EQ(iso->size(), 2u);
+}
+
+TEST(PartialIso, RepeatedConsistentValuesAllowed) {
+  auto iso = PartialIso::FromTuples(core::Tuple{1, 1, 2}, core::Tuple{5, 5, 6});
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(iso->size(), 2u);
+}
+
+TEST(PartialIso, NotAFunctionRejected) {
+  // 1 would map to both 5 and 6.
+  EXPECT_FALSE(PartialIso::FromTuples(core::Tuple{1, 1}, core::Tuple{5, 6}).has_value());
+}
+
+TEST(PartialIso, NotInjectiveRejected) {
+  EXPECT_FALSE(PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{5, 5}).has_value());
+}
+
+TEST(PartialIso, ArityMismatchRejected) {
+  EXPECT_FALSE(PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{5}).has_value());
+}
+
+TEST(PartialIso, DomainRangeSorted) {
+  auto iso = PartialIso::FromTuples(core::Tuple{3, 1}, core::Tuple{9, 7});
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(iso->Domain(), (std::vector<core::Value>{1, 3}));
+  EXPECT_EQ(iso->Range(), (std::vector<core::Value>{7, 9}));
+}
+
+TEST(PartialIso, AgreesOnSharedValues) {
+  auto f = *PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{6, 7});
+  auto g = *PartialIso::FromTuples(core::Tuple{2, 3}, core::Tuple{7, 8});
+  EXPECT_TRUE(f.AgreesOn(g, {2}));
+  EXPECT_TRUE(f.AgreesOn(g, {1, 2, 3}));  // Non-shared values ignored.
+  auto h = *PartialIso::FromTuples(core::Tuple{2, 3}, core::Tuple{9, 8});
+  EXPECT_FALSE(f.AgreesOn(h, {2}));
+}
+
+TEST(PartialIso, InverseAgreement) {
+  auto f = *PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{6, 7});
+  auto g = *PartialIso::FromTuples(core::Tuple{2, 3}, core::Tuple{7, 8});
+  EXPECT_TRUE(f.InverseAgreesOn(g, {7}));
+  auto h = *PartialIso::FromTuples(core::Tuple{9, 3}, core::Tuple{7, 8});
+  EXPECT_FALSE(f.InverseAgreesOn(h, {7}));
+}
+
+// ---------------------------------------------------------------------------
+// CheckCPartialIso (Definition 10).
+// ---------------------------------------------------------------------------
+
+core::Database OnePairDb(core::Value a, core::Value b) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  core::Database db(schema);
+  db.mutable_relation("R")->Add({a, b});
+  return db;
+}
+
+TEST(CPartialIso, AcceptsRelationAndOrderPreservingMap) {
+  const auto a = OnePairDb(1, 2);
+  const auto b = OnePairDb(6, 7);
+  auto iso = *PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{6, 7});
+  EXPECT_EQ(CheckCPartialIso(iso, a, b, {}), "");
+}
+
+TEST(CPartialIso, RejectsOrderViolation) {
+  const auto a = OnePairDb(1, 2);
+  const auto b = OnePairDb(7, 6);  // Reversed order.
+  auto iso = *PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{7, 6});
+  EXPECT_NE(CheckCPartialIso(iso, a, b, {}), "");
+}
+
+TEST(CPartialIso, RejectsRelationViolation) {
+  const auto a = OnePairDb(1, 2);
+  auto b = OnePairDb(6, 7);
+  b.mutable_relation("R")->Add({7, 6});
+  // Map {1→6, 2→7}: fine on (1,2)→(6,7); but A lacks (2,1) while B has
+  // (7,6) — relation preservation fails on the reverse tuple.
+  auto iso = *PartialIso::FromTuples(core::Tuple{1, 2}, core::Tuple{6, 7});
+  EXPECT_NE(CheckCPartialIso(iso, a, b, {}), "");
+}
+
+TEST(CPartialIso, RejectsConstantRemap) {
+  const auto a = OnePairDb(1, 6);
+  const auto b = OnePairDb(1, 7);
+  // 6 → 7 with 6 ∈ C: the extension with id_C is not a function.
+  auto iso = *PartialIso::FromTuples(core::Tuple{1, 6}, core::Tuple{1, 7});
+  EXPECT_NE(CheckCPartialIso(iso, a, b, {6}), "");
+}
+
+TEST(CPartialIso, RejectsOrderViolationRelativeToConstants) {
+  // The paper-intent strengthening documented in DESIGN.md: 5 → 7 with
+  // C = {6} flips the order relative to the constant.
+  const auto a = OnePairDb(1, 5);
+  const auto b = OnePairDb(1, 7);
+  auto iso = *PartialIso::FromTuples(core::Tuple{1, 5}, core::Tuple{1, 7});
+  EXPECT_EQ(CheckCPartialIso(iso, a, b, {}), "");   // Fine without constants.
+  EXPECT_NE(CheckCPartialIso(iso, a, b, {6}), "");  // Violates with C = {6}.
+}
+
+TEST(CPartialIso, ZeroAryRelationMustMatch) {
+  core::Schema schema;
+  schema.AddRelation("B", 0);
+  schema.AddRelation("R", 1);
+  core::Database a(schema), b(schema);
+  a.mutable_relation("R")->Add({1});
+  b.mutable_relation("R")->Add({2});
+  a.mutable_relation("B")->Add(core::Tuple{});
+  auto iso = *PartialIso::FromTuples(core::Tuple{1}, core::Tuple{2});
+  EXPECT_NE(CheckCPartialIso(iso, a, b, {}), "");
+  b.mutable_relation("B")->Add(core::Tuple{});
+  EXPECT_EQ(CheckCPartialIso(iso, a, b, {}), "");
+}
+
+// ---------------------------------------------------------------------------
+// VerifyBisimulation — the paper's explicit sets.
+// ---------------------------------------------------------------------------
+
+TEST(Verify, Example12BisimulationIsValid) {
+  const auto a = witness::MakeFig3A();
+  const auto b = witness::MakeFig3B();
+  EXPECT_EQ(VerifyBisimulation(witness::MakeFig3Bisimulation(), a, b, {}), "");
+}
+
+TEST(Verify, Example12BrokenWithoutAMember) {
+  const auto a = witness::MakeFig3A();
+  const auto b = witness::MakeFig3B();
+  auto isos = witness::MakeFig3Bisimulation();
+  isos.pop_back();  // Drop (2,3)→(10,11): back fails for (1,2)→(9,10).
+  EXPECT_NE(VerifyBisimulation(isos, a, b, {}), "");
+}
+
+TEST(Verify, Proposition26BisimulationIsValid) {
+  EXPECT_EQ(VerifyBisimulation(witness::MakeFig5Bisimulation(), witness::MakeFig5A(),
+                               witness::MakeFig5B(), {}),
+            "");
+}
+
+TEST(Verify, Fig6BeerBisimulationIsValid) {
+  const auto beer = witness::MakeBeerExample();
+  EXPECT_EQ(VerifyBisimulation(witness::MakeFig6Bisimulation(beer), beer.a, beer.b, {}),
+            "");
+}
+
+TEST(Verify, EmptySetRejected) {
+  EXPECT_NE(VerifyBisimulation({}, witness::MakeFig5A(), witness::MakeFig5B(), {}),
+            "");
+}
+
+TEST(Verify, NonIsoMemberRejected) {
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  auto isos = witness::MakeFig5Bisimulation();
+  // (1) → (7) maps a drinker onto a divisor value: S membership differs.
+  isos.push_back(*PartialIso::FromTuples(core::Tuple{1}, core::Tuple{7}));
+  EXPECT_NE(VerifyBisimulation(isos, a, b, {}), "");
+}
+
+// ---------------------------------------------------------------------------
+// BisimulationChecker (greatest fixpoint).
+// ---------------------------------------------------------------------------
+
+TEST(Checker, Fig3TuplesAreBisimilar) {
+  const auto a = witness::MakeFig3A();
+  const auto b = witness::MakeFig3B();
+  BisimulationChecker checker(&a, &b, {});
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{1, 2}, core::Tuple{6, 7}));
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{1, 2}, core::Tuple{9, 10}));
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{2, 3}, core::Tuple{7, 8}));
+  // (1,2) is in S but (7,8) is not: the positional map is not even a
+  // partial isomorphism.
+  EXPECT_FALSE(checker.AreBisimilar(core::Tuple{1, 2}, core::Tuple{7, 8}));
+}
+
+TEST(Checker, Proposition26Fig5Bisimilar) {
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  BisimulationChecker checker(&a, &b, {});
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{1}, core::Tuple{1}));
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{1, 7}, core::Tuple{1, 7}));
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{7}, core::Tuple{8}));
+}
+
+TEST(Checker, Fig6BeerBisimilar) {
+  const auto beer = witness::MakeBeerExample();
+  BisimulationChecker checker(&beer.a, &beer.b, {});
+  const core::Value alex = beer.names.Code("alex");
+  EXPECT_TRUE(checker.AreBisimilar(core::Tuple{alex}, core::Tuple{alex}));
+}
+
+TEST(Checker, DetectsNonBisimilarDatabases) {
+  // A: value with a successor in S; B: successor missing from S.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database a(schema), b(schema);
+  a.mutable_relation("R")->Add({1, 2});
+  a.mutable_relation("S")->Add({2});
+  b.mutable_relation("R")->Add({1, 2});
+  BisimulationChecker checker(&a, &b, {});
+  EXPECT_FALSE(checker.AreBisimilar(core::Tuple{1, 2}, core::Tuple{1, 2}));
+}
+
+TEST(Checker, ScaledDivisionFamiliesAreBisimilar) {
+  for (std::size_t n : {1u, 2u, 3u}) {
+    for (std::size_t m : {2u, 3u}) {
+      const auto a = witness::MakeDivisionFamilyA(n, m);
+      const auto b = witness::MakeDivisionFamilyB(n, m);
+      BisimulationChecker checker(&a, &b, {});
+      EXPECT_TRUE(checker.AreBisimilar(core::Tuple{1}, core::Tuple{1}))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Checker, ExplicitBisimulationMembersSurviveFixpoint) {
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  BisimulationChecker checker(&a, &b, {});
+  const auto maximal = checker.MaximalBisimulation();
+  for (const auto& iso : witness::MakeFig5Bisimulation()) {
+    if (iso.size() == 1 && iso.Domain()[0] == 1) continue;  // {1}→{1} is a
+    // query pair, not a guarded-domain candidate (domain {1} unguarded).
+    bool found = false;
+    for (const auto& survivor : maximal) {
+      if (survivor.pairs() == iso.pairs()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << iso.ToString();
+  }
+}
+
+TEST(Checker, StatsAreReported) {
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  BisimulationChecker checker(&a, &b, {});
+  EXPECT_GT(checker.initial_candidates(), 0u);
+  EXPECT_LE(checker.surviving_candidates(), checker.initial_candidates());
+  EXPECT_GE(checker.refinement_passes(), 1u);
+}
+
+TEST(Checker, ConstantsRestrictBisimilarity) {
+  // Fig. 5 with the divisor values declared as constants: now 7 cannot map
+  // to 8 (constants must be fixed), so far fewer candidates survive.
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  BisimulationChecker unconstrained(&a, &b, {});
+  BisimulationChecker constrained(&a, &b, {7, 8, 9});
+  EXPECT_FALSE(constrained.AreBisimilar(core::Tuple{7}, core::Tuple{8}));
+  EXPECT_TRUE(unconstrained.AreBisimilar(core::Tuple{7}, core::Tuple{8}));
+  EXPECT_LT(constrained.initial_candidates(), unconstrained.initial_candidates());
+}
+
+TEST(Checker, IdenticalDatabasesSelfBisimilar) {
+  const auto a = witness::MakeFig5A();
+  BisimulationChecker checker(&a, &a, {});
+  for (const auto& t : a.TupleSpace()) {
+    EXPECT_TRUE(checker.AreBisimilar(t, t)) << core::TupleToString(t);
+  }
+}
+
+}  // namespace
+}  // namespace setalg::bisim

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "core/csv.h"
+#include "core/database.h"
+#include "core/index.h"
+#include "core/name_map.h"
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "test_util.h"
+#include "witness/figures.h"
+
+namespace setalg::core {
+namespace {
+
+using setalg::testing::MakeRel;
+
+// ---------------------------------------------------------------------------
+// Tuples.
+// ---------------------------------------------------------------------------
+
+TEST(Tuple, CompareLexicographic) {
+  Tuple a = {1, 2}, b = {1, 3}, c = {1, 2};
+  EXPECT_LT(CompareTuples(a, b), 0);
+  EXPECT_GT(CompareTuples(b, a), 0);
+  EXPECT_EQ(CompareTuples(a, c), 0);
+}
+
+TEST(Tuple, ComparePrefixOrdersFirst) {
+  Tuple shorter = {1, 2}, longer = {1, 2, 0};
+  EXPECT_LT(CompareTuples(shorter, longer), 0);
+}
+
+TEST(Tuple, EqualsChecksLengthAndContent) {
+  EXPECT_TRUE(TupleEquals(Tuple{1, 2}, Tuple{1, 2}));
+  EXPECT_FALSE(TupleEquals(Tuple{1, 2}, Tuple{1, 2, 3}));
+  EXPECT_FALSE(TupleEquals(Tuple{1, 2}, Tuple{2, 1}));
+}
+
+TEST(Tuple, HashDiffersForPermutations) {
+  EXPECT_NE(HashTuple(Tuple{1, 2}), HashTuple(Tuple{2, 1}));
+  EXPECT_NE(HashTuple(Tuple{1}), HashTuple(Tuple{1, 1}));
+}
+
+TEST(Tuple, ValueSetSortsAndDedupes) {
+  EXPECT_EQ(TupleValueSet(Tuple{3, 1, 3, 2}), (std::vector<Value>{1, 2, 3}));
+  EXPECT_TRUE(TupleValueSet(Tuple{}).empty());
+}
+
+TEST(Tuple, ToStringFormat) {
+  EXPECT_EQ(TupleToString(Tuple{1, 2, 3}), "(1, 2, 3)");
+  EXPECT_EQ(TupleToString(Tuple{}), "()");
+}
+
+// ---------------------------------------------------------------------------
+// Relations.
+// ---------------------------------------------------------------------------
+
+TEST(Relation, SetSemanticsDeduplicate) {
+  Relation r(2);
+  r.Add({1, 2});
+  r.Add({1, 2});
+  r.Add({3, 4});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Relation, TuplesComeOutSorted) {
+  Relation r(2);
+  r.Add({3, 4});
+  r.Add({1, 2});
+  r.Add({1, 1});
+  EXPECT_TRUE(TupleEquals(r.tuple(0), Tuple{1, 1}));
+  EXPECT_TRUE(TupleEquals(r.tuple(1), Tuple{1, 2}));
+  EXPECT_TRUE(TupleEquals(r.tuple(2), Tuple{3, 4}));
+}
+
+TEST(Relation, ContainsBinarySearches) {
+  Relation r = MakeRel(2, {{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_TRUE(r.Contains(Tuple{3, 4}));
+  EXPECT_FALSE(r.Contains(Tuple{3, 5}));
+  EXPECT_FALSE(r.Contains(Tuple{0, 0}));
+}
+
+TEST(Relation, AddAfterReadRenormalizes) {
+  Relation r = MakeRel(2, {{1, 2}});
+  EXPECT_EQ(r.size(), 1u);
+  r.Add({0, 0});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(TupleEquals(r.tuple(0), Tuple{0, 0}));
+}
+
+TEST(Relation, ArityZeroActsAsBoolean) {
+  Relation empty(0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.Contains(Tuple{}));
+  Relation full(0);
+  full.Add(Tuple{});
+  full.Add(Tuple{});
+  EXPECT_EQ(full.size(), 1u);
+  EXPECT_TRUE(full.Contains(Tuple{}));
+}
+
+TEST(Relation, ActiveDomainSortedUnique) {
+  Relation r = MakeRel(2, {{5, 1}, {1, 3}});
+  EXPECT_EQ(r.ActiveDomain(), (std::vector<Value>{1, 3, 5}));
+}
+
+TEST(Relation, EqualityIgnoresInsertionOrder) {
+  Relation a(2), b(2);
+  a.Add({1, 2});
+  a.Add({3, 4});
+  b.Add({3, 4});
+  b.Add({1, 2});
+  b.Add({1, 2});
+  EXPECT_EQ(a, b);
+  b.Add({9, 9});
+  EXPECT_NE(a, b);
+}
+
+TEST(Relation, UnionDifferenceIntersect) {
+  Relation a = MakeRel(1, {{1}, {2}, {3}});
+  Relation b = MakeRel(1, {{2}, {4}});
+  EXPECT_EQ(Union(a, b), MakeRel(1, {{1}, {2}, {3}, {4}}));
+  EXPECT_EQ(Difference(a, b), MakeRel(1, {{1}, {3}}));
+  EXPECT_EQ(Intersect(a, b), MakeRel(1, {{2}}));
+}
+
+TEST(Relation, SetOpsWithEmpty) {
+  Relation a = MakeRel(1, {{1}});
+  Relation empty(1);
+  EXPECT_EQ(Union(a, empty), a);
+  EXPECT_EQ(Difference(a, empty), a);
+  EXPECT_EQ(Difference(empty, a), empty);
+  EXPECT_EQ(Intersect(a, empty), empty);
+}
+
+TEST(Relation, FlatLayoutIsRowMajorSorted) {
+  Relation r = MakeRel(2, {{3, 4}, {1, 2}});
+  EXPECT_EQ(r.flat(), (std::vector<Value>{1, 2, 3, 4}));
+}
+
+TEST(Relation, ToStringListsTuples) {
+  EXPECT_EQ(MakeRel(1, {{2}, {1}}).ToString(), "{(1), (2)}");
+}
+
+// ---------------------------------------------------------------------------
+// Schema and database.
+// ---------------------------------------------------------------------------
+
+TEST(Schema, TracksNamesAndArities) {
+  Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("S", 1);
+  EXPECT_TRUE(s.HasRelation("R"));
+  EXPECT_FALSE(s.HasRelation("T"));
+  EXPECT_EQ(s.Arity("S"), 1u);
+  EXPECT_EQ(s.NumRelations(), 2u);
+  EXPECT_EQ(s.ToString(), "{R/2, S/1}");
+}
+
+TEST(Database, SizeIsSumOfCardinalities) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}, {3, 4}}),
+                                        MakeRel(1, {{2}}));
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(Database, ActiveDomainAcrossRelations) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 5}}), MakeRel(1, {{7}}));
+  EXPECT_EQ(db.ActiveDomain(), (std::vector<Value>{1, 5, 7}));
+}
+
+TEST(Database, TupleSpaceDeduplicatesAcrossRelations) {
+  Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  Database db(schema);
+  db.mutable_relation("R")->Add({1, 2});
+  db.mutable_relation("T")->Add({1, 2});
+  db.mutable_relation("T")->Add({3, 4});
+  EXPECT_EQ(db.TupleSpace().size(), 2u);
+}
+
+TEST(Database, GuardedSetsAreValueSets) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 1}, {1, 2}}),
+                                        MakeRel(1, {{9}}));
+  const auto sets = db.GuardedSets();
+  // {1}, {1,2}, {9}.
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<Value>{1}));
+  EXPECT_EQ(sets[1], (std::vector<Value>{1, 2}));
+  EXPECT_EQ(sets[2], (std::vector<Value>{9}));
+}
+
+// Example 5 of the paper, on the Fig. 2 database (a..g = 1..7).
+TEST(Database, CStoredTuplesMatchExample5) {
+  const Database db = witness::MakeFig2Database();
+  const ConstantSet c = {1};  // C = {a}.
+  EXPECT_TRUE(db.IsCStored(Tuple{2, 3}, c));     // (b,c) via π_{2,3}(R).
+  EXPECT_TRUE(db.IsCStored(Tuple{1, 6}, c));     // (a,f): reduced (f) ∈ π₁(T).
+  EXPECT_FALSE(db.IsCStored(Tuple{5, 3}, c));    // (e,c) not C-stored.
+  EXPECT_FALSE(db.IsCStored(Tuple{7}, c));       // (g) not C-stored.
+}
+
+TEST(Database, EmptyReducedTupleCStoredIffNonempty) {
+  Schema schema;
+  schema.AddRelation("R", 1);
+  Database db(schema);
+  const ConstantSet c = {5};
+  EXPECT_FALSE(db.IsCStored(Tuple{5, 5}, c));  // All relations empty.
+  db.mutable_relation("R")->Add({1});
+  EXPECT_TRUE(db.IsCStored(Tuple{5, 5}, c));
+}
+
+TEST(Database, EqualityComparesAllRelations) {
+  auto a = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  auto b = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  EXPECT_TRUE(a == b);
+  b.mutable_relation("S")->Add({3});
+  EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// NameMap.
+// ---------------------------------------------------------------------------
+
+TEST(NameMap, InternSortedAssignsLexicographicCodes) {
+  NameMap names;
+  names.InternSorted({"cherry", "apple", "banana"}, 10);
+  EXPECT_EQ(names.Code("apple"), 10);
+  EXPECT_EQ(names.Code("banana"), 11);
+  EXPECT_EQ(names.Code("cherry"), 12);
+  // Code order equals lexicographic order.
+  EXPECT_LT(names.Code("apple"), names.Code("banana"));
+}
+
+TEST(NameMap, InternSortedDeduplicates) {
+  NameMap names;
+  names.InternSorted({"x", "x", "y"});
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(NameMap, IncrementalInternReturnsStableCodes) {
+  NameMap names;
+  const Value a = names.Intern("a");
+  const Value b = names.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(names.Intern("a"), a);
+}
+
+TEST(NameMap, NameFallsBackToNumber) {
+  NameMap names;
+  names.Intern("x");
+  EXPECT_EQ(names.Name(names.Code("x")), "x");
+  EXPECT_EQ(names.Name(999), "999");
+}
+
+// ---------------------------------------------------------------------------
+// Indexes.
+// ---------------------------------------------------------------------------
+
+TEST(HashIndex, FindsAllMatches) {
+  Relation r = MakeRel(2, {{1, 2}, {1, 3}, {2, 2}});
+  HashIndex index(&r, {0});
+  std::size_t count = 0;
+  index.ForEachMatch(Tuple{1}, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(index.HasMatch(Tuple{2}));
+  EXPECT_FALSE(index.HasMatch(Tuple{3}));
+  EXPECT_EQ(index.CountMatches(Tuple{1}), 2u);
+}
+
+TEST(HashIndex, CompositeKey) {
+  Relation r = MakeRel(2, {{1, 2}, {1, 3}});
+  HashIndex index(&r, {0, 1});
+  EXPECT_TRUE(index.HasMatch(Tuple{1, 2}));
+  EXPECT_FALSE(index.HasMatch(Tuple{2, 1}));
+}
+
+TEST(SortedIndex, RangeScans) {
+  Relation r = MakeRel(2, {{1, 10}, {2, 20}, {3, 30}});
+  SortedIndex index(&r, 1);
+  std::vector<std::size_t> less;
+  index.ForEachLess(25, [&](std::size_t row) { less.push_back(row); });
+  EXPECT_EQ(less.size(), 2u);
+  std::vector<std::size_t> greater;
+  index.ForEachGreater(15, [&](std::size_t row) { greater.push_back(row); });
+  EXPECT_EQ(greater.size(), 2u);
+  Value v = 0;
+  EXPECT_TRUE(index.MinValue(&v));
+  EXPECT_EQ(v, 10);
+  EXPECT_TRUE(index.MaxValue(&v));
+  EXPECT_EQ(v, 30);
+}
+
+TEST(SortedIndex, EmptyRelation) {
+  Relation r(2);
+  SortedIndex index(&r, 0);
+  Value v = 0;
+  EXPECT_FALSE(index.MinValue(&v));
+  EXPECT_FALSE(index.MaxValue(&v));
+}
+
+// ---------------------------------------------------------------------------
+// CSV.
+// ---------------------------------------------------------------------------
+
+TEST(Csv, RoundTripsIntegers) {
+  Relation r = MakeRel(2, {{1, 2}, {3, 4}});
+  const std::string text = WriteRelationCsv(r, nullptr);
+  auto parsed = ReadRelationCsv(text, nullptr);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, r);
+}
+
+TEST(Csv, SkipsEmptyLinesAndTrimsFields) {
+  auto parsed = ReadRelationCsv("1 , 2\n\n 3,4 \n", nullptr);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, MakeRel(2, {{1, 2}, {3, 4}}));
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  auto parsed = ReadRelationCsv("1,2\n3\n", nullptr);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().find("expected 2 fields"), std::string::npos);
+}
+
+TEST(Csv, RejectsNonIntegerWithoutNameMap) {
+  auto parsed = ReadRelationCsv("1,alice\n", nullptr);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(Csv, InternsStringsWithNameMap) {
+  NameMap names;
+  auto parsed = ReadRelationCsv("alice,red\nbob,blue\n", &names);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_TRUE(names.Has("alice"));
+  EXPECT_TRUE(names.Has("bob"));
+  // Writing back with the map restores the names.
+  const std::string text = WriteRelationCsv(*parsed, &names);
+  EXPECT_NE(text.find("alice,red"), std::string::npos);
+  EXPECT_NE(text.find("bob,blue"), std::string::npos);
+}
+
+TEST(Csv, EmptyInputIsError) {
+  auto parsed = ReadRelationCsv("\n\n", nullptr);
+  EXPECT_FALSE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace setalg::core

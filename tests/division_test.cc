@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ra/eval.h"
+#include "setjoin/division.h"
+#include "setjoin/grouped.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "witness/figures.h"
+#include "workload/generators.h"
+
+namespace setalg::setjoin {
+namespace {
+
+using core::Relation;
+using core::Value;
+using setalg::testing::MakeRel;
+
+// Brute-force references straight from the definitions.
+Relation ReferenceDivide(const Relation& r, const Relation& s, bool equality) {
+  const auto groups = GroupedRelation::FromBinary(r);
+  std::vector<Value> divisor;
+  for (std::size_t i = 0; i < s.size(); ++i) divisor.push_back(s.tuple(i)[0]);
+  Relation out(1);
+  for (const auto& g : groups.groups()) {
+    const bool contains = SortedSubset(divisor, g.elements);
+    const bool qualifies = equality ? g.elements == divisor : contains;
+    if (qualifies) out.Add({g.key});
+  }
+  return out;
+}
+
+TEST(Division, PaperFigure1) {
+  // Person ÷ Symptoms = {An, Bob}.
+  const auto example = witness::MakeMedicalExample();
+  const auto& person = example.db.relation("Person");
+  const auto& symptoms = example.db.relation("Symptoms");
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    const auto result = Divide(person, symptoms, algorithm);
+    Relation expected(1);
+    expected.Add({example.names.Code("An")});
+    expected.Add({example.names.Code("Bob")});
+    EXPECT_EQ(result, expected) << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, SimpleContainmentExample) {
+  const Relation r = MakeRel(2, {{1, 7}, {1, 8}, {2, 7}, {3, 8}, {3, 7}, {3, 9}});
+  const Relation s = MakeRel(1, {{7}, {8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(Divide(r, s, algorithm), MakeRel(1, {{1}, {3}}))
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, EqualityVariantRequiresExactSet) {
+  const Relation r = MakeRel(2, {{1, 7}, {1, 8}, {3, 8}, {3, 7}, {3, 9}});
+  const Relation s = MakeRel(1, {{7}, {8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(DivideEqual(r, s, algorithm), MakeRel(1, {{1}}))
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, EmptyDivisorMeansEveryCandidateQualifies) {
+  const Relation r = MakeRel(2, {{1, 7}, {2, 8}});
+  const Relation s(1);
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(Divide(r, s, algorithm), MakeRel(1, {{1}, {2}}))
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_TRUE(DivideEqual(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, EmptyDividendYieldsEmptyResult) {
+  const Relation r(2);
+  const Relation s = MakeRel(1, {{7}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_TRUE(Divide(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, DivisorLargerThanAnyGroup) {
+  const Relation r = MakeRel(2, {{1, 7}, {2, 8}});
+  const Relation s = MakeRel(1, {{7}, {8}, {9}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_TRUE(Divide(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+// Parameterized agreement across algorithms and workload shapes.
+struct DivisionCase {
+  const char* name;
+  workload::DivisionConfig config;
+};
+
+class DivisionAgreementTest
+    : public ::testing::TestWithParam<std::tuple<DivisionAlgorithm, DivisionCase>> {};
+
+TEST_P(DivisionAgreementTest, MatchesReference) {
+  const auto [algorithm, division_case] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto config = division_case.config;
+    config.seed = seed;
+    const auto instance = workload::MakeDivisionInstance(config);
+    EXPECT_EQ(Divide(instance.r, instance.s, algorithm),
+              ReferenceDivide(instance.r, instance.s, false))
+        << division_case.name << " seed " << seed;
+    EXPECT_EQ(DivideEqual(instance.r, instance.s, algorithm),
+              ReferenceDivide(instance.r, instance.s, true))
+        << division_case.name << " seed " << seed;
+  }
+}
+
+workload::DivisionConfig SmallConfig() {
+  workload::DivisionConfig config;
+  config.num_groups = 40;
+  config.group_size = 6;
+  config.domain_size = 24;
+  config.divisor_size = 3;
+  return config;
+}
+
+workload::DivisionConfig ExactSizeConfig() {
+  workload::DivisionConfig config;
+  config.num_groups = 30;
+  config.group_size = 4;
+  config.domain_size = 16;
+  config.divisor_size = 4;  // Same as group size: equality hits possible.
+  config.match_fraction = 0.5;
+  return config;
+}
+
+workload::DivisionConfig SkewedConfig() {
+  workload::DivisionConfig config;
+  config.num_groups = 40;
+  config.group_size = 8;
+  config.domain_size = 32;
+  config.divisor_size = 2;
+  config.zipf_skew = 1.1;
+  return config;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsTimesWorkloads, DivisionAgreementTest,
+    ::testing::Combine(::testing::ValuesIn(AllDivisionAlgorithms()),
+                       ::testing::Values(DivisionCase{"small", SmallConfig()},
+                                         DivisionCase{"exact", ExactSizeConfig()},
+                                         DivisionCase{"skewed", SkewedConfig()})),
+    [](const ::testing::TestParamInfo<std::tuple<DivisionAlgorithm, DivisionCase>>&
+           info) {
+      std::string name =
+          std::string(DivisionAlgorithmToString(std::get<0>(info.param))) + "_" +
+          std::get<1>(info.param).name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// The classic RA expression and its quadratic intermediates.
+// ---------------------------------------------------------------------------
+
+TEST(ClassicRa, ExpressionShapeIsTextbook) {
+  auto expr = ClassicDivisionExpr("R", "S");
+  EXPECT_EQ(expr->ToString(),
+            "diff(pi[1](R), pi[1](diff(join[](pi[1](R), S), R)))");
+}
+
+TEST(ClassicRa, IntermediatesAreProductSized) {
+  workload::DivisionConfig config = SmallConfig();
+  config.seed = 11;
+  const auto instance = workload::MakeDivisionInstance(config);
+  ra::EvalStats stats;
+  Divide(instance.r, instance.s, DivisionAlgorithm::kClassicRa, &stats);
+  const auto groups = GroupedRelation::FromBinary(instance.r);
+  EXPECT_GE(stats.max_intermediate, groups.NumGroups() * instance.s.size());
+}
+
+TEST(ClassicRa, EqualityExpressionAgreesOnFigure5) {
+  // On Fig. 5's A: containment and equality division both give {1,2}.
+  const auto a = witness::MakeFig5A();
+  ra::EvalStats stats;
+  EXPECT_EQ(DivideEqual(a.relation("R"), a.relation("S"),
+                        DivisionAlgorithm::kClassicRa, &stats),
+            MakeRel(1, {{1}, {2}}));
+  // On B both are empty.
+  const auto b = witness::MakeFig5B();
+  EXPECT_TRUE(Divide(b.relation("R"), b.relation("S"),
+                     DivisionAlgorithm::kClassicRa)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Grouped relation utilities.
+// ---------------------------------------------------------------------------
+
+TEST(Grouped, FromBinaryGroupsAndSorts) {
+  const Relation r = MakeRel(2, {{2, 9}, {1, 5}, {1, 3}, {1, 5}});
+  const auto grouped = GroupedRelation::FromBinary(r);
+  ASSERT_EQ(grouped.NumGroups(), 2u);
+  EXPECT_EQ(grouped.group(0).key, 1);
+  EXPECT_EQ(grouped.group(0).elements, (std::vector<Value>{3, 5}));
+  EXPECT_EQ(grouped.group(1).key, 2);
+  EXPECT_EQ(grouped.TotalElements(), 3u);
+  EXPECT_EQ(grouped.MaxGroupSize(), 2u);
+}
+
+TEST(Grouped, KeyOnSecondColumn) {
+  const Relation r = MakeRel(2, {{5, 1}, {3, 1}, {9, 2}});
+  const auto grouped = GroupedRelation::FromBinary(r, 2);
+  ASSERT_EQ(grouped.NumGroups(), 2u);
+  EXPECT_EQ(grouped.group(0).elements, (std::vector<Value>{3, 5}));
+}
+
+TEST(Grouped, FindByKey) {
+  const Relation r = MakeRel(2, {{1, 5}, {3, 7}});
+  const auto grouped = GroupedRelation::FromBinary(r);
+  ASSERT_NE(grouped.Find(3), nullptr);
+  EXPECT_EQ(grouped.Find(3)->elements, (std::vector<Value>{7}));
+  EXPECT_EQ(grouped.Find(2), nullptr);
+}
+
+TEST(Grouped, SortedSubsetAndIntersect) {
+  EXPECT_TRUE(SortedSubset({2, 4}, {1, 2, 3, 4}));
+  EXPECT_FALSE(SortedSubset({2, 5}, {1, 2, 3, 4}));
+  EXPECT_TRUE(SortedSubset({}, {1}));
+  EXPECT_TRUE(SortedIntersects({1, 9}, {9, 10}));
+  EXPECT_FALSE(SortedIntersects({1, 3}, {2, 4}));
+  EXPECT_FALSE(SortedIntersects({}, {1}));
+}
+
+TEST(Grouped, SignatureIsOneSidedFilter) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Value> super, sub;
+    for (int i = 0; i < 12; ++i) super.push_back(rng.NextInt(1, 40));
+    std::sort(super.begin(), super.end());
+    super.erase(std::unique(super.begin(), super.end()), super.end());
+    for (std::size_t i = 0; i < super.size(); i += 2) sub.push_back(super[i]);
+    // Subset implies signature-subset. (The converse may fail — that is
+    // the point of a filter.)
+    EXPECT_EQ(SetSignature(sub) & ~SetSignature(super), 0u);
+  }
+}
+
+TEST(Grouped, SetHashIsOrderIndependentAndSizeSensitive) {
+  EXPECT_EQ(SetHash({1, 2, 3}), SetHash({3, 2, 1}));
+  EXPECT_NE(SetHash({1, 2}), SetHash({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace setalg::setjoin

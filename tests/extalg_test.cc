@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "extalg/extended.h"
+#include "setjoin/division.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace setalg::extalg {
+namespace {
+
+using core::Relation;
+using setalg::testing::MakeRel;
+
+TEST(GroupCount, CountsGroupCardinalities) {
+  const Relation r = MakeRel(2, {{1, 5}, {1, 6}, {2, 5}});
+  EXPECT_EQ(GroupCount(r, {1}), MakeRel(2, {{1, 2}, {2, 1}}));
+}
+
+TEST(GroupCount, GroupByMultipleColumns) {
+  const Relation r = MakeRel(3, {{1, 5, 9}, {1, 5, 8}, {1, 6, 9}});
+  EXPECT_EQ(GroupCount(r, {1, 2}), MakeRel(3, {{1, 5, 2}, {1, 6, 1}}));
+}
+
+TEST(GroupCount, GlobalCountOnEmptyInputIsZero) {
+  EXPECT_EQ(GroupCount(Relation(2), {}), MakeRel(1, {{0}}));
+}
+
+TEST(GroupCount, GlobalCountCountsTuples) {
+  const Relation r = MakeRel(2, {{1, 5}, {2, 6}, {2, 7}});
+  EXPECT_EQ(GroupCount(r, {}), MakeRel(1, {{3}}));
+}
+
+TEST(GroupCount, GroupingByAllColumnsCountsOnes) {
+  const Relation r = MakeRel(2, {{1, 5}, {2, 6}});
+  EXPECT_EQ(GroupCount(r, {1, 2}), MakeRel(3, {{1, 5, 1}, {2, 6, 1}}));
+}
+
+TEST(SortBy, ReturnsSameSet) {
+  const Relation r = MakeRel(2, {{2, 1}, {1, 2}});
+  EXPECT_EQ(SortBy(r, {2}), r);
+}
+
+// ---------------------------------------------------------------------------
+// The Section 5 linear division pipelines.
+// ---------------------------------------------------------------------------
+
+TEST(LinearDivision, MatchesReferenceAlgorithms) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::DivisionConfig config;
+    config.num_groups = 40;
+    config.group_size = 6;
+    config.domain_size = 24;
+    config.divisor_size = 3;
+    config.match_fraction = 0.4;
+    config.seed = seed;
+    const auto instance = workload::MakeDivisionInstance(config);
+    EXPECT_EQ(ContainmentDivisionLinear(instance.r, instance.s),
+              setjoin::Divide(instance.r, instance.s,
+                              setjoin::DivisionAlgorithm::kHashDivision))
+        << "seed " << seed;
+    EXPECT_EQ(EqualityDivisionLinear(instance.r, instance.s),
+              setjoin::DivideEqual(instance.r, instance.s,
+                                   setjoin::DivisionAlgorithm::kHashDivision))
+        << "seed " << seed;
+  }
+}
+
+TEST(LinearDivision, EmptyDivisorConventions) {
+  const Relation r = MakeRel(2, {{1, 7}, {2, 8}});
+  const Relation s(1);
+  EXPECT_EQ(ContainmentDivisionLinear(r, s), MakeRel(1, {{1}, {2}}));
+  EXPECT_TRUE(EqualityDivisionLinear(r, s).empty());
+}
+
+TEST(LinearDivision, StepStatsAreRecorded) {
+  const Relation r = MakeRel(2, {{1, 7}, {1, 8}, {2, 7}});
+  const Relation s = MakeRel(1, {{7}, {8}});
+  std::vector<StepStats> stats;
+  const auto out = ContainmentDivisionLinear(r, s, &stats);
+  EXPECT_EQ(out, MakeRel(1, {{1}}));
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[0].name, "join R with S");
+  EXPECT_EQ(stats[0].output_size, 3u);
+  EXPECT_EQ(stats[1].output_size, 2u);  // Two groups with counts.
+  EXPECT_EQ(stats[2].output_size, 1u);  // Global divisor count.
+  EXPECT_EQ(stats[3].output_size, 1u);
+}
+
+TEST(LinearDivision, EveryStepIsLinearInTheInput) {
+  // The extended-algebra pipeline's intermediates never exceed |R| + |S| —
+  // the contrast with the classic RA expression (Prop. 26).
+  workload::DivisionConfig config;
+  config.num_groups = 100;
+  config.group_size = 8;
+  config.domain_size = 64;
+  config.divisor_size = 6;
+  config.seed = 3;
+  const auto instance = workload::MakeDivisionInstance(config);
+  std::vector<StepStats> stats;
+  ContainmentDivisionLinear(instance.r, instance.s, &stats);
+  EXPECT_LE(MaxStepSize(stats), instance.r.size() + instance.s.size());
+
+  stats.clear();
+  EqualityDivisionLinear(instance.r, instance.s, &stats);
+  EXPECT_LE(MaxStepSize(stats), instance.r.size() + instance.s.size());
+}
+
+TEST(LinearDivision, QuadraticallySmallerThanClassicRa) {
+  // Concrete instantiation of the paper's headline contrast on one input.
+  workload::DivisionConfig config;
+  config.num_groups = 200;
+  config.group_size = 4;
+  config.domain_size = 64;
+  config.divisor_size = 20;
+  config.match_fraction = 0.1;
+  config.seed = 9;
+  const auto instance = workload::MakeDivisionInstance(config);
+
+  std::vector<StepStats> linear_stats;
+  ContainmentDivisionLinear(instance.r, instance.s, &linear_stats);
+
+  ra::EvalStats classic_stats;
+  setjoin::Divide(instance.r, instance.s, setjoin::DivisionAlgorithm::kClassicRa,
+                  &classic_stats);
+
+  EXPECT_GT(classic_stats.max_intermediate, 4 * MaxStepSize(linear_stats));
+}
+
+TEST(MaxStepSize, EmptyStatsIsZero) { EXPECT_EQ(MaxStepSize({}), 0u); }
+
+}  // namespace
+}  // namespace setalg::extalg

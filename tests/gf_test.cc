@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gf/eval.h"
+#include "gf/formula.h"
+#include "gf/translate.h"
+#include "ra/eval.h"
+#include "test_util.h"
+#include "witness/figures.h"
+
+namespace setalg::gf {
+namespace {
+
+using ra::Cmp;
+using setalg::testing::MakeRel;
+using setalg::testing::RandomDatabase;
+
+core::Schema BinarySchema() {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  return schema;
+}
+
+// ---------------------------------------------------------------------------
+// Formula structure.
+// ---------------------------------------------------------------------------
+
+TEST(Formula, FreeVariablesOfAtoms) {
+  EXPECT_EQ(VarEq("x", "y")->FreeVariables(), (std::set<std::string>{"x", "y"}));
+  EXPECT_EQ(ConstCmp("x", Cmp::kLt, 5)->FreeVariables(),
+            (std::set<std::string>{"x"}));
+  EXPECT_EQ(Atom("R", {"x", "x", "y"})->FreeVariables(),
+            (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(True()->FreeVariables().empty());
+}
+
+TEST(Formula, ExistsBindsQuantifiedVariables) {
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, VarEq("x", "y"));
+  EXPECT_EQ(f->FreeVariables(), (std::set<std::string>{"x"}));
+}
+
+TEST(Formula, ConstantsAreCollected) {
+  auto f = And(ConstCmp("x", Cmp::kEq, 5),
+               Exists(Atom("R", {"x", "y"}), {"y"}, ConstCmp("y", Cmp::kLt, 3)));
+  EXPECT_EQ(f->Constants(), (core::ConstantSet{3, 5}));
+}
+
+TEST(Formula, ConnectiveSimplification) {
+  EXPECT_EQ(And(True(), VarEq("x", "y"))->kind(), FormulaKind::kVarCompare);
+  EXPECT_EQ(And(False(), VarEq("x", "y"))->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Or(True(), VarEq("x", "y"))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(Not(True())->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Not(False())->kind(), FormulaKind::kTrue);
+}
+
+TEST(Formula, ToStringReadable) {
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, VarLt("x", "y"));
+  EXPECT_EQ(f->ToString(), "exists y (R(x, y) & x < y)");
+}
+
+TEST(Formula, ValidateGfAcceptsExample7Shape) {
+  core::Schema schema;
+  schema.AddRelation("Likes", 2);
+  schema.AddRelation("Serves", 2);
+  schema.AddRelation("Visits", 2);
+  EXPECT_EQ(ValidateGf(*witness::LousyBarDrinkersGf(), schema), "");
+}
+
+TEST(Formula, ValidateGfRejectsUnknownRelation) {
+  EXPECT_NE(ValidateGf(*Atom("Nope", {"x"}), BinarySchema()), "");
+}
+
+TEST(Formula, ValidateGfRejectsArityMismatch) {
+  EXPECT_NE(ValidateGf(*Atom("R", {"x"}), BinarySchema()), "");
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+// ---------------------------------------------------------------------------
+
+core::Database SmallDb() {
+  core::Database db(BinarySchema());
+  db.SetRelation("R", MakeRel(2, {{1, 2}, {2, 3}, {3, 3}}));
+  db.SetRelation("S", MakeRel(1, {{2}}));
+  return db;
+}
+
+TEST(Eval, AtomsAndComparisons) {
+  const auto db = SmallDb();
+  EXPECT_TRUE(Holds(*Atom("R", {"x", "y"}), db, {{"x", 1}, {"y", 2}}));
+  EXPECT_FALSE(Holds(*Atom("R", {"x", "y"}), db, {{"x", 2}, {"y", 1}}));
+  EXPECT_TRUE(Holds(*VarLt("x", "y"), db, {{"x", 1}, {"y", 2}}));
+  EXPECT_FALSE(Holds(*VarEq("x", "y"), db, {{"x", 1}, {"y", 2}}));
+  EXPECT_TRUE(Holds(*ConstCmp("x", Cmp::kGt, 0), db, {{"x", 1}}));
+}
+
+TEST(Eval, RepeatedVariableInAtom) {
+  const auto db = SmallDb();
+  // R(x, x) only holds for (3,3).
+  EXPECT_TRUE(Holds(*Atom("R", {"x", "x"}), db, {{"x", 3}}));
+  EXPECT_FALSE(Holds(*Atom("R", {"x", "x"}), db, {{"x", 2}}));
+}
+
+TEST(Eval, BooleanConnectives) {
+  const auto db = SmallDb();
+  Assignment a = {{"x", 1}, {"y", 2}};
+  auto r = Atom("R", {"x", "y"});
+  EXPECT_FALSE(Holds(*Not(r), db, a));
+  EXPECT_TRUE(Holds(*Or(Not(r), r), db, a));
+  EXPECT_TRUE(Holds(*Implies(Not(r), r), db, a));
+  EXPECT_TRUE(Holds(*Iff(r, r), db, a));
+  EXPECT_FALSE(Holds(*Iff(r, Not(r)), db, a));
+}
+
+TEST(Eval, GuardedExistsRangesOverGuard) {
+  const auto db = SmallDb();
+  // ∃y (R(x,y) ∧ S(y)): only x=1 has a successor in S.
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, Atom("S", {"y"}));
+  EXPECT_TRUE(Holds(*f, db, {{"x", 1}}));
+  EXPECT_FALSE(Holds(*f, db, {{"x", 2}}));
+}
+
+TEST(Eval, ExistsWithRepeatedQuantifiedVariable) {
+  const auto db = SmallDb();
+  // ∃y R(y,y): witness (3,3).
+  auto f = Exists(Atom("R", {"y", "y"}), {"y"}, True());
+  EXPECT_TRUE(Holds(*f, db, {}));
+}
+
+TEST(Eval, QuantifiedVariableShadowsOuterBinding) {
+  const auto db = SmallDb();
+  // x bound outside to 999; the inner ∃x R(x,y) rebinds it.
+  auto f = Exists(Atom("R", {"x", "y"}), {"x", "y"}, True());
+  EXPECT_TRUE(Holds(*f, db, {{"x", 999}}));
+}
+
+TEST(Eval, Example7OnBeerDatabases) {
+  const auto beer = witness::MakeBeerExample();
+  auto f = witness::LousyBarDrinkersGf();
+  // Nobody visits a lousy bar in either database (every served beer is
+  // liked by someone).
+  for (const auto* db : {&beer.a, &beer.b}) {
+    for (core::Value d : db->ActiveDomain()) {
+      EXPECT_FALSE(Holds(*f, *db, {{"x", d}}));
+    }
+  }
+}
+
+TEST(Eval, EvaluateCStoredRestrictsToCStoredTuples) {
+  const auto db = SmallDb();
+  // x = x over one variable: all C-stored 1-tuples = active domain values.
+  auto f = VarEq("x", "x");
+  const auto out = EvaluateCStored(*f, db, {"x"}, {});
+  EXPECT_EQ(out, MakeRel(1, {{1}, {2}, {3}}));
+}
+
+TEST(Eval, EvaluateCStoredPairsNeedAGuard) {
+  const auto db = SmallDb();
+  auto f = VarEq("x", "x");
+  const auto out = EvaluateCStored(*f, db, {"x", "y"}, {});
+  // Only pairs inside one guarded set: {1,2},{2,3},{3},{2} ⇒ e.g. (1,3) absent.
+  EXPECT_TRUE(out.Contains(core::Tuple{1, 2}));
+  EXPECT_TRUE(out.Contains(core::Tuple{3, 3}));
+  EXPECT_FALSE(out.Contains(core::Tuple{1, 3}));
+}
+
+TEST(Eval, EvaluateOverValuesIsExhaustive) {
+  const auto db = SmallDb();
+  auto f = Atom("R", {"x", "y"});
+  const auto out = EvaluateOverValues(*f, db, {"x", "y"}, {1, 2, 3});
+  EXPECT_EQ(out, MakeRel(2, {{1, 2}, {2, 3}, {3, 3}}));
+}
+
+// ---------------------------------------------------------------------------
+// C-stored universe.
+// ---------------------------------------------------------------------------
+
+TEST(Universe, MatchesDefinitionFour) {
+  const auto db = SmallDb();
+  const core::ConstantSet constants = {9};
+  for (std::size_t k : {0u, 1u, 2u}) {
+    auto universe = CStoredUniverse(k, db.schema(), constants);
+    const auto result = ra::Eval(universe, db);
+    // Compare against direct enumeration via Database::IsCStored.
+    std::vector<core::Value> pool = db.ActiveDomain();
+    pool.insert(pool.end(), constants.begin(), constants.end());
+    std::sort(pool.begin(), pool.end());
+    core::Relation expected(k);
+    if (k == 0) {
+      expected.Add(core::Tuple{});
+    } else {
+      std::vector<std::size_t> idx(k, 0);
+      core::Tuple t(k);
+      for (;;) {
+        for (std::size_t p = 0; p < k; ++p) t[p] = pool[idx[p]];
+        if (db.IsCStored(t, constants)) expected.Add(t);
+        std::size_t p = 0;
+        while (p < k && ++idx[p] == pool.size()) {
+          idx[p] = 0;
+          ++p;
+        }
+        if (p == k) break;
+      }
+    }
+    EXPECT_EQ(result, expected) << "k = " << k;
+  }
+}
+
+TEST(Universe, EmptyDatabaseHasEmptyUniverse) {
+  core::Database db(BinarySchema());
+  auto universe = CStoredUniverse(1, db.schema(), {5});
+  EXPECT_TRUE(ra::Eval(universe, db).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8, converse: GF → SA=.
+// ---------------------------------------------------------------------------
+
+void ExpectGfToSaAgree(const FormulaPtr& f, const std::vector<std::string>& vars,
+                       const core::Schema& schema, std::uint64_t seeds = 4) {
+  ASSERT_EQ(ValidateGf(*f, schema), "");
+  auto expr = GfToSaEq(*f, vars, schema);
+  EXPECT_TRUE(ra::IsSaEq(*expr));
+  const core::ConstantSet constants = f->Constants();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const auto db = RandomDatabase(schema, 12, 5, seed);
+    const auto via_sa = ra::Eval(expr, db);
+    const auto via_gf = EvaluateCStored(*f, db, vars, constants);
+    EXPECT_EQ(via_sa, via_gf) << f->ToString() << " seed " << seed;
+  }
+}
+
+TEST(GfToSa, RelationAtom) {
+  ExpectGfToSaAgree(Atom("R", {"x", "y"}), {"x", "y"}, BinarySchema());
+}
+
+TEST(GfToSa, AtomWithRepeatedVariable) {
+  ExpectGfToSaAgree(Atom("R", {"x", "x"}), {"x"}, BinarySchema());
+}
+
+TEST(GfToSa, VariableComparisons) {
+  ExpectGfToSaAgree(VarEq("x", "y"), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(VarLt("x", "y"), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(VarCmp("x", Cmp::kNeq, "y"), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(VarCmp("x", Cmp::kGt, "y"), {"x", "y"}, BinarySchema());
+}
+
+TEST(GfToSa, ConstantComparisons) {
+  ExpectGfToSaAgree(ConstCmp("x", Cmp::kEq, 3), {"x"}, BinarySchema());
+  ExpectGfToSaAgree(ConstCmp("x", Cmp::kLt, 3), {"x"}, BinarySchema());
+  ExpectGfToSaAgree(ConstCmp("x", Cmp::kGt, 3), {"x"}, BinarySchema());
+  ExpectGfToSaAgree(ConstCmp("x", Cmp::kNeq, 3), {"x"}, BinarySchema());
+}
+
+TEST(GfToSa, BooleanConnectives) {
+  auto r = Atom("R", {"x", "y"});
+  ExpectGfToSaAgree(Not(r), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(And(r, VarLt("x", "y")), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(Or(r, VarEq("x", "y")), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(Implies(r, VarLt("x", "y")), {"x", "y"}, BinarySchema());
+  ExpectGfToSaAgree(Iff(r, VarEq("x", "y")), {"x", "y"}, BinarySchema());
+}
+
+TEST(GfToSa, GuardedExists) {
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, Atom("S", {"y"}));
+  ExpectGfToSaAgree(f, {"x"}, BinarySchema());
+}
+
+TEST(GfToSa, NestedExistsWithNegation) {
+  // x visits some R-successor y that has no S-membership.
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, Not(Atom("S", {"y"})));
+  ExpectGfToSaAgree(f, {"x"}, BinarySchema());
+}
+
+TEST(GfToSa, LousyBarsFormulaMatchesSaExpression) {
+  core::Schema schema;
+  schema.AddRelation("Likes", 2);
+  schema.AddRelation("Serves", 2);
+  schema.AddRelation("Visits", 2);
+  auto formula = witness::LousyBarDrinkersGf();
+  auto translated = GfToSaEq(*formula, {"x"}, schema);
+  auto hand_written = witness::LousyBarDrinkersSa();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto db = RandomDatabase(schema, 15, 6, seed);
+    // Example 3 (SA) and Example 7 (GF) diverge on bars that serve
+    // nothing: the GF formula calls them (vacuously) lousy while the SA
+    // expression only ranges over π₁(Serves). Make every visited bar serve
+    // something so the two readings coincide, as in the paper's data.
+    core::Relation serves = db.relation("Serves");
+    const auto& visits = db.relation("Visits");
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      serves.Add({visits.tuple(i)[1], visits.tuple(i)[1] + 100});
+    }
+    db.SetRelation("Serves", std::move(serves));
+    EXPECT_EQ(ra::Eval(translated, db), ra::Eval(hand_written, db))
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8, forward: SA= → GF.
+// ---------------------------------------------------------------------------
+
+void ExpectSaToGfAgree(const ra::ExprPtr& expr, const core::Schema& schema,
+                       std::uint64_t seeds = 4) {
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < expr->arity(); ++i) {
+    vars.push_back("x" + std::to_string(i + 1));
+  }
+  auto formula = SaEqToGf(expr, vars, schema);
+  ASSERT_EQ(ValidateGf(*formula, schema), "") << formula->ToString();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const auto db = RandomDatabase(schema, 10, 5, seed);
+    // The theorem claims equality over ALL tuples; check over the active
+    // domain plus constants plus fresh values.
+    std::vector<core::Value> pool = db.ActiveDomain();
+    for (core::Value c : ra::CollectConstants(*expr)) pool.push_back(c);
+    pool.push_back(97);
+    pool.push_back(-5);
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    const auto via_gf = EvaluateOverValues(*formula, db, vars, pool);
+    const auto via_sa = ra::Eval(expr, db);
+    EXPECT_EQ(via_gf, via_sa) << expr->ToString() << " seed " << seed;
+  }
+}
+
+TEST(SaToGf, BaseRelation) { ExpectSaToGfAgree(ra::Rel("R", 2), BinarySchema()); }
+
+TEST(SaToGf, UnionAndDifference) {
+  auto r = ra::Rel("R", 2);
+  ExpectSaToGfAgree(ra::Union(r, r), BinarySchema());
+  ExpectSaToGfAgree(ra::Diff(r, ra::SelectEq(r, 1, 2)), BinarySchema());
+}
+
+TEST(SaToGf, Selections) {
+  ExpectSaToGfAgree(ra::SelectEq(ra::Rel("R", 2), 1, 2), BinarySchema());
+  ExpectSaToGfAgree(ra::SelectLt(ra::Rel("R", 2), 1, 2), BinarySchema());
+}
+
+TEST(SaToGf, ConstTag) {
+  ExpectSaToGfAgree(ra::Tag(ra::Rel("S", 1), 3), BinarySchema());
+}
+
+TEST(SaToGf, SelectConstComposite) {
+  ExpectSaToGfAgree(ra::SelectConst(ra::Rel("R", 2), 1, 3), BinarySchema());
+}
+
+TEST(SaToGf, Projection) {
+  ExpectSaToGfAgree(ra::Project(ra::Rel("R", 2), {2}), BinarySchema());
+  ExpectSaToGfAgree(ra::Project(ra::Rel("R", 2), {2, 1}), BinarySchema());
+  ExpectSaToGfAgree(ra::Project(ra::Rel("R", 2), {1, 1}), BinarySchema());
+}
+
+TEST(SaToGf, SemiJoin) {
+  auto e = ra::SemiJoin(ra::Rel("R", 2), ra::Rel("S", 1), {{2, Cmp::kEq, 1}});
+  ExpectSaToGfAgree(e, BinarySchema());
+}
+
+TEST(SaToGf, SemiJoinWithEmptyCondition) {
+  auto e = ra::SemiJoin(ra::Rel("R", 2), ra::Rel("S", 1), {});
+  ExpectSaToGfAgree(e, BinarySchema());
+}
+
+TEST(SaToGf, LousyBarsExpression) {
+  core::Schema schema;
+  schema.AddRelation("Likes", 2);
+  schema.AddRelation("Serves", 2);
+  schema.AddRelation("Visits", 2);
+  ExpectSaToGfAgree(witness::LousyBarDrinkersSa(), schema, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips.
+// ---------------------------------------------------------------------------
+
+TEST(RoundTrip, GfToSaToGf) {
+  const auto schema = BinarySchema();
+  auto f = Exists(Atom("R", {"x", "y"}), {"y"}, Not(Atom("S", {"y"})));
+  auto expr = GfToSaEq(*f, {"x"}, schema);
+  auto back = SaEqToGf(expr, {"x"}, schema);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto db = RandomDatabase(schema, 10, 5, seed);
+    const auto original = EvaluateCStored(*f, db, {"x"}, f->Constants());
+    const auto round_tripped = EvaluateCStored(*back, db, {"x"}, f->Constants());
+    EXPECT_EQ(original, round_tripped) << "seed " << seed;
+  }
+}
+
+TEST(RoundTrip, RandomSaExpressionsSurviveBothTranslations) {
+  const auto schema = BinarySchema();
+  setalg::testing::RandomSaEqGenerator generator(schema, {3}, 99);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto expr = generator.Generate(1, 2);
+    std::vector<std::string> vars = {"v1"};
+    auto formula = SaEqToGf(expr, vars, schema);
+    ASSERT_EQ(ValidateGf(*formula, schema), "");
+    const auto db = RandomDatabase(schema, 8, 4, trial + 1);
+    const core::ConstantSet constants = ra::CollectConstants(*expr);
+    // Forward translation: φ_E selects exactly E(D).
+    std::vector<core::Value> pool = db.ActiveDomain();
+    pool.insert(pool.end(), constants.begin(), constants.end());
+    pool.push_back(55);
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    EXPECT_EQ(EvaluateOverValues(*formula, db, vars, pool), ra::Eval(expr, db))
+        << expr->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace setalg::gf

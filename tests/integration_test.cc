@@ -1,0 +1,363 @@
+// End-to-end reproductions of the paper's results, tying the modules
+// together:
+//   - Corollary 14: bisimilar pairs are indistinguishable by SA= (random
+//     expression property test on Figs. 5/6 and Example 12's databases);
+//   - Theorem 17: the empirical dichotomy over an expression catalog;
+//   - Theorem 18 / Corollary 19: rewriteability coincides with measured
+//     linearity on the catalog;
+//   - Proposition 26: the full division lower-bound story.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bisim/bisimulation.h"
+#include "extalg/extended.h"
+#include "gf/eval.h"
+#include "gf/translate.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "ra/growth.h"
+#include "ra/parse.h"
+#include "ra/rewrite.h"
+#include "setjoin/division.h"
+#include "test_util.h"
+#include "witness/figures.h"
+#include "witness/pumping.h"
+#include "workload/generators.h"
+
+namespace setalg {
+namespace {
+
+using ra::Cmp;
+using setalg::testing::MakeRel;
+using setalg::testing::RandomSaEqGenerator;
+
+// ---------------------------------------------------------------------------
+// Corollary 14 property: no SA= expression separates bisimilar pairs.
+// ---------------------------------------------------------------------------
+
+void ExpectSaEqCannotSeparate(const core::Database& a, const core::Database& b,
+                              core::TupleView a_tuple, core::TupleView b_tuple,
+                              const std::vector<core::Value>& constants,
+                              std::uint64_t seed, int trials) {
+  bisim::BisimulationChecker checker(&a, &b, core::ConstantSet(constants));
+  ASSERT_TRUE(checker.AreBisimilar(a_tuple, b_tuple));
+  RandomSaEqGenerator generator(a.schema(), constants, seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    auto expr = generator.Generate(a_tuple.size(), 3);
+    ASSERT_TRUE(ra::IsSaEq(*expr));
+    const bool in_a = ra::Eval(expr, a).Contains(a_tuple);
+    const bool in_b = ra::Eval(expr, b).Contains(b_tuple);
+    EXPECT_EQ(in_a, in_b) << "separating SA= expression found (contradicts "
+                          << "Corollary 14): " << expr->ToString();
+  }
+}
+
+TEST(Corollary14, Figure5DivisionPairIsInseparable) {
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  ExpectSaEqCannotSeparate(a, b, core::Tuple{1}, core::Tuple{1}, {}, 101, 60);
+}
+
+TEST(Corollary14, Figure3PairIsInseparable) {
+  const auto a = witness::MakeFig3A();
+  const auto b = witness::MakeFig3B();
+  ExpectSaEqCannotSeparate(a, b, core::Tuple{1, 2}, core::Tuple{6, 7}, {}, 202, 60);
+}
+
+TEST(Corollary14, BeerDrinkersPairIsInseparable) {
+  const auto beer = witness::MakeBeerExample();
+  const core::Value alex = beer.names.Code("alex");
+  ExpectSaEqCannotSeparate(beer.a, beer.b, core::Tuple{alex}, core::Tuple{alex}, {},
+                           303, 40);
+}
+
+TEST(Corollary14, DivisionSeparatesWhereSaEqCannot) {
+  // The punchline of Proposition 26: division distinguishes A,1 from B,1...
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  const auto div_a = setjoin::Divide(a.relation("R"), a.relation("S"),
+                                     setjoin::DivisionAlgorithm::kHashDivision);
+  const auto div_b = setjoin::Divide(b.relation("R"), b.relation("S"),
+                                     setjoin::DivisionAlgorithm::kHashDivision);
+  EXPECT_TRUE(div_a.Contains(core::Tuple{1}));
+  EXPECT_FALSE(div_b.Contains(core::Tuple{1}));
+  // ...while A,1 and B,1 are C-guarded bisimilar (checked inside the
+  // Corollary 14 tests above). Hence no SA= expression computes division,
+  // and by Theorem 18 every RA expression for it is quadratic.
+}
+
+TEST(Corollary14, GfFormulasCannotSeparateEither) {
+  // Proposition 13 directly: random SA= expressions translated to GF also
+  // agree across the bisimilar pair.
+  const auto a = witness::MakeFig5A();
+  const auto b = witness::MakeFig5B();
+  RandomSaEqGenerator generator(a.schema(), {}, 404);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto expr = generator.Generate(1, 2);
+    auto formula = gf::SaEqToGf(expr, {"x"}, a.schema());
+    const bool in_a = gf::Holds(*formula, a, {{"x", 1}});
+    const bool in_b = gf::Holds(*formula, b, {{"x", 1}});
+    EXPECT_EQ(in_a, in_b) << formula->ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 17: the dichotomy, empirically, over a catalog.
+// ---------------------------------------------------------------------------
+
+enum class FamilyKind {
+  kDefault,             // R uniform over domain n, S with n/4 values.
+  kSkewedSecondColumn,  // R's second column drawn from a tiny domain.
+};
+
+struct CatalogEntry {
+  const char* name;
+  const char* text;  // Parsed against {R/2, S/1}.
+  bool quadratic;
+  FamilyKind family = FamilyKind::kDefault;
+};
+
+const CatalogEntry kCatalog[] = {
+    {"base_relation", "R", false},
+    {"projection", "pi[1](R)", false},
+    {"selection", "sigma[1=2](R)", false},
+    {"union", "union(R, R)", false},
+    {"semijoin_embedding", "pi[1,2](join[2=1](R, S))", false},
+    {"constrained_join", "join[2=1](R, S)", false},
+    {"doubly_constrained", "join[1=1;2=2](R, R)", false},
+    {"tagged_filter", "sigma[2=#3](R)", false},
+    {"product", "product(pi[1](R), S)", true},
+    {"classic_division", "diff(pi[1](R), pi[1](diff(join[](pi[1](R), S), R)))",
+     true},
+    {"inequality_join", "join[1<1](pi[1](R), S)", true},
+    {"neq_join", "join[1!=1](pi[1](R), S)", true},
+    // Quadratic only on skewed data: the worst case of Definition 16's max
+    // needs repeated join values, which the uniform family does not give.
+    {"half_constrained", "join[2=2](R, R)", true, FamilyKind::kSkewedSecondColumn},
+};
+
+// Database family of size Θ(n) over {R/2, S/1}.
+core::Database CatalogFamily(std::size_t n, FamilyKind kind) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database out(schema);
+  util::Rng rng(11);
+  core::Relation r(2);
+  const std::size_t second_domain = kind == FamilyKind::kSkewedSecondColumn ? 4 : n;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.Add({static_cast<core::Value>(rng.NextBounded(n) + 1),
+           static_cast<core::Value>(rng.NextBounded(second_domain) + 1)});
+  }
+  out.SetRelation("R", std::move(r));
+  core::Relation s(1);
+  for (std::size_t i = 0; i < n / 4; ++i) {
+    s.Add({static_cast<core::Value>(rng.NextBounded(n) + 1)});
+  }
+  out.SetRelation("S", std::move(s));
+  return out;
+}
+
+class DichotomyTest : public ::testing::TestWithParam<CatalogEntry> {};
+
+TEST_P(DichotomyTest, ExponentMatchesPrediction) {
+  const auto& entry = GetParam();
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  auto expr = ra::Parse(entry.text, schema);
+  ASSERT_TRUE(expr.ok()) << expr.error();
+  auto family = [&entry](std::size_t n) { return CatalogFamily(n, entry.family); };
+  const auto report =
+      ra::MeasureGrowth(*expr, family, ra::GeometricSizes(400, 6400, 5));
+  if (entry.quadratic) {
+    EXPECT_EQ(report.classification, ra::GrowthClass::kQuadratic)
+        << entry.name << " exponent " << report.exponent();
+  } else {
+    EXPECT_EQ(report.classification, ra::GrowthClass::kLinear)
+        << entry.name << " exponent " << report.exponent();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, DichotomyTest, ::testing::ValuesIn(kCatalog),
+                         [](const ::testing::TestParamInfo<CatalogEntry>& info) {
+                           return info.param.name;
+                         });
+
+// Theorem 17 says the exponents cluster at 1 and 2 with nothing between:
+// check the gap explicitly across the catalog (on each entry's worst-case
+// family).
+TEST(Dichotomy, NoIntermediateExponents) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  for (const auto& entry : kCatalog) {
+    auto expr = ra::Parse(entry.text, schema);
+    ASSERT_TRUE(expr.ok());
+    const auto report = ra::MeasureGrowth(
+        *expr,
+        [&entry](std::size_t n) { return CatalogFamily(n, entry.family); },
+        ra::GeometricSizes(400, 6400, 5));
+    const double e = report.exponent();
+    EXPECT_TRUE(e < 1.35 || e > 1.65)
+        << entry.name << " lands in the forbidden band: " << e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 18 / Corollary 19: rewriteability matches measured linearity.
+// ---------------------------------------------------------------------------
+
+TEST(Theorem18, CatalogRewritesMatchClassification) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  for (const auto& entry : kCatalog) {
+    auto expr = ra::Parse(entry.text, schema);
+    ASSERT_TRUE(expr.ok());
+    auto rewritten = ra::RewriteRaToSaEq(*expr);
+    if (entry.quadratic) {
+      // Quadratic expressions must not be rewriteable (soundness).
+      EXPECT_FALSE(rewritten.has_value()) << entry.name;
+    } else {
+      // Every linear catalog entry is certified by the rewriter and the
+      // rewrite is equivalent on random instances.
+      ASSERT_TRUE(rewritten.has_value()) << entry.name;
+      EXPECT_TRUE(ra::IsSaEq(**rewritten));
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto db = setalg::testing::RandomDatabase(schema, 30, 8, seed);
+        EXPECT_EQ(ra::Eval(*expr, db), ra::Eval(*rewritten, db))
+            << entry.name << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Theorem18, RewrittenExpressionsEvaluateLinearly) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  for (const auto& entry : kCatalog) {
+    if (entry.quadratic) continue;
+    auto expr = ra::Parse(entry.text, schema);
+    ASSERT_TRUE(expr.ok());
+    auto rewritten = ra::RewriteRaToSaEq(*expr);
+    ASSERT_TRUE(rewritten.has_value());
+    const auto db = workload::DivisionFamilyDatabase(2000, 8, 5);
+    ra::EvalStats stats;
+    ra::Eval(*rewritten, db, &stats);
+    // SA expressions are linear by definition: every intermediate is
+    // bounded by |D| (+1 for the zero-ary/tag edge cases).
+    EXPECT_LE(stats.max_intermediate, db.size() + 1) << entry.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 26, quantitatively.
+// ---------------------------------------------------------------------------
+
+TEST(Proposition26, ClassicRaDivisionIsQuadraticAggregateIsNot) {
+  // The divisor must grow with n for the quadratic lower bound to bite
+  // (with |S| fixed, even the product π_A(R) × S stays linear).
+  auto family = [](std::size_t n) { return CatalogFamily(n, FamilyKind::kDefault); };
+  const auto classic = setjoin::ClassicDivisionExpr("R", "S");
+  const auto classic_report =
+      ra::MeasureGrowth(classic, family, ra::GeometricSizes(400, 6400, 5));
+  EXPECT_EQ(classic_report.classification, ra::GrowthClass::kQuadratic)
+      << classic_report.exponent();
+
+  // The extended-algebra pipeline stays linear on the same family.
+  std::vector<double> ratios;
+  for (std::size_t n : ra::GeometricSizes(400, 6400, 5)) {
+    const auto db = family(n);
+    std::vector<extalg::StepStats> steps;
+    extalg::ContainmentDivisionLinear(db.relation("R"), db.relation("S"), &steps);
+    ratios.push_back(static_cast<double>(extalg::MaxStepSize(steps)) /
+                     static_cast<double>(db.size()));
+  }
+  // Bounded ratio = linear growth.
+  for (double ratio : ratios) EXPECT_LE(ratio, 1.5);
+}
+
+TEST(Proposition26, AllDivisionAlgorithmsAgreeWithQuadraticBaseline) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    workload::DivisionConfig config;
+    config.num_groups = 60;
+    config.group_size = 6;
+    config.domain_size = 30;
+    config.divisor_size = 4;
+    config.seed = seed;
+    const auto instance = workload::MakeDivisionInstance(config);
+    const auto reference = setjoin::Divide(instance.r, instance.s,
+                                           setjoin::DivisionAlgorithm::kClassicRa);
+    for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
+      EXPECT_EQ(setjoin::Divide(instance.r, instance.s, algorithm), reference)
+          << setjoin::DivisionAlgorithmToString(algorithm) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Proposition26, PumpingTheProductNodeOfClassicDivision) {
+  // Lemma 24 applied to the product inside the classic division expression
+  // on a concrete witness: quadratic output from linear databases.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.mutable_relation("R")->Add({1, 7});
+  db.mutable_relation("S")->Add({7});
+  auto product = ra::Product(ra::Project(ra::Rel("R", 2), {1}), ra::Rel("S", 1));
+  witness::PumpingSpec spec;
+  spec.expr = product;
+  spec.db = &db;
+  spec.a_witness = {1};
+  spec.b_witness = {7};
+  ASSERT_EQ(witness::ValidatePumpingSpec(spec), "");
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const auto dn = witness::BuildPumpedDatabase(spec, n);
+    EXPECT_LE(dn.size(), 2 * db.size() * n);
+    EXPECT_GE(ra::Eval(product, dn).size(), n * n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query Q (Section 4.1).
+// ---------------------------------------------------------------------------
+
+TEST(QueryQ, NotRewriteableAndMeasuredQuadratic) {
+  const auto q = witness::QueryQRa();
+  EXPECT_FALSE(ra::RewriteRaToSaEq(q).has_value());
+
+  auto family = [](std::size_t n) {
+    core::Schema schema;
+    schema.AddRelation("Likes", 2);
+    schema.AddRelation("Serves", 2);
+    schema.AddRelation("Visits", 2);
+    core::Database db(schema);
+    const std::size_t third = n / 3 + 1;
+    // Dense bipartite layers: visits and serves fan out, likes is sparse;
+    // the first join materializes ~|Visits|·|Serves|/bars rows.
+    util::Rng rng(21);
+    core::Relation visits(2), serves(2), likes(2);
+    const std::size_t bars = 4;
+    for (std::size_t i = 0; i < third; ++i) {
+      visits.Add({static_cast<core::Value>(1000 + i),
+                  static_cast<core::Value>(rng.NextBounded(bars))});
+      serves.Add({static_cast<core::Value>(rng.NextBounded(bars)),
+                  static_cast<core::Value>(2000 + i)});
+      likes.Add({static_cast<core::Value>(1000 + rng.NextBounded(third)),
+                 static_cast<core::Value>(2000 + rng.NextBounded(third))});
+    }
+    db.SetRelation("Visits", std::move(visits));
+    db.SetRelation("Serves", std::move(serves));
+    db.SetRelation("Likes", std::move(likes));
+    return db;
+  };
+  const auto report = ra::MeasureGrowth(q, family, ra::GeometricSizes(300, 4800, 5));
+  EXPECT_EQ(report.classification, ra::GrowthClass::kQuadratic)
+      << report.exponent();
+}
+
+}  // namespace
+}  // namespace setalg

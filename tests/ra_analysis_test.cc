@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "ra/analysis.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "ra/growth.h"
+#include "ra/rewrite.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace setalg::ra {
+namespace {
+
+using setalg::testing::MakeRel;
+using setalg::testing::RandomDatabase;
+
+// ---------------------------------------------------------------------------
+// Definition 20 (constrained / unconstrained positions) — Example 21.
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, Example21ConstrainedSets) {
+  // E = R ⋈_{3=1} S with R, S ternary.
+  auto e = Join(Rel("R", 3), Rel("S", 3), {{3, Cmp::kEq, 1}});
+  const auto sets = ComputeConstrainedSets(*e);
+  EXPECT_EQ(sets.constrained1, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(sets.unc1, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(sets.constrained2, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(sets.unc2, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Analysis, OrderAtomsDoNotConstrain) {
+  auto e = Join(Rel("R", 3), Rel("S", 3),
+                {{3, Cmp::kEq, 1}, {1, Cmp::kLt, 2}, {2, Cmp::kNeq, 3}});
+  const auto sets = ComputeConstrainedSets(*e);
+  EXPECT_EQ(sets.constrained1, (std::vector<std::size_t>{3}));
+  EXPECT_EQ(sets.constrained2, (std::vector<std::size_t>{1}));
+}
+
+TEST(Analysis, EmptyThetaLeavesAllUnconstrained) {
+  auto e = Product(Rel("R", 3), Rel("S", 3));
+  const auto sets = ComputeConstrainedSets(*e);
+  EXPECT_TRUE(sets.constrained1.empty());
+  EXPECT_EQ(sets.unc1.size(), 3u);
+  EXPECT_EQ(sets.unc2.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Definition 22 (free values) — Example 23.
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, Example23FreeValues) {
+  // E = σ_{2='2'}(R) ⋈_{3=1} σ_{3='5'}(S); C = {2, 5}.
+  auto e1 = SelectConst(Rel("R", 3), 2, 2);
+  auto e2 = SelectConst(Rel("S", 3), 3, 5);
+  auto e = Join(e1, e2, {{3, Cmp::kEq, 1}});
+  const core::ConstantSet c = CollectConstants(*e);
+  ASSERT_EQ(c, (core::ConstantSet{2, 5}));
+
+  EXPECT_EQ(FreeValues(*e, 1, core::Tuple{1, 2, 3}, c),
+            (std::vector<core::Value>{1}));
+  EXPECT_EQ(FreeValues(*e, 1, core::Tuple{4, 6, 3}, c),
+            (std::vector<core::Value>{6}));
+  EXPECT_EQ(FreeValues(*e, 2, core::Tuple{3, 5, 6}, c),
+            (std::vector<core::Value>{6}));
+  EXPECT_TRUE(FreeValues(*e, 2, core::Tuple{1, 1, 1}, c).empty());
+}
+
+TEST(Analysis, FreeValuesWithoutConstants) {
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  // Position 2 constrained; value 7 bound, 1 free.
+  EXPECT_EQ(FreeValues(*e, 1, core::Tuple{1, 7}, {}),
+            (std::vector<core::Value>{1}));
+  // Repeated bound value is removed everywhere it occurs.
+  EXPECT_TRUE(FreeValues(*e, 1, core::Tuple{7, 7}, {}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Constant-column analysis.
+// ---------------------------------------------------------------------------
+
+TEST(Analysis, ConstantColumnsFromTag) {
+  auto e = Tag(Rel("R", 2), 5);
+  const auto columns = ConstantColumns(*e);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns.at(3), 5);
+}
+
+TEST(Analysis, ConstantColumnsThroughProjection) {
+  auto e = Project(Tag(Rel("R", 2), 5), {3, 1});
+  const auto columns = ConstantColumns(*e);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns.at(1), 5);
+}
+
+TEST(Analysis, ConstantColumnsPropagateThroughSelectionEq) {
+  auto e = SelectEq(Tag(Rel("R", 2), 5), 1, 3);
+  const auto columns = ConstantColumns(*e);
+  EXPECT_EQ(columns.at(1), 5);
+  EXPECT_EQ(columns.at(3), 5);
+}
+
+TEST(Analysis, ConstantColumnsUnionIntersects) {
+  auto left = Tag(Rel("R", 2), 5);
+  auto right = Tag(Rel("R", 2), 6);
+  EXPECT_TRUE(ConstantColumns(*Union(left, right)).empty());
+  auto same = Union(Tag(Rel("R", 2), 5), Tag(Rel("R", 2), 5));
+  EXPECT_EQ(ConstantColumns(*same).at(3), 5);
+}
+
+TEST(Analysis, ConstantColumnsJoinShiftsRightSide) {
+  auto e = Join(Rel("R", 2), Tag(Rel("S", 1), 9), {});
+  const auto columns = ConstantColumns(*e);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns.at(4), 9);
+}
+
+TEST(Analysis, ConstantColumnsPropagateAcrossJoinEquality) {
+  auto e = Join(Tag(Rel("R", 2), 5), Rel("S", 1), {{3, Cmp::kEq, 1}});
+  const auto columns = ConstantColumns(*e);
+  EXPECT_EQ(columns.at(3), 5);
+  EXPECT_EQ(columns.at(4), 5);  // Right column forced equal to the tag.
+}
+
+// ---------------------------------------------------------------------------
+// SemiJoinToJoin embedding.
+// ---------------------------------------------------------------------------
+
+TEST(Rewrite, SemiJoinToJoinIsEquivalent) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  auto semi = SemiJoin(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  auto joined = SemiJoinToJoin(semi);
+  EXPECT_TRUE(IsRa(*joined));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto db = RandomDatabase(schema, 30, 10, seed);
+    EXPECT_EQ(Eval(semi, db), Eval(joined, db)) << "seed " << seed;
+  }
+}
+
+TEST(Rewrite, SemiJoinToJoinOrderAtoms) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  auto semi = SemiJoin(Rel("R", 2), Rel("S", 1), {{2, Cmp::kLt, 1}});
+  auto joined = SemiJoinToJoin(semi);
+  EXPECT_TRUE(IsRa(*joined));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto db = RandomDatabase(schema, 30, 10, seed);
+    EXPECT_EQ(Eval(semi, db), Eval(joined, db)) << "seed " << seed;
+  }
+}
+
+TEST(Rewrite, SemiJoinToJoinEqualityEmbeddingIsLinear) {
+  // For equality semijoins the embedding keeps intermediates linear:
+  // the right side is projected to the joined columns first.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  auto semi = SemiJoin(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  auto joined = SemiJoinToJoin(semi);
+  const auto db = RandomDatabase(schema, 200, 5, 3);
+  EvalStats stats;
+  Eval(joined, db, &stats);
+  // No intermediate exceeds |R| + |S|.
+  EXPECT_LE(stats.max_intermediate, db.size());
+}
+
+// ---------------------------------------------------------------------------
+// RewriteRaToSaEq (Theorem 18 constructive rewriter).
+// ---------------------------------------------------------------------------
+
+core::Schema DivisionSchema() {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  return schema;
+}
+
+void ExpectRewriteEquivalent(const ExprPtr& e, const core::Schema& schema) {
+  auto rewritten = RewriteRaToSaEq(e);
+  ASSERT_TRUE(rewritten.has_value()) << e->ToString();
+  EXPECT_TRUE(IsSaEq(**rewritten));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto db = RandomDatabase(schema, 40, 8, seed);
+    EXPECT_EQ(Eval(e, db), Eval(*rewritten, db))
+        << e->ToString() << " vs " << (*rewritten)->ToString() << " seed " << seed;
+  }
+}
+
+TEST(Rewrite, EquiJoinWithFullyConstrainedRightSide) {
+  // R ⋈_{2=1} π₁(S): the right side is a single constrained column.
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  ExpectRewriteEquivalent(e, DivisionSchema());
+}
+
+TEST(Rewrite, EquiJoinWithFullyConstrainedLeftSide) {
+  auto e = Join(Rel("S", 1), Rel("R", 2), {{1, Cmp::kEq, 2}});
+  ExpectRewriteEquivalent(e, DivisionSchema());
+}
+
+TEST(Rewrite, JoinWithResidualOrderAtoms) {
+  // Right side fully constrained by equality; a second < atom is residual.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  auto e = Join(Rel("R", 2), Project(Rel("T", 2), {1}),
+                {{2, Cmp::kEq, 1}, {1, Cmp::kLt, 1}});
+  auto rewritten = RewriteRaToSaEq(e);
+  ASSERT_TRUE(rewritten.has_value());
+  EXPECT_TRUE(IsSaEq(**rewritten));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto db = RandomDatabase(schema, 40, 8, seed);
+    EXPECT_EQ(Eval(e, db), Eval(*rewritten, db)) << "seed " << seed;
+  }
+}
+
+TEST(Rewrite, JoinWithNeqResidual) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  auto e = Join(Rel("R", 2), Project(Rel("T", 2), {2}),
+                {{2, Cmp::kEq, 1}, {1, Cmp::kNeq, 1}});
+  auto rewritten = RewriteRaToSaEq(e);
+  ASSERT_TRUE(rewritten.has_value());
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto db = RandomDatabase(schema, 40, 8, seed);
+    EXPECT_EQ(Eval(e, db), Eval(*rewritten, db)) << "seed " << seed;
+  }
+}
+
+TEST(Rewrite, ConstantTaggedRightSideIsDetermined) {
+  // R × τ_c(π_{}(S)): right side is one constant column — still linear.
+  auto right = Tag(Project(Rel("S", 1), {}), 42);
+  auto e = Join(Rel("R", 2), right, {});
+  ExpectRewriteEquivalent(e, DivisionSchema());
+}
+
+TEST(Rewrite, ConstantComparisonAgainstTaggedColumn) {
+  // Residual predicate against a constant right column.
+  auto right = Tag(Project(Rel("S", 1), {}), 4);
+  auto e = Join(Rel("R", 2), right, {{1, Cmp::kLt, 1}});
+  ExpectRewriteEquivalent(e, DivisionSchema());
+}
+
+TEST(Rewrite, BooleanOperatorsPassThrough) {
+  auto join = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  auto e = Diff(Union(join, join), join);
+  ExpectRewriteEquivalent(e, DivisionSchema());
+}
+
+TEST(Rewrite, ClassicDivisionIsNotSyntacticallyLinear) {
+  // π_A(R) − π_A((π_A(R) × S) − R): the product has no constrained side.
+  auto candidates = Project(Rel("R", 2), {1});
+  auto product = Product(candidates, Rel("S", 1));
+  auto division = Diff(candidates, Project(Diff(product, Rel("R", 2)), {1}));
+  EXPECT_FALSE(RewriteRaToSaEq(division).has_value());
+}
+
+TEST(Rewrite, PureProductFails) {
+  EXPECT_FALSE(RewriteRaToSaEq(Product(Rel("R", 2), Rel("S", 1))).has_value());
+}
+
+TEST(Rewrite, PureInequalityJoinFails) {
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{1, Cmp::kLt, 1}});
+  EXPECT_FALSE(RewriteRaToSaEq(e).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Growth measurement (Theorem 17 empirically).
+// ---------------------------------------------------------------------------
+
+TEST(Growth, GeometricSizesCoverRange) {
+  const auto sizes = GeometricSizes(100, 1600, 5);
+  EXPECT_EQ(sizes.front(), 100u);
+  EXPECT_EQ(sizes.back(), 1600u);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_GT(sizes[i], sizes[i - 1]);
+}
+
+TEST(Growth, ClassifiesLinearExpression) {
+  auto e = Project(SemiJoinToJoin(SemiJoin(Rel("R", 2), Rel("S", 1),
+                                           {{2, Cmp::kEq, 1}})),
+                   {1});
+  const auto report = MeasureGrowth(
+      e, [](std::size_t n) { return workload::DivisionFamilyDatabase(n, 4, 7); },
+      GeometricSizes(200, 3200, 5));
+  EXPECT_EQ(report.classification, GrowthClass::kLinear)
+      << "exponent " << report.exponent();
+}
+
+TEST(Growth, ClassifiesQuadraticExpression) {
+  auto candidates = Project(Rel("R", 2), {1});
+  auto e = Product(candidates, Rel("S", 1));
+  // Family with |D| = Θ(n): R uniform with n tuples, S with n/4 values;
+  // the product then grows ~ n²/8 while the database grows ~ 5n/4.
+  auto family = [](std::size_t n) {
+    core::Schema schema;
+    schema.AddRelation("R", 2);
+    schema.AddRelation("S", 1);
+    core::Database db(schema);
+    db.SetRelation("R", workload::UniformBinaryRelation(n, n, 7));
+    core::Relation s(1);
+    for (std::size_t v = 0; v < n / 4; ++v) {
+      s.Add({static_cast<core::Value>(2 * n + v)});
+    }
+    db.SetRelation("S", std::move(s));
+    return db;
+  };
+  const auto report = MeasureGrowth(e, family, GeometricSizes(200, 3200, 5));
+  EXPECT_EQ(report.classification, GrowthClass::kQuadratic)
+      << "exponent " << report.exponent();
+}
+
+TEST(Growth, SamplesRecordDatabaseAndOutputSizes) {
+  auto e = Rel("R", 2);
+  const auto report = MeasureGrowth(
+      e, [](std::size_t n) { return workload::SparseBinaryDatabase(n, 3); },
+      {100, 200, 400});
+  ASSERT_EQ(report.samples.size(), 3u);
+  for (const auto& sample : report.samples) {
+    EXPECT_GT(sample.db_size, 0u);
+    EXPECT_EQ(sample.output_size, sample.db_size);  // E = R.
+    EXPECT_EQ(sample.max_intermediate, sample.db_size);
+  }
+  EXPECT_EQ(report.classification, GrowthClass::kLinear);
+}
+
+}  // namespace
+}  // namespace setalg::ra

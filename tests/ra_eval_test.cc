@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "test_util.h"
+
+namespace setalg::ra {
+namespace {
+
+using setalg::testing::MakeRel;
+using core::Relation;
+
+core::Database TwoRelDb() {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 10}, {2, 20}, {3, 10}}));
+  db.SetRelation("S", MakeRel(1, {{10}, {30}}));
+  return db;
+}
+
+TEST(Eval, RelationReference) {
+  const auto db = TwoRelDb();
+  EXPECT_EQ(Eval(Rel("S", 1), db), MakeRel(1, {{10}, {30}}));
+}
+
+TEST(Eval, UnionDeduplicates) {
+  const auto db = TwoRelDb();
+  auto e = Union(Rel("S", 1), Rel("S", 1));
+  EXPECT_EQ(Eval(e, db), MakeRel(1, {{10}, {30}}));
+}
+
+TEST(Eval, Difference) {
+  const auto db = TwoRelDb();
+  auto e = Diff(Rel("S", 1), Project(Rel("R", 2), {2}));
+  EXPECT_EQ(Eval(e, db), MakeRel(1, {{30}}));
+}
+
+TEST(Eval, ProjectionReorderAndRepeat) {
+  const auto db = TwoRelDb();
+  auto e = Project(Rel("R", 2), {2, 1, 1});
+  EXPECT_EQ(Eval(e, db),
+            MakeRel(3, {{10, 1, 1}, {20, 2, 2}, {10, 3, 3}}));
+}
+
+TEST(Eval, ProjectionCollapsesDuplicates) {
+  const auto db = TwoRelDb();
+  auto e = Project(Rel("R", 2), {2});
+  EXPECT_EQ(Eval(e, db), MakeRel(1, {{10}, {20}}));
+}
+
+TEST(Eval, ProjectionToZeroColumns) {
+  const auto db = TwoRelDb();
+  auto e = Project(Rel("R", 2), {});
+  const Relation out = Eval(e, db);
+  EXPECT_EQ(out.arity(), 0u);
+  EXPECT_EQ(out.size(), 1u);  // Nonempty input ⇒ {()}.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  core::Database empty_db(schema);
+  EXPECT_EQ(Eval(e, empty_db).size(), 0u);
+}
+
+TEST(Eval, SelectionEqAndLt) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 1}, {1, 2}, {2, 1}}));
+  EXPECT_EQ(Eval(SelectEq(Rel("R", 2), 1, 2), db), MakeRel(2, {{1, 1}}));
+  EXPECT_EQ(Eval(SelectLt(Rel("R", 2), 1, 2), db), MakeRel(2, {{1, 2}}));
+}
+
+TEST(Eval, ConstTagAppendsConstant) {
+  const auto db = TwoRelDb();
+  auto e = Tag(Rel("S", 1), -7);
+  EXPECT_EQ(Eval(e, db), MakeRel(2, {{10, -7}, {30, -7}}));
+}
+
+TEST(Eval, SelectConstComposite) {
+  const auto db = TwoRelDb();
+  auto e = SelectConst(Rel("R", 2), 2, 10);
+  EXPECT_EQ(Eval(e, db), MakeRel(2, {{1, 10}, {3, 10}}));
+}
+
+TEST(Eval, EquiJoin) {
+  const auto db = TwoRelDb();
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  EXPECT_EQ(Eval(e, db), MakeRel(3, {{1, 10, 10}, {3, 10, 10}}));
+}
+
+TEST(Eval, CartesianProduct) {
+  const auto db = TwoRelDb();
+  auto e = Product(Rel("S", 1), Rel("S", 1));
+  EXPECT_EQ(Eval(e, db),
+            MakeRel(2, {{10, 10}, {10, 30}, {30, 10}, {30, 30}}));
+}
+
+TEST(Eval, ThetaJoinLessThan) {
+  const auto db = TwoRelDb();
+  auto e = Join(Rel("S", 1), Rel("S", 1), {{1, Cmp::kLt, 1}});
+  EXPECT_EQ(Eval(e, db), MakeRel(2, {{10, 30}}));
+}
+
+TEST(Eval, ThetaJoinGreaterAndNotEqual) {
+  const auto db = TwoRelDb();
+  auto gt = Join(Rel("S", 1), Rel("S", 1), {{1, Cmp::kGt, 1}});
+  EXPECT_EQ(Eval(gt, db), MakeRel(2, {{30, 10}}));
+  auto neq = Join(Rel("S", 1), Rel("S", 1), {{1, Cmp::kNeq, 1}});
+  EXPECT_EQ(Eval(neq, db), MakeRel(2, {{10, 30}, {30, 10}}));
+}
+
+TEST(Eval, MixedEqAndOrderJoin) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 5}, {1, 9}, {2, 5}}));
+  db.SetRelation("T", MakeRel(2, {{1, 6}, {2, 4}}));
+  // Join on first columns equal and R.2 < T.2.
+  auto e = Join(Rel("R", 2), Rel("T", 2),
+                {{1, Cmp::kEq, 1}, {2, Cmp::kLt, 2}});
+  EXPECT_EQ(Eval(e, db), MakeRel(4, {{1, 5, 1, 6}}));
+}
+
+TEST(Eval, JoinWithEmptySideIsEmpty) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 2}}));
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  EXPECT_TRUE(Eval(e, db).empty());
+}
+
+TEST(Eval, SemiJoinDefinition2Semantics) {
+  const auto db = TwoRelDb();
+  auto e = SemiJoin(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  EXPECT_EQ(Eval(e, db), MakeRel(2, {{1, 10}, {3, 10}}));
+}
+
+TEST(Eval, SemiJoinEmptyThetaChecksNonemptiness) {
+  const auto db = TwoRelDb();
+  auto e = SemiJoin(Rel("R", 2), Rel("S", 1), {});
+  EXPECT_EQ(Eval(e, db).size(), 3u);  // S nonempty ⇒ all of R survives.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db2(schema);
+  db2.SetRelation("R", MakeRel(2, {{1, 2}}));
+  EXPECT_TRUE(Eval(e, db2).empty());  // S empty ⇒ nothing survives.
+}
+
+TEST(Eval, SemiJoinPureOrderAtom) {
+  const auto db = TwoRelDb();
+  auto e = SemiJoin(Rel("S", 1), Rel("S", 1), {{1, Cmp::kLt, 1}});
+  EXPECT_EQ(Eval(e, db), MakeRel(1, {{10}}));
+}
+
+TEST(Eval, SemiJoinEqualityEmbeddingEquivalence) {
+  // E1 ⋉_θ E2 = π_{1..n}(E1 ⋈_θ E2) — checked on a concrete instance.
+  const auto db = TwoRelDb();
+  auto semi = SemiJoin(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  auto join = Project(Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}}), {1, 2});
+  EXPECT_EQ(Eval(semi, db), Eval(join, db));
+}
+
+TEST(Eval, ExampleThreeLousyBars) {
+  // The paper's Example 3 on a hand-built beer-drinkers database.
+  core::Schema schema;
+  schema.AddRelation("Likes", 2);
+  schema.AddRelation("Serves", 2);
+  schema.AddRelation("Visits", 2);
+  core::Database db(schema);
+  // Drinkers 1,2; bars 10,11; beers 20,21.
+  db.SetRelation("Visits", MakeRel(2, {{1, 10}, {2, 11}}));
+  db.SetRelation("Serves", MakeRel(2, {{10, 20}, {11, 21}}));
+  db.SetRelation("Likes", MakeRel(2, {{1, 20}}));  // Only beer 20 is liked.
+  // Bar 11 serves only unliked beers: lousy. Drinker 2 visits it.
+  auto lousy = Diff(
+      Project(Rel("Serves", 2), {1}),
+      Project(SemiJoin(Rel("Serves", 2), Rel("Likes", 2), {{2, Cmp::kEq, 2}}), {1}));
+  auto e = Project(SemiJoin(Rel("Visits", 2), lousy, {{2, Cmp::kEq, 1}}), {1});
+  EXPECT_EQ(Eval(e, db), MakeRel(1, {{2}}));
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation.
+// ---------------------------------------------------------------------------
+
+TEST(EvalStats, RecordsEveryDistinctSubexpressionOnce) {
+  const auto db = TwoRelDb();
+  auto r = Rel("R", 2);
+  auto e = Union(Project(r, {1}), Project(r, {1}));
+  EvalStats stats;
+  Eval(e, db, &stats);
+  // r and the (shared) projection and the union: exactly 3 nodes when the
+  // projection subtree is shared... here two distinct Project nodes were
+  // built, so: r, proj1, proj2, union = 4.
+  EXPECT_EQ(stats.nodes.size(), 4u);
+}
+
+TEST(EvalStats, SharedSubtreeEvaluatedOnce) {
+  const auto db = TwoRelDb();
+  auto shared = Project(Rel("R", 2), {1});
+  auto e = Union(shared, shared);
+  EvalStats stats;
+  Eval(e, db, &stats);
+  EXPECT_EQ(stats.nodes.size(), 3u);  // R, shared projection, union.
+}
+
+TEST(EvalStats, MaxIntermediateSeesTheProduct) {
+  const auto db = TwoRelDb();
+  auto e = Project(Product(Rel("R", 2), Rel("S", 1)), {1});
+  EvalStats stats;
+  Eval(e, db, &stats);
+  EXPECT_EQ(stats.max_intermediate, 6u);  // |R| * |S| = 3 * 2.
+}
+
+TEST(EvalStats, TotalIntermediateSumsAllNodes) {
+  const auto db = TwoRelDb();
+  // Distinct leaf nodes are separate subexpressions (counted separately)...
+  auto e = Union(Rel("S", 1), Rel("S", 1));
+  EvalStats stats;
+  Eval(e, db, &stats);
+  EXPECT_EQ(stats.total_intermediate, 6u);
+  // ...while a shared node contributes once.
+  auto s = Rel("S", 1);
+  auto shared = Union(s, s);
+  EvalStats shared_stats;
+  Eval(shared, db, &shared_stats);
+  EXPECT_EQ(shared_stats.total_intermediate, 4u);
+}
+
+TEST(EvalStats, JoinRowsEmittedCountsMatches) {
+  const auto db = TwoRelDb();
+  auto e = Join(Rel("R", 2), Rel("S", 1), {{2, Cmp::kEq, 1}});
+  EvalStats stats;
+  Eval(e, db, &stats);
+  EXPECT_EQ(stats.join_rows_emitted, 2u);
+}
+
+TEST(EvalStats, MaxIntermediateHelper) {
+  const auto db = TwoRelDb();
+  auto e = Product(Rel("S", 1), Rel("S", 1));
+  EXPECT_EQ(MaxIntermediateSize(e, db), 4u);
+}
+
+}  // namespace
+}  // namespace setalg::ra

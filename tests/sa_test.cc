@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "sa/fast_semijoin.h"
+#include "sa/full_reducer.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace setalg::sa {
+namespace {
+
+using ra::Cmp;
+using ra::JoinAtom;
+using setalg::testing::MakeRel;
+
+// Reference semijoin via the generic evaluator.
+core::Relation ReferenceSemijoin(const core::Relation& left,
+                                 const core::Relation& right,
+                                 const std::vector<JoinAtom>& atoms) {
+  core::Schema schema;
+  schema.AddRelation("L", left.arity());
+  schema.AddRelation("Rr", right.arity());
+  core::Database db(schema);
+  db.SetRelation("L", left);
+  db.SetRelation("Rr", right);
+  return ra::Eval(
+      ra::SemiJoin(ra::Rel("L", left.arity()), ra::Rel("Rr", right.arity()), atoms),
+      db);
+}
+
+core::Relation RandomBinary(std::size_t rows, std::size_t domain, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::Relation r(2);
+  for (std::size_t i = 0; i < rows; ++i) {
+    r.Add({static_cast<core::Value>(rng.NextBounded(domain) + 1),
+           static_cast<core::Value>(rng.NextBounded(domain) + 1)});
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel selection.
+// ---------------------------------------------------------------------------
+
+TEST(FastSemijoin, TrivialOnEmptyInputs) {
+  SemijoinKernel kernel;
+  core::Relation empty(2);
+  core::Relation some = MakeRel(2, {{1, 2}});
+  EXPECT_TRUE(Semijoin(empty, some, {{1, Cmp::kEq, 1}}, &kernel).empty());
+  EXPECT_EQ(kernel, SemijoinKernel::kTrivial);
+  EXPECT_TRUE(Semijoin(some, empty, {{1, Cmp::kEq, 1}}, &kernel).empty());
+  EXPECT_EQ(kernel, SemijoinKernel::kTrivial);
+}
+
+TEST(FastSemijoin, EmptyConditionChecksNonemptiness) {
+  SemijoinKernel kernel;
+  core::Relation left = MakeRel(2, {{1, 2}, {3, 4}});
+  core::Relation right = MakeRel(1, {{9}});
+  EXPECT_EQ(Semijoin(left, right, {}, &kernel), left);
+  EXPECT_EQ(kernel, SemijoinKernel::kTrivial);
+}
+
+TEST(FastSemijoin, HashExistenceKernelForEqualityOnly) {
+  SemijoinKernel kernel;
+  core::Relation left = MakeRel(2, {{1, 10}, {2, 20}});
+  core::Relation right = MakeRel(1, {{10}});
+  EXPECT_EQ(Semijoin(left, right, {{2, Cmp::kEq, 1}}, &kernel),
+            MakeRel(2, {{1, 10}}));
+  EXPECT_EQ(kernel, SemijoinKernel::kHashExistence);
+}
+
+TEST(FastSemijoin, GlobalMinMaxKernelForPureOrder) {
+  SemijoinKernel kernel;
+  core::Relation left = MakeRel(1, {{1}, {5}, {9}});
+  core::Relation right = MakeRel(1, {{5}});
+  EXPECT_EQ(Semijoin(left, right, {{1, Cmp::kLt, 1}}, &kernel),
+            MakeRel(1, {{1}}));
+  EXPECT_EQ(kernel, SemijoinKernel::kGlobalMinMax);
+  EXPECT_EQ(Semijoin(left, right, {{1, Cmp::kGt, 1}}, &kernel),
+            MakeRel(1, {{9}}));
+  EXPECT_EQ(Semijoin(left, right, {{1, Cmp::kNeq, 1}}, &kernel),
+            MakeRel(1, {{1}, {9}}));
+}
+
+TEST(FastSemijoin, KeyedMinMaxKernelForEqPlusOrder) {
+  SemijoinKernel kernel;
+  core::Relation left = MakeRel(2, {{1, 5}, {1, 9}, {2, 5}});
+  core::Relation right = MakeRel(2, {{1, 6}, {2, 4}});
+  // Keep left rows with a right row of equal key and greater second column.
+  EXPECT_EQ(Semijoin(left, right, {{1, Cmp::kEq, 1}, {2, Cmp::kLt, 2}}, &kernel),
+            MakeRel(2, {{1, 5}}));
+  EXPECT_EQ(kernel, SemijoinKernel::kKeyedMinMax);
+}
+
+TEST(FastSemijoin, GroupedScanForMultipleResiduals) {
+  SemijoinKernel kernel;
+  core::Relation left = MakeRel(2, {{1, 5}, {3, 4}});
+  core::Relation right = MakeRel(2, {{2, 4}, {0, 9}});
+  // Two order atoms force the fallback.
+  Semijoin(left, right, {{1, Cmp::kGt, 1}, {2, Cmp::kLt, 2}}, &kernel);
+  EXPECT_EQ(kernel, SemijoinKernel::kGroupedScan);
+}
+
+TEST(FastSemijoin, KernelNamesAreStable) {
+  EXPECT_STREQ(SemijoinKernelToString(SemijoinKernel::kHashExistence),
+               "hash-existence");
+  EXPECT_STREQ(SemijoinKernelToString(SemijoinKernel::kGroupedScan), "grouped-scan");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized agreement with the reference evaluator.
+// ---------------------------------------------------------------------------
+
+struct AtomPattern {
+  const char* name;
+  std::vector<JoinAtom> atoms;
+};
+
+class SemijoinAgreementTest : public ::testing::TestWithParam<AtomPattern> {};
+
+TEST_P(SemijoinAgreementTest, MatchesReferenceEvaluator) {
+  const auto& pattern = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto left = RandomBinary(60, 8, seed);
+    const auto right = RandomBinary(60, 8, seed + 100);
+    SemijoinKernel kernel;
+    const auto fast = Semijoin(left, right, pattern.atoms, &kernel);
+    const auto reference = ReferenceSemijoin(left, right, pattern.atoms);
+    EXPECT_EQ(fast, reference) << pattern.name << " seed " << seed << " kernel "
+                               << SemijoinKernelToString(kernel);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AtomPatterns, SemijoinAgreementTest,
+    ::testing::Values(
+        AtomPattern{"empty", {}},
+        AtomPattern{"eq", {{1, Cmp::kEq, 1}}},
+        AtomPattern{"eq2", {{1, Cmp::kEq, 1}, {2, Cmp::kEq, 2}}},
+        AtomPattern{"lt", {{2, Cmp::kLt, 2}}},
+        AtomPattern{"gt", {{2, Cmp::kGt, 2}}},
+        AtomPattern{"neq", {{1, Cmp::kNeq, 1}}},
+        AtomPattern{"eq_lt", {{1, Cmp::kEq, 1}, {2, Cmp::kLt, 2}}},
+        AtomPattern{"eq_gt", {{1, Cmp::kEq, 1}, {2, Cmp::kGt, 2}}},
+        AtomPattern{"eq_neq", {{1, Cmp::kEq, 1}, {2, Cmp::kNeq, 2}}},
+        AtomPattern{"lt_gt", {{1, Cmp::kLt, 1}, {2, Cmp::kGt, 2}}},
+        AtomPattern{"eq_lt_neq",
+                    {{1, Cmp::kEq, 1}, {2, Cmp::kLt, 2}, {1, Cmp::kNeq, 2}}}),
+    [](const ::testing::TestParamInfo<AtomPattern>& info) {
+      return info.param.name;
+    });
+
+TEST(FastSemijoin, AntiSemijoinIsComplement) {
+  const auto left = RandomBinary(50, 6, 5);
+  const auto right = RandomBinary(50, 6, 6);
+  const std::vector<JoinAtom> atoms = {{1, Cmp::kEq, 1}};
+  const auto semi = Semijoin(left, right, atoms);
+  const auto anti = AntiSemijoin(left, right, atoms);
+  EXPECT_EQ(core::Union(semi, anti), left);
+  EXPECT_TRUE(core::Intersect(semi, anti).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Full reducer (Bernstein–Chiu).
+// ---------------------------------------------------------------------------
+
+core::Database ChainDatabase() {
+  // R(a,b) — S(b,c) — T(c,d) with some dangling tuples.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 10}, {2, 20}, {3, 30}}));
+  db.SetRelation("S", MakeRel(2, {{10, 100}, {20, 200}, {40, 400}}));
+  db.SetRelation("T", MakeRel(2, {{100, 7}, {300, 9}}));
+  return db;
+}
+
+std::vector<JoinLink> ChainLinks() {
+  return {{"R", 2, "S", 1}, {"S", 2, "T", 1}};
+}
+
+TEST(FullReducer, FixpointRemovesDanglingTuples) {
+  auto db = ChainDatabase();
+  const auto report = ReduceToFixpoint(&db, ChainLinks());
+  // Only the 1-10-100-7 chain is globally consistent.
+  EXPECT_EQ(db.relation("R"), MakeRel(2, {{1, 10}}));
+  EXPECT_EQ(db.relation("S"), MakeRel(2, {{10, 100}}));
+  EXPECT_EQ(db.relation("T"), MakeRel(2, {{100, 7}}));
+  EXPECT_GT(report.tuples_removed, 0u);
+}
+
+TEST(FullReducer, TreeReduceMatchesFixpointOnTrees) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    core::Schema schema;
+    schema.AddRelation("R", 2);
+    schema.AddRelation("S", 2);
+    schema.AddRelation("T", 2);
+    core::Database fixpoint_db(schema), tree_db(schema);
+    for (const char* name : {"R", "S", "T"}) {
+      auto r = RandomBinary(40, 10, seed * 31 + static_cast<std::uint64_t>(name[0]));
+      fixpoint_db.SetRelation(name, r);
+      tree_db.SetRelation(name, r);
+    }
+    ReduceToFixpoint(&fixpoint_db, ChainLinks());
+    TreeReduce(&tree_db, ChainLinks());
+    EXPECT_TRUE(fixpoint_db == tree_db) << "seed " << seed;
+  }
+}
+
+TEST(FullReducer, ReductionPreservesJoinResults) {
+  // The full reducer must not change the answer of the join query itself.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    core::Schema schema;
+    schema.AddRelation("R", 2);
+    schema.AddRelation("S", 2);
+    core::Database db(schema);
+    db.SetRelation("R", RandomBinary(50, 8, seed));
+    db.SetRelation("S", RandomBinary(50, 8, seed + 7));
+    auto join = ra::Join(ra::Rel("R", 2), ra::Rel("S", 2), {{2, Cmp::kEq, 1}});
+    const auto before = ra::Eval(join, db);
+    ReduceToFixpoint(&db, {{"R", 2, "S", 1}});
+    const auto after = ra::Eval(join, db);
+    EXPECT_EQ(before, after) << "seed " << seed;
+  }
+}
+
+TEST(FullReducer, LinksFormForestDetection) {
+  EXPECT_TRUE(LinksFormForest(ChainLinks()));
+  std::vector<JoinLink> cyclic = {{"R", 1, "S", 1}, {"S", 2, "T", 1},
+                                  {"T", 2, "R", 2}};
+  EXPECT_FALSE(LinksFormForest(cyclic));
+  EXPECT_TRUE(LinksFormForest({}));
+}
+
+TEST(FullReducer, CyclicQueryStillReachesAFixpoint) {
+  // Triangle query: semijoin reduction terminates, but (as the theory of
+  // the paper's refs [4-6] predicts) a semijoin-consistent instance can
+  // remain even when the global cyclic join is empty.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", MakeRel(2, {{1, 2}, {2, 1}}));
+  db.SetRelation("S", MakeRel(2, {{1, 2}, {2, 1}}));
+  db.SetRelation("T", MakeRel(2, {{1, 2}, {2, 1}}));
+  std::vector<JoinLink> links = {{"R", 2, "S", 1}, {"S", 2, "T", 1},
+                                 {"T", 2, "R", 1}};
+  const auto report = ReduceToFixpoint(&db, links);
+  EXPECT_EQ(report.tuples_removed, 0u);  // Pairwise consistent as is.
+  // Yet the cyclic join R(a,b) S(b,c) T(c,a) is empty: the only chains are
+  // 1-2-1-2 and 2-1-2-1, and T never maps back onto the starting value.
+  auto rs = ra::Join(ra::Rel("R", 2), ra::Rel("S", 2), {{2, Cmp::kEq, 1}});
+  auto rst = ra::Join(rs, ra::Rel("T", 2),
+                      {{4, Cmp::kEq, 1}, {1, Cmp::kEq, 2}});
+  EXPECT_TRUE(ra::Eval(rst, db).empty());
+}
+
+TEST(FullReducer, EmptyRelationPropagatesEverywhere) {
+  auto db = ChainDatabase();
+  db.SetRelation("T", core::Relation(2));
+  ReduceToFixpoint(&db, ChainLinks());
+  EXPECT_TRUE(db.relation("R").empty());
+  EXPECT_TRUE(db.relation("S").empty());
+}
+
+}  // namespace
+}  // namespace setalg::sa

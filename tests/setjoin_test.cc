@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "setjoin/grouped.h"
+#include "setjoin/setjoin.h"
+#include "test_util.h"
+#include "witness/figures.h"
+#include "workload/generators.h"
+
+namespace setalg::setjoin {
+namespace {
+
+using core::Relation;
+using core::Value;
+using setalg::testing::MakeRel;
+
+// Brute-force references.
+Relation ReferenceContainment(const GroupedRelation& r, const GroupedRelation& s) {
+  Relation out(2);
+  for (const auto& rg : r.groups()) {
+    for (const auto& sg : s.groups()) {
+      if (SortedSubset(sg.elements, rg.elements)) out.Add({rg.key, sg.key});
+    }
+  }
+  return out;
+}
+
+Relation ReferenceEquality(const GroupedRelation& r, const GroupedRelation& s) {
+  Relation out(2);
+  for (const auto& rg : r.groups()) {
+    for (const auto& sg : s.groups()) {
+      if (rg.elements == sg.elements) out.Add({rg.key, sg.key});
+    }
+  }
+  return out;
+}
+
+Relation ReferenceOverlap(const GroupedRelation& r, const GroupedRelation& s) {
+  Relation out(2);
+  for (const auto& rg : r.groups()) {
+    for (const auto& sg : s.groups()) {
+      if (SortedIntersects(rg.elements, sg.elements)) out.Add({rg.key, sg.key});
+    }
+  }
+  return out;
+}
+
+TEST(SetContainment, PaperFigure1Join) {
+  // Person ⋈_{Symptom ⊇ Symptom} Disease = {(An,flu),(Bob,flu),(Bob,Lyme)}.
+  const auto example = witness::MakeMedicalExample();
+  const auto& person = example.db.relation("Person");
+  const auto& disease = example.db.relation("Disease");
+  Relation expected(2);
+  expected.Add({example.names.Code("An"), example.names.Code("flu")});
+  expected.Add({example.names.Code("Bob"), example.names.Code("flu")});
+  expected.Add({example.names.Code("Bob"), example.names.Code("Lyme")});
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_EQ(SetContainmentJoin(person, disease, algorithm), expected)
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetContainment, HandlesNoMatches) {
+  const Relation r = MakeRel(2, {{1, 5}});
+  const Relation s = MakeRel(2, {{9, 6}});
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_TRUE(SetContainmentJoin(r, s, algorithm).empty())
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetContainment, ReflexiveContainment) {
+  const Relation r = MakeRel(2, {{1, 5}, {1, 6}});
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_EQ(SetContainmentJoin(r, r, algorithm), MakeRel(2, {{1, 1}}))
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+class ContainmentAgreementTest
+    : public ::testing::TestWithParam<ContainmentAlgorithm> {};
+
+TEST_P(ContainmentAgreementTest, MatchesReferenceAcrossWorkloads) {
+  const auto algorithm = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::SetJoinConfig config;
+    config.r_groups = 30;
+    config.s_groups = 25;
+    config.r_group_size = 8;
+    config.s_group_size = 3;
+    config.domain_size = 20;
+    config.containment_fraction = 0.3;
+    config.seed = seed;
+    const auto instance = workload::MakeSetJoinInstance(config);
+    const auto r = GroupedRelation::FromBinary(instance.r);
+    const auto s = GroupedRelation::FromBinary(instance.s);
+    EXPECT_EQ(SetContainmentJoin(r, s, algorithm), ReferenceContainment(r, s))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(ContainmentAgreementTest, MatchesReferenceUnderSkew) {
+  const auto algorithm = GetParam();
+  workload::SetJoinConfig config;
+  config.r_groups = 25;
+  config.s_groups = 25;
+  config.r_group_size = 6;
+  config.s_group_size = 2;
+  config.domain_size = 15;
+  config.zipf_skew = 1.2;
+  config.seed = 77;
+  const auto instance = workload::MakeSetJoinInstance(config);
+  const auto r = GroupedRelation::FromBinary(instance.r);
+  const auto s = GroupedRelation::FromBinary(instance.s);
+  EXPECT_EQ(SetContainmentJoin(r, s, algorithm), ReferenceContainment(r, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ContainmentAgreementTest,
+                         ::testing::ValuesIn(AllContainmentAlgorithms()),
+                         [](const ::testing::TestParamInfo<ContainmentAlgorithm>& i) {
+                           std::string name = ContainmentAlgorithmToString(i.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Set-equality join.
+// ---------------------------------------------------------------------------
+
+TEST(SetEquality, BothAlgorithmsAgreeWithReference) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::SetJoinConfig config;
+    config.r_groups = 25;
+    config.s_groups = 25;
+    config.r_group_size = 3;
+    config.s_group_size = 3;
+    config.domain_size = 6;  // Small domain: equal sets actually occur.
+    config.seed = seed;
+    const auto instance = workload::MakeSetJoinInstance(config);
+    const auto r = GroupedRelation::FromBinary(instance.r);
+    const auto s = GroupedRelation::FromBinary(instance.s);
+    const auto expected = ReferenceEquality(r, s);
+    EXPECT_EQ(SetEqualityJoin(r, s, EqualityJoinAlgorithm::kNestedLoop), expected);
+    EXPECT_EQ(SetEqualityJoin(r, s, EqualityJoinAlgorithm::kCanonicalHash), expected);
+    EXPECT_FALSE(expected.empty()) << "degenerate workload; lower the domain";
+  }
+}
+
+TEST(SetEquality, DistinguishesProperSubsets) {
+  const Relation r = MakeRel(2, {{1, 5}, {1, 6}});
+  const Relation s = MakeRel(2, {{9, 5}});
+  EXPECT_TRUE(
+      SetEqualityJoin(r, s, EqualityJoinAlgorithm::kCanonicalHash).empty());
+}
+
+TEST(SetEquality, OutputCanBeQuadratic) {
+  // All groups share one set: |output| = groups². (Footnote 1: the result
+  // size alone can be quadratic.)
+  Relation r(2), s(2);
+  for (Value g = 1; g <= 10; ++g) {
+    r.Add({g, 100});
+    s.Add({g, 100});
+  }
+  const auto out = SetEqualityJoin(r, s, EqualityJoinAlgorithm::kCanonicalHash);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Set-overlap join.
+// ---------------------------------------------------------------------------
+
+TEST(SetOverlap, MatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::SetJoinConfig config;
+    config.r_groups = 20;
+    config.s_groups = 20;
+    config.r_group_size = 5;
+    config.s_group_size = 5;
+    config.domain_size = 30;
+    config.seed = seed;
+    const auto instance = workload::MakeSetJoinInstance(config);
+    const auto r = GroupedRelation::FromBinary(instance.r);
+    const auto s = GroupedRelation::FromBinary(instance.s);
+    EXPECT_EQ(SetOverlapJoin(r, s), ReferenceOverlap(r, s)) << "seed " << seed;
+  }
+}
+
+TEST(SetOverlap, IsTheEquijoinOfThePaper) {
+  // The paper: "a set join with predicate 'intersection nonempty' boils
+  // down to an ordinary equijoin" — π_{A,C}(R ⋈_{B=D} S).
+  const Relation r = MakeRel(2, {{1, 5}, {2, 6}});
+  const Relation s = MakeRel(2, {{8, 5}, {9, 7}});
+  EXPECT_EQ(SetOverlapJoin(r, s), MakeRel(2, {{1, 8}}));
+}
+
+TEST(SetOverlap, DisjointSetsProduceNothing) {
+  const Relation r = MakeRel(2, {{1, 5}});
+  const Relation s = MakeRel(2, {{9, 6}});
+  EXPECT_TRUE(SetOverlapJoin(r, s).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-predicate sanity: equality ⊆ containment ⊆ overlap (for nonempty
+// sets).
+// ---------------------------------------------------------------------------
+
+TEST(SetJoins, PredicateInclusionChain) {
+  workload::SetJoinConfig config;
+  config.r_groups = 20;
+  config.s_groups = 20;
+  config.r_group_size = 4;
+  config.s_group_size = 3;
+  config.domain_size = 10;
+  config.seed = 5;
+  const auto instance = workload::MakeSetJoinInstance(config);
+  const auto r = GroupedRelation::FromBinary(instance.r);
+  const auto s = GroupedRelation::FromBinary(instance.s);
+  const auto equal = SetEqualityJoin(r, s, EqualityJoinAlgorithm::kCanonicalHash);
+  const auto contains =
+      SetContainmentJoin(r, s, ContainmentAlgorithm::kInvertedIndex);
+  const auto overlap = SetOverlapJoin(r, s);
+  EXPECT_EQ(core::Intersect(equal, contains), equal);
+  EXPECT_EQ(core::Intersect(contains, overlap), contains);
+}
+
+}  // namespace
+}  // namespace setalg::setjoin
