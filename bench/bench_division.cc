@@ -5,14 +5,24 @@
 //     (Proposition 26's lower bound is matched by the textbook plan),
 //   - the Section 5 grouping/counting pipeline stays linear,
 //   - among direct algorithms (Graefe), hash/aggregate division beat the
-//     nested-loop and the classic plan by a growing factor.
+//     nested-loop and the classic plan by a growing factor,
+//   - the engine's planner routes the classic RA expression to the fast
+//     division operator automatically ("engine-planned").
+//
+// Emits BENCH_division.json with the measured tables so the perf
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "engine/engine.h"
 #include "extalg/extended.h"
 #include "ra/eval.h"
 #include "setjoin/division.h"
+#include "util/json.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 
@@ -31,48 +41,151 @@ workload::DivisionInstance Instance(std::size_t n, std::uint64_t seed = 17) {
   return workload::MakeDivisionInstance(config);
 }
 
-void PrintRuntimeTable() {
+core::Database InstanceDb(const workload::DivisionInstance& instance) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.SetRelation("R", instance.r);
+  db.SetRelation("S", instance.s);
+  return db;
+}
+
+struct RuntimeRow {
+  std::size_t n = 0;
+  std::vector<std::pair<std::string, double>> cells;  // column name -> ms
+};
+
+struct IntermediateRow {
+  std::size_t n = 0;
+  std::size_t db_size = 0;
+  std::size_t classic_ra_max = 0;
+  std::size_t extalg_max = 0;
+  std::size_t engine_max = 0;
+};
+
+std::vector<RuntimeRow> PrintRuntimeTable() {
+  std::vector<RuntimeRow> rows;
   std::printf("== E10: division algorithm runtimes (ms) ==\n");
   std::printf("%-8s", "n");
   for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
     std::printf("  %-13s", setjoin::DivisionAlgorithmToString(algorithm));
   }
-  std::printf("  %-13s\n", "extalg-linear");
+  std::printf("  %-13s  %-13s\n", "extalg-linear", "engine-planned");
   for (std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
     const auto instance = Instance(n);
+    RuntimeRow row;
+    row.n = n;
     std::printf("%-8zu", n);
     for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
       util::WallTimer timer;
       auto result = setjoin::Divide(instance.r, instance.s, algorithm);
       benchmark::DoNotOptimize(result);
-      std::printf("  %-13.3f", timer.ElapsedMillis());
+      const double ms = timer.ElapsedMillis();
+      std::printf("  %-13.3f", ms);
+      row.cells.emplace_back(setjoin::DivisionAlgorithmToString(algorithm), ms);
     }
-    util::WallTimer timer;
-    auto result = extalg::ContainmentDivisionLinear(instance.r, instance.s);
-    benchmark::DoNotOptimize(result);
-    std::printf("  %-13.3f\n", timer.ElapsedMillis());
+    {
+      util::WallTimer timer;
+      auto result = extalg::ContainmentDivisionLinear(instance.r, instance.s);
+      benchmark::DoNotOptimize(result);
+      const double ms = timer.ElapsedMillis();
+      std::printf("  %-13.3f", ms);
+      row.cells.emplace_back("extalg-linear", ms);
+    }
+    {
+      // The engine sees only the classic RA expression; the planner routes
+      // it to the fast division operator.
+      const auto db = InstanceDb(instance);
+      const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+      util::WallTimer timer;
+      auto result = engine::Engine::Run(expr, db, engine::EngineOptions{});
+      benchmark::DoNotOptimize(result);
+      if (!result.ok()) {
+        std::fprintf(stderr, "engine-planned run failed: %s\n",
+                     result.error().c_str());
+        std::exit(1);  // The tracked artifact must never hide a failure.
+      }
+      const double ms = timer.ElapsedMillis();
+      std::printf("  %-13.3f\n", ms);
+      row.cells.emplace_back("engine-planned", ms);
+    }
+    rows.push_back(std::move(row));
   }
   std::printf("(expected shape: aggregate/hash stay near-linear; classic-ra\n"
-              " and nested-loop fall behind by a growing factor)\n\n");
+              " and nested-loop fall behind by a growing factor; the engine\n"
+              " tracks the hash-division curve despite being handed the\n"
+              " classic RA expression)\n\n");
+  return rows;
 }
 
-void PrintIntermediateTable() {
-  std::printf("== E11: intermediate sizes, classic RA vs Section 5 pipeline ==\n");
-  std::printf("%-8s  %-8s  %-18s  %-18s\n", "n", "|D|", "classic-ra max c(E')",
-              "extalg max step");
+std::vector<IntermediateRow> PrintIntermediateTable() {
+  std::vector<IntermediateRow> rows;
+  std::printf("== E11: intermediate sizes, classic RA vs Section 5 vs engine ==\n");
+  std::printf("%-8s  %-8s  %-18s  %-15s  %-15s\n", "n", "|D|",
+              "classic-ra max c(E')", "extalg max step", "engine max op");
   for (std::size_t n : {1000u, 2000u, 4000u, 8000u}) {
     const auto instance = Instance(n);
+    IntermediateRow row;
+    row.n = n;
+    row.db_size = instance.r.size() + instance.s.size();
     ra::EvalStats stats;
     setjoin::Divide(instance.r, instance.s, setjoin::DivisionAlgorithm::kClassicRa,
                     &stats);
+    row.classic_ra_max = stats.max_intermediate;
     std::vector<extalg::StepStats> steps;
     extalg::ContainmentDivisionLinear(instance.r, instance.s, &steps);
-    std::printf("%-8zu  %-8zu  %-18zu  %-18zu\n", n,
-                instance.r.size() + instance.s.size(), stats.max_intermediate,
-                extalg::MaxStepSize(steps));
+    row.extalg_max = extalg::MaxStepSize(steps);
+    const auto db = InstanceDb(instance);
+    auto planned = engine::Engine::Run(setjoin::ClassicDivisionExpr("R", "S"), db,
+                                       engine::EngineOptions{});
+    if (!planned.ok()) {
+      std::fprintf(stderr, "engine-planned run failed: %s\n",
+                   planned.error().c_str());
+      std::exit(1);  // The tracked artifact must never hide a failure.
+    }
+    row.engine_max = planned->stats.max_intermediate;
+    std::printf("%-8zu  %-8zu  %-18zu  %-15zu  %-15zu\n", row.n, row.db_size,
+                row.classic_ra_max, row.extalg_max, row.engine_max);
+    rows.push_back(row);
   }
   std::printf("(expected shape: the classic plan's intermediates grow ~n^2 —\n"
-              " Proposition 26 — while the grouping pipeline stays ~n)\n\n");
+              " Proposition 26 — while the grouping pipeline and the engine's\n"
+              " rewritten plan stay ~n)\n\n");
+  return rows;
+}
+
+void WriteJson(const std::vector<RuntimeRow>& runtime,
+               const std::vector<IntermediateRow>& intermediates) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("division");
+  json.Key("runtime_ms").BeginArray();
+  for (const auto& row : runtime) {
+    json.BeginObject();
+    json.Key("n").Value(row.n);
+    for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("max_intermediate").BeginArray();
+  for (const auto& row : intermediates) {
+    json.BeginObject();
+    json.Key("n").Value(row.n);
+    json.Key("db_size").Value(row.db_size);
+    json.Key("classic_ra").Value(row.classic_ra_max);
+    json.Key("extalg").Value(row.extalg_max);
+    json.Key("engine").Value(row.engine_max);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::string error;
+  if (util::WriteTextFile("BENCH_division.json", json.TakeString(), &error)) {
+    std::printf("wrote BENCH_division.json\n\n");
+  } else {
+    std::fprintf(stderr, "BENCH_division.json: %s\n", error.c_str());
+  }
 }
 
 void BM_Divide(benchmark::State& state, setjoin::DivisionAlgorithm algorithm) {
@@ -111,6 +224,20 @@ void BM_ExtalgLinearDivision(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtalgLinearDivision)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
+void BM_EnginePlannedDivision(benchmark::State& state) {
+  const auto instance = Instance(static_cast<std::size_t>(state.range(0)));
+  const auto db = InstanceDb(instance);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+  const engine::Engine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(expr, db));
+  }
+}
+BENCHMARK(BM_EnginePlannedDivision)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EqualityDivision(benchmark::State& state) {
   const auto instance = Instance(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -123,8 +250,9 @@ BENCHMARK(BM_EqualityDivision)->Arg(2000)->Arg(8000)->Unit(benchmark::kMilliseco
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintRuntimeTable();
-  PrintIntermediateTable();
+  const auto runtime = PrintRuntimeTable();
+  const auto intermediates = PrintIntermediateTable();
+  WriteJson(runtime, intermediates);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

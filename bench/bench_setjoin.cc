@@ -1,11 +1,18 @@
 // Experiments E10/E12: set-containment join algorithms (no sub-quadratic
 // algorithm is known — all four stay superlinear, the heuristics win by
 // constants) and the O(n log n + output) set-equality join.
+//
+// Emits BENCH_setjoin.json with the measured tables so the perf
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "setjoin/setjoin.h"
+#include "util/json.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 
@@ -26,7 +33,21 @@ workload::SetJoinInstance Instance(std::size_t groups, std::size_t set_size,
   return workload::MakeSetJoinInstance(config);
 }
 
-void PrintContainmentTable() {
+struct ContainmentRow {
+  std::size_t groups = 0;
+  std::vector<std::pair<std::string, double>> cells;  // algorithm -> ms
+  std::size_t matches = 0;
+};
+
+struct EqualityRow {
+  std::size_t groups = 0;
+  double nested_ms = 0.0;
+  double hash_ms = 0.0;
+  std::size_t matches = 0;
+};
+
+std::vector<ContainmentRow> PrintContainmentTable() {
+  std::vector<ContainmentRow> rows;
   std::printf("== E10: set-containment join runtimes (ms), sets of ~8 ==\n");
   std::printf("%-8s", "groups");
   for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
@@ -35,26 +56,32 @@ void PrintContainmentTable() {
   std::printf("  matches\n");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u}) {
     const auto instance = Instance(groups, 8, 0.05);
-    const auto r = setjoin::GroupedRelation::FromBinary(instance.r);
-    const auto s = setjoin::GroupedRelation::FromBinary(instance.s);
+    const auto r = setjoin::AsGrouped(instance.r);
+    const auto s = setjoin::AsGrouped(instance.s);
     std::printf("%-8zu", groups);
-    std::size_t matches = 0;
+    ContainmentRow row;
+    row.groups = groups;
     for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
       util::WallTimer timer;
       const auto result = setjoin::SetContainmentJoin(r, s, algorithm);
       benchmark::DoNotOptimize(result);
-      std::printf("  %-22.3f", timer.ElapsedMillis());
-      matches = result.size();
+      const double ms = timer.ElapsedMillis();
+      std::printf("  %-22.3f", ms);
+      row.cells.emplace_back(setjoin::ContainmentAlgorithmToString(algorithm), ms);
+      row.matches = result.size();
     }
-    std::printf("  %zu\n", matches);
+    std::printf("  %zu\n", row.matches);
+    rows.push_back(std::move(row));
   }
   std::printf("(expected shape: signatures/partitioning/inverted index beat the\n"
               " plain nested loop by constants, but every curve bends\n"
               " superlinearly — consistent with no known sub-quadratic\n"
               " algorithm for containment joins)\n\n");
+  return rows;
 }
 
-void PrintEqualityTable() {
+std::vector<EqualityRow> PrintEqualityTable() {
+  std::vector<EqualityRow> rows;
   std::printf("== E12: set-equality join, canonical hash vs nested loop (ms) ==\n");
   std::printf("%-8s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
               "canonical-hash", "matches");
@@ -67,8 +94,8 @@ void PrintEqualityTable() {
     config.domain_size = 12;  // Small domain: equal sets occur.
     config.seed = 29;
     const auto instance = workload::MakeSetJoinInstance(config);
-    const auto r = setjoin::GroupedRelation::FromBinary(instance.r);
-    const auto s = setjoin::GroupedRelation::FromBinary(instance.s);
+    const auto r = setjoin::AsGrouped(instance.r);
+    const auto s = setjoin::AsGrouped(instance.s);
     util::WallTimer nested;
     const auto slow =
         setjoin::SetEqualityJoin(r, s, setjoin::EqualityJoinAlgorithm::kNestedLoop);
@@ -80,16 +107,51 @@ void PrintEqualityTable() {
     std::printf("%-8zu  %-14.3f  %-14.3f  %-8zu\n", groups, nested_ms, hashed_ms,
                 fast.size());
     benchmark::DoNotOptimize(slow);
+    rows.push_back({groups, nested_ms, hashed_ms, fast.size()});
   }
   std::printf("(expected shape: canonical hashing is ~n log n + output — the\n"
               " paper's footnote 1 — while the baseline is quadratic)\n\n");
+  return rows;
+}
+
+void WriteJson(const std::vector<ContainmentRow>& containment,
+               const std::vector<EqualityRow>& equality) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("setjoin");
+  json.Key("containment_ms").BeginArray();
+  for (const auto& row : containment) {
+    json.BeginObject();
+    json.Key("groups").Value(row.groups);
+    for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
+    json.Key("matches").Value(row.matches);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("equality_ms").BeginArray();
+  for (const auto& row : equality) {
+    json.BeginObject();
+    json.Key("groups").Value(row.groups);
+    json.Key("nested-loop").Value(row.nested_ms);
+    json.Key("canonical-hash").Value(row.hash_ms);
+    json.Key("matches").Value(row.matches);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::string error;
+  if (util::WriteTextFile("BENCH_setjoin.json", json.TakeString(), &error)) {
+    std::printf("wrote BENCH_setjoin.json\n\n");
+  } else {
+    std::fprintf(stderr, "BENCH_setjoin.json: %s\n", error.c_str());
+  }
 }
 
 void BM_Containment(benchmark::State& state,
                     setjoin::ContainmentAlgorithm algorithm) {
   const auto instance = Instance(static_cast<std::size_t>(state.range(0)), 8, 0.05);
-  const auto r = setjoin::GroupedRelation::FromBinary(instance.r);
-  const auto s = setjoin::GroupedRelation::FromBinary(instance.s);
+  const auto r = setjoin::AsGrouped(instance.r);
+  const auto s = setjoin::AsGrouped(instance.s);
   for (auto _ : state) {
     benchmark::DoNotOptimize(setjoin::SetContainmentJoin(r, s, algorithm));
   }
@@ -123,8 +185,8 @@ void BM_SetEqualityCanonicalHash(benchmark::State& state) {
   config.s_group_size = 4;
   config.domain_size = 12;
   const auto instance = workload::MakeSetJoinInstance(config);
-  const auto r = setjoin::GroupedRelation::FromBinary(instance.r);
-  const auto s = setjoin::GroupedRelation::FromBinary(instance.s);
+  const auto r = setjoin::AsGrouped(instance.r);
+  const auto s = setjoin::AsGrouped(instance.s);
   for (auto _ : state) {
     benchmark::DoNotOptimize(setjoin::SetEqualityJoin(
         r, s, setjoin::EqualityJoinAlgorithm::kCanonicalHash));
@@ -137,8 +199,8 @@ BENCHMARK(BM_SetEqualityCanonicalHash)
 
 void BM_SetOverlapJoin(benchmark::State& state) {
   const auto instance = Instance(static_cast<std::size_t>(state.range(0)), 6, 0.0);
-  const auto r = setjoin::GroupedRelation::FromBinary(instance.r);
-  const auto s = setjoin::GroupedRelation::FromBinary(instance.s);
+  const auto r = setjoin::AsGrouped(instance.r);
+  const auto s = setjoin::AsGrouped(instance.s);
   for (auto _ : state) {
     benchmark::DoNotOptimize(setjoin::SetOverlapJoin(r, s));
   }
@@ -148,8 +210,9 @@ BENCHMARK(BM_SetOverlapJoin)->Arg(1000)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintContainmentTable();
-  PrintEqualityTable();
+  const auto containment = PrintContainmentTable();
+  const auto equality = PrintEqualityTable();
+  WriteJson(containment, equality);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,15 +5,17 @@
 // Each positional argument NAME=ARITY:PATH loads a CSV file (one tuple per
 // line; non-integer fields are interned as strings). The expression after
 // `--` is parsed against the loaded schema (both RA and SA operators are
-// supported) and the result is printed as CSV. With -v the per-node
-// intermediate sizes are reported too.
+// supported), planned and executed by engine::Engine, and the result is
+// printed as CSV. With -v the physical plan, planner rewrites and per-
+// operator intermediate sizes are reported too; --reference disables the
+// planner rewrites (legacy 1:1 evaluation).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/csv.h"
 #include "core/database.h"
-#include "ra/eval.h"
+#include "engine/engine.h"
 #include "ra/parse.h"
 #include "util/str.h"
 
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> relation_specs;
   std::string expression;
   bool verbose = false;
+  bool reference = false;
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
       after_separator = true;
     } else if (arg == "-v") {
       verbose = true;
+    } else if (arg == "--reference") {
+      reference = true;
     } else if (after_separator) {
       expression = arg;
     } else {
@@ -38,7 +43,8 @@ int main(int argc, char** argv) {
   }
   if (relation_specs.empty() || expression.empty()) {
     std::fprintf(stderr,
-                 "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] -- EXPR\n"
+                 "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
+                 "[--reference] -- EXPR\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -84,15 +90,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ra::EvalStats stats;
-  const core::Relation result = ra::Eval(*parsed, db, &stats);
-  std::fputs(core::WriteRelationCsv(result, &names).c_str(), stdout);
+  const engine::Engine engine(reference ? engine::EngineOptions::Reference()
+                                        : engine::EngineOptions{});
+  auto run = engine.Run(*parsed, db);
+  if (!run.ok()) {
+    std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
+    return 1;
+  }
+  std::fputs(core::WriteRelationCsv(run->relation, &names).c_str(), stdout);
   if (verbose) {
-    std::fprintf(stderr, "-- %zu tuple(s); max intermediate %zu; nodes:\n",
-                 result.size(), stats.max_intermediate);
-    for (const auto& node : stats.nodes) {
-      std::fprintf(stderr, "   %6zu  %s\n", node.output_size,
-                   node.node->ToString().c_str());
+    std::fprintf(stderr, "-- %zu tuple(s); max intermediate %zu; operators:\n",
+                 run->relation.size(), run->stats.max_intermediate);
+    for (const auto& op : run->stats.ops) {
+      std::fprintf(stderr, "   %6zu  %s\n", op.output_size, op.label.c_str());
+    }
+    for (const auto& rewrite : run->stats.rewrites) {
+      std::fprintf(stderr, "-- rewrite: %s\n", rewrite.c_str());
     }
   }
   return 0;

@@ -1,0 +1,118 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace setalg::engine {
+namespace {
+
+// Post-order DAG execution with memoization: shared operators run once.
+class Executor {
+ public:
+  Executor(const core::Database* db, const EngineOptions* options, PlanStats* stats)
+      : ctx_(db, stats), options_(options), stats_(stats) {}
+
+  const core::Relation* Execute(const PhysicalOpPtr& op) {
+    auto it = memo_.find(op.get());
+    if (it != memo_.end()) return &it->second;
+
+    std::vector<const core::Relation*> inputs;
+    inputs.reserve(op->children().size());
+    for (const auto& child : op->children()) {
+      const core::Relation* input = Execute(child);
+      if (input == nullptr) return nullptr;
+      inputs.push_back(input);
+    }
+
+    core::Relation out = op->Execute(ctx_, inputs);
+    out.Normalize();
+    const std::size_t size = out.size();
+    if (stats_ != nullptr) {
+      if (options_->collect_node_stats) {
+        stats_->ops.push_back({op.get(), op->source(), op->label(), size});
+      }
+      stats_->max_intermediate = std::max(stats_->max_intermediate, size);
+      stats_->total_intermediate += size;
+    }
+    if (options_->max_intermediate_budget != 0 &&
+        size > options_->max_intermediate_budget) {
+      std::ostringstream message;
+      message << "intermediate-size budget exceeded: " << op->label()
+              << " materialized " << size << " tuples (budget "
+              << options_->max_intermediate_budget << ")";
+      error_ = message.str();
+      return nullptr;
+    }
+    return &memo_.emplace(op.get(), std::move(out)).first->second;
+  }
+
+  const std::string& error() const { return error_; }
+
+  core::Relation TakeOutput(const PhysicalOpPtr& root) {
+    return std::move(memo_.at(root.get()));
+  }
+
+ private:
+  ExecContext ctx_;
+  const EngineOptions* options_;
+  PlanStats* stats_;
+  std::unordered_map<const PhysicalOp*, core::Relation> memo_;
+  std::string error_;
+};
+
+}  // namespace
+
+util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr,
+                                    const core::Database& db) const {
+  auto plan = Plan(expr, db.schema());
+  if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
+  return RunPlan(*plan, db);
+}
+
+util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,
+                                        const core::Schema& schema) const {
+  return Planner(options_).Lower(expr, schema);
+}
+
+util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
+                                          const core::Schema& schema) const {
+  auto plan = Plan(expr, schema);
+  if (!plan.ok()) return util::Result<std::string>::Error(plan.error());
+  return plan->ToString();
+}
+
+util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
+                                        const core::Database& db) const {
+  SETALG_CHECK(plan.root != nullptr);
+  RunResult result;
+  result.stats.rewrites = plan.rewrites;
+  Executor executor(&db, &options_, &result.stats);
+  if (executor.Execute(plan.root) == nullptr) {
+    return util::Result<RunResult>::Error(executor.error());
+  }
+  result.relation = executor.TakeOutput(plan.root);
+  return result;
+}
+
+util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr, const core::Database& db,
+                                    const EngineOptions& options) {
+  return Engine(options).Run(expr, db);
+}
+
+ra::EvalStats ToEvalStats(const PlanStats& stats) {
+  ra::EvalStats out;
+  out.nodes.reserve(stats.ops.size());
+  for (const auto& op : stats.ops) {
+    if (op.source != nullptr) out.nodes.push_back({op.source, op.output_size});
+  }
+  out.max_intermediate = stats.max_intermediate;
+  out.total_intermediate = stats.total_intermediate;
+  out.join_rows_emitted = stats.join_rows_emitted;
+  return out;
+}
+
+}  // namespace setalg::engine

@@ -1,0 +1,79 @@
+// The unified query engine: the one public entry point for evaluating
+// algebra expressions (and hand-built physical plans) over a database.
+//
+//   engine::Engine engine;                       // pattern-aware planner
+//   auto result = engine.Run(expr, db);          // util::Result<RunResult>
+//   if (result.ok()) use(result->relation, result->stats);
+//
+// Engine::Run subsumes the legacy ra::Eval / ra::MaxIntermediateSize
+// tree-walker: those are now thin wrappers over the engine's reference
+// lowering (EngineOptions::Reference()), which reproduces the legacy
+// semantics and per-node statistics exactly. The default options enable
+// the planner rewrites — most notably routing the classic division
+// pattern to a sub-quadratic operator — so the same logical expression
+// runs with O(n) instead of Ω(n²) intermediates (Prop. 26 vs. Section 5).
+#ifndef SETALG_ENGINE_ENGINE_H_
+#define SETALG_ENGINE_ENGINE_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "engine/physical.h"
+#include "engine/planner.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "util/result.h"
+
+namespace setalg::engine {
+
+/// The outcome of one engine run.
+struct RunResult {
+  core::Relation relation{0};
+  PlanStats stats;
+};
+
+class Engine {
+ public:
+  /// An engine with the default (rewrite-enabled) options.
+  Engine() = default;
+  explicit Engine(EngineOptions options) : options_(std::move(options)) {}
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Plans and executes `expr` on `db`. Schema mismatches and budget
+  /// violations come back as Result errors, never aborts.
+  util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db) const;
+
+  /// Lowers without executing.
+  util::Result<PhysicalPlan> Plan(const ra::ExprPtr& expr,
+                                  const core::Schema& schema) const;
+
+  /// The plan rendered as text (operator tree + rewrite notes).
+  util::Result<std::string> Explain(const ra::ExprPtr& expr,
+                                    const core::Schema& schema) const;
+
+  /// Executes a plan built by Plan() or assembled by hand from the
+  /// physical.h factories (e.g. a set-containment join operator, which has
+  /// no succinct logical form).
+  util::Result<RunResult> RunPlan(const PhysicalPlan& plan,
+                                  const core::Database& db) const;
+
+  /// One-shot convenience.
+  static util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db,
+                                     const EngineOptions& options);
+
+ private:
+  EngineOptions options_;
+};
+
+/// Projects PlanStats onto the legacy ra::EvalStats view: operators that
+/// carry a logical source become NodeStats entries. For a reference-mode
+/// plan this is exactly the legacy instrumentation; for rewritten plans,
+/// synthesized operators still count toward max/total but have no node
+/// entry.
+ra::EvalStats ToEvalStats(const PlanStats& stats);
+
+}  // namespace setalg::engine
+
+#endif  // SETALG_ENGINE_ENGINE_H_

@@ -1,0 +1,525 @@
+#include "engine/physical.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/index.h"
+#include "sa/fast_semijoin.h"
+#include "setjoin/grouped.h"
+#include "util/check.h"
+
+namespace setalg::engine {
+namespace {
+
+using core::Relation;
+
+bool CompareValues(core::Value a, ra::Cmp op, core::Value b) {
+  switch (op) {
+    case ra::Cmp::kEq:
+      return a == b;
+    case ra::Cmp::kNeq:
+      return a != b;
+    case ra::Cmp::kLt:
+      return a < b;
+    case ra::Cmp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+// Checks the non-equality conjuncts of θ against a pair of rows.
+bool ResidualHolds(const std::vector<ra::JoinAtom>& residual, core::TupleView left,
+                   core::TupleView right) {
+  for (const auto& atom : residual) {
+    if (!CompareValues(left[atom.left - 1], atom.op, right[atom.right - 1])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Splits θ into its equality part (used for hashing) and the residual.
+void SplitAtoms(const std::vector<ra::JoinAtom>& atoms, std::vector<ra::JoinAtom>* eq,
+                std::vector<ra::JoinAtom>* residual) {
+  for (const auto& atom : atoms) {
+    (atom.op == ra::Cmp::kEq ? eq : residual)->push_back(atom);
+  }
+}
+
+std::string AtomsToString(const std::vector<ra::JoinAtom>& atoms) {
+  std::ostringstream out;
+  for (std::size_t k = 0; k < atoms.size(); ++k) {
+    if (k > 0) out << ",";
+    out << atoms[k].left << ra::CmpToString(atoms[k].op) << atoms[k].right;
+  }
+  return out.str();
+}
+
+std::string ColumnsToString(const std::vector<std::size_t>& columns) {
+  std::ostringstream out;
+  for (std::size_t k = 0; k < columns.size(); ++k) {
+    if (k > 0) out << ",";
+    out << columns[k];
+  }
+  return out.str();
+}
+
+class ScanOp final : public PhysicalOp {
+ public:
+  ScanOp(std::string name, std::size_t arity, const ra::Expr* source)
+      : PhysicalOp(arity, {}, source), name_(std::move(name)) {}
+
+  std::string label() const override { return "scan " + name_; }
+
+  Relation Execute(ExecContext& ctx,
+                   const std::vector<const Relation*>&) const override {
+    SETALG_CHECK_STREAM(ctx.db().schema().HasRelation(name_))
+        << "plan references unknown relation " << name_;
+    const Relation& r = ctx.db().relation(name_);
+    SETALG_CHECK_EQ(r.arity(), arity());
+    return r;  // Copy; keeps the executor's memoization simple.
+  }
+
+ private:
+  std::string name_;
+};
+
+class UnionOp final : public PhysicalOp {
+ public:
+  UnionOp(PhysicalOpPtr left, PhysicalOpPtr right, const ra::Expr* source)
+      : PhysicalOp(left->arity(), {left, right}, source) {}
+
+  std::string label() const override { return "union"; }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return core::Union(*inputs[0], *inputs[1]);
+  }
+};
+
+class DifferenceOp final : public PhysicalOp {
+ public:
+  DifferenceOp(PhysicalOpPtr left, PhysicalOpPtr right, const ra::Expr* source)
+      : PhysicalOp(left->arity(), {left, right}, source) {}
+
+  std::string label() const override { return "difference"; }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return core::Difference(*inputs[0], *inputs[1]);
+  }
+};
+
+class ProjectOp final : public PhysicalOp {
+ public:
+  ProjectOp(PhysicalOpPtr input, std::vector<std::size_t> columns,
+            const ra::Expr* source)
+      : PhysicalOp(columns.size(), {std::move(input)}, source),
+        columns_(std::move(columns)) {}
+
+  std::string label() const override {
+    return "project[" + ColumnsToString(columns_) + "]";
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    const Relation& in = *inputs[0];
+    Relation out(arity());
+    out.Reserve(in.size());
+    core::Tuple row(arity());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      core::TupleView t = in.tuple(i);
+      for (std::size_t k = 0; k < columns_.size(); ++k) {
+        row[k] = t[columns_[k] - 1];
+      }
+      out.Add(row);
+    }
+    return out;
+  }
+
+  const std::vector<std::size_t>& columns() const { return columns_; }
+
+ private:
+  std::vector<std::size_t> columns_;
+};
+
+class SelectOp final : public PhysicalOp {
+ public:
+  SelectOp(PhysicalOpPtr input, ra::Cmp op, std::size_t i, std::size_t j,
+           const ra::Expr* source)
+      : PhysicalOp(input->arity(), {input}, source), op_(op), i_(i), j_(j) {}
+
+  std::string label() const override {
+    std::ostringstream out;
+    out << "select[" << i_ << ra::CmpToString(op_) << j_ << "]";
+    return out.str();
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    const Relation& in = *inputs[0];
+    Relation out(arity());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      core::TupleView t = in.tuple(i);
+      if (CompareValues(t[i_ - 1], op_, t[j_ - 1])) out.Add(t);
+    }
+    return out;
+  }
+
+ private:
+  ra::Cmp op_;
+  std::size_t i_;
+  std::size_t j_;
+};
+
+class ConstTagOp final : public PhysicalOp {
+ public:
+  ConstTagOp(PhysicalOpPtr input, core::Value value, const ra::Expr* source)
+      : PhysicalOp(input->arity() + 1, {input}, source), value_(value) {}
+
+  std::string label() const override {
+    std::ostringstream out;
+    out << "tag[" << value_ << "]";
+    return out.str();
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    const Relation& in = *inputs[0];
+    Relation out(arity());
+    out.Reserve(in.size());
+    core::Tuple row(arity());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      core::TupleView t = in.tuple(i);
+      std::copy(t.begin(), t.end(), row.begin());
+      row.back() = value_;
+      out.Add(row);
+    }
+    return out;
+  }
+
+ private:
+  core::Value value_;
+};
+
+class JoinOp final : public PhysicalOp {
+ public:
+  JoinOp(PhysicalOpPtr left, PhysicalOpPtr right, std::vector<ra::JoinAtom> atoms,
+         const ra::Expr* source)
+      : PhysicalOp(left->arity() + right->arity(), {left, right}, source),
+        atoms_(std::move(atoms)) {}
+
+  std::string label() const override { return "join[" + AtomsToString(atoms_) + "]"; }
+
+  Relation Execute(ExecContext& ctx,
+                   const std::vector<const Relation*>& inputs) const override {
+    const Relation& left = *inputs[0];
+    const Relation& right = *inputs[1];
+    Relation out(arity());
+    if (left.empty() || right.empty()) return out;
+
+    std::vector<ra::JoinAtom> eq, residual;
+    SplitAtoms(atoms_, &eq, &residual);
+
+    core::Tuple row(arity());
+    const std::size_t n = left.arity();
+    auto emit = [&](core::TupleView lt, core::TupleView rt) {
+      std::copy(lt.begin(), lt.end(), row.begin());
+      std::copy(rt.begin(), rt.end(), row.begin() + static_cast<std::ptrdiff_t>(n));
+      out.Add(row);
+      ctx.CountJoinRows(1);
+    };
+
+    if (!eq.empty()) {
+      std::vector<std::size_t> right_cols;
+      right_cols.reserve(eq.size());
+      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
+      core::HashIndex index(&right, right_cols);
+      core::Tuple key(eq.size());
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        core::TupleView lt = left.tuple(i);
+        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+        index.ForEachMatch(key, [&](std::size_t r) {
+          core::TupleView rt = right.tuple(r);
+          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
+        });
+      }
+    } else {
+      // Pure inequality (or cartesian) join: nested loop.
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        core::TupleView lt = left.tuple(i);
+        for (std::size_t j = 0; j < right.size(); ++j) {
+          core::TupleView rt = right.tuple(j);
+          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<ra::JoinAtom> atoms_;
+};
+
+class SemiJoinOp final : public PhysicalOp {
+ public:
+  SemiJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, std::vector<ra::JoinAtom> atoms,
+             SemijoinStrategy strategy, const ra::Expr* source)
+      : PhysicalOp(left->arity(), {left, right}, source),
+        atoms_(std::move(atoms)),
+        strategy_(strategy) {}
+
+  std::string label() const override {
+    return std::string("semijoin[") + AtomsToString(atoms_) + "]" +
+           (strategy_ == SemijoinStrategy::kFastKernel ? " (fast)" : " (generic)");
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    const Relation& left = *inputs[0];
+    const Relation& right = *inputs[1];
+    if (strategy_ == SemijoinStrategy::kFastKernel) {
+      return sa::Semijoin(left, right, atoms_);
+    }
+    return GenericSemijoin(left, right);
+  }
+
+ private:
+  Relation GenericSemijoin(const Relation& left, const Relation& right) const {
+    Relation out(arity());
+    if (left.empty() || right.empty()) return out;
+
+    std::vector<ra::JoinAtom> eq, residual;
+    SplitAtoms(atoms_, &eq, &residual);
+
+    if (!eq.empty()) {
+      std::vector<std::size_t> right_cols;
+      right_cols.reserve(eq.size());
+      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
+      core::HashIndex index(&right, right_cols);
+      core::Tuple key(eq.size());
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        core::TupleView lt = left.tuple(i);
+        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+        bool found = false;
+        index.ForEachMatch(key, [&](std::size_t r) {
+          if (!found && ResidualHolds(residual, lt, right.tuple(r))) found = true;
+        });
+        if (found) out.Add(lt);
+      }
+    } else if (residual.empty()) {
+      // θ empty and right nonempty: every left tuple survives.
+      return left;
+    } else {
+      for (std::size_t i = 0; i < left.size(); ++i) {
+        core::TupleView lt = left.tuple(i);
+        for (std::size_t j = 0; j < right.size(); ++j) {
+          if (ResidualHolds(residual, lt, right.tuple(j))) {
+            out.Add(lt);
+            break;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<ra::JoinAtom> atoms_;
+  SemijoinStrategy strategy_;
+};
+
+class DivisionOp final : public PhysicalOp {
+ public:
+  DivisionOp(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
+             setjoin::DivisionAlgorithm algorithm, bool equality,
+             const ra::Expr* source)
+      : PhysicalOp(1, {std::move(dividend), std::move(divisor)}, source),
+        algorithm_(algorithm),
+        equality_(equality) {}
+
+  std::string label() const override {
+    return std::string(equality_ ? "division=[" : "division[") +
+           setjoin::DivisionAlgorithmToString(algorithm_) + "]";
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return equality_ ? setjoin::DivideEqual(*inputs[0], *inputs[1], algorithm_)
+                     : setjoin::Divide(*inputs[0], *inputs[1], algorithm_);
+  }
+
+ private:
+  setjoin::DivisionAlgorithm algorithm_;
+  bool equality_;
+};
+
+class SetContainmentJoinOp final : public PhysicalOp {
+ public:
+  SetContainmentJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                       setjoin::ContainmentAlgorithm algorithm, const ra::Expr* source)
+      : PhysicalOp(2, {std::move(left), std::move(right)}, source),
+        algorithm_(algorithm) {}
+
+  std::string label() const override {
+    return std::string("set-containment-join[") +
+           setjoin::ContainmentAlgorithmToString(algorithm_) + "]";
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return setjoin::SetContainmentJoin(setjoin::AsGrouped(*inputs[0]),
+                                       setjoin::AsGrouped(*inputs[1]), algorithm_);
+  }
+
+ private:
+  setjoin::ContainmentAlgorithm algorithm_;
+};
+
+class SetEqualityJoinOp final : public PhysicalOp {
+ public:
+  SetEqualityJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                    setjoin::EqualityJoinAlgorithm algorithm, const ra::Expr* source)
+      : PhysicalOp(2, {std::move(left), std::move(right)}, source),
+        algorithm_(algorithm) {}
+
+  std::string label() const override {
+    return std::string("set-equality-join[") +
+           setjoin::EqualityJoinAlgorithmToString(algorithm_) + "]";
+  }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return setjoin::SetEqualityJoin(setjoin::AsGrouped(*inputs[0]),
+                                    setjoin::AsGrouped(*inputs[1]), algorithm_);
+  }
+
+ private:
+  setjoin::EqualityJoinAlgorithm algorithm_;
+};
+
+class SetOverlapJoinOp final : public PhysicalOp {
+ public:
+  SetOverlapJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, const ra::Expr* source)
+      : PhysicalOp(2, {std::move(left), std::move(right)}, source) {}
+
+  std::string label() const override { return "set-overlap-join"; }
+
+  Relation Execute(ExecContext&,
+                   const std::vector<const Relation*>& inputs) const override {
+    return setjoin::SetOverlapJoin(setjoin::AsGrouped(*inputs[0]),
+                                   setjoin::AsGrouped(*inputs[1]));
+  }
+};
+
+void AppendTree(const PhysicalOp& op, std::size_t depth, std::string* out) {
+  out->append(2 * depth, ' ');
+  out->append(op.label());
+  out->push_back('\n');
+  for (const auto& child : op.children()) AppendTree(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PhysicalOp::ToString() const {
+  std::string out;
+  AppendTree(*this, 0, &out);
+  return out;
+}
+
+PhysicalOpPtr MakeScan(std::string relation_name, std::size_t arity,
+                       const ra::Expr* source) {
+  return std::make_shared<ScanOp>(std::move(relation_name), arity, source);
+}
+
+PhysicalOpPtr MakeUnion(PhysicalOpPtr left, PhysicalOpPtr right,
+                        const ra::Expr* source) {
+  SETALG_CHECK_EQ(left->arity(), right->arity());
+  return std::make_shared<UnionOp>(std::move(left), std::move(right), source);
+}
+
+PhysicalOpPtr MakeDifference(PhysicalOpPtr left, PhysicalOpPtr right,
+                             const ra::Expr* source) {
+  SETALG_CHECK_EQ(left->arity(), right->arity());
+  return std::make_shared<DifferenceOp>(std::move(left), std::move(right), source);
+}
+
+PhysicalOpPtr MakeProject(PhysicalOpPtr input, std::vector<std::size_t> columns,
+                          const ra::Expr* source) {
+  for (std::size_t c : columns) {
+    SETALG_CHECK_STREAM(c >= 1 && c <= input->arity())
+        << "projection column " << c << " out of range for arity " << input->arity();
+  }
+  return std::make_shared<ProjectOp>(std::move(input), std::move(columns), source);
+}
+
+PhysicalOpPtr MakeSelect(PhysicalOpPtr input, ra::Cmp op, std::size_t i, std::size_t j,
+                         const ra::Expr* source) {
+  SETALG_CHECK_STREAM(i >= 1 && i <= input->arity() && j >= 1 && j <= input->arity())
+      << "selection columns " << i << "," << j << " out of range";
+  return std::make_shared<SelectOp>(std::move(input), op, i, j, source);
+}
+
+PhysicalOpPtr MakeConstTag(PhysicalOpPtr input, core::Value value,
+                           const ra::Expr* source) {
+  return std::make_shared<ConstTagOp>(std::move(input), value, source);
+}
+
+PhysicalOpPtr MakeJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                       std::vector<ra::JoinAtom> atoms, const ra::Expr* source) {
+  for (const auto& atom : atoms) {
+    SETALG_CHECK_STREAM(atom.left >= 1 && atom.left <= left->arity() &&
+                        atom.right >= 1 && atom.right <= right->arity())
+        << "join atom out of range";
+  }
+  return std::make_shared<JoinOp>(std::move(left), std::move(right), std::move(atoms),
+                                  source);
+}
+
+PhysicalOpPtr MakeSemiJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                           std::vector<ra::JoinAtom> atoms, SemijoinStrategy strategy,
+                           const ra::Expr* source) {
+  for (const auto& atom : atoms) {
+    SETALG_CHECK_STREAM(atom.left >= 1 && atom.left <= left->arity() &&
+                        atom.right >= 1 && atom.right <= right->arity())
+        << "semijoin atom out of range";
+  }
+  return std::make_shared<SemiJoinOp>(std::move(left), std::move(right),
+                                      std::move(atoms), strategy, source);
+}
+
+PhysicalOpPtr MakeDivision(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
+                           setjoin::DivisionAlgorithm algorithm, bool equality,
+                           const ra::Expr* source) {
+  SETALG_CHECK_EQ(dividend->arity(), 2u);
+  SETALG_CHECK_EQ(divisor->arity(), 1u);
+  return std::make_shared<DivisionOp>(std::move(dividend), std::move(divisor),
+                                      algorithm, equality, source);
+}
+
+PhysicalOpPtr MakeSetContainmentJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                     setjoin::ContainmentAlgorithm algorithm,
+                                     const ra::Expr* source) {
+  SETALG_CHECK_EQ(left->arity(), 2u);
+  SETALG_CHECK_EQ(right->arity(), 2u);
+  return std::make_shared<SetContainmentJoinOp>(std::move(left), std::move(right),
+                                                algorithm, source);
+}
+
+PhysicalOpPtr MakeSetEqualityJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                  setjoin::EqualityJoinAlgorithm algorithm,
+                                  const ra::Expr* source) {
+  SETALG_CHECK_EQ(left->arity(), 2u);
+  SETALG_CHECK_EQ(right->arity(), 2u);
+  return std::make_shared<SetEqualityJoinOp>(std::move(left), std::move(right),
+                                             algorithm, source);
+}
+
+PhysicalOpPtr MakeSetOverlapJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                 const ra::Expr* source) {
+  SETALG_CHECK_EQ(left->arity(), 2u);
+  SETALG_CHECK_EQ(right->arity(), 2u);
+  return std::make_shared<SetOverlapJoinOp>(std::move(left), std::move(right), source);
+}
+
+}  // namespace setalg::engine

@@ -1,0 +1,177 @@
+// The engine's physical-plan layer: a tree (DAG — shared subplans are
+// evaluated once) of materializing operators.
+//
+// Each PhysicalOp computes its output relation from its children's
+// already-materialized outputs. Operators are deliberately materializing
+// rather than pulled tuple-at-a-time: every complexity statement in the
+// paper is about the cardinality of materialized intermediates (Definition
+// 16), and PlanStats records exactly those cardinalities per operator. A
+// batched/vectorized open-next-close surface can be layered underneath
+// Execute() later without touching the planner.
+//
+// Concrete operators cover the relational algebra one-to-one (scan, union,
+// difference, projection, selection, const-tag, join, semijoin) plus the
+// set-join/division algorithms (setjoin/, sa/) wrapped as first-class
+// physical operators, so the planner can route a logical pattern — e.g.
+// the textbook division expression — to a sub-quadratic implementation.
+#ifndef SETALG_ENGINE_PHYSICAL_H_
+#define SETALG_ENGINE_PHYSICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "ra/expr.h"
+#include "setjoin/division.h"
+#include "setjoin/setjoin.h"
+
+namespace setalg::engine {
+
+class PhysicalOp;
+using PhysicalOpPtr = std::shared_ptr<const PhysicalOp>;
+
+/// Per-operator instrumentation (one entry per distinct operator, in
+/// execution post-order).
+struct OpStats {
+  const PhysicalOp* op = nullptr;
+  /// The logical node this operator's output coincides with, or nullptr
+  /// for operators synthesized by a rewrite (their output has no 1:1
+  /// logical counterpart).
+  const ra::Expr* source = nullptr;
+  std::string label;
+  std::size_t output_size = 0;
+};
+
+/// Instrumentation collected by one Engine run — the physical-plan
+/// analogue of ra::EvalStats.
+struct PlanStats {
+  std::vector<OpStats> ops;
+  /// max over operators of the materialized output size — c(E') of
+  /// Definition 16 when the plan is a 1:1 lowering.
+  std::size_t max_intermediate = 0;
+  std::size_t total_intermediate = 0;
+  /// Rows emitted by join operators before deduplication.
+  std::uint64_t join_rows_emitted = 0;
+  /// Human-readable notes of the planner rewrites that shaped this plan.
+  std::vector<std::string> rewrites;
+};
+
+/// Execution-time context handed to every operator.
+class ExecContext {
+ public:
+  ExecContext(const core::Database* db, PlanStats* stats) : db_(db), stats_(stats) {}
+
+  const core::Database& db() const { return *db_; }
+  PlanStats* stats() const { return stats_; }
+
+  void CountJoinRows(std::uint64_t rows) {
+    if (stats_ != nullptr) stats_->join_rows_emitted += rows;
+  }
+
+ private:
+  const core::Database* db_;
+  PlanStats* stats_;
+};
+
+/// An immutable physical operator. Build via the factory functions below;
+/// compose by sharing PhysicalOpPtr children (shared subplans execute once).
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  std::size_t arity() const { return arity_; }
+  const std::vector<PhysicalOpPtr>& children() const { return children_; }
+  const PhysicalOpPtr& child(std::size_t i) const { return children_[i]; }
+  const ra::Expr* source() const { return source_; }
+
+  /// One-line description, e.g. "division[hash-division]" or "join[2=1]".
+  virtual std::string label() const = 0;
+
+  /// Computes this operator's output; `inputs` are the materialized child
+  /// outputs, in child order. The result need not be normalized — the
+  /// executor normalizes before recording stats.
+  virtual core::Relation Execute(ExecContext& ctx,
+                                 const std::vector<const core::Relation*>& inputs)
+      const = 0;
+
+  /// Indented rendering of the subplan rooted here.
+  std::string ToString() const;
+
+ protected:
+  PhysicalOp(std::size_t arity, std::vector<PhysicalOpPtr> children,
+             const ra::Expr* source)
+      : arity_(arity), children_(std::move(children)), source_(source) {}
+
+ private:
+  std::size_t arity_;
+  std::vector<PhysicalOpPtr> children_;
+  const ra::Expr* source_;
+};
+
+/// Which implementation a semijoin operator uses.
+enum class SemijoinStrategy {
+  kGeneric,     // The reference hash/scan evaluator (legacy ra::Eval path).
+  kFastKernel,  // sa::Semijoin kernel auto-selection.
+};
+
+// ---------------------------------------------------------------------------
+// Factories. `source` marks the logical node whose output the operator
+// reproduces (nullptr for rewrite-synthesized operators).
+// ---------------------------------------------------------------------------
+
+/// Scan of a stored relation.
+PhysicalOpPtr MakeScan(std::string relation_name, std::size_t arity,
+                       const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeUnion(PhysicalOpPtr left, PhysicalOpPtr right,
+                        const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeDifference(PhysicalOpPtr left, PhysicalOpPtr right,
+                             const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeProject(PhysicalOpPtr input, std::vector<std::size_t> columns,
+                          const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeSelect(PhysicalOpPtr input, ra::Cmp op, std::size_t i,
+                         std::size_t j, const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeConstTag(PhysicalOpPtr input, core::Value value,
+                           const ra::Expr* source = nullptr);
+
+/// θ-join: hash join on the equality conjuncts with a residual filter;
+/// nested loop when θ has no equalities (or is empty — cartesian product).
+PhysicalOpPtr MakeJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                       std::vector<ra::JoinAtom> atoms,
+                       const ra::Expr* source = nullptr);
+
+PhysicalOpPtr MakeSemiJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                           std::vector<ra::JoinAtom> atoms,
+                           SemijoinStrategy strategy,
+                           const ra::Expr* source = nullptr);
+
+/// Division: child 0 is the binary dividend R(A,B), child 1 the unary
+/// divisor S(B). With `equality` the B-set must equal S, else contain it.
+PhysicalOpPtr MakeDivision(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
+                           setjoin::DivisionAlgorithm algorithm, bool equality,
+                           const ra::Expr* source = nullptr);
+
+/// Set-containment join over two binary inputs grouped on column 1.
+PhysicalOpPtr MakeSetContainmentJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                     setjoin::ContainmentAlgorithm algorithm,
+                                     const ra::Expr* source = nullptr);
+
+/// Set-equality join over two binary inputs grouped on column 1.
+PhysicalOpPtr MakeSetEqualityJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                  setjoin::EqualityJoinAlgorithm algorithm,
+                                  const ra::Expr* source = nullptr);
+
+/// Set-overlap join over two binary inputs grouped on column 1.
+PhysicalOpPtr MakeSetOverlapJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                 const ra::Expr* source = nullptr);
+
+}  // namespace setalg::engine
+
+#endif  // SETALG_ENGINE_PHYSICAL_H_

@@ -1,0 +1,220 @@
+#include "engine/planner.h"
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace setalg::engine {
+namespace {
+
+using ra::ExprPtr;
+using ra::OpKind;
+
+// Structural equality. Expr trees round-trip through their textual form
+// (Expr::ToString feeds the parser), so string equality is exact.
+bool SameExpr(const ExprPtr& a, const ExprPtr& b) {
+  return a == b || a->ToString() == b->ToString();
+}
+
+bool IsProjectionOf(const ExprPtr& e, const std::vector<std::size_t>& columns) {
+  return e->kind() == OpKind::kProjection && e->projection() == columns;
+}
+
+struct DivisionMatch {
+  ExprPtr r;  // Binary dividend subexpression.
+  ExprPtr s;  // Unary divisor subexpression.
+};
+
+// Matches the textbook containment division π₁(R) − π₁((π₁(R) × S) − R)
+// where R is any binary and S any unary subexpression.
+std::optional<DivisionMatch> MatchContainmentDivision(const ExprPtr& e) {
+  if (e->kind() != OpKind::kDifference) return std::nullopt;
+  const ExprPtr& cand = e->child(0);  // π₁(R)
+  if (!IsProjectionOf(cand, {1})) return std::nullopt;
+  const ExprPtr& r = cand->child(0);
+  if (r->arity() != 2) return std::nullopt;
+
+  const ExprPtr& missing_proj = e->child(1);  // π₁((π₁(R) × S) − R)
+  if (!IsProjectionOf(missing_proj, {1})) return std::nullopt;
+  const ExprPtr& missing = missing_proj->child(0);
+  if (missing->kind() != OpKind::kDifference) return std::nullopt;
+  if (!SameExpr(missing->child(1), r)) return std::nullopt;
+
+  const ExprPtr& required = missing->child(0);  // π₁(R) × S
+  if (required->kind() != OpKind::kJoin || !required->atoms().empty()) {
+    return std::nullopt;
+  }
+  if (!SameExpr(required->child(0), cand)) return std::nullopt;
+  const ExprPtr& s = required->child(1);
+  if (s->arity() != 1) return std::nullopt;
+  return DivisionMatch{r, s};
+}
+
+// Matches the equality-division extension: containment division minus the
+// keys related to some element outside S (ClassicEqualityDivisionExpr).
+std::optional<DivisionMatch> MatchEqualityDivision(const ExprPtr& e) {
+  if (e->kind() != OpKind::kDifference) return std::nullopt;
+  auto contained = MatchContainmentDivision(e->child(0));
+  if (!contained) return std::nullopt;
+
+  const ExprPtr& outside = e->child(1);  // π₁(R − π₁,₂(R ⋈₂₌₁ S))
+  if (!IsProjectionOf(outside, {1})) return std::nullopt;
+  const ExprPtr& diff = outside->child(0);
+  if (diff->kind() != OpKind::kDifference) return std::nullopt;
+  if (!SameExpr(diff->child(0), contained->r)) return std::nullopt;
+
+  const ExprPtr& inside = diff->child(1);
+  if (!IsProjectionOf(inside, {1, 2})) return std::nullopt;
+  const ExprPtr& join = inside->child(0);
+  if (join->kind() != OpKind::kJoin ||
+      join->atoms() != std::vector<ra::JoinAtom>{{2, ra::Cmp::kEq, 1}}) {
+    return std::nullopt;
+  }
+  if (!SameExpr(join->child(0), contained->r)) return std::nullopt;
+  if (!SameExpr(join->child(1), contained->s)) return std::nullopt;
+  return contained;
+}
+
+class Lowering {
+ public:
+  explicit Lowering(const EngineOptions& options) : options_(options) {}
+
+  PhysicalOpPtr Lower(const ExprPtr& e) {
+    auto it = memo_.find(e.get());
+    if (it != memo_.end()) return it->second;
+    PhysicalOpPtr op = LowerUncached(e);
+    memo_.emplace(e.get(), op);
+    return op;
+  }
+
+  std::vector<std::string> TakeRewrites() { return std::move(rewrites_); }
+
+ private:
+  SemijoinStrategy Strategy() const {
+    return options_.use_fast_semijoin ? SemijoinStrategy::kFastKernel
+                                      : SemijoinStrategy::kGeneric;
+  }
+
+  PhysicalOpPtr LowerUncached(const ExprPtr& e) {
+    if (options_.recognize_division) {
+      if (auto m = MatchEqualityDivision(e)) {
+        rewrites_.push_back(
+            std::string("equality-division pattern → division=[") +
+            setjoin::DivisionAlgorithmToString(options_.division_algorithm) + "]");
+        return MakeDivision(Lower(m->r), Lower(m->s), options_.division_algorithm,
+                            /*equality=*/true, e.get());
+      }
+      if (auto m = MatchContainmentDivision(e)) {
+        rewrites_.push_back(
+            std::string("division pattern → division[") +
+            setjoin::DivisionAlgorithmToString(options_.division_algorithm) + "]");
+        return MakeDivision(Lower(m->r), Lower(m->s), options_.division_algorithm,
+                            /*equality=*/false, e.get());
+      }
+    }
+    if (options_.recognize_semijoin_projection && e->kind() == OpKind::kProjection &&
+        e->child(0)->kind() == OpKind::kJoin) {
+      if (PhysicalOpPtr reduced = TrySemijoinReduction(e)) return reduced;
+    }
+
+    switch (e->kind()) {
+      case OpKind::kRelation:
+        return MakeScan(e->relation_name(), e->arity(), e.get());
+      case OpKind::kUnion:
+        return MakeUnion(Lower(e->child(0)), Lower(e->child(1)), e.get());
+      case OpKind::kDifference:
+        return MakeDifference(Lower(e->child(0)), Lower(e->child(1)), e.get());
+      case OpKind::kProjection:
+        return MakeProject(Lower(e->child(0)), e->projection(), e.get());
+      case OpKind::kSelection:
+        return MakeSelect(Lower(e->child(0)), e->selection_op(), e->selection_i(),
+                          e->selection_j(), e.get());
+      case OpKind::kConstTag:
+        return MakeConstTag(Lower(e->child(0)), e->tag_value(), e.get());
+      case OpKind::kJoin:
+        return MakeJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(), e.get());
+      case OpKind::kSemiJoin:
+        return MakeSemiJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(),
+                            Strategy(), e.get());
+    }
+    SETALG_CHECK_STREAM(false) << "unreachable";
+    return nullptr;
+  }
+
+  // π_cols(E1 ⋈_θ E2) with cols all on one side never needs the join's
+  // output: under set semantics it equals π(E1 ⋉_θ E2) (or the mirrored
+  // form), whose intermediate is bounded by the surviving input.
+  PhysicalOpPtr TrySemijoinReduction(const ExprPtr& e) {
+    const ExprPtr& join = e->child(0);
+    const std::vector<std::size_t>& columns = e->projection();
+    const std::size_t left_arity = join->child(0)->arity();
+
+    bool all_left = true;
+    bool all_right = true;
+    for (std::size_t c : columns) {
+      (c <= left_arity ? all_right : all_left) = false;
+    }
+    if (all_left) {
+      // The semijoin op is rewrite-synthesized: its output matches no
+      // logical node, so it carries no source.
+      PhysicalOpPtr semi = MakeSemiJoin(Lower(join->child(0)), Lower(join->child(1)),
+                                        join->atoms(), Strategy());
+      rewrites_.push_back("π(join) reduced to π(semijoin) at " + e->ToString());
+      return MakeProject(std::move(semi), columns, e.get());
+    }
+    if (all_right && !columns.empty()) {
+      std::vector<ra::JoinAtom> mirrored;
+      mirrored.reserve(join->atoms().size());
+      for (const auto& atom : join->atoms()) {
+        mirrored.push_back({atom.right, ra::MirrorCmp(atom.op), atom.left});
+      }
+      std::vector<std::size_t> shifted;
+      shifted.reserve(columns.size());
+      for (std::size_t c : columns) shifted.push_back(c - left_arity);
+      PhysicalOpPtr semi = MakeSemiJoin(Lower(join->child(1)), Lower(join->child(0)),
+                                        std::move(mirrored), Strategy());
+      rewrites_.push_back("π(join) reduced to π(mirrored semijoin) at " +
+                          e->ToString());
+      return MakeProject(std::move(semi), std::move(shifted), e.get());
+    }
+    return nullptr;
+  }
+
+  const EngineOptions& options_;
+  std::unordered_map<const ra::Expr*, PhysicalOpPtr> memo_;
+  std::vector<std::string> rewrites_;
+};
+
+}  // namespace
+
+EngineOptions EngineOptions::Reference() {
+  EngineOptions options;
+  options.recognize_division = false;
+  options.recognize_semijoin_projection = false;
+  options.use_fast_semijoin = false;
+  return options;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out = root == nullptr ? std::string("(empty plan)\n") : root->ToString();
+  for (const auto& rewrite : rewrites) {
+    out += "-- rewrite: " + rewrite + "\n";
+  }
+  return out;
+}
+
+util::Result<PhysicalPlan> Planner::Lower(const ra::ExprPtr& expr,
+                                          const core::Schema& schema) const {
+  SETALG_CHECK(expr != nullptr);
+  const std::string error = ra::ValidateAgainstSchema(*expr, schema);
+  if (!error.empty()) return util::Result<PhysicalPlan>::Error(error);
+  Lowering lowering(options_);
+  PhysicalPlan plan;
+  plan.root = lowering.Lower(expr);
+  plan.rewrites = lowering.TakeRewrites();
+  return plan;
+}
+
+}  // namespace setalg::engine

@@ -1,0 +1,87 @@
+// Logical→physical lowering: the Planner turns a ra::ExprPtr into a
+// PhysicalPlan, choosing physical operators per EngineOptions.
+//
+// Beyond the 1:1 lowering of each algebra node, the planner recognizes:
+//   - the textbook division pattern π_A(R) − π_A((π_A(R) × S) − R)
+//     (and its equality-division extension) and routes it to a direct
+//     division operator — turning the Ω(n²)-intermediate classic plan
+//     (Proposition 26) into the O(n) grouping/counting strategy of
+//     Section 5;
+//   - semijoin-reducible projections π_cols(E1 ⋈_θ E2) with cols drawn
+//     from one side, lowered to π_cols(E1 ⋉_θ E2) so the quadratic join
+//     intermediate is never materialized;
+//   - semijoin nodes, routed to the sa::Semijoin fast kernels.
+// Every rewrite is recorded in PhysicalPlan::rewrites.
+#ifndef SETALG_ENGINE_PLANNER_H_
+#define SETALG_ENGINE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "engine/physical.h"
+#include "ra/expr.h"
+#include "util/result.h"
+
+namespace setalg::engine {
+
+/// Knobs for planning and execution.
+struct EngineOptions {
+  /// Route the classic division pattern (and its equality variant) to a
+  /// direct division operator.
+  bool recognize_division = true;
+
+  /// Lower π_cols(E1 ⋈_θ E2) with one-sided cols to π_cols(E1 ⋉_θ E2).
+  bool recognize_semijoin_projection = true;
+
+  /// Use the sa::Semijoin specialized kernels for semijoin nodes (the
+  /// alternative is the generic reference implementation).
+  bool use_fast_semijoin = true;
+
+  /// Algorithm overrides for the pattern-routed operators.
+  setjoin::DivisionAlgorithm division_algorithm =
+      setjoin::DivisionAlgorithm::kHashDivision;
+  setjoin::ContainmentAlgorithm containment_algorithm =
+      setjoin::ContainmentAlgorithm::kInvertedIndex;
+  setjoin::EqualityJoinAlgorithm set_equality_algorithm =
+      setjoin::EqualityJoinAlgorithm::kCanonicalHash;
+
+  /// Record one OpStats entry per executed operator (max/total intermediate
+  /// sizes are tracked regardless).
+  bool collect_node_stats = true;
+
+  /// When non-zero, a run fails (Result error) as soon as any operator
+  /// materializes more than this many tuples — a guardrail for serving
+  /// workloads that must not buffer quadratic intermediates.
+  std::size_t max_intermediate_budget = 0;
+
+  /// The 1:1 lowering with every rewrite and fast kernel disabled —
+  /// exactly the legacy ra::Eval semantics, per-node stats included.
+  static EngineOptions Reference();
+};
+
+/// A lowered plan plus the planner decisions that shaped it.
+struct PhysicalPlan {
+  PhysicalOpPtr root;
+  std::vector<std::string> rewrites;
+
+  /// Indented operator tree followed by the rewrite notes.
+  std::string ToString() const;
+};
+
+class Planner {
+ public:
+  explicit Planner(EngineOptions options) : options_(std::move(options)) {}
+
+  /// Validates `expr` against `schema` and lowers it. Never aborts on user
+  /// input: schema mismatches come back as Result errors.
+  util::Result<PhysicalPlan> Lower(const ra::ExprPtr& expr,
+                                   const core::Schema& schema) const;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace setalg::engine
+
+#endif  // SETALG_ENGINE_PLANNER_H_

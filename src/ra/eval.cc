@@ -1,233 +1,22 @@
 #include "ra/eval.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <utility>
 
-#include "core/index.h"
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace setalg::ra {
-namespace {
 
-bool CompareValues(core::Value a, Cmp op, core::Value b) {
-  switch (op) {
-    case Cmp::kEq:
-      return a == b;
-    case Cmp::kNeq:
-      return a != b;
-    case Cmp::kLt:
-      return a < b;
-    case Cmp::kGt:
-      return a > b;
-  }
-  return false;
-}
-
-// Checks the non-equality conjuncts of θ against a pair of rows.
-bool ResidualHolds(const std::vector<JoinAtom>& residual, core::TupleView left,
-                   core::TupleView right) {
-  for (const auto& atom : residual) {
-    if (!CompareValues(left[atom.left - 1], atom.op, right[atom.right - 1])) {
-      return false;
-    }
-  }
-  return true;
-}
-
-class Evaluator {
- public:
-  Evaluator(const core::Database* db, EvalStats* stats) : db_(db), stats_(stats) {}
-
-  const core::Relation& Eval(const ExprPtr& expr) {
-    auto it = memo_.find(expr.get());
-    if (it != memo_.end()) return it->second;
-    core::Relation result = Compute(*expr);
-    result.Normalize();
-    if (stats_ != nullptr) {
-      stats_->nodes.push_back({expr.get(), result.size()});
-      stats_->max_intermediate = std::max(stats_->max_intermediate, result.size());
-      stats_->total_intermediate += result.size();
-    }
-    return memo_.emplace(expr.get(), std::move(result)).first->second;
-  }
-
- private:
-  core::Relation Compute(const Expr& e) {
-    switch (e.kind()) {
-      case OpKind::kRelation: {
-        SETALG_CHECK_STREAM(db_->schema().HasRelation(e.relation_name()))
-            << "expression references unknown relation " << e.relation_name();
-        const core::Relation& r = db_->relation(e.relation_name());
-        SETALG_CHECK_EQ(r.arity(), e.arity());
-        return r;  // Copy; relations are modest and this keeps memo simple.
-      }
-      case OpKind::kUnion:
-        return core::Union(Eval(e.child(0)), Eval(e.child(1)));
-      case OpKind::kDifference:
-        return core::Difference(Eval(e.child(0)), Eval(e.child(1)));
-      case OpKind::kProjection:
-        return EvalProjection(e);
-      case OpKind::kSelection:
-        return EvalSelection(e);
-      case OpKind::kConstTag:
-        return EvalConstTag(e);
-      case OpKind::kJoin:
-        return EvalJoin(e);
-      case OpKind::kSemiJoin:
-        return EvalSemiJoin(e);
-    }
-    SETALG_CHECK_STREAM(false) << "unreachable";
-    return core::Relation(0);
-  }
-
-  core::Relation EvalProjection(const Expr& e) {
-    const core::Relation& in = Eval(e.child(0));
-    core::Relation out(e.arity());
-    out.Reserve(in.size());
-    core::Tuple row(e.arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      for (std::size_t k = 0; k < e.projection().size(); ++k) {
-        row[k] = t[e.projection()[k] - 1];
-      }
-      out.Add(row);
-    }
-    return out;
-  }
-
-  core::Relation EvalSelection(const Expr& e) {
-    const core::Relation& in = Eval(e.child(0));
-    core::Relation out(e.arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      if (CompareValues(t[e.selection_i() - 1], e.selection_op(),
-                        t[e.selection_j() - 1])) {
-        out.Add(t);
-      }
-    }
-    return out;
-  }
-
-  core::Relation EvalConstTag(const Expr& e) {
-    const core::Relation& in = Eval(e.child(0));
-    core::Relation out(e.arity());
-    out.Reserve(in.size());
-    core::Tuple row(e.arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      std::copy(t.begin(), t.end(), row.begin());
-      row.back() = e.tag_value();
-      out.Add(row);
-    }
-    return out;
-  }
-
-  // Splits θ into its equality part (used for hashing) and the residual.
-  static void SplitAtoms(const std::vector<JoinAtom>& atoms,
-                         std::vector<JoinAtom>* eq, std::vector<JoinAtom>* residual) {
-    for (const auto& atom : atoms) {
-      (atom.op == Cmp::kEq ? eq : residual)->push_back(atom);
-    }
-  }
-
-  core::Relation EvalJoin(const Expr& e) {
-    const core::Relation& left = Eval(e.child(0));
-    const core::Relation& right = Eval(e.child(1));
-    core::Relation out(e.arity());
-    if (left.empty() || right.empty()) return out;
-
-    std::vector<JoinAtom> eq, residual;
-    SplitAtoms(e.atoms(), &eq, &residual);
-
-    core::Tuple row(e.arity());
-    const std::size_t n = left.arity();
-    auto emit = [&](core::TupleView lt, core::TupleView rt) {
-      std::copy(lt.begin(), lt.end(), row.begin());
-      std::copy(rt.begin(), rt.end(), row.begin() + static_cast<std::ptrdiff_t>(n));
-      out.Add(row);
-      if (stats_ != nullptr) ++stats_->join_rows_emitted;
-    };
-
-    if (!eq.empty()) {
-      std::vector<std::size_t> right_cols;
-      right_cols.reserve(eq.size());
-      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
-      core::HashIndex index(&right, right_cols);
-      core::Tuple key(eq.size());
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
-        index.ForEachMatch(key, [&](std::size_t r) {
-          core::TupleView rt = right.tuple(r);
-          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
-        });
-      }
-    } else {
-      // Pure inequality (or cartesian) join: nested loop.
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t j = 0; j < right.size(); ++j) {
-          core::TupleView rt = right.tuple(j);
-          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
-        }
-      }
-    }
-    return out;
-  }
-
-  core::Relation EvalSemiJoin(const Expr& e) {
-    const core::Relation& left = Eval(e.child(0));
-    const core::Relation& right = Eval(e.child(1));
-    core::Relation out(e.arity());
-    if (left.empty()) return out;
-
-    std::vector<JoinAtom> eq, residual;
-    SplitAtoms(e.atoms(), &eq, &residual);
-
-    if (right.empty()) return out;  // ∃b̄ fails everywhere.
-
-    if (!eq.empty()) {
-      std::vector<std::size_t> right_cols;
-      right_cols.reserve(eq.size());
-      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
-      core::HashIndex index(&right, right_cols);
-      core::Tuple key(eq.size());
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
-        bool found = false;
-        index.ForEachMatch(key, [&](std::size_t r) {
-          if (!found && ResidualHolds(residual, lt, right.tuple(r))) found = true;
-        });
-        if (found) out.Add(lt);
-      }
-    } else if (residual.empty()) {
-      // θ empty and right nonempty: every left tuple survives.
-      return left;
-    } else {
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t j = 0; j < right.size(); ++j) {
-          if (ResidualHolds(residual, lt, right.tuple(j))) {
-            out.Add(lt);
-            break;
-          }
-        }
-      }
-    }
-    return out;
-  }
-
-  const core::Database* db_;
-  EvalStats* stats_;
-  std::unordered_map<const Expr*, core::Relation> memo_;
-};
-
-}  // namespace
-
+// Eval is a thin wrapper over the engine's reference lowering: a 1:1
+// logical→physical mapping with every planner rewrite disabled, which
+// reproduces the historical tree-walker exactly — same results, same
+// per-node cardinalities (Definition 16), same join_rows_emitted. The
+// pattern-aware planner lives behind engine::Engine with default options.
 core::Relation Eval(const ExprPtr& expr, const core::Database& db, EvalStats* stats) {
-  Evaluator evaluator(&db, stats);
-  return evaluator.Eval(expr);
+  auto result = engine::Engine::Run(expr, db, engine::EngineOptions::Reference());
+  SETALG_CHECK_STREAM(result.ok()) << result.error();
+  if (stats != nullptr) *stats = engine::ToEvalStats(result->stats);
+  return std::move(result->relation);
 }
 
 std::size_t MaxIntermediateSize(const ExprPtr& expr, const core::Database& db) {

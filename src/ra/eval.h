@@ -5,6 +5,13 @@
 // subexpressions' outputs; EvalStats records exactly those cardinalities
 // (each distinct subexpression once), which is what the dichotomy
 // experiments measure.
+//
+// Eval is the semantic REFERENCE: it delegates to engine::Engine under
+// EngineOptions::Reference(), a 1:1 lowering with every planner rewrite
+// disabled, so each logical node is materialized as written. Use
+// engine::Engine (engine/engine.h) directly for the pattern-aware planner
+// that routes e.g. the classic division expression to a sub-quadratic
+// physical operator.
 #ifndef SETALG_RA_EVAL_H_
 #define SETALG_RA_EVAL_H_
 

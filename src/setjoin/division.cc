@@ -17,16 +17,6 @@ using core::Relation;
 using core::TupleView;
 using core::Value;
 
-// Distinct A values of r, in sorted order.
-std::vector<Value> Candidates(const Relation& r) {
-  std::vector<Value> out;
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    const Value a = r.tuple(i)[0];
-    if (out.empty() || out.back() != a) out.push_back(a);
-  }
-  return out;
-}
-
 std::vector<Value> DivisorElements(const Relation& s) {
   std::vector<Value> out;
   out.reserve(s.size());
@@ -38,13 +28,13 @@ std::vector<Value> DivisorElements(const Relation& s) {
 // probe R for (a, b). Quadratic in the worst case.
 Relation NestedLoopDivide(const Relation& r, const Relation& s, bool equality) {
   Relation out(1);
-  const auto candidates = Candidates(r);
+  const GroupedRelation groups = AsGrouped(r);
   const auto divisor = DivisorElements(s);
   core::HashIndex index(&r, {0, 1});
   core::Tuple probe(2);
-  for (Value a : candidates) {
+  for (const Group& g : groups.groups()) {
     bool all = true;
-    probe[0] = a;
+    probe[0] = g.key;
     for (Value b : divisor) {
       probe[1] = b;
       if (!index.HasMatch(probe)) {
@@ -53,22 +43,18 @@ Relation NestedLoopDivide(const Relation& r, const Relation& s, bool equality) {
       }
     }
     if (!all) continue;
-    if (equality) {
-      // Additionally require that a relates to nothing outside S: the
-      // group size must equal |S|.
-      std::size_t group_size = 0;
-      for (std::size_t i = 0; i < r.size(); ++i) {
-        if (r.tuple(i)[0] == a) ++group_size;
-      }
-      if (group_size != divisor.size()) continue;
-    }
-    out.Add({a});
+    // Equality additionally requires that the key relates to nothing
+    // outside S: the group size must equal |S|.
+    if (equality && g.elements.size() != divisor.size()) continue;
+    out.Add({g.key});
   }
   return out;
 }
 
 // Sort-merge division: r is sorted by (A, B), so each group's B-list is a
-// sorted run; merge it against the sorted divisor.
+// sorted run; merge it against the sorted divisor. Deliberately streams
+// over the normalized relation (no grouping materialization) — this is
+// the zero-allocation kernel of Graefe's taxonomy.
 Relation SortMergeDivide(const Relation& r, const Relation& s, bool equality) {
   Relation out(1);
   const auto divisor = DivisorElements(s);

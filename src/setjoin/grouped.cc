@@ -33,6 +33,10 @@ GroupedRelation GroupedRelation::FromBinary(const core::Relation& relation,
   return grouped;
 }
 
+GroupedRelation AsGrouped(const core::Relation& relation, std::size_t key_column) {
+  return GroupedRelation::FromBinary(relation, key_column);
+}
+
 const Group* GroupedRelation::Find(core::Value key) const {
   auto it = std::lower_bound(
       groups_.begin(), groups_.end(), key,

@@ -43,6 +43,12 @@ class GroupedRelation {
   std::vector<Group> groups_;
 };
 
+/// The shared spelling of "group this binary relation" used by the
+/// binary-relation convenience overloads (setjoin.h), the division
+/// kernels and the engine's set-join operators. Forwards to
+/// GroupedRelation::FromBinary, which remains the implementation.
+GroupedRelation AsGrouped(const core::Relation& relation, std::size_t key_column = 1);
+
 /// True iff sorted vector `sub` ⊆ sorted vector `super`.
 bool SortedSubset(const std::vector<core::Value>& sub,
                   const std::vector<core::Value>& super);

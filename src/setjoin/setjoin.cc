@@ -161,8 +161,7 @@ core::Relation SetContainmentJoin(const GroupedRelation& r, const GroupedRelatio
 
 core::Relation SetContainmentJoin(const core::Relation& r, const core::Relation& s,
                                   ContainmentAlgorithm algorithm) {
-  return SetContainmentJoin(GroupedRelation::FromBinary(r),
-                            GroupedRelation::FromBinary(s), algorithm);
+  return SetContainmentJoin(AsGrouped(r), AsGrouped(s), algorithm);
 }
 
 const char* EqualityJoinAlgorithmToString(EqualityJoinAlgorithm algorithm) {
@@ -205,8 +204,7 @@ core::Relation SetEqualityJoin(const GroupedRelation& r, const GroupedRelation& 
 
 core::Relation SetEqualityJoin(const core::Relation& r, const core::Relation& s,
                                EqualityJoinAlgorithm algorithm) {
-  return SetEqualityJoin(GroupedRelation::FromBinary(r),
-                         GroupedRelation::FromBinary(s), algorithm);
+  return SetEqualityJoin(AsGrouped(r), AsGrouped(s), algorithm);
 }
 
 core::Relation SetOverlapJoin(const GroupedRelation& r, const GroupedRelation& s) {
@@ -238,8 +236,7 @@ core::Relation SetOverlapJoin(const GroupedRelation& r, const GroupedRelation& s
 }
 
 core::Relation SetOverlapJoin(const core::Relation& r, const core::Relation& s) {
-  return SetOverlapJoin(GroupedRelation::FromBinary(r),
-                        GroupedRelation::FromBinary(s));
+  return SetOverlapJoin(AsGrouped(r), AsGrouped(s));
 }
 
 }  // namespace setalg::setjoin

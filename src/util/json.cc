@@ -1,0 +1,146 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace setalg::util {
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (first_in_container_.empty()) {
+    SETALG_CHECK_STREAM(out_.empty()) << "JSON document already has a root value";
+    return;
+  }
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!first_in_container_.back()) out_.push_back(',');
+  first_in_container_.back() = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  SETALG_CHECK(!first_in_container_.empty() && !key_pending_);
+  first_in_container_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  SETALG_CHECK(!first_in_container_.empty() && !key_pending_);
+  first_in_container_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  SETALG_CHECK(!first_in_container_.empty() && !key_pending_);
+  if (!first_in_container_.back()) out_.push_back(',');
+  first_in_container_.back() = false;
+  AppendEscaped(key, &out_);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_.append("null");
+    return *this;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out_.append(buffer);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value, &out_);
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  SETALG_CHECK_STREAM(first_in_container_.empty() && !key_pending_)
+      << "unclosed JSON container";
+  std::string result = std::move(out_);
+  out_.clear();
+  return result;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != content.size() || !closed) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace setalg::util

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer — just enough for the machine-readable
+// bench artifacts (BENCH_*.json) tracked across PRs. No dependencies, no
+// parsing; commas and nesting are handled so call sites stay linear.
+#ifndef SETALG_UTIL_JSON_H_
+#define SETALG_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace setalg::util {
+
+/// Builds one JSON document via Begin/End pairs, Key() and Value() calls.
+/// Misuse (e.g. a bare Value inside an object without a Key) is a
+/// programming error and aborts via CHECK.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Key of the next member; only valid directly inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(double value);
+  /// One template for all integer types: int, std::size_t, int64_t, ...
+  /// (a fixed overload set is ambiguous on platforms where size_t matches
+  /// neither int64_t nor uint64_t exactly).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& Value(T value) {
+    BeforeValue();
+    out_.append(std::to_string(value));
+    return *this;
+  }
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+
+  /// The finished document; all containers must be closed.
+  std::string TakeString();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: true while no element written yet.
+  std::vector<bool> first_in_container_;
+  bool key_pending_ = false;
+};
+
+/// Writes `content` to `path`, replacing any existing file. Returns false
+/// (and leaves a message in `*error` if non-null) on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content,
+                   std::string* error = nullptr);
+
+}  // namespace setalg::util
+
+#endif  // SETALG_UTIL_JSON_H_

@@ -224,5 +224,18 @@ TEST(SetJoins, PredicateInclusionChain) {
   EXPECT_EQ(core::Intersect(contains, overlap), contains);
 }
 
+TEST(Grouped, AsGroupedIsTheSharedGroupingHelper) {
+  const auto r = testing::MakeRel(2, {{2, 9}, {1, 5}, {1, 3}});
+  const auto via_helper = AsGrouped(r);
+  const auto via_factory = GroupedRelation::FromBinary(r);
+  ASSERT_EQ(via_helper.NumGroups(), via_factory.NumGroups());
+  for (std::size_t i = 0; i < via_helper.NumGroups(); ++i) {
+    EXPECT_EQ(via_helper.group(i).key, via_factory.group(i).key);
+    EXPECT_EQ(via_helper.group(i).elements, via_factory.group(i).elements);
+  }
+  // Keyed on column 2 the roles flip.
+  EXPECT_EQ(AsGrouped(r, 2).NumGroups(), 3u);
+}
+
 }  // namespace
 }  // namespace setalg::setjoin
