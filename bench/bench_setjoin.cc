@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cost.h"
 #include "setjoin/setjoin.h"
+#include "stats/stats.h"
 #include "util/json.h"
 #include "util/timer.h"
 #include "workload/generators.h"
@@ -19,6 +21,28 @@
 namespace {
 
 using namespace setalg;
+
+// Best-of-`reps` wall time (see bench_division.cc: the CI regression gate
+// compares table cells across runs, and the min of a few repeats is far
+// less noisy than one shot).
+template <typename Fn>
+double BestOfMillis(Fn&& fn, int reps = 3) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    util::WallTimer timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// The cost model consumes relation statistics; the set-join operators are
+// hand-built (no logical pattern), so the bench invokes the model directly
+// the way a caller assembling a physical plan would.
+engine::ExprEstimate EstimateOf(const core::Relation& relation) {
+  return engine::FromStats(stats::ComputeRelationStats(relation));
+}
 
 workload::SetJoinInstance Instance(std::size_t groups, std::size_t set_size,
                                    double containment, std::uint64_t seed = 23) {
@@ -37,6 +61,8 @@ struct ContainmentRow {
   std::size_t groups = 0;
   std::vector<std::pair<std::string, double>> cells;  // algorithm -> ms
   std::size_t matches = 0;
+  std::string chosen;  // Algorithm the cost model picked.
+  double chosen_ms = 0.0;
 };
 
 struct EqualityRow {
@@ -44,6 +70,8 @@ struct EqualityRow {
   double nested_ms = 0.0;
   double hash_ms = 0.0;
   std::size_t matches = 0;
+  std::string chosen;  // Algorithm the cost model picked.
+  double chosen_ms = 0.0;
 };
 
 std::vector<ContainmentRow> PrintContainmentTable() {
@@ -53,7 +81,7 @@ std::vector<ContainmentRow> PrintContainmentTable() {
   for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
     std::printf("  %-22s", setjoin::ContainmentAlgorithmToString(algorithm));
   }
-  std::printf("  matches\n");
+  std::printf("  %-22s  matches\n", "cost-based");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u}) {
     const auto instance = Instance(groups, 8, 0.05);
     const auto r = setjoin::AsGrouped(instance.r);
@@ -62,13 +90,22 @@ std::vector<ContainmentRow> PrintContainmentTable() {
     ContainmentRow row;
     row.groups = groups;
     for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
-      util::WallTimer timer;
-      const auto result = setjoin::SetContainmentJoin(r, s, algorithm);
-      benchmark::DoNotOptimize(result);
-      const double ms = timer.ElapsedMillis();
+      const double ms = BestOfMillis([&] {
+        const auto result = setjoin::SetContainmentJoin(r, s, algorithm);
+        benchmark::DoNotOptimize(result);
+        row.matches = result.size();
+      });
       std::printf("  %-22.3f", ms);
       row.cells.emplace_back(setjoin::ContainmentAlgorithmToString(algorithm), ms);
-      row.matches = result.size();
+    }
+    {
+      const auto choice = engine::CostModel::ChooseContainment(
+          EstimateOf(instance.r), EstimateOf(instance.s));
+      row.chosen = setjoin::ContainmentAlgorithmToString(choice.algorithm);
+      row.chosen_ms = BestOfMillis([&] {
+        benchmark::DoNotOptimize(setjoin::SetContainmentJoin(r, s, choice.algorithm));
+      });
+      std::printf("  %-22.3f", row.chosen_ms);
     }
     std::printf("  %zu\n", row.matches);
     rows.push_back(std::move(row));
@@ -83,8 +120,8 @@ std::vector<ContainmentRow> PrintContainmentTable() {
 std::vector<EqualityRow> PrintEqualityTable() {
   std::vector<EqualityRow> rows;
   std::printf("== E12: set-equality join, canonical hash vs nested loop (ms) ==\n");
-  std::printf("%-8s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
-              "canonical-hash", "matches");
+  std::printf("%-8s  %-14s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
+              "canonical-hash", "cost-based", "matches");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u, 4000u}) {
     workload::SetJoinConfig config;
     config.r_groups = groups;
@@ -96,18 +133,27 @@ std::vector<EqualityRow> PrintEqualityTable() {
     const auto instance = workload::MakeSetJoinInstance(config);
     const auto r = setjoin::AsGrouped(instance.r);
     const auto s = setjoin::AsGrouped(instance.s);
-    util::WallTimer nested;
-    const auto slow =
-        setjoin::SetEqualityJoin(r, s, setjoin::EqualityJoinAlgorithm::kNestedLoop);
-    const double nested_ms = nested.ElapsedMillis();
-    util::WallTimer hashed;
-    const auto fast = setjoin::SetEqualityJoin(
-        r, s, setjoin::EqualityJoinAlgorithm::kCanonicalHash);
-    const double hashed_ms = hashed.ElapsedMillis();
-    std::printf("%-8zu  %-14.3f  %-14.3f  %-8zu\n", groups, nested_ms, hashed_ms,
-                fast.size());
-    benchmark::DoNotOptimize(slow);
-    rows.push_back({groups, nested_ms, hashed_ms, fast.size()});
+    EqualityRow row;
+    row.groups = groups;
+    row.nested_ms = BestOfMillis([&] {
+      benchmark::DoNotOptimize(
+          setjoin::SetEqualityJoin(r, s, setjoin::EqualityJoinAlgorithm::kNestedLoop));
+    });
+    row.hash_ms = BestOfMillis([&] {
+      const auto fast = setjoin::SetEqualityJoin(
+          r, s, setjoin::EqualityJoinAlgorithm::kCanonicalHash);
+      benchmark::DoNotOptimize(fast);
+      row.matches = fast.size();
+    });
+    const auto choice = engine::CostModel::ChooseSetEquality(EstimateOf(instance.r),
+                                                             EstimateOf(instance.s));
+    row.chosen = setjoin::EqualityJoinAlgorithmToString(choice.algorithm);
+    row.chosen_ms = BestOfMillis([&] {
+      benchmark::DoNotOptimize(setjoin::SetEqualityJoin(r, s, choice.algorithm));
+    });
+    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-8zu\n", groups, row.nested_ms,
+                row.hash_ms, row.chosen_ms, row.matches);
+    rows.push_back(std::move(row));
   }
   std::printf("(expected shape: canonical hashing is ~n log n + output — the\n"
               " paper's footnote 1 — while the baseline is quadratic)\n\n");
@@ -124,6 +170,8 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.BeginObject();
     json.Key("groups").Value(row.groups);
     for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
+    json.Key("cost-based").Value(row.chosen_ms);
+    json.Key("chosen_containment").Value(row.chosen);
     json.Key("matches").Value(row.matches);
     json.EndObject();
   }
@@ -134,6 +182,8 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("groups").Value(row.groups);
     json.Key("nested-loop").Value(row.nested_ms);
     json.Key("canonical-hash").Value(row.hash_ms);
+    json.Key("cost-based").Value(row.chosen_ms);
+    json.Key("chosen_equality").Value(row.chosen);
     json.Key("matches").Value(row.matches);
     json.EndObject();
   }

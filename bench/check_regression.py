@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""CI regression gate over the BENCH_*.json artifacts.
+
+Compares a fresh bench run against the checked-in snapshots in
+bench/baseline/ and fails (exit 1) when:
+
+  1. `engine-planned` (or `cost-based`) division is more than RATIO_LIMIT
+     (1.5x) slower than direct `hash-division` at the largest measured n —
+     the ROADMAP's "regressions in engine-planned vs hash-division should
+     fail loudly" gate. A small absolute slack absorbs the constant
+     planning overhead on sub-millisecond cells.
+  2. Any tracked column regresses more than REGRESSION_LIMIT (+30%)
+     against the baseline. Absolute milliseconds are not comparable
+     across machines, so the comparison is on *normalized* times: each
+     column is divided by the same run's reference column
+     (`hash-division` / `canonical-hash` / `inverted-index`), which
+     cancels the hardware factor and keeps the check meaningful both
+     locally and on CI runners.
+  3. The cost model stops picking the expected algorithm at scale:
+     `chosen_division` must be hash-division and `chosen_equality` must
+     be canonical-hash at the largest n (the paper's headline: direct
+     hash algorithms win at scale).
+
+Regenerate the baseline after an intentional perf change with:
+    python3 bench/check_regression.py --update \
+        --current build/bench --baseline bench/baseline
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+RATIO_LIMIT = 1.5        # engine-planned vs hash-division at max n.
+REGRESSION_LIMIT = 1.30  # Normalized column vs baseline.
+ABS_SLACK_MS = 1.0       # Ignore sub-millisecond jitter in ratio checks.
+
+FILES = {
+    "BENCH_division.json": ("runtime_ms",),
+    "BENCH_setjoin.json": ("containment_ms", "equality_ms"),
+}
+
+# table key -> (row axis key, reference column, tracked columns)
+TRACKED = {
+    "runtime_ms": (
+        "n",
+        "hash-division",
+        ["sort-merge", "aggregate", "engine-planned", "cost-based"],
+    ),
+    "containment_ms": (
+        "groups",
+        "inverted-index",
+        ["signature-nested-loop", "partitioned", "cost-based"],
+    ),
+    "equality_ms": ("groups", "canonical-hash", ["cost-based"]),
+}
+
+EXPECTED_CHOICES = {
+    "runtime_ms": ("chosen_division", "hash-division"),
+    "equality_ms": ("chosen_equality", "canonical-hash"),
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def max_row(rows, axis):
+    return max(rows, key=lambda r: r[axis])
+
+
+def check_ratio(errors, data):
+    """Gate 1: engine-planned / cost-based vs hash-division at max n."""
+    rows = data.get("runtime_ms", [])
+    if not rows:
+        errors.append("runtime_ms table missing from BENCH_division.json")
+        return
+    row = max_row(rows, "n")
+    hash_ms = row["hash-division"]
+    limit = max(RATIO_LIMIT * hash_ms, hash_ms + ABS_SLACK_MS)
+    for column in ("engine-planned", "cost-based"):
+        ms = row.get(column)
+        if ms is None:
+            errors.append(f"column '{column}' missing at n={row['n']}")
+        elif ms > limit:
+            errors.append(
+                f"{column} at n={row['n']} is {ms:.3f}ms vs hash-division "
+                f"{hash_ms:.3f}ms ({ms / hash_ms:.2f}x > {RATIO_LIMIT}x limit)"
+            )
+        else:
+            print(
+                f"  ok: {column} {ms:.3f}ms <= {RATIO_LIMIT}x hash-division "
+                f"({hash_ms:.3f}ms) at n={row['n']}"
+            )
+
+
+def check_choices(errors, data, table):
+    expectation = EXPECTED_CHOICES.get(table)
+    rows = data.get(table, [])
+    if expectation is None or not rows:
+        return
+    axis = TRACKED[table][0]
+    row = max_row(rows, axis)
+    key, expected = expectation
+    actual = row.get(key)
+    if actual != expected:
+        errors.append(
+            f"cost model picked '{actual}' ({key}) at {axis}={row[axis]}, "
+            f"expected '{expected}'"
+        )
+    else:
+        print(f"  ok: {key}={actual} at {axis}={row[axis]}")
+
+
+def check_against_baseline(errors, current, baseline, table):
+    """Every row present in both current and baseline is checked."""
+    axis, reference, columns = TRACKED[table]
+    cur_rows = current.get(table, [])
+    base_rows = baseline.get(table, [])
+    if not cur_rows or not base_rows:
+        errors.append(f"table '{table}' missing from current or baseline JSON")
+        return
+    base_by_axis = {r[axis]: r for r in base_rows}
+    compared = 0
+    for cur in cur_rows:
+        base = base_by_axis.get(cur[axis])
+        if base is None:
+            continue  # New table size: no baseline yet.
+        cur_ref, base_ref = cur[reference], base[reference]
+        if cur_ref <= 0 or base_ref <= 0:
+            errors.append(
+                f"non-positive reference '{reference}' time in '{table}' at "
+                f"{axis}={cur[axis]}"
+            )
+            continue
+        compared += 1
+        for column in columns:
+            if column not in cur or column not in base:
+                # New columns have no baseline yet; missing current columns
+                # are caught by the ratio/choice gates where they matter.
+                continue
+            cur_norm = cur[column] / cur_ref
+            base_norm = base[column] / base_ref
+            # Sub-slack cells are jitter-dominated; skip them.
+            if cur[column] < ABS_SLACK_MS and base[column] < ABS_SLACK_MS:
+                continue
+            if cur_norm > REGRESSION_LIMIT * base_norm:
+                errors.append(
+                    f"{table}/{column} at {axis}={cur[axis]} regressed: "
+                    f"{cur_norm:.2f}x {reference} now vs {base_norm:.2f}x in "
+                    f"baseline (> +{(REGRESSION_LIMIT - 1) * 100:.0f}%)"
+                )
+            else:
+                print(
+                    f"  ok: {table}/{column} at {axis}={cur[axis]} "
+                    f"{cur_norm:.2f}x {reference} (baseline {base_norm:.2f}x)"
+                )
+    if compared == 0:
+        errors.append(f"no comparable rows between current and baseline in '{table}'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="build/bench",
+                        help="directory with the fresh BENCH_*.json")
+    parser.add_argument("--baseline", default="bench/baseline",
+                        help="directory with the checked-in snapshots")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current JSONs over the baseline and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name in FILES:
+            shutil.copy(os.path.join(args.current, name),
+                        os.path.join(args.baseline, name))
+            print(f"baseline updated: {os.path.join(args.baseline, name)}")
+        return 0
+
+    errors = []
+    for name, tables in FILES.items():
+        cur_path = os.path.join(args.current, name)
+        base_path = os.path.join(args.baseline, name)
+        if not os.path.exists(cur_path):
+            errors.append(f"missing current artifact {cur_path}")
+            continue
+        if not os.path.exists(base_path):
+            errors.append(f"missing baseline snapshot {base_path}")
+            continue
+        print(f"== {name} ==")
+        current, baseline = load(cur_path), load(base_path)
+        if name == "BENCH_division.json":
+            check_ratio(errors, current)
+        for table in tables:
+            check_choices(errors, current, table)
+            check_against_baseline(errors, current, baseline, table)
+
+    if errors:
+        print("\nBENCH REGRESSION GATE FAILED:", file=sys.stderr)
+        for error in errors:
+            print(f"  FAIL: {error}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,12 @@
 // line; non-integer fields are interned as strings). The expression after
 // `--` is parsed against the loaded schema (both RA and SA operators are
 // supported), planned and executed by engine::Engine, and the result is
-// printed as CSV. With -v the physical plan, planner rewrites and per-
-// operator intermediate sizes are reported too; --reference disables the
-// planner rewrites (legacy 1:1 evaluation).
+// printed as CSV. With -v the physical plan, planner rewrites, cost-based
+// algorithm choices (with their estimates) and per-operator estimated-vs-
+// actual intermediate sizes are reported too; --cost-based picks the
+// division/set-join algorithms from relation statistics instead of the
+// fixed defaults; --reference disables the planner rewrites (legacy 1:1
+// evaluation).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
   std::string expression;
   bool verbose = false;
   bool reference = false;
+  bool cost_based = false;
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -35,6 +39,8 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--reference") {
       reference = true;
+    } else if (arg == "--cost-based") {
+      cost_based = true;
     } else if (after_separator) {
       expression = arg;
     } else {
@@ -44,7 +50,7 @@ int main(int argc, char** argv) {
   if (relation_specs.empty() || expression.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
-                 "[--reference] -- EXPR\n"
+                 "[--reference] [--cost-based] -- EXPR\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -90,8 +96,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const engine::Engine engine(reference ? engine::EngineOptions::Reference()
-                                        : engine::EngineOptions{});
+  const engine::Engine engine(reference     ? engine::EngineOptions::Reference()
+                              : cost_based ? engine::EngineOptions::CostBased()
+                                           : engine::EngineOptions{});
   auto run = engine.Run(*parsed, db);
   if (!run.ok()) {
     std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
@@ -99,13 +106,25 @@ int main(int argc, char** argv) {
   }
   std::fputs(core::WriteRelationCsv(run->relation, &names).c_str(), stdout);
   if (verbose) {
-    std::fprintf(stderr, "-- %zu tuple(s); max intermediate %zu; operators:\n",
+    std::fprintf(stderr,
+                 "-- %zu tuple(s); max intermediate %zu; operators "
+                 "(actual / estimated):\n",
                  run->relation.size(), run->stats.max_intermediate);
     for (const auto& op : run->stats.ops) {
-      std::fprintf(stderr, "   %6zu  %s\n", op.output_size, op.label.c_str());
+      if (op.has_estimate) {
+        std::fprintf(stderr, "   %6zu  est=%-8.0f %s\n", op.output_size,
+                     op.estimated_output, op.label.c_str());
+      } else {
+        std::fprintf(stderr, "   %6zu  %s\n", op.output_size, op.label.c_str());
+      }
     }
     for (const auto& rewrite : run->stats.rewrites) {
       std::fprintf(stderr, "-- rewrite: %s\n", rewrite.c_str());
+    }
+    for (const auto& choice : run->stats.choices) {
+      std::fprintf(stderr, "-- cost-based: %s → %s (est cost %.0f, est rows %.0f)\n",
+                   choice.site.c_str(), choice.algorithm.c_str(),
+                   choice.estimate.cost, choice.estimate.output_size);
     }
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "util/check.h"
@@ -8,10 +9,33 @@
 
 namespace setalg::core {
 
-Database::Database(Schema schema) : schema_(std::move(schema)) {
+std::uint64_t Database::NextId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+Database::Database() : id_(NextId()) {}
+
+Database::Database(Schema schema) : schema_(std::move(schema)), id_(NextId()) {
   for (const auto& name : schema_.Names()) {
     relations_.emplace(name, Relation(schema_.Arity(name)));
   }
+}
+
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      relations_(other.relations_),
+      versions_(other.versions_),
+      id_(NextId()) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    relations_ = other.relations_;
+    versions_ = other.versions_;
+    id_ = NextId();
+  }
+  return *this;
 }
 
 const Relation& Database::relation(const std::string& name) const {
@@ -23,12 +47,19 @@ const Relation& Database::relation(const std::string& name) const {
 void Database::SetRelation(const std::string& name, Relation relation) {
   SETALG_CHECK_EQ(schema_.Arity(name), relation.arity());
   relations_.insert_or_assign(name, std::move(relation));
+  ++versions_[name];
 }
 
 Relation* Database::mutable_relation(const std::string& name) {
   auto it = relations_.find(name);
   SETALG_CHECK_STREAM(it != relations_.end()) << "unknown relation: " << name;
+  ++versions_[name];
   return &it->second;
+}
+
+std::uint64_t Database::relation_version(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
 }
 
 std::size_t Database::size() const {

@@ -4,6 +4,7 @@
 #ifndef SETALG_CORE_DATABASE_H_
 #define SETALG_CORE_DATABASE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,12 +17,23 @@
 namespace setalg::core {
 
 /// An assignment of a finite relation to each relation name of a schema.
+///
+/// Every database carries a process-unique `id()` and a per-relation
+/// mutation counter (`relation_version()`), so derived data — e.g. the
+/// cached relation statistics of stats::DatabaseStats — can be invalidated
+/// precisely when a stored relation changes instead of being recomputed
+/// per query. Copies get a fresh id (they diverge independently).
 class Database {
  public:
   /// An empty database over the empty schema (useful as a placeholder).
-  Database() = default;
+  Database();
 
   explicit Database(Schema schema);
+
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
 
   const Schema& schema() const { return schema_; }
 
@@ -31,8 +43,18 @@ class Database {
   /// Replaces the stored relation; arity must match the schema.
   void SetRelation(const std::string& name, Relation relation);
 
-  /// Mutable access (e.g. to Add tuples in place).
+  /// Mutable access (e.g. to Add tuples in place). Handing out mutable
+  /// access conservatively counts as a mutation for relation_version().
   Relation* mutable_relation(const std::string& name);
+
+  /// Process-unique identity of this database instance (fresh on
+  /// construction and on copy; preserved by moves).
+  std::uint64_t id() const { return id_; }
+
+  /// Monotone counter bumped every time `name` is (potentially) mutated —
+  /// by SetRelation or mutable_relation. Derived caches store the counter
+  /// they computed against and recompute when it moves.
+  std::uint64_t relation_version(const std::string& name) const;
 
   /// |D|: the sum of the cardinalities of all relations (Definition 15).
   std::size_t size() const;
@@ -61,8 +83,12 @@ class Database {
   bool operator==(const Database& other) const;
 
  private:
+  static std::uint64_t NextId();
+
   Schema schema_;
   std::unordered_map<std::string, Relation> relations_;
+  std::unordered_map<std::string, std::uint64_t> versions_;
+  std::uint64_t id_ = 0;
 };
 
 }  // namespace setalg::core

@@ -1,0 +1,375 @@
+#include "engine/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace setalg::engine {
+namespace {
+
+using ra::OpKind;
+
+// Relative per-tuple weights of the kernels' inner loops (kTupleOp = 1 is
+// one plain array/merge step). Hash probes cost a bit more than merge
+// steps; the aggregate kernel touches a hash counter pair per tuple where
+// hash-division does one slot lookup plus a bitset write.
+constexpr double kTupleOp = 1.0;
+constexpr double kHashProbe = 1.25;
+constexpr double kHashCounter = 1.5;
+constexpr double kSignatureTest = 0.15;  // One 64-bit word op per pair.
+
+double NonZero(double x) { return std::max(1.0, x); }
+
+// Coarse selectivity constants for propagated (non-scan) estimates.
+double SelectionSelectivity(ra::Cmp op) {
+  switch (op) {
+    case ra::Cmp::kEq:
+      return 0.1;
+    case ra::Cmp::kNeq:
+      return 0.9;
+    case ra::Cmp::kLt:
+    case ra::Cmp::kGt:
+      return 0.45;
+  }
+  return 0.5;
+}
+
+// Distinct-count estimate for one 1-based column of a subexpression: the
+// tracked key/element columns are used when they apply, sqrt(card)
+// otherwise (the classic fallback).
+double ColumnDistinct(const ExprEstimate& e, std::size_t column, std::size_t arity) {
+  if (column == 1) return NonZero(e.key_distinct);
+  if (column == arity) return NonZero(e.elem_distinct);
+  return NonZero(std::sqrt(NonZero(e.cardinality)));
+}
+
+ExprEstimate Unknown() {
+  ExprEstimate e;
+  e.cardinality = 1000.0;
+  e.key_distinct = 100.0;
+  e.elem_distinct = 100.0;
+  e.avg_group = 10.0;
+  e.exact = false;
+  return e;
+}
+
+ExprEstimate Derived(double cardinality, double key_distinct, double elem_distinct) {
+  ExprEstimate e;
+  e.cardinality = std::max(0.0, cardinality);
+  e.key_distinct = std::min(NonZero(key_distinct), NonZero(e.cardinality));
+  e.elem_distinct = std::min(NonZero(elem_distinct), NonZero(e.cardinality));
+  e.avg_group = NonZero(e.cardinality) / e.key_distinct;
+  e.exact = false;
+  return e;
+}
+
+}  // namespace
+
+ExprEstimate FromStats(const stats::RelationStats& stats) {
+  ExprEstimate e;
+  e.cardinality = static_cast<double>(stats.cardinality);
+  e.key_distinct =
+      stats.columns.empty() ? 1.0 : NonZero(static_cast<double>(stats.columns[0].distinct));
+  e.elem_distinct = stats.columns.empty()
+                        ? 1.0
+                        : NonZero(static_cast<double>(stats.columns.back().distinct));
+  e.avg_group = stats.arity == 2 && stats.groups.num_groups > 0
+                    ? NonZero(stats.groups.avg_group_size)
+                    : NonZero(e.cardinality) / e.key_distinct;
+  e.exact = true;
+  return e;
+}
+
+ExprEstimate CostModel::Estimate(const ra::ExprPtr& expr) const {
+  SETALG_CHECK(expr != nullptr);
+  auto it = memo_.find(expr.get());
+  if (it != memo_.end()) return it->second;
+  ExprEstimate estimate = EstimateUncached(expr);
+  memo_.emplace(expr.get(), estimate);
+  return estimate;
+}
+
+ExprEstimate CostModel::EstimateUncached(const ra::ExprPtr& expr) const {
+  switch (expr->kind()) {
+    case OpKind::kRelation: {
+      if (provider_ == nullptr) return Unknown();
+      const stats::RelationStats* stats = provider_->Get(expr->relation_name());
+      return stats == nullptr ? Unknown() : FromStats(*stats);
+    }
+    case OpKind::kUnion: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      const ExprEstimate b = Estimate(expr->child(1));
+      return Derived(a.cardinality + b.cardinality, a.key_distinct + b.key_distinct,
+                     a.elem_distinct + b.elem_distinct);
+    }
+    case OpKind::kDifference: {
+      // Upper bound: nothing needs to be removed.
+      const ExprEstimate a = Estimate(expr->child(0));
+      return Derived(a.cardinality, a.key_distinct, a.elem_distinct);
+    }
+    case OpKind::kProjection: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      const auto& columns = expr->projection();
+      const std::size_t child_arity = expr->child(0)->arity();
+      double cardinality = a.cardinality;
+      if (columns.size() == 1) {
+        cardinality = ColumnDistinct(a, columns[0], child_arity);
+      }
+      const double key =
+          columns.empty() ? 1.0 : ColumnDistinct(a, columns[0], child_arity);
+      const double elem =
+          columns.empty() ? 1.0 : ColumnDistinct(a, columns.back(), child_arity);
+      return Derived(cardinality, key, elem);
+    }
+    case OpKind::kSelection: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      const double s = SelectionSelectivity(expr->selection_op());
+      return Derived(a.cardinality * s, a.key_distinct * s + 1, a.elem_distinct * s + 1);
+    }
+    case OpKind::kConstTag: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      // The appended column is a single constant.
+      return Derived(a.cardinality, a.key_distinct, 1.0);
+    }
+    case OpKind::kJoin: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      const ExprEstimate b = Estimate(expr->child(1));
+      const std::size_t left_arity = expr->child(0)->arity();
+      const std::size_t right_arity = expr->child(1)->arity();
+      double cardinality = a.cardinality * b.cardinality;
+      for (const auto& atom : expr->atoms()) {
+        if (atom.op == ra::Cmp::kEq) {
+          cardinality /= std::max(ColumnDistinct(a, atom.left, left_arity),
+                                  ColumnDistinct(b, atom.right, right_arity));
+        } else {
+          cardinality *= SelectionSelectivity(atom.op);
+        }
+      }
+      return Derived(cardinality, a.key_distinct,
+                     right_arity > 0 ? b.elem_distinct : a.elem_distinct);
+    }
+    case OpKind::kSemiJoin: {
+      const ExprEstimate a = Estimate(expr->child(0));
+      const double s = expr->atoms().empty() ? 1.0 : 0.5;
+      return Derived(a.cardinality * s, a.key_distinct * s + 1, a.elem_distinct * s + 1);
+    }
+  }
+  SETALG_CHECK_STREAM(false) << "unreachable";
+  return Unknown();
+}
+
+// ---------------------------------------------------------------------------
+// Division. Shapes (setjoin/division.cc): n = |R|, g = distinct keys,
+// k = n/g elements per group, m = |S|.
+// ---------------------------------------------------------------------------
+
+CostEstimate CostModel::EstimateDivision(setjoin::DivisionAlgorithm algorithm,
+                                         const ExprEstimate& r, const ExprEstimate& s,
+                                         bool equality) {
+  const double n = NonZero(r.cardinality);
+  const double g = NonZero(r.key_distinct);
+  const double m = NonZero(s.cardinality);
+  CostEstimate est;
+  // All algorithms emit the same result: a coarse fraction of the groups
+  // (equality is stricter). The choice only hinges on cost.
+  est.output_size = g * (equality ? 0.1 : 0.25);
+  switch (algorithm) {
+    case setjoin::DivisionAlgorithm::kNestedLoop:
+      // Grouping pass + (A,B) hash index build + g·m membership probes.
+      est.cost = 2 * kTupleOp * n + kHashProbe * (n + g * m);
+      est.max_intermediate = n;
+      break;
+    case setjoin::DivisionAlgorithm::kSortMerge:
+      // Streams the normalized storage; the divisor pointer can re-advance
+      // up to m steps in each of the g groups.
+      est.cost = kTupleOp * (n + 0.5 * g * m);
+      est.max_intermediate = est.output_size;
+      break;
+    case setjoin::DivisionAlgorithm::kHashDivision:
+      // Divisor table build, one slot lookup + bitset write per tuple,
+      // then a bitmap scan (m/64 words) per candidate.
+      est.cost = kHashProbe * m + kHashProbe * n + kTupleOp * g * (1 + m / 64.0);
+      est.max_intermediate = g;
+      break;
+    case setjoin::DivisionAlgorithm::kAggregate:
+      // Divisor set build, hash-counter update per tuple, candidate scan.
+      est.cost = kHashProbe * m + kHashCounter * n + kTupleOp * g;
+      est.max_intermediate = g;
+      break;
+    case setjoin::DivisionAlgorithm::kClassicRa:
+      // The textbook plan materializes the g·m product and two differences
+      // over it (Proposition 26's Ω(n²) intermediate).
+      est.cost = kTupleOp * (n + 3 * g * m);
+      est.max_intermediate = g * m;
+      break;
+  }
+  return est;
+}
+
+CostModel::DivisionChoice CostModel::ChooseDivision(const ExprEstimate& r,
+                                                    const ExprEstimate& s,
+                                                    bool equality) {
+  // kHashDivision first: it wins ties (Graefe's all-round strongest).
+  static constexpr setjoin::DivisionAlgorithm kCandidates[] = {
+      setjoin::DivisionAlgorithm::kHashDivision,
+      setjoin::DivisionAlgorithm::kAggregate,
+      setjoin::DivisionAlgorithm::kSortMerge,
+      setjoin::DivisionAlgorithm::kNestedLoop,
+  };
+  DivisionChoice best{kCandidates[0], EstimateDivision(kCandidates[0], r, s, equality)};
+  for (std::size_t i = 1; i < std::size(kCandidates); ++i) {
+    const CostEstimate est = EstimateDivision(kCandidates[i], r, s, equality);
+    if (est.cost < best.estimate.cost) best = {kCandidates[i], est};
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Set-containment join. Shapes (setjoin/setjoin.cc): G_r/G_s groups with
+// k_r/k_s elements each, D distinct elements on the containing side.
+// ---------------------------------------------------------------------------
+
+CostEstimate CostModel::EstimateContainment(setjoin::ContainmentAlgorithm algorithm,
+                                            const ExprEstimate& r,
+                                            const ExprEstimate& s) {
+  const double nr = NonZero(r.cardinality);
+  const double ns = NonZero(s.cardinality);
+  const double gr = NonZero(r.key_distinct);
+  const double gs = NonZero(s.key_distinct);
+  const double kr = NonZero(r.avg_group);
+  const double ks = NonZero(s.avg_group);
+  const double domain = NonZero(r.elem_distinct);
+  CostEstimate est;
+  est.output_size = 0.1 * std::min(gr, gs) + 0.001 * gr * gs;
+  const double pair_test = 0.5 * (kr + ks);  // Sorted-subset merge.
+  switch (algorithm) {
+    case setjoin::ContainmentAlgorithm::kNestedLoop:
+      est.cost = gr * gs * pair_test;
+      est.max_intermediate = nr + ns;
+      break;
+    case setjoin::ContainmentAlgorithm::kSignatureNestedLoop: {
+      // One word op per pair; survivors (true matches + Bloom false
+      // positives) pay the exact test.
+      const double survivors = 2 * est.output_size + 0.01 * gr * gs;
+      est.cost = kSignatureTest * gr * gs + survivors * pair_test;
+      est.max_intermediate = nr + ns;
+      break;
+    }
+    case setjoin::ContainmentAlgorithm::kPartitioned: {
+      // Candidate groups are replicated to the partition of each of their
+      // elements; each divisor group meets the ~n_r/D candidates stored in
+      // its designated partition.
+      const double per_partition_pairs = gs * (nr / domain);
+      est.cost = kTupleOp * (nr + ns) + per_partition_pairs * pair_test;
+      est.max_intermediate = 2 * nr + ns;
+      break;
+    }
+    case setjoin::ContainmentAlgorithm::kInvertedIndex:
+      // Postings build + one counting probe per (s element, posting hit).
+      est.cost = kHashProbe * nr + kHashProbe * ns * (nr / domain) +
+                 kTupleOp * est.output_size;
+      est.max_intermediate = nr + ns;
+      break;
+  }
+  return est;
+}
+
+CostModel::ContainmentChoice CostModel::ChooseContainment(const ExprEstimate& r,
+                                                          const ExprEstimate& s) {
+  static constexpr setjoin::ContainmentAlgorithm kCandidates[] = {
+      setjoin::ContainmentAlgorithm::kInvertedIndex,
+      setjoin::ContainmentAlgorithm::kSignatureNestedLoop,
+      setjoin::ContainmentAlgorithm::kPartitioned,
+      setjoin::ContainmentAlgorithm::kNestedLoop,
+  };
+  ContainmentChoice best{kCandidates[0], EstimateContainment(kCandidates[0], r, s)};
+  for (std::size_t i = 1; i < std::size(kCandidates); ++i) {
+    const CostEstimate est = EstimateContainment(kCandidates[i], r, s);
+    if (est.cost < best.estimate.cost) best = {kCandidates[i], est};
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Set-equality join.
+// ---------------------------------------------------------------------------
+
+CostEstimate CostModel::EstimateSetEquality(setjoin::EqualityJoinAlgorithm algorithm,
+                                            const ExprEstimate& r,
+                                            const ExprEstimate& s) {
+  const double nr = NonZero(r.cardinality);
+  const double ns = NonZero(s.cardinality);
+  const double gr = NonZero(r.key_distinct);
+  const double gs = NonZero(s.key_distinct);
+  const double kr = NonZero(r.avg_group);
+  const double ks = NonZero(s.avg_group);
+  CostEstimate est;
+  est.output_size = 0.1 * std::min(gr, gs) + 0.001 * gr * gs;
+  switch (algorithm) {
+    case setjoin::EqualityJoinAlgorithm::kNestedLoop:
+      est.cost = gr * gs * 0.5 * std::min(kr, ks);
+      est.max_intermediate = nr + ns;
+      break;
+    case setjoin::EqualityJoinAlgorithm::kCanonicalHash:
+      // One set-hash pass per side plus in-bucket verification of matches
+      // (the paper's footnote-1 O(n log n + output) strategy).
+      est.cost = kHashProbe * (nr + ns) + (kr + ks) * est.output_size;
+      est.max_intermediate = nr + ns;
+      break;
+  }
+  return est;
+}
+
+CostModel::EqualityChoice CostModel::ChooseSetEquality(const ExprEstimate& r,
+                                                       const ExprEstimate& s) {
+  const CostEstimate hash = EstimateSetEquality(
+      setjoin::EqualityJoinAlgorithm::kCanonicalHash, r, s);
+  const CostEstimate nested =
+      EstimateSetEquality(setjoin::EqualityJoinAlgorithm::kNestedLoop, r, s);
+  if (nested.cost < hash.cost) {
+    return {setjoin::EqualityJoinAlgorithm::kNestedLoop, nested};
+  }
+  return {setjoin::EqualityJoinAlgorithm::kCanonicalHash, hash};
+}
+
+// ---------------------------------------------------------------------------
+// Semijoin kernel choice.
+// ---------------------------------------------------------------------------
+
+SemijoinStrategy CostModel::ChooseSemijoin(const ExprEstimate& left,
+                                           const ExprEstimate& right,
+                                           const std::vector<ra::JoinAtom>& atoms) {
+  // With an empty condition the generic path returns `left` outright; on
+  // tiny inputs the fast kernels' index setup dominates their win.
+  if (atoms.empty()) return SemijoinStrategy::kGeneric;
+  if (left.cardinality + right.cardinality < 64.0) return SemijoinStrategy::kGeneric;
+  return SemijoinStrategy::kFastKernel;
+}
+
+CostEstimate CostModel::EstimateSemijoin(const ExprEstimate& left,
+                                         const ExprEstimate& right,
+                                         const std::vector<ra::JoinAtom>& atoms,
+                                         SemijoinStrategy strategy) {
+  const double nl = NonZero(left.cardinality);
+  const double nr = NonZero(right.cardinality);
+  CostEstimate est;
+  est.output_size = atoms.empty() ? left.cardinality : 0.5 * left.cardinality;
+  est.max_intermediate = est.output_size;
+  if (atoms.empty()) {
+    est.cost = kTupleOp * nl;  // Both paths copy the surviving side.
+    return est;
+  }
+  bool has_equality = false;
+  for (const auto& atom : atoms) has_equality |= atom.op == ra::Cmp::kEq;
+  if (strategy == SemijoinStrategy::kFastKernel || has_equality) {
+    // Index build on one side, one probe per tuple of the other (the
+    // order-conjunct kernels are min/max aggregations of the same shape).
+    est.cost = kHashProbe * (nl + nr);
+  } else {
+    est.cost = 0.5 * nl * nr;  // Generic pure-inequality nested loop.
+  }
+  return est;
+}
+
+}  // namespace setalg::engine

@@ -1,0 +1,130 @@
+// The engine's cost model: per-alternative cost and max-intermediate
+// estimates for the division / set-join / semijoin operators, driven by
+// the one-pass relation statistics of stats::.
+//
+// The formulas count abstract tuple operations (hash probes, merge steps,
+// bitmap updates) with small constant weights taken from the shape of
+// each kernel in setjoin/ and sa/. They are deliberately coarse: their
+// job is to separate the asymptotic regimes the paper identifies (e.g.
+// nested-loop division's g·m probes vs hash-division's single pass), not
+// to predict milliseconds. Every Engine run records estimated-vs-actual
+// output sizes in PlanStats, so the model's errors are observable and a
+// future PR can recalibrate the weights from real traces.
+//
+// To add a formula for a new operator: write an Estimate<Op> function
+// from ExprEstimate inputs to a CostEstimate, add a Choose<Op> that
+// minimizes over the alternatives, and consult it from the planner's
+// lowering (see Planner's cost_based paths). Keep the weights relative
+// to kTupleOp = 1.
+#ifndef SETALG_ENGINE_COST_H_
+#define SETALG_ENGINE_COST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/physical.h"
+#include "ra/expr.h"
+#include "setjoin/division.h"
+#include "setjoin/setjoin.h"
+#include "stats/stats.h"
+
+namespace setalg::engine {
+
+/// Estimated shape of an arbitrary subexpression — the projection of
+/// RelationStats that the cost formulas consume. Exact for stored
+/// relations; propagated with coarse selectivities elsewhere.
+struct ExprEstimate {
+  double cardinality = 0.0;
+  /// Distinct values in column 1 (the group key of grouped inputs).
+  double key_distinct = 0.0;
+  /// Distinct values in the last column (the element column of grouped
+  /// inputs — the divisor-domain width of a dividend).
+  double elem_distinct = 0.0;
+  /// cardinality / key_distinct (elements per group), >= 1.
+  double avg_group = 1.0;
+  /// True when the estimate is backed by actual stored-relation stats
+  /// (a scan), not propagated guesses.
+  bool exact = false;
+};
+
+/// Converts one-pass relation statistics into the cost-formula view.
+ExprEstimate FromStats(const stats::RelationStats& stats);
+
+class CostModel {
+ public:
+  /// `provider` may be nullptr: estimates then fall back to coarse
+  /// defaults and `exact` is never set.
+  explicit CostModel(const stats::StatsProvider* provider) : provider_(provider) {}
+
+  /// Bottom-up cardinality/shape estimation for a logical subexpression.
+  /// Memoized per node, so shared-subexpression DAGs (which the executor
+  /// evaluates once per node) also estimate once per node.
+  ExprEstimate Estimate(const ra::ExprPtr& expr) const;
+
+  // -- Division ------------------------------------------------------------
+
+  /// Cost of one division algorithm on dividend `r` (binary) and divisor
+  /// `s` (unary). kClassicRa is estimated too (it is never chosen, but its
+  /// Ω(g·m) intermediate makes the baseline visible in explains).
+  static CostEstimate EstimateDivision(setjoin::DivisionAlgorithm algorithm,
+                                       const ExprEstimate& r, const ExprEstimate& s,
+                                       bool equality);
+
+  struct DivisionChoice {
+    setjoin::DivisionAlgorithm algorithm;
+    CostEstimate estimate;
+  };
+  /// The cheapest direct algorithm (never kClassicRa; ties break toward
+  /// hash-division, the strongest all-round kernel in Graefe's study).
+  static DivisionChoice ChooseDivision(const ExprEstimate& r, const ExprEstimate& s,
+                                       bool equality);
+
+  // -- Set-containment join ------------------------------------------------
+
+  static CostEstimate EstimateContainment(setjoin::ContainmentAlgorithm algorithm,
+                                          const ExprEstimate& r,
+                                          const ExprEstimate& s);
+
+  struct ContainmentChoice {
+    setjoin::ContainmentAlgorithm algorithm;
+    CostEstimate estimate;
+  };
+  static ContainmentChoice ChooseContainment(const ExprEstimate& r,
+                                             const ExprEstimate& s);
+
+  // -- Set-equality join ---------------------------------------------------
+
+  static CostEstimate EstimateSetEquality(setjoin::EqualityJoinAlgorithm algorithm,
+                                          const ExprEstimate& r,
+                                          const ExprEstimate& s);
+
+  struct EqualityChoice {
+    setjoin::EqualityJoinAlgorithm algorithm;
+    CostEstimate estimate;
+  };
+  static EqualityChoice ChooseSetEquality(const ExprEstimate& r,
+                                          const ExprEstimate& s);
+
+  // -- Semijoin ------------------------------------------------------------
+
+  /// Kernel choice for left ⋉_θ right: the sa:: fast kernels win except on
+  /// inputs so small that their setup work dominates.
+  static SemijoinStrategy ChooseSemijoin(const ExprEstimate& left,
+                                         const ExprEstimate& right,
+                                         const std::vector<ra::JoinAtom>& atoms);
+
+  static CostEstimate EstimateSemijoin(const ExprEstimate& left,
+                                       const ExprEstimate& right,
+                                       const std::vector<ra::JoinAtom>& atoms,
+                                       SemijoinStrategy strategy);
+
+ private:
+  ExprEstimate EstimateUncached(const ra::ExprPtr& expr) const;
+
+  const stats::StatsProvider* provider_;
+  mutable std::unordered_map<const ra::Expr*, ExprEstimate> memo_;
+};
+
+}  // namespace setalg::engine
+
+#endif  // SETALG_ENGINE_COST_H_

@@ -13,8 +13,9 @@ namespace {
 // Post-order DAG execution with memoization: shared operators run once.
 class Executor {
  public:
-  Executor(const core::Database* db, const EngineOptions* options, PlanStats* stats)
-      : ctx_(db, stats), options_(options), stats_(stats) {}
+  Executor(const core::Database* db, const EngineOptions* options,
+           const PhysicalPlan* plan, PlanStats* stats)
+      : ctx_(db, stats), options_(options), plan_(plan), stats_(stats) {}
 
   const core::Relation* Execute(const PhysicalOpPtr& op) {
     auto it = memo_.find(op.get());
@@ -33,7 +34,16 @@ class Executor {
     const std::size_t size = out.size();
     if (stats_ != nullptr) {
       if (options_->collect_node_stats) {
-        stats_->ops.push_back({op.get(), op->source(), op->label(), size});
+        OpStats entry{op.get(), op->source(), op->label(), size, false, 0.0, 0.0};
+        // Pair the actual output with the plan-time prediction, if any —
+        // this is what makes every run a cost-model calibration point.
+        auto estimate = plan_->estimates.find(op.get());
+        if (estimate != plan_->estimates.end()) {
+          entry.has_estimate = true;
+          entry.estimated_output = estimate->second.output_size;
+          entry.estimated_cost = estimate->second.cost;
+        }
+        stats_->ops.push_back(std::move(entry));
       }
       stats_->max_intermediate = std::max(stats_->max_intermediate, size);
       stats_->total_intermediate += size;
@@ -59,6 +69,7 @@ class Executor {
  private:
   ExecContext ctx_;
   const EngineOptions* options_;
+  const PhysicalPlan* plan_;
   PlanStats* stats_;
   std::unordered_map<const PhysicalOp*, core::Relation> memo_;
   std::string error_;
@@ -66,9 +77,17 @@ class Executor {
 
 }  // namespace
 
+const stats::DatabaseStats* Engine::StatsFor(const core::Database& db) const {
+  if (db_stats_ == nullptr || db_stats_id_ != db.id() || &db_stats_->db() != &db) {
+    db_stats_ = std::make_unique<stats::DatabaseStats>(&db);
+    db_stats_id_ = db.id();
+  }
+  return db_stats_.get();
+}
+
 util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr,
                                     const core::Database& db) const {
-  auto plan = Plan(expr, db.schema());
+  auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
   return RunPlan(*plan, db);
 }
@@ -78,9 +97,21 @@ util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,
   return Planner(options_).Lower(expr, schema);
 }
 
+util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,
+                                        const core::Database& db) const {
+  return Planner(options_).Lower(expr, db.schema(), StatsFor(db));
+}
+
 util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
                                           const core::Schema& schema) const {
   auto plan = Plan(expr, schema);
+  if (!plan.ok()) return util::Result<std::string>::Error(plan.error());
+  return plan->ToString();
+}
+
+util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
+                                          const core::Database& db) const {
+  auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<std::string>::Error(plan.error());
   return plan->ToString();
 }
@@ -90,7 +121,8 @@ util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
   SETALG_CHECK(plan.root != nullptr);
   RunResult result;
   result.stats.rewrites = plan.rewrites;
-  Executor executor(&db, &options_, &result.stats);
+  result.stats.choices = plan.choices;
+  Executor executor(&db, &options_, &plan, &result.stats);
   if (executor.Execute(plan.root) == nullptr) {
     return util::Result<RunResult>::Error(executor.error());
   }
@@ -100,7 +132,15 @@ util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
 
 util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr, const core::Database& db,
                                     const EngineOptions& options) {
-  return Engine(options).Run(expr, db);
+  // The throwaway engine cannot amortize a statistics pass across calls
+  // (this is the hot path behind legacy ra::Eval), so it only computes
+  // stats when the options actually need them for algorithm choice. Use a
+  // persistent Engine to get cached stats and estimate annotations.
+  const Engine engine(options);
+  auto plan = options.cost_based ? engine.Plan(expr, db)
+                                 : engine.Plan(expr, db.schema());
+  if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
+  return engine.RunPlan(*plan, db);
 }
 
 ra::EvalStats ToEvalStats(const PlanStats& stats) {

@@ -15,6 +15,7 @@
 #ifndef SETALG_ENGINE_ENGINE_H_
 #define SETALG_ENGINE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "core/database.h"
@@ -23,6 +24,7 @@
 #include "engine/planner.h"
 #include "ra/eval.h"
 #include "ra/expr.h"
+#include "stats/stats.h"
 #include "util/result.h"
 
 namespace setalg::engine {
@@ -33,6 +35,10 @@ struct RunResult {
   PlanStats stats;
 };
 
+/// Not thread-safe: the engine memoizes relation statistics for the last
+/// database it ran against (stats::DatabaseStats, invalidated via the
+/// database's mutation counters), so concurrent Runs on one Engine would
+/// race on the cache.
 class Engine {
  public:
   /// An engine with the default (rewrite-enabled) options.
@@ -45,13 +51,24 @@ class Engine {
   /// violations come back as Result errors, never aborts.
   util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db) const;
 
-  /// Lowers without executing.
+  /// Lowers without executing. Without a database there are no statistics:
+  /// the plan carries no cost estimates and cost_based options fall back
+  /// to the fixed algorithm defaults.
   util::Result<PhysicalPlan> Plan(const ra::ExprPtr& expr,
                                   const core::Schema& schema) const;
+
+  /// Statistics-aware lowering: the plan is annotated with cost estimates
+  /// and cost_based options pick algorithms from `db`'s relation stats.
+  util::Result<PhysicalPlan> Plan(const ra::ExprPtr& expr,
+                                  const core::Database& db) const;
 
   /// The plan rendered as text (operator tree + rewrite notes).
   util::Result<std::string> Explain(const ra::ExprPtr& expr,
                                     const core::Schema& schema) const;
+
+  /// Statistics-aware Explain: additionally shows cost-based choices.
+  util::Result<std::string> Explain(const ra::ExprPtr& expr,
+                                    const core::Database& db) const;
 
   /// Executes a plan built by Plan() or assembled by hand from the
   /// physical.h factories (e.g. a set-containment join operator, which has
@@ -59,12 +76,22 @@ class Engine {
   util::Result<RunResult> RunPlan(const PhysicalPlan& plan,
                                   const core::Database& db) const;
 
-  /// One-shot convenience.
+  /// One-shot convenience. Computes statistics only when
+  /// `options.cost_based` needs them (a throwaway engine cannot amortize
+  /// the pass); use a persistent Engine for cached stats and
+  /// estimated-vs-actual annotations on every run.
   static util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db,
                                      const EngineOptions& options);
 
  private:
+  /// The statistics provider for `db`, rebuilt when a different database
+  /// (by id) comes through; per-relation stats within it refresh via the
+  /// database's mutation counters.
+  const stats::DatabaseStats* StatsFor(const core::Database& db) const;
+
   EngineOptions options_;
+  mutable std::unique_ptr<stats::DatabaseStats> db_stats_;
+  mutable std::uint64_t db_stats_id_ = 0;
 };
 
 /// Projects PlanStats onto the legacy ra::EvalStats view: operators that

@@ -33,6 +33,29 @@ namespace setalg::engine {
 class PhysicalOp;
 using PhysicalOpPtr = std::shared_ptr<const PhysicalOp>;
 
+/// A cost-model estimate for one physical operator (see engine/cost.h for
+/// the formulas).
+struct CostEstimate {
+  /// Abstract work units (~one hash probe / merge step / emitted tuple).
+  double cost = 0.0;
+  /// Estimated output cardinality.
+  double output_size = 0.0;
+  /// Estimated largest materialization the alternative needs (its own
+  /// output or any internal table), in tuples.
+  double max_intermediate = 0.0;
+};
+
+/// One cost-based planner decision, kept on the plan and copied into
+/// PlanStats, so benches/tests can assert which algorithm the model
+/// picked and how far off its estimate was.
+struct AlgorithmChoice {
+  /// Call site, e.g. "division", "set-containment-join", "semijoin".
+  std::string site;
+  /// Chosen algorithm name, e.g. "hash-division".
+  std::string algorithm;
+  CostEstimate estimate;
+};
+
 /// Per-operator instrumentation (one entry per distinct operator, in
 /// execution post-order).
 struct OpStats {
@@ -43,6 +66,12 @@ struct OpStats {
   const ra::Expr* source = nullptr;
   std::string label;
   std::size_t output_size = 0;
+  /// Cost-model predictions made at plan time, for calibration against
+  /// `output_size`; absent (has_estimate false) when the plan was built
+  /// without statistics.
+  bool has_estimate = false;
+  double estimated_output = 0.0;
+  double estimated_cost = 0.0;
 };
 
 /// Instrumentation collected by one Engine run — the physical-plan
@@ -57,6 +86,9 @@ struct PlanStats {
   std::uint64_t join_rows_emitted = 0;
   /// Human-readable notes of the planner rewrites that shaped this plan.
   std::vector<std::string> rewrites;
+  /// Cost-based algorithm selections made while planning (empty unless
+  /// EngineOptions::cost_based was set and statistics were available).
+  std::vector<AlgorithmChoice> choices;
 };
 
 /// Execution-time context handed to every operator.

@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/cost.h"
 #include "util/check.h"
+#include "util/str.h"
 
 namespace setalg::engine {
 namespace {
@@ -79,39 +81,83 @@ std::optional<DivisionMatch> MatchEqualityDivision(const ExprPtr& e) {
 
 class Lowering {
  public:
-  explicit Lowering(const EngineOptions& options) : options_(options) {}
+  Lowering(const EngineOptions& options, const stats::StatsProvider* stats)
+      : options_(options), stats_(stats), model_(stats) {}
 
   PhysicalOpPtr Lower(const ExprPtr& e) {
     auto it = memo_.find(e.get());
     if (it != memo_.end()) return it->second;
     PhysicalOpPtr op = LowerUncached(e);
+    // Annotate every operator that mirrors a logical node with the cost
+    // model's output prediction — the estimated half of the
+    // estimated-vs-actual pairs in PlanStats. Rewrite-specific operators
+    // record their own, richer estimates in LowerUncached.
+    if (stats_ != nullptr && estimates_.find(op.get()) == estimates_.end()) {
+      const ExprEstimate guess = model_.Estimate(e);
+      estimates_[op.get()] = {0.0, guess.cardinality, guess.cardinality};
+    }
     memo_.emplace(e.get(), op);
     return op;
   }
 
   std::vector<std::string> TakeRewrites() { return std::move(rewrites_); }
+  std::vector<AlgorithmChoice> TakeChoices() { return std::move(choices_); }
+  std::unordered_map<const PhysicalOp*, CostEstimate> TakeEstimates() {
+    return std::move(estimates_);
+  }
 
  private:
+  bool CostBased() const { return options_.cost_based && stats_ != nullptr; }
+
   SemijoinStrategy Strategy() const {
     return options_.use_fast_semijoin ? SemijoinStrategy::kFastKernel
                                       : SemijoinStrategy::kGeneric;
   }
 
+  SemijoinStrategy SemijoinStrategyFor(const ExprPtr& left, const ExprPtr& right,
+                                       const std::vector<ra::JoinAtom>& atoms) {
+    if (!CostBased()) return Strategy();
+    const ExprEstimate l = model_.Estimate(left);
+    const ExprEstimate r = model_.Estimate(right);
+    const SemijoinStrategy strategy = CostModel::ChooseSemijoin(l, r, atoms);
+    choices_.push_back(
+        {"semijoin",
+         strategy == SemijoinStrategy::kFastKernel ? "fast-kernel" : "generic",
+         CostModel::EstimateSemijoin(l, r, atoms, strategy)});
+    return strategy;
+  }
+
+  PhysicalOpPtr LowerDivision(const DivisionMatch& m, bool equality,
+                              const ra::Expr* source) {
+    setjoin::DivisionAlgorithm algorithm = options_.division_algorithm;
+    if (CostBased()) {
+      const auto choice = CostModel::ChooseDivision(model_.Estimate(m.r),
+                                                    model_.Estimate(m.s), equality);
+      algorithm = choice.algorithm;
+      choices_.push_back({equality ? "equality-division" : "division",
+                          setjoin::DivisionAlgorithmToString(algorithm),
+                          choice.estimate});
+    }
+    rewrites_.push_back(
+        util::StrCat(equality ? "equality-division pattern → division=["
+                              : "division pattern → division[",
+                     setjoin::DivisionAlgorithmToString(algorithm), "]",
+                     CostBased() ? " (cost-based)" : ""));
+    PhysicalOpPtr op = MakeDivision(Lower(m.r), Lower(m.s), algorithm, equality, source);
+    if (stats_ != nullptr) {
+      estimates_[op.get()] = CostModel::EstimateDivision(algorithm, model_.Estimate(m.r),
+                                                         model_.Estimate(m.s), equality);
+    }
+    return op;
+  }
+
   PhysicalOpPtr LowerUncached(const ExprPtr& e) {
     if (options_.recognize_division) {
       if (auto m = MatchEqualityDivision(e)) {
-        rewrites_.push_back(
-            std::string("equality-division pattern → division=[") +
-            setjoin::DivisionAlgorithmToString(options_.division_algorithm) + "]");
-        return MakeDivision(Lower(m->r), Lower(m->s), options_.division_algorithm,
-                            /*equality=*/true, e.get());
+        return LowerDivision(*m, /*equality=*/true, e.get());
       }
       if (auto m = MatchContainmentDivision(e)) {
-        rewrites_.push_back(
-            std::string("division pattern → division[") +
-            setjoin::DivisionAlgorithmToString(options_.division_algorithm) + "]");
-        return MakeDivision(Lower(m->r), Lower(m->s), options_.division_algorithm,
-                            /*equality=*/false, e.get());
+        return LowerDivision(*m, /*equality=*/false, e.get());
       }
     }
     if (options_.recognize_semijoin_projection && e->kind() == OpKind::kProjection &&
@@ -137,7 +183,8 @@ class Lowering {
         return MakeJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(), e.get());
       case OpKind::kSemiJoin:
         return MakeSemiJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(),
-                            Strategy(), e.get());
+                            SemijoinStrategyFor(e->child(0), e->child(1), e->atoms()),
+                            e.get());
     }
     SETALG_CHECK_STREAM(false) << "unreachable";
     return nullptr;
@@ -159,8 +206,9 @@ class Lowering {
     if (all_left) {
       // The semijoin op is rewrite-synthesized: its output matches no
       // logical node, so it carries no source.
-      PhysicalOpPtr semi = MakeSemiJoin(Lower(join->child(0)), Lower(join->child(1)),
-                                        join->atoms(), Strategy());
+      PhysicalOpPtr semi = MakeSemiJoin(
+          Lower(join->child(0)), Lower(join->child(1)), join->atoms(),
+          SemijoinStrategyFor(join->child(0), join->child(1), join->atoms()));
       rewrites_.push_back("π(join) reduced to π(semijoin) at " + e->ToString());
       return MakeProject(std::move(semi), columns, e.get());
     }
@@ -173,8 +221,9 @@ class Lowering {
       std::vector<std::size_t> shifted;
       shifted.reserve(columns.size());
       for (std::size_t c : columns) shifted.push_back(c - left_arity);
-      PhysicalOpPtr semi = MakeSemiJoin(Lower(join->child(1)), Lower(join->child(0)),
-                                        std::move(mirrored), Strategy());
+      PhysicalOpPtr semi = MakeSemiJoin(
+          Lower(join->child(1)), Lower(join->child(0)), std::move(mirrored),
+          SemijoinStrategyFor(join->child(1), join->child(0), join->atoms()));
       rewrites_.push_back("π(join) reduced to π(mirrored semijoin) at " +
                           e->ToString());
       return MakeProject(std::move(semi), std::move(shifted), e.get());
@@ -183,8 +232,12 @@ class Lowering {
   }
 
   const EngineOptions& options_;
+  const stats::StatsProvider* stats_;
+  CostModel model_;
   std::unordered_map<const ra::Expr*, PhysicalOpPtr> memo_;
   std::vector<std::string> rewrites_;
+  std::vector<AlgorithmChoice> choices_;
+  std::unordered_map<const PhysicalOp*, CostEstimate> estimates_;
 };
 
 }  // namespace
@@ -197,23 +250,38 @@ EngineOptions EngineOptions::Reference() {
   return options;
 }
 
+EngineOptions EngineOptions::CostBased() {
+  EngineOptions options;
+  options.cost_based = true;
+  return options;
+}
+
 std::string PhysicalPlan::ToString() const {
   std::string out = root == nullptr ? std::string("(empty plan)\n") : root->ToString();
   for (const auto& rewrite : rewrites) {
     out += "-- rewrite: " + rewrite + "\n";
   }
+  for (const auto& choice : choices) {
+    out += util::StrCat("-- cost-based: ", choice.site, " → ", choice.algorithm,
+                        " (est cost ", static_cast<std::size_t>(choice.estimate.cost),
+                        ", est rows ",
+                        static_cast<std::size_t>(choice.estimate.output_size), ")\n");
+  }
   return out;
 }
 
 util::Result<PhysicalPlan> Planner::Lower(const ra::ExprPtr& expr,
-                                          const core::Schema& schema) const {
+                                          const core::Schema& schema,
+                                          const stats::StatsProvider* stats) const {
   SETALG_CHECK(expr != nullptr);
   const std::string error = ra::ValidateAgainstSchema(*expr, schema);
   if (!error.empty()) return util::Result<PhysicalPlan>::Error(error);
-  Lowering lowering(options_);
+  Lowering lowering(options_, stats);
   PhysicalPlan plan;
   plan.root = lowering.Lower(expr);
   plan.rewrites = lowering.TakeRewrites();
+  plan.choices = lowering.TakeChoices();
+  plan.estimates = lowering.TakeEstimates();
   return plan;
 }
 

@@ -16,11 +16,13 @@
 #define SETALG_ENGINE_PLANNER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/schema.h"
 #include "engine/physical.h"
 #include "ra/expr.h"
+#include "stats/stats.h"
 #include "util/result.h"
 
 namespace setalg::engine {
@@ -38,13 +40,21 @@ struct EngineOptions {
   /// alternative is the generic reference implementation).
   bool use_fast_semijoin = true;
 
-  /// Algorithm overrides for the pattern-routed operators.
+  /// Algorithm overrides for the pattern-routed operators. Consulted when
+  /// `cost_based` is off (or no statistics are available).
   setjoin::DivisionAlgorithm division_algorithm =
       setjoin::DivisionAlgorithm::kHashDivision;
   setjoin::ContainmentAlgorithm containment_algorithm =
       setjoin::ContainmentAlgorithm::kInvertedIndex;
   setjoin::EqualityJoinAlgorithm set_equality_algorithm =
       setjoin::EqualityJoinAlgorithm::kCanonicalHash;
+
+  /// Pick the algorithm per call site from relation statistics via the
+  /// cost model (engine/cost.h) instead of the fixed defaults above.
+  /// Requires statistics (Planner::Lower's `stats`, supplied automatically
+  /// by Engine::Run); without them the fixed defaults still apply. Every
+  /// choice is recorded in PhysicalPlan::choices / PlanStats::choices.
+  bool cost_based = false;
 
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
@@ -58,12 +68,24 @@ struct EngineOptions {
   /// The 1:1 lowering with every rewrite and fast kernel disabled —
   /// exactly the legacy ra::Eval semantics, per-node stats included.
   static EngineOptions Reference();
+
+  /// The rewrite-enabled options with statistics-driven algorithm
+  /// selection: the planner consults the cost model per call site instead
+  /// of the fixed algorithm defaults.
+  static EngineOptions CostBased();
 };
 
 /// A lowered plan plus the planner decisions that shaped it.
 struct PhysicalPlan {
   PhysicalOpPtr root;
   std::vector<std::string> rewrites;
+  /// Cost-based algorithm selections (empty unless cost_based + stats).
+  std::vector<AlgorithmChoice> choices;
+  /// Plan-time cost-model predictions per operator (populated whenever
+  /// statistics were available at lowering time). The executor copies the
+  /// matching prediction into each OpStats entry, so a run's stats read
+  /// as estimated-vs-actual pairs.
+  std::unordered_map<const PhysicalOp*, CostEstimate> estimates;
 
   /// Indented operator tree followed by the rewrite notes.
   std::string ToString() const;
@@ -74,9 +96,11 @@ class Planner {
   explicit Planner(EngineOptions options) : options_(std::move(options)) {}
 
   /// Validates `expr` against `schema` and lowers it. Never aborts on user
-  /// input: schema mismatches come back as Result errors.
-  util::Result<PhysicalPlan> Lower(const ra::ExprPtr& expr,
-                                   const core::Schema& schema) const;
+  /// input: schema mismatches come back as Result errors. When `stats` is
+  /// non-null the plan is annotated with cost estimates, and cost_based
+  /// options select algorithms from them.
+  util::Result<PhysicalPlan> Lower(const ra::ExprPtr& expr, const core::Schema& schema,
+                                   const stats::StatsProvider* stats = nullptr) const;
 
  private:
   EngineOptions options_;

@@ -1,0 +1,108 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace setalg::stats {
+
+std::uint64_t ColumnStats::Width() const {
+  if (distinct == 0) return 0;
+  return static_cast<std::uint64_t>(max_value - min_value) + 1;
+}
+
+RelationStats ComputeRelationStats(const core::Relation& relation) {
+  RelationStats stats;
+  stats.arity = relation.arity();
+  stats.cardinality = relation.size();
+  stats.columns.resize(relation.arity());
+  if (relation.empty() || relation.arity() == 0) return stats;
+
+  // The storage is sorted lexicographically, so column 1 distincts (and
+  // the group runs of a binary relation) fall out of run boundaries; the
+  // other columns use a hash set each.
+  std::vector<std::unordered_set<core::Value>> seen(relation.arity());
+  for (std::size_t c = 1; c < relation.arity(); ++c) {
+    seen[c].reserve(relation.size() * 2);
+  }
+
+  const bool binary = relation.arity() == 2;
+  core::Value run_key = relation.tuple(0)[0];
+  std::size_t run_length = 0;
+  auto close_group = [&](std::size_t length) {
+    if (!binary) return;
+    GroupStats& g = stats.groups;
+    ++g.num_groups;
+    g.min_group_size =
+        g.num_groups == 1 ? length : std::min(g.min_group_size, length);
+    g.max_group_size = std::max(g.max_group_size, length);
+  };
+
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    core::TupleView t = relation.tuple(i);
+    for (std::size_t c = 0; c < relation.arity(); ++c) {
+      ColumnStats& col = stats.columns[c];
+      if (i == 0) {
+        col.min_value = col.max_value = t[c];
+      } else {
+        col.min_value = std::min(col.min_value, t[c]);
+        col.max_value = std::max(col.max_value, t[c]);
+      }
+      if (c > 0) seen[c].insert(t[c]);
+    }
+    if (t[0] != run_key) {
+      ++stats.columns[0].distinct;
+      close_group(run_length);
+      run_key = t[0];
+      run_length = 0;
+    }
+    ++run_length;
+  }
+  ++stats.columns[0].distinct;
+  close_group(run_length);
+  for (std::size_t c = 1; c < relation.arity(); ++c) {
+    stats.columns[c].distinct = seen[c].size();
+  }
+  if (binary && stats.groups.num_groups > 0) {
+    stats.groups.avg_group_size = static_cast<double>(stats.cardinality) /
+                                  static_cast<double>(stats.groups.num_groups);
+  }
+  return stats;
+}
+
+std::string RelationStats::ToString() const {
+  std::ostringstream out;
+  out << "card=" << cardinality;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    out << " col" << c + 1 << "{distinct=" << columns[c].distinct
+        << ", range=[" << columns[c].min_value << "," << columns[c].max_value
+        << "]}";
+  }
+  if (arity == 2) {
+    out << " groups{n=" << groups.num_groups << ", size=" << groups.min_group_size
+        << "/" << groups.avg_group_size << "/" << groups.max_group_size << "}";
+  }
+  return out.str();
+}
+
+DatabaseStats::DatabaseStats(const core::Database* db) : db_(db) {
+  SETALG_CHECK(db != nullptr);
+}
+
+const RelationStats* DatabaseStats::Get(const std::string& name) const {
+  if (!db_->schema().HasRelation(name)) return nullptr;
+  const std::uint64_t version = db_->relation_version(name);
+  auto it = cache_.find(name);
+  if (it == cache_.end() || it->second.version != version) {
+    Entry entry;
+    entry.version = version;
+    entry.stats = ComputeRelationStats(db_->relation(name));
+    ++recompute_count_;
+    it = cache_.insert_or_assign(name, std::move(entry)).first;
+  }
+  return &it->second.stats;
+}
+
+}  // namespace setalg::stats

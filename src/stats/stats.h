@@ -1,0 +1,105 @@
+// One-pass relation statistics for cost-based planning.
+//
+// The paper's experiments show that the *right* division/set-join
+// algorithm depends on the shape of the inputs — group counts, set sizes,
+// divisor size — not just on |D|. This module computes exactly those
+// shape parameters in a single pass over each stored relation:
+//   - cardinality,
+//   - per-column distinct counts and value range (domain width),
+//   - for binary relations, the group profile on column 1
+//     (number of groups, min/avg/max element-set size).
+//
+// stats::DatabaseStats caches the per-relation statistics against
+// core::Database::relation_version(), so repeated Engine runs over an
+// unchanged database pay for the pass once; any mutation (SetRelation or
+// mutable_relation) invalidates exactly the touched relation.
+#ifndef SETALG_STATS_STATS_H_
+#define SETALG_STATS_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/value.h"
+
+namespace setalg::stats {
+
+/// Per-column statistics.
+struct ColumnStats {
+  std::size_t distinct = 0;
+  core::Value min_value = 0;
+  core::Value max_value = 0;
+
+  /// max - min + 1 for a nonempty column, else 0. An upper bound on
+  /// `distinct` for integer-interned values.
+  std::uint64_t Width() const;
+};
+
+/// The group profile of a binary relation R(key, element) grouped on the
+/// key column — the shape parameter the division and set-join cost
+/// formulas depend on. Zeroed for other arities.
+struct GroupStats {
+  std::size_t num_groups = 0;
+  std::size_t min_group_size = 0;
+  std::size_t max_group_size = 0;
+  double avg_group_size = 0.0;
+};
+
+/// Statistics of one relation, computed in a single pass.
+struct RelationStats {
+  std::size_t cardinality = 0;
+  std::size_t arity = 0;
+  std::vector<ColumnStats> columns;
+  /// Valid (nonzero) only when arity == 2.
+  GroupStats groups;
+
+  std::string ToString() const;
+};
+
+/// Computes the statistics of `relation` in one pass over its normalized
+/// (sorted, deduplicated) storage. Cost: O(n) hash-set inserts per column.
+RelationStats ComputeRelationStats(const core::Relation& relation);
+
+/// Read access to statistics of stored relations by name. Implementations
+/// return nullptr for names they know nothing about; cost formulas then
+/// fall back to coarse defaults.
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+  virtual const RelationStats* Get(const std::string& name) const = 0;
+};
+
+/// The caching provider over one database: statistics are computed on
+/// first use and reused until the relation's mutation counter moves.
+/// Holds a pointer to the database; not thread-safe (matching the rest of
+/// the library).
+class DatabaseStats : public StatsProvider {
+ public:
+  explicit DatabaseStats(const core::Database* db);
+
+  const core::Database& db() const { return *db_; }
+
+  /// Stats of the stored relation `name` (nullptr if not in the schema).
+  /// Recomputes iff db().relation_version(name) moved since the last call.
+  const RelationStats* Get(const std::string& name) const override;
+
+  /// Number of (re)computations so far — observable cache behavior for
+  /// tests.
+  std::size_t recompute_count() const { return recompute_count_; }
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    RelationStats stats;
+  };
+
+  const core::Database* db_;
+  mutable std::unordered_map<std::string, Entry> cache_;
+  mutable std::size_t recompute_count_ = 0;
+};
+
+}  // namespace setalg::stats
+
+#endif  // SETALG_STATS_STATS_H_

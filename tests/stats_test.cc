@@ -1,0 +1,194 @@
+// Tests for the stats:: module — the one-pass relation statistics against
+// brute-force counts on randomized relations, and the DatabaseStats cache
+// against core::Database's mutation counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/database.h"
+#include "stats/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace setalg::stats {
+namespace {
+
+using setalg::testing::MakeRel;
+
+// Brute-force reference for ComputeRelationStats.
+RelationStats BruteForceStats(const core::Relation& r) {
+  RelationStats stats;
+  stats.arity = r.arity();
+  stats.cardinality = r.size();
+  stats.columns.resize(r.arity());
+  std::vector<std::set<core::Value>> distinct(r.arity());
+  std::map<core::Value, std::size_t> group_sizes;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    core::TupleView t = r.tuple(i);
+    for (std::size_t c = 0; c < r.arity(); ++c) {
+      distinct[c].insert(t[c]);
+      ColumnStats& col = stats.columns[c];
+      if (i == 0) {
+        col.min_value = col.max_value = t[c];
+      } else {
+        col.min_value = std::min(col.min_value, t[c]);
+        col.max_value = std::max(col.max_value, t[c]);
+      }
+    }
+    if (r.arity() == 2) ++group_sizes[t[0]];
+  }
+  for (std::size_t c = 0; c < r.arity(); ++c) {
+    stats.columns[c].distinct = distinct[c].size();
+  }
+  if (r.arity() == 2 && !group_sizes.empty()) {
+    GroupStats& g = stats.groups;
+    g.num_groups = group_sizes.size();
+    g.min_group_size = group_sizes.begin()->second;
+    for (const auto& [key, size] : group_sizes) {
+      g.min_group_size = std::min(g.min_group_size, size);
+      g.max_group_size = std::max(g.max_group_size, size);
+    }
+    g.avg_group_size =
+        static_cast<double>(r.size()) / static_cast<double>(g.num_groups);
+  }
+  return stats;
+}
+
+void ExpectSameStats(const RelationStats& got, const RelationStats& want) {
+  EXPECT_EQ(got.cardinality, want.cardinality);
+  EXPECT_EQ(got.arity, want.arity);
+  ASSERT_EQ(got.columns.size(), want.columns.size());
+  for (std::size_t c = 0; c < got.columns.size(); ++c) {
+    EXPECT_EQ(got.columns[c].distinct, want.columns[c].distinct) << "col " << c;
+    EXPECT_EQ(got.columns[c].min_value, want.columns[c].min_value) << "col " << c;
+    EXPECT_EQ(got.columns[c].max_value, want.columns[c].max_value) << "col " << c;
+  }
+  EXPECT_EQ(got.groups.num_groups, want.groups.num_groups);
+  EXPECT_EQ(got.groups.min_group_size, want.groups.min_group_size);
+  EXPECT_EQ(got.groups.max_group_size, want.groups.max_group_size);
+  EXPECT_DOUBLE_EQ(got.groups.avg_group_size, want.groups.avg_group_size);
+}
+
+TEST(RelationStats, SmallBinaryRelationByHand) {
+  const auto r = MakeRel(2, {{1, 10}, {1, 20}, {1, 30}, {2, 10}, {5, 7}});
+  const RelationStats stats = ComputeRelationStats(r);
+  EXPECT_EQ(stats.cardinality, 5u);
+  EXPECT_EQ(stats.columns[0].distinct, 3u);
+  EXPECT_EQ(stats.columns[1].distinct, 4u);
+  EXPECT_EQ(stats.columns[0].min_value, 1);
+  EXPECT_EQ(stats.columns[0].max_value, 5);
+  EXPECT_EQ(stats.columns[1].Width(), 24u);  // 30 - 7 + 1.
+  EXPECT_EQ(stats.groups.num_groups, 3u);
+  EXPECT_EQ(stats.groups.min_group_size, 1u);
+  EXPECT_EQ(stats.groups.max_group_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.groups.avg_group_size, 5.0 / 3.0);
+}
+
+TEST(RelationStats, EmptyAndZeroAryRelations) {
+  const RelationStats empty = ComputeRelationStats(core::Relation(2));
+  EXPECT_EQ(empty.cardinality, 0u);
+  EXPECT_EQ(empty.columns[0].distinct, 0u);
+  EXPECT_EQ(empty.groups.num_groups, 0u);
+  EXPECT_EQ(empty.columns[0].Width(), 0u);
+
+  const RelationStats zero = ComputeRelationStats(MakeRel(0, {{}}));
+  EXPECT_EQ(zero.cardinality, 1u);
+  EXPECT_TRUE(zero.columns.empty());
+}
+
+TEST(RelationStats, MatchesBruteForceOnRandomRelations) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t arity = 1 + rng.NextBounded(3);
+    const std::size_t rows = rng.NextBounded(200);
+    const std::size_t domain = 1 + rng.NextBounded(40);
+    core::Relation r(arity);
+    core::Tuple t(arity);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < arity; ++c) {
+        t[c] = static_cast<core::Value>(rng.NextBounded(domain) + 1);
+      }
+      r.Add(t);
+    }
+    ExpectSameStats(ComputeRelationStats(r), BruteForceStats(r));
+  }
+}
+
+TEST(RelationStats, MatchesBruteForceOnWorkloadInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    workload::DivisionConfig config;
+    config.num_groups = 50;
+    config.group_size = 6;
+    config.domain_size = 40;
+    config.seed = seed;
+    const auto instance = workload::MakeDivisionInstance(config);
+    ExpectSameStats(ComputeRelationStats(instance.r), BruteForceStats(instance.r));
+    ExpectSameStats(ComputeRelationStats(instance.s), BruteForceStats(instance.s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Database mutation counters and the caching provider.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseVersions, SetRelationAndMutableAccessBumpTheCounter) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  const auto r0 = db.relation_version("R");
+  const auto s0 = db.relation_version("S");
+  db.SetRelation("R", MakeRel(2, {{3, 4}}));
+  EXPECT_GT(db.relation_version("R"), r0);
+  EXPECT_EQ(db.relation_version("S"), s0);
+  db.mutable_relation("S")->Add({7});
+  EXPECT_GT(db.relation_version("S"), s0);
+}
+
+TEST(DatabaseVersions, CopiesGetAFreshIdAndDivergeIndependently) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  const core::Database copy = db;
+  EXPECT_NE(db.id(), copy.id());
+  EXPECT_EQ(db.relation("R"), copy.relation("R"));
+}
+
+TEST(DatabaseStats, CachesUntilInvalidatedByMutation) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 10}, {1, 20}, {2, 10}}),
+                                        MakeRel(1, {{10}}));
+  DatabaseStats provider(&db);
+  const RelationStats* r1 = provider.Get("R");
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->cardinality, 3u);
+  EXPECT_EQ(provider.recompute_count(), 1u);
+
+  // Unchanged relation: served from cache.
+  provider.Get("R");
+  provider.Get("R");
+  EXPECT_EQ(provider.recompute_count(), 1u);
+
+  // Another relation: one more computation, then cached.
+  ASSERT_NE(provider.Get("S"), nullptr);
+  provider.Get("S");
+  EXPECT_EQ(provider.recompute_count(), 2u);
+
+  // Mutation invalidates exactly the touched relation.
+  db.SetRelation("R", MakeRel(2, {{5, 50}}));
+  const RelationStats* r2 = provider.Get("R");
+  EXPECT_EQ(provider.recompute_count(), 3u);
+  EXPECT_EQ(r2->cardinality, 1u);
+  provider.Get("S");
+  EXPECT_EQ(provider.recompute_count(), 3u);
+
+  // In-place mutation via mutable_relation invalidates too.
+  db.mutable_relation("R")->Add({6, 60});
+  EXPECT_EQ(provider.Get("R")->cardinality, 2u);
+  EXPECT_EQ(provider.recompute_count(), 4u);
+}
+
+TEST(DatabaseStats, UnknownRelationIsNullNotAnAbort) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  DatabaseStats provider(&db);
+  EXPECT_EQ(provider.Get("Missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace setalg::stats
