@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/cost.h"
+#include "engine/engine.h"
 #include "setjoin/setjoin.h"
 #include "stats/stats.h"
 #include "util/json.h"
@@ -44,6 +45,25 @@ engine::ExprEstimate EstimateOf(const core::Relation& relation) {
   return engine::FromStats(stats::ComputeRelationStats(relation));
 }
 
+// Best-of-3 wall time of a hand-built set-join plan executed through the
+// pipelined batch surface (batched columns; the engine run includes the
+// scans and grouping the kernel-direct cells do outside the timer).
+double BatchedPlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
+                         const char* what) {
+  engine::PhysicalPlan plan;
+  plan.root = std::move(root);
+  const engine::Engine engine(engine::EngineOptions::Batched());
+  return BestOfMillis([&] {
+    auto result = engine.RunPlan(plan, db);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s batched run failed: %s\n", what,
+                   result.error().c_str());
+      std::exit(1);  // The tracked artifact must never hide a failure.
+    }
+  });
+}
+
 workload::SetJoinInstance Instance(std::size_t groups, std::size_t set_size,
                                    double containment, std::uint64_t seed = 23) {
   workload::SetJoinConfig config;
@@ -63,6 +83,7 @@ struct ContainmentRow {
   std::size_t matches = 0;
   std::string chosen;  // Algorithm the cost model picked.
   double chosen_ms = 0.0;
+  double batched_ms = 0.0;  // Engine plan through the batch surface.
 };
 
 struct EqualityRow {
@@ -72,6 +93,7 @@ struct EqualityRow {
   std::size_t matches = 0;
   std::string chosen;  // Algorithm the cost model picked.
   double chosen_ms = 0.0;
+  double batched_ms = 0.0;  // Engine plan through the batch surface.
 };
 
 std::vector<ContainmentRow> PrintContainmentTable() {
@@ -81,9 +103,10 @@ std::vector<ContainmentRow> PrintContainmentTable() {
   for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
     std::printf("  %-22s", setjoin::ContainmentAlgorithmToString(algorithm));
   }
-  std::printf("  %-22s  matches\n", "cost-based");
+  std::printf("  %-22s  %-22s  matches\n", "cost-based", "batched");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u}) {
     const auto instance = Instance(groups, 8, 0.05);
+    const auto db = workload::SetJoinDatabase(instance);
     const auto r = setjoin::AsGrouped(instance.r);
     const auto s = setjoin::AsGrouped(instance.s);
     std::printf("%-8zu", groups);
@@ -107,6 +130,13 @@ std::vector<ContainmentRow> PrintContainmentTable() {
       });
       std::printf("  %-22.3f", row.chosen_ms);
     }
+    row.batched_ms = BatchedPlanMillis(
+        db,
+        engine::MakeSetContainmentJoin(engine::MakeScan("R", 2),
+                                       engine::MakeScan("S", 2),
+                                       setjoin::ContainmentAlgorithm::kInvertedIndex),
+        "containment");
+    std::printf("  %-22.3f", row.batched_ms);
     std::printf("  %zu\n", row.matches);
     rows.push_back(std::move(row));
   }
@@ -120,8 +150,8 @@ std::vector<ContainmentRow> PrintContainmentTable() {
 std::vector<EqualityRow> PrintEqualityTable() {
   std::vector<EqualityRow> rows;
   std::printf("== E12: set-equality join, canonical hash vs nested loop (ms) ==\n");
-  std::printf("%-8s  %-14s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
-              "canonical-hash", "cost-based", "matches");
+  std::printf("%-8s  %-14s  %-14s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
+              "canonical-hash", "cost-based", "batched", "matches");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u, 4000u}) {
     workload::SetJoinConfig config;
     config.r_groups = groups;
@@ -151,8 +181,14 @@ std::vector<EqualityRow> PrintEqualityTable() {
     row.chosen_ms = BestOfMillis([&] {
       benchmark::DoNotOptimize(setjoin::SetEqualityJoin(r, s, choice.algorithm));
     });
-    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-8zu\n", groups, row.nested_ms,
-                row.hash_ms, row.chosen_ms, row.matches);
+    row.batched_ms = BatchedPlanMillis(
+        workload::SetJoinDatabase(instance),
+        engine::MakeSetEqualityJoin(engine::MakeScan("R", 2), engine::MakeScan("S", 2),
+                                    setjoin::EqualityJoinAlgorithm::kCanonicalHash),
+        "equality");
+    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-8zu\n", groups,
+                row.nested_ms, row.hash_ms, row.chosen_ms, row.batched_ms,
+                row.matches);
     rows.push_back(std::move(row));
   }
   std::printf("(expected shape: canonical hashing is ~n log n + output — the\n"
@@ -171,6 +207,7 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("groups").Value(row.groups);
     for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
     json.Key("cost-based").Value(row.chosen_ms);
+    json.Key("batched").Value(row.batched_ms);
     json.Key("chosen_containment").Value(row.chosen);
     json.Key("matches").Value(row.matches);
     json.EndObject();
@@ -183,6 +220,7 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("nested-loop").Value(row.nested_ms);
     json.Key("canonical-hash").Value(row.hash_ms);
     json.Key("cost-based").Value(row.chosen_ms);
+    json.Key("batched").Value(row.batched_ms);
     json.Key("chosen_equality").Value(row.chosen);
     json.Key("matches").Value(row.matches);
     json.EndObject();

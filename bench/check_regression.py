@@ -20,6 +20,10 @@ bench/baseline/ and fails (exit 1) when:
      `chosen_division` must be hash-division and `chosen_equality` must
      be canonical-hash at the largest n (the paper's headline: direct
      hash algorithms win at scale).
+  4. `batched` division is more than BATCHED_RATIO_LIMIT (1.1x) slower
+     than the materializing `engine-planned` run at the largest n —
+     pipelined batch execution must stay within noise of the
+     materializing engine on the same plan.
 
 Regenerate the baseline after an intentional perf change with:
     python3 bench/check_regression.py --update \
@@ -32,9 +36,10 @@ import os
 import shutil
 import sys
 
-RATIO_LIMIT = 1.5        # engine-planned vs hash-division at max n.
-REGRESSION_LIMIT = 1.30  # Normalized column vs baseline.
-ABS_SLACK_MS = 1.0       # Ignore sub-millisecond jitter in ratio checks.
+RATIO_LIMIT = 1.5          # engine-planned vs hash-division at max n.
+BATCHED_RATIO_LIMIT = 1.1  # batched vs engine-planned at max n.
+REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
+ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
 
 FILES = {
     "BENCH_division.json": ("runtime_ms",),
@@ -46,14 +51,14 @@ TRACKED = {
     "runtime_ms": (
         "n",
         "hash-division",
-        ["sort-merge", "aggregate", "engine-planned", "cost-based"],
+        ["sort-merge", "aggregate", "engine-planned", "cost-based", "batched"],
     ),
     "containment_ms": (
         "groups",
         "inverted-index",
-        ["signature-nested-loop", "partitioned", "cost-based"],
+        ["signature-nested-loop", "partitioned", "cost-based", "batched"],
     ),
-    "equality_ms": ("groups", "canonical-hash", ["cost-based"]),
+    "equality_ms": ("groups", "canonical-hash", ["cost-based", "batched"]),
 }
 
 EXPECTED_CHOICES = {
@@ -94,6 +99,37 @@ def check_ratio(errors, data):
                 f"  ok: {column} {ms:.3f}ms <= {RATIO_LIMIT}x hash-division "
                 f"({hash_ms:.3f}ms) at n={row['n']}"
             )
+
+
+def check_batched_ratio(errors, data):
+    """Gate 4: batched vs the materializing engine-planned run at max n."""
+    rows = data.get("runtime_ms", [])
+    if not rows:
+        return  # Gate 1 already reported the missing table.
+    row = max_row(rows, "n")
+    planned_ms = row.get("engine-planned")
+    batched_ms = row.get("batched")
+    if planned_ms is None or batched_ms is None:
+        errors.append(
+            f"column 'engine-planned' or 'batched' missing at n={row['n']}"
+        )
+        return
+    # Absolute slack only shields jitter-dominated sub-millisecond cells;
+    # at real timings the advertised 1.1x ratio is the binding limit.
+    limit = BATCHED_RATIO_LIMIT * planned_ms
+    if planned_ms < ABS_SLACK_MS:
+        limit = max(limit, planned_ms + ABS_SLACK_MS)
+    if batched_ms > limit:
+        errors.append(
+            f"batched at n={row['n']} is {batched_ms:.3f}ms vs engine-planned "
+            f"{planned_ms:.3f}ms ({batched_ms / planned_ms:.2f}x > "
+            f"{BATCHED_RATIO_LIMIT}x limit)"
+        )
+    else:
+        print(
+            f"  ok: batched {batched_ms:.3f}ms <= {BATCHED_RATIO_LIMIT}x "
+            f"engine-planned ({planned_ms:.3f}ms) at n={row['n']}"
+        )
 
 
 def check_choices(errors, data, table):
@@ -193,6 +229,7 @@ def main():
         current, baseline = load(cur_path), load(base_path)
         if name == "BENCH_division.json":
             check_ratio(errors, current)
+            check_batched_ratio(errors, current)
         for table in tables:
             check_choices(errors, current, table)
             check_against_baseline(errors, current, baseline, table)

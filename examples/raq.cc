@@ -11,8 +11,11 @@
 // actual intermediate sizes are reported too; --cost-based picks the
 // division/set-join algorithms from relation statistics instead of the
 // fixed defaults; --reference disables the planner rewrites (legacy 1:1
-// evaluation).
+// evaluation); --batch-size N executes through the pipelined batch
+// surface with N-tuple batches (-v then also reports batch counts and the
+// peak batch footprint).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool reference = false;
   bool cost_based = false;
+  bool batched = false;
+  long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,6 +46,14 @@ int main(int argc, char** argv) {
       reference = true;
     } else if (arg == "--cost-based") {
       cost_based = true;
+    } else if (arg == "--batch-size") {
+      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &batch_size) ||
+          batch_size < 1) {
+        std::fprintf(stderr, "--batch-size needs a positive integer\n");
+        return 2;
+      }
+      batched = true;
+      ++i;
     } else if (after_separator) {
       expression = arg;
     } else {
@@ -50,7 +63,7 @@ int main(int argc, char** argv) {
   if (relation_specs.empty() || expression.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
-                 "[--reference] [--cost-based] -- EXPR\n"
+                 "[--reference] [--cost-based] [--batch-size N] -- EXPR\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -96,9 +109,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const engine::Engine engine(reference     ? engine::EngineOptions::Reference()
-                              : cost_based ? engine::EngineOptions::CostBased()
-                                           : engine::EngineOptions{});
+  engine::EngineOptions options = reference    ? engine::EngineOptions::Reference()
+                                  : cost_based ? engine::EngineOptions::CostBased()
+                                               : engine::EngineOptions{};
+  options.batched = batched;
+  options.batch_size = static_cast<std::size_t>(batch_size);
+  const engine::Engine engine(options);
   auto run = engine.Run(*parsed, db);
   if (!run.ok()) {
     std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
@@ -110,6 +126,14 @@ int main(int argc, char** argv) {
                  "-- %zu tuple(s); max intermediate %zu; operators "
                  "(actual / estimated):\n",
                  run->relation.size(), run->stats.max_intermediate);
+    if (batched) {
+      std::fprintf(stderr,
+                   "-- batched: %zu-tuple batches, %llu emitted, peak batch "
+                   "%zu bytes\n",
+                   run->stats.batch_size,
+                   static_cast<unsigned long long>(run->stats.batches_emitted),
+                   run->stats.peak_batch_bytes);
+    }
     for (const auto& op : run->stats.ops) {
       if (op.has_estimate) {
         std::fprintf(stderr, "   %6zu  est=%-8.0f %s\n", op.output_size,

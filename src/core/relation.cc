@@ -17,6 +17,25 @@ std::size_t SortUniqueRows(std::vector<Value>* values, std::size_t arity) {
     return values->empty() ? 0 : 1;
   }
   const std::size_t rows = values->size() / arity;
+  // Strictly-sorted input (the common case: rows re-added in normalized
+  // order, e.g. from the engine's batch streams) needs no index sort.
+  // Checked with a tight loop over the flat storage — this runs on every
+  // normalization of freshly built relations.
+  {
+    const Value* v = values->data();
+    bool already_sorted = true;
+    for (std::size_t i = 1; i < rows; ++i) {
+      const Value* prev = v + (i - 1) * arity;
+      const Value* cur = prev + arity;
+      std::size_t k = 0;
+      while (k < arity && prev[k] == cur[k]) ++k;
+      if (k == arity || prev[k] > cur[k]) {  // Duplicate or out of order.
+        already_sorted = false;
+        break;
+      }
+    }
+    if (already_sorted) return rows;
+  }
   std::vector<std::size_t> order(rows);
   for (std::size_t i = 0; i < rows; ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -82,6 +101,13 @@ void Relation::Add(TupleView t) {
 
 void Relation::Add(std::initializer_list<Value> t) {
   Add(TupleView(t.begin(), t.size()));
+}
+
+void Relation::AddRows(const Value* data, std::size_t rows) {
+  SETALG_CHECK(arity_ > 0);
+  if (rows == 0) return;
+  values_.insert(values_.end(), data, data + rows * arity_);
+  dirty_ = true;
 }
 
 void Relation::Reserve(std::size_t rows) { values_.reserve(values_.size() + rows * arity_); }

@@ -45,6 +45,11 @@ class Relation {
   void Add(TupleView t);
   void Add(std::initializer_list<Value> t);
 
+  /// Bulk-appends `rows` tuples stored row-major at `data` (arity must be
+  /// non-zero). The batch-execution hot path: one range insert instead of
+  /// per-tuple calls.
+  void AddRows(const Value* data, std::size_t rows);
+
   /// Reserves space for `rows` additional tuples.
   void Reserve(std::size_t rows);
 

@@ -1,0 +1,106 @@
+#include "engine/batch.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace setalg::engine {
+
+void Batch::Reset(std::size_t arity, std::size_t capacity) {
+  SETALG_CHECK(capacity > 0);
+  arity_ = arity;
+  capacity_ = capacity;
+  values_.clear();
+  values_.reserve(arity * capacity);
+  rows_ = 0;
+}
+
+void Batch::Add(core::TupleView t) {
+  SETALG_DCHECK(t.size() == arity_);
+  SETALG_DCHECK(rows_ < capacity_);
+  values_.insert(values_.end(), t.begin(), t.end());
+  ++rows_;
+}
+
+void Batch::AddRows(const core::Value* data, std::size_t rows) {
+  SETALG_DCHECK(arity_ > 0);
+  SETALG_DCHECK(rows_ + rows <= capacity_);
+  values_.insert(values_.end(), data, data + rows * arity_);
+  rows_ += rows;
+}
+
+void AppendBatchTo(const Batch& batch, core::Relation* out) {
+  if (batch.arity() == 0) {
+    for (std::size_t i = 0; i < batch.size(); ++i) out->Add(batch.row(i));
+    return;
+  }
+  out->AddRows(batch.values().data(), batch.size());
+}
+
+std::size_t StreamRelationRows(const core::Relation& relation, std::size_t pos,
+                               Batch* out) {
+  out->Clear();
+  const std::size_t end = std::min(relation.size(), pos + out->capacity());
+  if (relation.arity() == 0) {
+    // Zero-ary rows have no flat storage; add them one by one.
+    for (; pos < end; ++pos) out->Add(relation.tuple(pos));
+    return pos;
+  }
+  if (pos < end) {
+    out->AddRows(relation.flat().data() + pos * relation.arity(), end - pos);
+  }
+  return end;
+}
+
+bool RelationBatchIterator::NextBatch(Batch& out) {
+  pos_ = StreamRelationRows(*relation_, pos_, &out);
+  return !out.empty();
+}
+
+core::Relation DrainToRelation(BatchIterator* input, std::size_t arity,
+                               std::size_t batch_size) {
+  input->Open();
+  Batch batch(arity, batch_size);
+  core::Relation out(arity);
+  while (input->NextBatch(batch)) AppendBatchTo(batch, &out);
+  input->Close();
+  return out;
+}
+
+MaterializedInput MaterializedInput::From(BatchIterator* input, std::size_t arity,
+                                          std::size_t batch_size) {
+  MaterializedInput view;
+  if (auto* direct = dynamic_cast<RelationBatchIterator*>(input)) {
+    view.borrowed_ = &direct->relation();
+    return view;
+  }
+  view.owned_ = DrainToRelation(input, arity, batch_size);
+  return view;
+}
+
+bool RowSet::Insert(core::TupleView row) {
+  SETALG_DCHECK(row.size() == arity_);
+  const std::uint64_t hash = core::HashTuple(row);
+  auto& bucket = buckets_[hash];
+  for (std::uint32_t index : bucket) {
+    if (core::TupleEquals(StoredRow(index), row)) return false;
+  }
+  // Indices are 32-bit; fail loudly rather than wrap past 2^32 rows.
+  SETALG_CHECK(size_ < 0xFFFFFFFFu);
+  bucket.push_back(static_cast<std::uint32_t>(size_));
+  values_.insert(values_.end(), row.begin(), row.end());
+  ++size_;
+  return true;
+}
+
+bool RowSet::Contains(core::TupleView row) const {
+  SETALG_DCHECK(row.size() == arity_);
+  auto it = buckets_.find(core::HashTuple(row));
+  if (it == buckets_.end()) return false;
+  for (std::uint32_t index : it->second) {
+    if (core::TupleEquals(StoredRow(index), row)) return true;
+  }
+  return false;
+}
+
+}  // namespace setalg::engine

@@ -1,8 +1,10 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "util/check.h"
@@ -10,12 +12,28 @@
 namespace setalg::engine {
 namespace {
 
+// One operator's stats entry with the plan-time prediction paired in, if
+// any — this is what makes every run a cost-model calibration point.
+// Shared by both executors so the execution modes can never diverge.
+OpStats MakeOpStats(const PhysicalOp* op, std::size_t output_size,
+                    const PhysicalPlan* plan) {
+  OpStats entry{op, op->source(), op->label(), output_size, false, 0.0, 0.0};
+  auto estimate = plan->estimates.find(op);
+  if (estimate != plan->estimates.end()) {
+    entry.has_estimate = true;
+    entry.estimated_output = estimate->second.output_size;
+    entry.estimated_cost = estimate->second.cost;
+  }
+  return entry;
+}
+
 // Post-order DAG execution with memoization: shared operators run once.
 class Executor {
  public:
   Executor(const core::Database* db, const EngineOptions* options,
            const PhysicalPlan* plan, PlanStats* stats)
-      : ctx_(db, stats), options_(options), plan_(plan), stats_(stats) {}
+      : ctx_(db, stats, options->batch_size), options_(options), plan_(plan),
+        stats_(stats) {}
 
   const core::Relation* Execute(const PhysicalOpPtr& op) {
     auto it = memo_.find(op.get());
@@ -34,16 +52,7 @@ class Executor {
     const std::size_t size = out.size();
     if (stats_ != nullptr) {
       if (options_->collect_node_stats) {
-        OpStats entry{op.get(), op->source(), op->label(), size, false, 0.0, 0.0};
-        // Pair the actual output with the plan-time prediction, if any —
-        // this is what makes every run a cost-model calibration point.
-        auto estimate = plan_->estimates.find(op.get());
-        if (estimate != plan_->estimates.end()) {
-          entry.has_estimate = true;
-          entry.estimated_output = estimate->second.output_size;
-          entry.estimated_cost = estimate->second.cost;
-        }
-        stats_->ops.push_back(std::move(entry));
+        stats_->ops.push_back(MakeOpStats(op.get(), size, plan_));
       }
       stats_->max_intermediate = std::max(stats_->max_intermediate, size);
       stats_->total_intermediate += size;
@@ -74,6 +83,204 @@ class Executor {
   std::unordered_map<const PhysicalOp*, core::Relation> memo_;
   std::string error_;
 };
+
+class BatchedExecutor;
+
+// Wraps one operator's batch stream on a pipeline edge: guarantees set
+// semantics downstream (deduping streams that may carry duplicates),
+// counts the operator's distinct output rows for PlanStats — the same
+// per-operator cardinalities the materializing executor records — and
+// enforces the intermediate-size budget as the stream grows.
+class InstrumentedIterator final : public BatchIterator {
+ public:
+  InstrumentedIterator(BatchedExecutor* executor, const PhysicalOp* op,
+                       std::unique_ptr<BatchIterator> inner, std::size_t batch_size)
+      : executor_(executor), op_(op), inner_(std::move(inner)),
+        batch_size_(batch_size) {}
+
+  void Open() override { inner_->Open(); }
+  void Close() override { inner_->Close(); }
+  bool distinct() const override { return true; }
+
+  bool NextBatch(Batch& out) override;
+
+ private:
+  bool NextDeduped(Batch& out);
+  void FinalizeOnce();
+
+  BatchedExecutor* executor_;
+  const PhysicalOp* op_;
+  std::unique_ptr<BatchIterator> inner_;
+  std::size_t batch_size_;
+  std::size_t rows_ = 0;
+  bool finalized_ = false;
+  // Dedup state, engaged only when the inner stream may repeat tuples.
+  std::optional<RowSet> seen_;
+  Batch scratch_;
+};
+
+// Pipelined execution over the batch surface: composes the operators'
+// iterators edge-to-edge so streaming operators never materialize their
+// output. Shared subplans (DAG nodes with more than one parent) cannot
+// share one stream, so they are materialized once and re-streamed to each
+// parent. Per-operator PlanStats (distinct output rows, max/total
+// intermediate, join rows) match the materializing executor exactly; the
+// batch fields (batches_emitted, peak_batch_bytes) describe this mode's
+// actual buffering.
+class BatchedExecutor {
+ public:
+  BatchedExecutor(const core::Database* db, const EngineOptions* options,
+                  const PhysicalPlan* plan, PlanStats* stats)
+      : ctx_(db, stats, options->batch_size), options_(options), plan_(plan),
+        stats_(stats) {}
+
+  util::Result<core::Relation> Run(const PhysicalOpPtr& root) {
+    {
+      std::unordered_set<const PhysicalOp*> visited;
+      CountParents(root, &visited);
+    }
+    std::unique_ptr<BatchIterator> it = Build(root);
+    core::Relation out = DrainToRelation(it.get(), root->arity(), ctx_.batch_size());
+    if (!error_.empty()) return util::Result<core::Relation>::Error(error_);
+    {
+      // Emit OpStats in the same post-order the materializing executor
+      // uses, independent of the streams' interleaved completion order.
+      std::unordered_set<const PhysicalOp*> visited;
+      AppendStats(root, &visited);
+    }
+    out.Normalize();
+    return out;
+  }
+
+  ExecContext& ctx() { return ctx_; }
+  bool failed() const { return !error_.empty(); }
+
+  /// Returns false (and records the error) once an operator's distinct
+  /// output exceeds the budget.
+  bool CheckBudget(const PhysicalOp* op, std::size_t rows) {
+    if (options_->max_intermediate_budget == 0 ||
+        rows <= options_->max_intermediate_budget) {
+      return true;
+    }
+    if (error_.empty()) {
+      std::ostringstream message;
+      message << "intermediate-size budget exceeded: " << op->label() << " produced "
+              << rows << " tuples (budget " << options_->max_intermediate_budget
+              << ")";
+      error_ = message.str();
+    }
+    return false;
+  }
+
+  /// Records an exhausted stream's distinct row count — the operator's
+  /// output cardinality.
+  void Finalize(const PhysicalOp* op, std::size_t rows) {
+    stats_->max_intermediate = std::max(stats_->max_intermediate, rows);
+    stats_->total_intermediate += rows;
+    if (!options_->collect_node_stats) return;
+    finished_.emplace(op, MakeOpStats(op, rows, plan_));
+  }
+
+ private:
+  // Counts incoming DAG edges per operator (each node's subtree is walked
+  // once; extra edges only bump the count).
+  void CountParents(const PhysicalOpPtr& op,
+                    std::unordered_set<const PhysicalOp*>* visited) {
+    for (const auto& child : op->children()) {
+      ++parents_[child.get()];
+      if (visited->insert(child.get()).second) CountParents(child, visited);
+    }
+  }
+
+  std::unique_ptr<BatchIterator> Build(const PhysicalOpPtr& op) {
+    if (parents_[op.get()] > 1) {
+      // A stream has one consumer; shared subplans materialize once and
+      // each parent re-streams the stored result.
+      auto it = materialized_.find(op.get());
+      if (it == materialized_.end()) {
+        std::unique_ptr<BatchIterator> inner = BuildFresh(op);
+        core::Relation relation =
+            DrainToRelation(inner.get(), op->arity(), ctx_.batch_size());
+        relation.Normalize();
+        it = materialized_.emplace(op.get(), std::move(relation)).first;
+      }
+      return std::make_unique<RelationBatchIterator>(&it->second);
+    }
+    return BuildFresh(op);
+  }
+
+  std::unique_ptr<BatchIterator> BuildFresh(const PhysicalOpPtr& op) {
+    std::vector<std::unique_ptr<BatchIterator>> inputs;
+    inputs.reserve(op->children().size());
+    for (const auto& child : op->children()) inputs.push_back(Build(child));
+    return std::make_unique<InstrumentedIterator>(
+        this, op.get(), op->MakeBatchIterator(ctx_, std::move(inputs)),
+        ctx_.batch_size());
+  }
+
+  void AppendStats(const PhysicalOpPtr& op,
+                   std::unordered_set<const PhysicalOp*>* visited) {
+    if (!visited->insert(op.get()).second) return;
+    for (const auto& child : op->children()) AppendStats(child, visited);
+    auto it = finished_.find(op.get());
+    if (it != finished_.end()) stats_->ops.push_back(std::move(it->second));
+  }
+
+  ExecContext ctx_;
+  const EngineOptions* options_;
+  const PhysicalPlan* plan_;
+  PlanStats* stats_;
+  std::unordered_map<const PhysicalOp*, std::size_t> parents_;
+  std::unordered_map<const PhysicalOp*, core::Relation> materialized_;
+  std::unordered_map<const PhysicalOp*, OpStats> finished_;
+  std::string error_;
+};
+
+bool InstrumentedIterator::NextBatch(Batch& out) {
+  if (executor_->failed()) return false;
+  for (;;) {
+    bool more;
+    if (inner_->distinct()) {
+      more = inner_->NextBatch(out);
+      if (more) {
+        executor_->ctx().CountBatch(out);
+        rows_ += out.size();
+      }
+    } else {
+      more = NextDeduped(out);
+    }
+    if (!more) {
+      FinalizeOnce();
+      return false;
+    }
+    if (!executor_->CheckBudget(op_, rows_)) return false;
+    // A fully-duplicate batch dedups to nothing; pull again rather than
+    // hand the consumer an empty batch.
+    if (!out.empty()) return true;
+  }
+}
+
+bool InstrumentedIterator::NextDeduped(Batch& out) {
+  if (!seen_.has_value()) {
+    seen_.emplace(op_->arity());
+    scratch_.Reset(op_->arity(), batch_size_);
+  }
+  if (!inner_->NextBatch(scratch_)) return false;
+  executor_->ctx().CountBatch(scratch_);
+  out.Clear();
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    core::TupleView row = scratch_.row(i);
+    if (seen_->Insert(row)) out.Add(row);
+  }
+  rows_ += out.size();
+  return true;
+}
+
+void InstrumentedIterator::FinalizeOnce() {
+  if (finalized_) return;
+  finalized_ = true;
+  executor_->Finalize(op_, rows_);
+}
 
 }  // namespace
 
@@ -122,6 +329,14 @@ util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
   RunResult result;
   result.stats.rewrites = plan.rewrites;
   result.stats.choices = plan.choices;
+  result.stats.batch_size = options_.batch_size == 0 ? 1 : options_.batch_size;
+  if (options_.batched) {
+    BatchedExecutor executor(&db, &options_, &plan, &result.stats);
+    auto out = executor.Run(plan.root);
+    if (!out.ok()) return util::Result<RunResult>::Error(out.error());
+    result.relation = std::move(*out);
+    return result;
+  }
   Executor executor(&db, &options_, &plan, &result.stats);
   if (executor.Execute(plan.root) == nullptr) {
     return util::Result<RunResult>::Error(executor.error());

@@ -1,6 +1,8 @@
 #include "engine/physical.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +15,8 @@ namespace setalg::engine {
 namespace {
 
 using core::Relation;
+using core::TupleView;
+using core::Value;
 
 bool CompareValues(core::Value a, ra::Cmp op, core::Value b) {
   switch (op) {
@@ -65,6 +69,118 @@ std::string ColumnsToString(const std::vector<std::size_t>& columns) {
   return out.str();
 }
 
+// Consumes a binary batch stream into the shared grouping adapter — the
+// batched spelling of setjoin::AsGrouped (to which it short-circuits when
+// the stream is a plain relation streamer).
+setjoin::GroupedRelation DrainGrouped(BatchIterator* input, std::size_t batch_size) {
+  if (auto* direct = dynamic_cast<RelationBatchIterator*>(input)) {
+    return setjoin::AsGrouped(direct->relation());
+  }
+  setjoin::GroupedBuilder builder;
+  RowCursor cursor(input, 2, batch_size);
+  cursor.Open();
+  TupleView row;
+  while (cursor.Next(&row)) builder.Add(row[0], row[1]);
+  cursor.Close();
+  return std::move(builder).Build();
+}
+
+// ---------------------------------------------------------------------------
+// Generic iterator adapters.
+// ---------------------------------------------------------------------------
+
+// Streaming unary transform: pulls input rows one at a time, emits 0..1
+// output rows per input row via Emit().
+class StreamingUnaryIterator : public BatchIterator {
+ public:
+  StreamingUnaryIterator(std::unique_ptr<BatchIterator> input, std::size_t in_arity,
+                         std::size_t batch_size)
+      : input_(std::move(input)), cursor_(input_.get(), in_arity, batch_size) {}
+
+  void Open() override { cursor_.Open(); }
+  void Close() override { cursor_.Close(); }
+
+  bool NextBatch(Batch& out) override {
+    out.Clear();
+    TupleView row;
+    while (!out.full() && cursor_.Next(&row)) Emit(row, &out);
+    return !out.empty();
+  }
+
+ protected:
+  virtual void Emit(TupleView row, Batch* out) = 0;
+
+ private:
+  std::unique_ptr<BatchIterator> input_;
+  RowCursor cursor_;
+};
+
+// Blocking adapter: `compute` consumes every input stream during Open()
+// (each via DrainStream/DrainGrouped, which open and close it), then the
+// normalized result streams out in batches.
+class BlockingIterator final : public BatchIterator {
+ public:
+  using ComputeFn =
+      std::function<Relation(std::vector<std::unique_ptr<BatchIterator>>&)>;
+
+  BlockingIterator(std::vector<std::unique_ptr<BatchIterator>> inputs,
+                   ComputeFn compute)
+      : inputs_(std::move(inputs)), compute_(std::move(compute)) {}
+
+  void Open() override {
+    result_ = compute_(inputs_);
+    result_.Normalize();
+    pos_ = 0;
+  }
+
+  bool NextBatch(Batch& out) override {
+    pos_ = StreamRelationRows(result_, pos_, &out);
+    return !out.empty();
+  }
+
+  void Close() override {}
+  bool distinct() const override { return true; }  // Normalized result.
+
+ private:
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  ComputeFn compute_;
+  Relation result_{0};
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Relational-algebra operators.
+// ---------------------------------------------------------------------------
+
+class ScanIterator final : public BatchIterator {
+ public:
+  ScanIterator(ExecContext& ctx, const std::string* name, std::size_t arity)
+      : ctx_(ctx), name_(name), arity_(arity) {}
+
+  void Open() override {
+    SETALG_CHECK_STREAM(ctx_.db().schema().HasRelation(*name_))
+        << "plan references unknown relation " << *name_;
+    relation_ = &ctx_.db().relation(*name_);
+    SETALG_CHECK_EQ(relation_->arity(), arity_);
+    pos_ = 0;
+  }
+
+  bool NextBatch(Batch& out) override {
+    pos_ = StreamRelationRows(*relation_, pos_, &out);
+    return !out.empty();
+  }
+
+  void Close() override {}
+  bool distinct() const override { return true; }  // Stored sets are normalized.
+
+ private:
+  ExecContext& ctx_;
+  const std::string* name_;
+  std::size_t arity_;
+  const Relation* relation_ = nullptr;
+  std::size_t pos_ = 0;
+};
+
 class ScanOp final : public PhysicalOp {
  public:
   ScanOp(std::string name, std::size_t arity, const ra::Expr* source)
@@ -72,17 +188,44 @@ class ScanOp final : public PhysicalOp {
 
   std::string label() const override { return "scan " + name_; }
 
-  Relation Execute(ExecContext& ctx,
-                   const std::vector<const Relation*>&) const override {
-    SETALG_CHECK_STREAM(ctx.db().schema().HasRelation(name_))
-        << "plan references unknown relation " << name_;
-    const Relation& r = ctx.db().relation(name_);
-    SETALG_CHECK_EQ(r.arity(), arity());
-    return r;  // Copy; keeps the executor's memoization simple.
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx, std::vector<std::unique_ptr<BatchIterator>>) const override {
+    return std::make_unique<ScanIterator>(ctx, &name_, arity());
   }
 
  private:
   std::string name_;
+};
+
+// Streams the left input's batches through untouched, then the right's;
+// the overlap makes the stream non-distinct — downstream dedup restores
+// set semantics.
+class UnionIterator final : public BatchIterator {
+ public:
+  explicit UnionIterator(std::vector<std::unique_ptr<BatchIterator>> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  void Open() override {
+    inputs_[0]->Open();
+    inputs_[1]->Open();
+  }
+
+  bool NextBatch(Batch& out) override {
+    if (!left_done_) {
+      if (inputs_[0]->NextBatch(out)) return true;
+      left_done_ = true;
+    }
+    return inputs_[1]->NextBatch(out);
+  }
+
+  void Close() override {
+    inputs_[0]->Close();
+    inputs_[1]->Close();
+  }
+
+ private:
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  bool left_done_ = false;
 };
 
 class UnionOp final : public PhysicalOp {
@@ -92,10 +235,52 @@ class UnionOp final : public PhysicalOp {
 
   std::string label() const override { return "union"; }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return core::Union(*inputs[0], *inputs[1]);
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext&,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<UnionIterator>(std::move(inputs));
   }
+};
+
+// Anti-join by hash: the right side builds a row set on Open, the left
+// side streams through it.
+class DifferenceIterator final : public BatchIterator {
+ public:
+  DifferenceIterator(std::vector<std::unique_ptr<BatchIterator>> inputs,
+                     std::size_t arity, std::size_t batch_size)
+      : inputs_(std::move(inputs)),
+        left_(inputs_[0].get(), arity, batch_size),
+        right_(inputs_[1].get(), arity, batch_size),
+        excluded_(arity) {}
+
+  void Open() override {
+    left_.Open();
+    right_.Open();
+    TupleView row;
+    while (right_.Next(&row)) excluded_.Insert(row);
+  }
+
+  bool NextBatch(Batch& out) override {
+    out.Clear();
+    TupleView row;
+    while (!out.full() && left_.Next(&row)) {
+      if (!excluded_.Contains(row)) out.Add(row);
+    }
+    return !out.empty();
+  }
+
+  void Close() override {
+    left_.Close();
+    right_.Close();
+  }
+
+  bool distinct() const override { return true; }  // Subset of the left set.
+
+ private:
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  RowCursor left_;
+  RowCursor right_;
+  RowSet excluded_;
 };
 
 class DifferenceOp final : public PhysicalOp {
@@ -105,10 +290,34 @@ class DifferenceOp final : public PhysicalOp {
 
   std::string label() const override { return "difference"; }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return core::Difference(*inputs[0], *inputs[1]);
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<DifferenceIterator>(std::move(inputs), arity(),
+                                                ctx.batch_size());
   }
+};
+
+class ProjectIterator final : public StreamingUnaryIterator {
+ public:
+  ProjectIterator(std::unique_ptr<BatchIterator> input, std::size_t in_arity,
+                  const std::vector<std::size_t>* columns, std::size_t batch_size)
+      : StreamingUnaryIterator(std::move(input), in_arity, batch_size),
+        columns_(columns),
+        row_(columns->size()) {}
+
+ protected:
+  void Emit(TupleView t, Batch* out) override {
+    for (std::size_t k = 0; k < columns_->size(); ++k) {
+      row_[k] = t[(*columns_)[k] - 1];
+    }
+    out->Add(row_);
+  }
+
+ private:
+  const std::vector<std::size_t>* columns_;
+  core::Tuple row_;
+  // distinct() stays false: dropping columns merges rows.
 };
 
 class ProjectOp final : public PhysicalOp {
@@ -122,26 +331,39 @@ class ProjectOp final : public PhysicalOp {
     return "project[" + ColumnsToString(columns_) + "]";
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    const Relation& in = *inputs[0];
-    Relation out(arity());
-    out.Reserve(in.size());
-    core::Tuple row(arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      for (std::size_t k = 0; k < columns_.size(); ++k) {
-        row[k] = t[columns_[k] - 1];
-      }
-      out.Add(row);
-    }
-    return out;
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<ProjectIterator>(std::move(inputs[0]), child(0)->arity(),
+                                             &columns_, ctx.batch_size());
   }
 
   const std::vector<std::size_t>& columns() const { return columns_; }
 
  private:
   std::vector<std::size_t> columns_;
+};
+
+class SelectIterator final : public StreamingUnaryIterator {
+ public:
+  SelectIterator(std::unique_ptr<BatchIterator> input, std::size_t in_arity,
+                 ra::Cmp op, std::size_t i, std::size_t j, std::size_t batch_size)
+      : StreamingUnaryIterator(std::move(input), in_arity, batch_size),
+        op_(op),
+        i_(i),
+        j_(j) {}
+
+  bool distinct() const override { return true; }  // Subset of a set input.
+
+ protected:
+  void Emit(TupleView t, Batch* out) override {
+    if (CompareValues(t[i_ - 1], op_, t[j_ - 1])) out->Add(t);
+  }
+
+ private:
+  ra::Cmp op_;
+  std::size_t i_;
+  std::size_t j_;
 };
 
 class SelectOp final : public PhysicalOp {
@@ -156,21 +378,39 @@ class SelectOp final : public PhysicalOp {
     return out.str();
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    const Relation& in = *inputs[0];
-    Relation out(arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      if (CompareValues(t[i_ - 1], op_, t[j_ - 1])) out.Add(t);
-    }
-    return out;
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<SelectIterator>(std::move(inputs[0]), arity(), op_, i_, j_,
+                                            ctx.batch_size());
   }
 
  private:
   ra::Cmp op_;
   std::size_t i_;
   std::size_t j_;
+};
+
+class ConstTagIterator final : public StreamingUnaryIterator {
+ public:
+  ConstTagIterator(std::unique_ptr<BatchIterator> input, std::size_t in_arity,
+                   core::Value value, std::size_t batch_size)
+      : StreamingUnaryIterator(std::move(input), in_arity, batch_size),
+        value_(value),
+        row_(in_arity + 1) {}
+
+  bool distinct() const override { return true; }  // Injective on a set input.
+
+ protected:
+  void Emit(TupleView t, Batch* out) override {
+    std::copy(t.begin(), t.end(), row_.begin());
+    row_.back() = value_;
+    out->Add(row_);
+  }
+
+ private:
+  core::Value value_;
+  core::Tuple row_;
 };
 
 class ConstTagOp final : public PhysicalOp {
@@ -184,23 +424,117 @@ class ConstTagOp final : public PhysicalOp {
     return out.str();
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    const Relation& in = *inputs[0];
-    Relation out(arity());
-    out.Reserve(in.size());
-    core::Tuple row(arity());
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      core::TupleView t = in.tuple(i);
-      std::copy(t.begin(), t.end(), row.begin());
-      row.back() = value_;
-      out.Add(row);
-    }
-    return out;
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<ConstTagIterator>(std::move(inputs[0]), arity() - 1,
+                                              value_, ctx.batch_size());
   }
 
  private:
   core::Value value_;
+};
+
+// θ-join with a streaming probe side: Open() materializes the right
+// (build) input and hashes its equality columns; NextBatch() probes one
+// left row at a time, spilling past-capacity matches into a carry-over
+// buffer so a single wide probe never loses rows.
+class JoinIterator final : public BatchIterator {
+ public:
+  JoinIterator(ExecContext& ctx, std::vector<std::unique_ptr<BatchIterator>> inputs,
+               const std::vector<ra::JoinAtom>* atoms, std::size_t left_arity,
+               std::size_t right_arity)
+      : ctx_(ctx),
+        inputs_(std::move(inputs)),
+        left_(inputs_[0].get(), left_arity, ctx.batch_size()),
+        left_arity_(left_arity),
+        right_arity_(right_arity),
+        out_arity_(left_arity + right_arity),
+        row_(out_arity_) {
+    SplitAtoms(*atoms, &eq_, &residual_);
+  }
+
+  void Open() override {
+    left_.Open();
+    right_ = MaterializedInput::From(inputs_[1].get(), right_arity_,
+                                     ctx_.batch_size());
+    if (!eq_.empty()) {
+      std::vector<std::size_t> right_cols;
+      right_cols.reserve(eq_.size());
+      for (const auto& atom : eq_) right_cols.push_back(atom.right - 1);
+      index_.emplace(&right_.get(), std::move(right_cols));
+      key_.resize(eq_.size());
+    }
+  }
+
+  bool NextBatch(Batch& out) override {
+    out.Clear();
+    FlushPending(&out);
+    const Relation& right = right_.get();
+    TupleView lt;
+    // After FlushPending either the spill is empty or `out` is full, so
+    // this loop never interleaves spilled and fresh probes out of order.
+    while (!out.full() && left_.Next(&lt)) {
+      if (!eq_.empty()) {
+        for (std::size_t k = 0; k < eq_.size(); ++k) key_[k] = lt[eq_[k].left - 1];
+        index_->ForEachMatch(key_, [&](std::size_t r) {
+          TupleView rt = right.tuple(r);
+          if (ResidualHolds(residual_, lt, rt)) EmitRow(lt, rt, &out);
+        });
+      } else {
+        // Pure inequality (or cartesian) join: nested loop over the build.
+        for (std::size_t j = 0; j < right.size(); ++j) {
+          TupleView rt = right.tuple(j);
+          if (ResidualHolds(residual_, lt, rt)) EmitRow(lt, rt, &out);
+        }
+      }
+    }
+    return !out.empty();
+  }
+
+  void Close() override { left_.Close(); }
+
+  // Distinct inputs make every (left, right) combination unique.
+  bool distinct() const override { return true; }
+
+ private:
+  void EmitRow(TupleView lt, TupleView rt, Batch* out) {
+    std::copy(lt.begin(), lt.end(), row_.begin());
+    std::copy(rt.begin(), rt.end(),
+              row_.begin() + static_cast<std::ptrdiff_t>(left_arity_));
+    ctx_.CountJoinRows(1);
+    if (!out->full()) {
+      out->Add(row_);
+    } else {
+      pending_.insert(pending_.end(), row_.begin(), row_.end());
+    }
+  }
+
+  void FlushPending(Batch* out) {
+    while (pending_pos_ < pending_.size() && !out->full()) {
+      out->Add(TupleView(pending_.data() + pending_pos_, out_arity_));
+      pending_pos_ += out_arity_;
+    }
+    if (pending_pos_ >= pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+    }
+  }
+
+  ExecContext& ctx_;
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  RowCursor left_;
+  std::size_t left_arity_;
+  std::size_t right_arity_;
+  std::size_t out_arity_;
+  std::vector<ra::JoinAtom> eq_;
+  std::vector<ra::JoinAtom> residual_;
+  MaterializedInput right_;
+  std::optional<core::HashIndex> index_;
+  core::Tuple key_;
+  core::Tuple row_;
+  std::vector<Value> pending_;  // Rows overflowing a full output batch.
+  std::size_t pending_pos_ = 0;
 };
 
 class JoinOp final : public PhysicalOp {
@@ -212,54 +546,87 @@ class JoinOp final : public PhysicalOp {
 
   std::string label() const override { return "join[" + AtomsToString(atoms_) + "]"; }
 
-  Relation Execute(ExecContext& ctx,
-                   const std::vector<const Relation*>& inputs) const override {
-    const Relation& left = *inputs[0];
-    const Relation& right = *inputs[1];
-    Relation out(arity());
-    if (left.empty() || right.empty()) return out;
-
-    std::vector<ra::JoinAtom> eq, residual;
-    SplitAtoms(atoms_, &eq, &residual);
-
-    core::Tuple row(arity());
-    const std::size_t n = left.arity();
-    auto emit = [&](core::TupleView lt, core::TupleView rt) {
-      std::copy(lt.begin(), lt.end(), row.begin());
-      std::copy(rt.begin(), rt.end(), row.begin() + static_cast<std::ptrdiff_t>(n));
-      out.Add(row);
-      ctx.CountJoinRows(1);
-    };
-
-    if (!eq.empty()) {
-      std::vector<std::size_t> right_cols;
-      right_cols.reserve(eq.size());
-      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
-      core::HashIndex index(&right, right_cols);
-      core::Tuple key(eq.size());
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
-        index.ForEachMatch(key, [&](std::size_t r) {
-          core::TupleView rt = right.tuple(r);
-          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
-        });
-      }
-    } else {
-      // Pure inequality (or cartesian) join: nested loop.
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t j = 0; j < right.size(); ++j) {
-          core::TupleView rt = right.tuple(j);
-          if (ResidualHolds(residual, lt, rt)) emit(lt, rt);
-        }
-      }
-    }
-    return out;
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<JoinIterator>(ctx, std::move(inputs), &atoms_,
+                                          child(0)->arity(), child(1)->arity());
   }
 
  private:
   std::vector<ra::JoinAtom> atoms_;
+};
+
+// The generic (reference) semijoin with a streaming probe side: right is
+// built on Open, each left row passes through at most once.
+class GenericSemiJoinIterator final : public BatchIterator {
+ public:
+  GenericSemiJoinIterator(ExecContext& ctx,
+                          std::vector<std::unique_ptr<BatchIterator>> inputs,
+                          const std::vector<ra::JoinAtom>* atoms,
+                          std::size_t left_arity, std::size_t right_arity)
+      : ctx_(ctx),
+        inputs_(std::move(inputs)),
+        left_(inputs_[0].get(), left_arity, ctx.batch_size()),
+        right_arity_(right_arity) {
+    SplitAtoms(*atoms, &eq_, &residual_);
+  }
+
+  void Open() override {
+    left_.Open();
+    right_ = MaterializedInput::From(inputs_[1].get(), right_arity_,
+                                     ctx_.batch_size());
+    if (!eq_.empty()) {
+      std::vector<std::size_t> right_cols;
+      right_cols.reserve(eq_.size());
+      for (const auto& atom : eq_) right_cols.push_back(atom.right - 1);
+      index_.emplace(&right_.get(), std::move(right_cols));
+      key_.resize(eq_.size());
+    }
+  }
+
+  bool NextBatch(Batch& out) override {
+    out.Clear();
+    TupleView lt;
+    while (!out.full() && left_.Next(&lt)) {
+      if (Matches(lt)) out.Add(lt);
+    }
+    return !out.empty();
+  }
+
+  void Close() override { left_.Close(); }
+  bool distinct() const override { return true; }  // Subset of the left set.
+
+ private:
+  bool Matches(TupleView lt) {
+    const Relation& right = right_.get();
+    if (!eq_.empty()) {
+      for (std::size_t k = 0; k < eq_.size(); ++k) key_[k] = lt[eq_[k].left - 1];
+      bool found = false;
+      index_->ForEachMatch(key_, [&](std::size_t r) {
+        if (!found && ResidualHolds(residual_, lt, right.tuple(r))) found = true;
+      });
+      return found;
+    }
+    if (residual_.empty()) {
+      // θ empty: the left tuple survives iff the right side is nonempty.
+      return !right.empty();
+    }
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      if (ResidualHolds(residual_, lt, right.tuple(j))) return true;
+    }
+    return false;
+  }
+
+  ExecContext& ctx_;
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  RowCursor left_;
+  std::size_t right_arity_;
+  std::vector<ra::JoinAtom> eq_;
+  std::vector<ra::JoinAtom> residual_;
+  MaterializedInput right_;
+  std::optional<core::HashIndex> index_;
+  core::Tuple key_;
 };
 
 class SemiJoinOp final : public PhysicalOp {
@@ -275,58 +642,110 @@ class SemiJoinOp final : public PhysicalOp {
            (strategy_ == SemijoinStrategy::kFastKernel ? " (fast)" : " (generic)");
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    const Relation& left = *inputs[0];
-    const Relation& right = *inputs[1];
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     if (strategy_ == SemijoinStrategy::kFastKernel) {
-      return sa::Semijoin(left, right, atoms_);
+      // The sa:: kernels pick their own access paths over whole relations;
+      // they consume batches and emit their result in batches.
+      const std::size_t left_arity = child(0)->arity();
+      const std::size_t right_arity = child(1)->arity();
+      const std::size_t batch_size = ctx.batch_size();
+      return std::make_unique<BlockingIterator>(
+          std::move(inputs),
+          [this, left_arity, right_arity,
+           batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+            const MaterializedInput left =
+                MaterializedInput::From(streams[0].get(), left_arity, batch_size);
+            const MaterializedInput right =
+                MaterializedInput::From(streams[1].get(), right_arity, batch_size);
+            return sa::Semijoin(left.get(), right.get(), atoms_);
+          });
     }
-    return GenericSemijoin(left, right);
+    return std::make_unique<GenericSemiJoinIterator>(
+        ctx, std::move(inputs), &atoms_, child(0)->arity(), child(1)->arity());
   }
 
  private:
-  Relation GenericSemijoin(const Relation& left, const Relation& right) const {
-    Relation out(arity());
-    if (left.empty() || right.empty()) return out;
-
-    std::vector<ra::JoinAtom> eq, residual;
-    SplitAtoms(atoms_, &eq, &residual);
-
-    if (!eq.empty()) {
-      std::vector<std::size_t> right_cols;
-      right_cols.reserve(eq.size());
-      for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
-      core::HashIndex index(&right, right_cols);
-      core::Tuple key(eq.size());
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
-        bool found = false;
-        index.ForEachMatch(key, [&](std::size_t r) {
-          if (!found && ResidualHolds(residual, lt, right.tuple(r))) found = true;
-        });
-        if (found) out.Add(lt);
-      }
-    } else if (residual.empty()) {
-      // θ empty and right nonempty: every left tuple survives.
-      return left;
-    } else {
-      for (std::size_t i = 0; i < left.size(); ++i) {
-        core::TupleView lt = left.tuple(i);
-        for (std::size_t j = 0; j < right.size(); ++j) {
-          if (ResidualHolds(residual, lt, right.tuple(j))) {
-            out.Add(lt);
-            break;
-          }
-        }
-      }
-    }
-    return out;
-  }
-
   std::vector<ra::JoinAtom> atoms_;
   SemijoinStrategy strategy_;
+};
+
+// ---------------------------------------------------------------------------
+// Division.
+// ---------------------------------------------------------------------------
+
+// Division: the divisor (build side) is always consumed first; the
+// hash/aggregate algorithms then probe the dividend stream with O(#groups)
+// state, while the remaining algorithms (sort-merge needs sorted runs,
+// nested-loop an index, classic-ra a database) materialize it and call
+// the setjoin:: kernel — blocking, but still batch-in/batch-out.
+class DivisionIterator final : public BatchIterator {
+ public:
+  DivisionIterator(ExecContext& ctx, std::vector<std::unique_ptr<BatchIterator>> inputs,
+                   setjoin::DivisionAlgorithm algorithm, bool equality)
+      : ctx_(ctx),
+        inputs_(std::move(inputs)),
+        algorithm_(algorithm),
+        equality_(equality) {}
+
+  void Open() override {
+    const std::size_t batch_size = ctx_.batch_size();
+    const MaterializedInput divisor =
+        MaterializedInput::From(inputs_[1].get(), 1, batch_size);
+    switch (algorithm_) {
+      case setjoin::DivisionAlgorithm::kHashDivision:
+      case setjoin::DivisionAlgorithm::kAggregate: {
+        // An already-materialized dividend (the materializing Execute
+        // path) goes straight to the kernel; a live pipeline edge is
+        // probed batch-at-a-time with O(#groups) state.
+        if (auto* direct = dynamic_cast<RelationBatchIterator*>(inputs_[0].get())) {
+          result_ = equality_
+                        ? setjoin::DivideEqual(direct->relation(), divisor.get(),
+                                               algorithm_)
+                        : setjoin::Divide(direct->relation(), divisor.get(),
+                                          algorithm_);
+          break;
+        }
+        // The shared single-pass kernels (setjoin::DivideStream), fed the
+        // probe stream: duplicate-free by the batch-surface contract, so
+        // group sizes count distinct pairs exactly like the relation path.
+        RowCursor dividend(inputs_[0].get(), 2, batch_size);
+        dividend.Open();
+        result_ = setjoin::DivideStream(
+            [&dividend](TupleView* t) { return dividend.Next(t); }, divisor.get(),
+            algorithm_, equality_);
+        dividend.Close();
+        break;
+      }
+      default: {
+        const MaterializedInput dividend =
+            MaterializedInput::From(inputs_[0].get(), 2, batch_size);
+        result_ = equality_
+                      ? setjoin::DivideEqual(dividend.get(), divisor.get(), algorithm_)
+                      : setjoin::Divide(dividend.get(), divisor.get(), algorithm_);
+        break;
+      }
+    }
+    result_.Normalize();
+    pos_ = 0;
+  }
+
+  bool NextBatch(Batch& out) override {
+    pos_ = StreamRelationRows(result_, pos_, &out);
+    return !out.empty();
+  }
+
+  void Close() override {}
+  bool distinct() const override { return true; }  // One row per key.
+
+ private:
+  ExecContext& ctx_;
+  std::vector<std::unique_ptr<BatchIterator>> inputs_;
+  setjoin::DivisionAlgorithm algorithm_;
+  bool equality_;
+  Relation result_{1};
+  std::size_t pos_ = 0;
 };
 
 class DivisionOp final : public PhysicalOp {
@@ -343,16 +762,23 @@ class DivisionOp final : public PhysicalOp {
            setjoin::DivisionAlgorithmToString(algorithm_) + "]";
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return equality_ ? setjoin::DivideEqual(*inputs[0], *inputs[1], algorithm_)
-                     : setjoin::Divide(*inputs[0], *inputs[1], algorithm_);
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    return std::make_unique<DivisionIterator>(ctx, std::move(inputs), algorithm_,
+                                              equality_);
   }
 
  private:
   setjoin::DivisionAlgorithm algorithm_;
   bool equality_;
 };
+
+// ---------------------------------------------------------------------------
+// Set joins. Grouping is inherently blocking (a group's elements may span
+// the whole stream), so these consume their inputs through the shared
+// GroupedBuilder adapter and emit the kernel's result in batches.
+// ---------------------------------------------------------------------------
 
 class SetContainmentJoinOp final : public PhysicalOp {
  public:
@@ -366,10 +792,17 @@ class SetContainmentJoinOp final : public PhysicalOp {
            setjoin::ContainmentAlgorithmToString(algorithm_) + "]";
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return setjoin::SetContainmentJoin(setjoin::AsGrouped(*inputs[0]),
-                                       setjoin::AsGrouped(*inputs[1]), algorithm_);
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    const std::size_t batch_size = ctx.batch_size();
+    return std::make_unique<BlockingIterator>(
+        std::move(inputs),
+        [this, batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+          return setjoin::SetContainmentJoin(DrainGrouped(streams[0].get(), batch_size),
+                                             DrainGrouped(streams[1].get(), batch_size),
+                                             algorithm_);
+        });
   }
 
  private:
@@ -388,10 +821,17 @@ class SetEqualityJoinOp final : public PhysicalOp {
            setjoin::EqualityJoinAlgorithmToString(algorithm_) + "]";
   }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return setjoin::SetEqualityJoin(setjoin::AsGrouped(*inputs[0]),
-                                    setjoin::AsGrouped(*inputs[1]), algorithm_);
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    const std::size_t batch_size = ctx.batch_size();
+    return std::make_unique<BlockingIterator>(
+        std::move(inputs),
+        [this, batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+          return setjoin::SetEqualityJoin(DrainGrouped(streams[0].get(), batch_size),
+                                          DrainGrouped(streams[1].get(), batch_size),
+                                          algorithm_);
+        });
   }
 
  private:
@@ -405,10 +845,16 @@ class SetOverlapJoinOp final : public PhysicalOp {
 
   std::string label() const override { return "set-overlap-join"; }
 
-  Relation Execute(ExecContext&,
-                   const std::vector<const Relation*>& inputs) const override {
-    return setjoin::SetOverlapJoin(setjoin::AsGrouped(*inputs[0]),
-                                   setjoin::AsGrouped(*inputs[1]));
+  std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx,
+      std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    const std::size_t batch_size = ctx.batch_size();
+    return std::make_unique<BlockingIterator>(
+        std::move(inputs),
+        [batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+          return setjoin::SetOverlapJoin(DrainGrouped(streams[0].get(), batch_size),
+                                         DrainGrouped(streams[1].get(), batch_size));
+        });
   }
 };
 
@@ -420,6 +866,26 @@ void AppendTree(const PhysicalOp& op, std::size_t depth, std::string* out) {
 }
 
 }  // namespace
+
+core::Relation PhysicalOp::Execute(
+    ExecContext& ctx, const std::vector<const core::Relation*>& inputs) const {
+  SETALG_CHECK_EQ(inputs.size(), children_.size());
+  std::vector<std::unique_ptr<BatchIterator>> streams;
+  streams.reserve(inputs.size());
+  for (const core::Relation* input : inputs) {
+    streams.push_back(std::make_unique<RelationBatchIterator>(input));
+  }
+  std::unique_ptr<BatchIterator> it = MakeBatchIterator(ctx, std::move(streams));
+  it->Open();
+  Batch batch(arity(), ctx.batch_size());
+  core::Relation out(arity());
+  while (it->NextBatch(batch)) {
+    ctx.CountBatch(batch);
+    AppendBatchTo(batch, &out);
+  }
+  it->Close();
+  return out;
+}
 
 std::string PhysicalOp::ToString() const {
   std::string out;

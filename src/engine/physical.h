@@ -1,13 +1,16 @@
 // The engine's physical-plan layer: a tree (DAG — shared subplans are
-// evaluated once) of materializing operators.
+// evaluated once) of operators, each implemented once against the batched
+// Open/NextBatch/Close surface (engine/batch.h).
 //
-// Each PhysicalOp computes its output relation from its children's
-// already-materialized outputs. Operators are deliberately materializing
-// rather than pulled tuple-at-a-time: every complexity statement in the
-// paper is about the cardinality of materialized intermediates (Definition
-// 16), and PlanStats records exactly those cardinalities per operator. A
-// batched/vectorized open-next-close surface can be layered underneath
-// Execute() later without touching the planner.
+// Every operator's kernel is batch-at-a-time. The materializing
+// Execute() — the semantics reference every complexity statement in the
+// paper is phrased against (the cardinality of materialized intermediates,
+// Definition 16) — is a thin loop over that surface: it wraps the
+// children's materialized outputs in relation streamers and drains the
+// operator's own iterator. EngineOptions::batched instead composes the
+// iterators across operators into a pipeline (engine.cc), so streaming
+// operators never materialize at all while PlanStats still records the
+// same per-operator (distinct) output cardinalities.
 //
 // Concrete operators cover the relational algebra one-to-one (scan, union,
 // difference, projection, selection, const-tag, join, semijoin) plus the
@@ -24,6 +27,7 @@
 
 #include "core/database.h"
 #include "core/relation.h"
+#include "engine/batch.h"
 #include "ra/expr.h"
 #include "setjoin/division.h"
 #include "setjoin/setjoin.h"
@@ -89,23 +93,46 @@ struct PlanStats {
   /// Cost-based algorithm selections made while planning (empty unless
   /// EngineOptions::cost_based was set and statistics were available).
   std::vector<AlgorithmChoice> choices;
+  /// The batch size the run used on the batch surface (both execution
+  /// modes loop it; see engine/batch.h).
+  std::size_t batch_size = 0;
+  /// Operator-output batches that crossed the batch surface.
+  std::uint64_t batches_emitted = 0;
+  /// Largest single operator-output batch footprint observed, in bytes —
+  /// the per-edge buffering cost of the pipelined mode.
+  std::size_t peak_batch_bytes = 0;
 };
 
 /// Execution-time context handed to every operator.
 class ExecContext {
  public:
-  ExecContext(const core::Database* db, PlanStats* stats) : db_(db), stats_(stats) {}
+  ExecContext(const core::Database* db, PlanStats* stats,
+              std::size_t batch_size = kDefaultBatchSize)
+      : db_(db), stats_(stats), batch_size_(batch_size == 0 ? 1 : batch_size) {}
 
   const core::Database& db() const { return *db_; }
   PlanStats* stats() const { return stats_; }
+
+  /// Tuples per batch on the batch surface (always >= 1).
+  std::size_t batch_size() const { return batch_size_; }
 
   void CountJoinRows(std::uint64_t rows) {
     if (stats_ != nullptr) stats_->join_rows_emitted += rows;
   }
 
+  /// Records one operator-output batch (count + peak footprint).
+  void CountBatch(const Batch& batch) {
+    if (stats_ == nullptr) return;
+    ++stats_->batches_emitted;
+    if (batch.memory_bytes() > stats_->peak_batch_bytes) {
+      stats_->peak_batch_bytes = batch.memory_bytes();
+    }
+  }
+
  private:
   const core::Database* db_;
   PlanStats* stats_;
+  std::size_t batch_size_;
 };
 
 /// An immutable physical operator. Build via the factory functions below;
@@ -122,12 +149,22 @@ class PhysicalOp {
   /// One-line description, e.g. "division[hash-division]" or "join[2=1]".
   virtual std::string label() const = 0;
 
-  /// Computes this operator's output; `inputs` are the materialized child
-  /// outputs, in child order. The result need not be normalized — the
-  /// executor normalizes before recording stats.
-  virtual core::Relation Execute(ExecContext& ctx,
-                                 const std::vector<const core::Relation*>& inputs)
-      const = 0;
+  /// The operator's batch-at-a-time kernel: returns an iterator producing
+  /// this operator's output from the children's streams (`inputs`, in
+  /// child order, consumed at most once each). Input streams are always
+  /// duplicate-free (relation streamers in materializing mode, deduped
+  /// pipeline edges in batched mode); the output stream may carry
+  /// duplicates unless its distinct() says otherwise. `ctx` must outlive
+  /// the iterator.
+  virtual std::unique_ptr<BatchIterator> MakeBatchIterator(
+      ExecContext& ctx, std::vector<std::unique_ptr<BatchIterator>> inputs) const = 0;
+
+  /// Materializes this operator's output — a thin loop over
+  /// MakeBatchIterator with the children's materialized outputs as input
+  /// streams. The result need not be normalized — the executor normalizes
+  /// before recording stats.
+  core::Relation Execute(ExecContext& ctx,
+                         const std::vector<const core::Relation*>& inputs) const;
 
   /// Indented rendering of the subplan rooted here.
   std::string ToString() const;

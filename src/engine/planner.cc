@@ -256,6 +256,13 @@ EngineOptions EngineOptions::CostBased() {
   return options;
 }
 
+EngineOptions EngineOptions::Batched(std::size_t batch_size) {
+  EngineOptions options;
+  options.batched = true;
+  options.batch_size = batch_size;
+  return options;
+}
+
 std::string PhysicalPlan::ToString() const {
   std::string out = root == nullptr ? std::string("(empty plan)\n") : root->ToString();
   for (const auto& rewrite : rewrites) {

@@ -56,6 +56,19 @@ struct EngineOptions {
   /// choice is recorded in PhysicalPlan::choices / PlanStats::choices.
   bool cost_based = false;
 
+  /// Execute plans through the pipelined batch surface (engine/batch.h):
+  /// streaming operators pass fixed-size tuple batches to their consumers
+  /// instead of materializing at every operator boundary. Results and
+  /// PlanStats row counts are identical to the materializing mode (the
+  /// differential harness in tests/batch_exec_test.cc enforces this); this
+  /// is an execution mode, not a plan choice — the planner and cost model
+  /// are unaffected.
+  bool batched = false;
+
+  /// Tuples per batch on the batch surface (both execution modes loop it).
+  /// Values < 1 are treated as 1.
+  std::size_t batch_size = kDefaultBatchSize;
+
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
   bool collect_node_stats = true;
@@ -73,6 +86,9 @@ struct EngineOptions {
   /// selection: the planner consults the cost model per call site instead
   /// of the fixed algorithm defaults.
   static EngineOptions CostBased();
+
+  /// The rewrite-enabled options with pipelined batch execution.
+  static EngineOptions Batched(std::size_t batch_size = kDefaultBatchSize);
 };
 
 /// A lowered plan plus the planner decisions that shaped it.

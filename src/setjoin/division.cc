@@ -85,7 +85,11 @@ Relation SortMergeDivide(const Relation& r, const Relation& s, bool equality) {
 
 // Graefe's hash-division: number the divisor 0..|S|-1 in a hash table; keep
 // one bitmap per candidate; a candidate qualifies when its bitmap is full.
-Relation HashDivide(const Relation& r, const Relation& s, bool equality) {
+// Templated over the dividend row source (an indexed relation loop or the
+// engine's batched probe stream) so both spellings share this kernel; the
+// source must yield distinct (a, b) tuples — group_size counts them.
+template <typename NextRowFn>
+Relation HashDivideRows(NextRowFn&& next, const Relation& s, bool equality) {
   Relation out(1);
   const auto divisor = DivisorElements(s);
   std::unordered_map<Value, std::size_t> divisor_slots;
@@ -97,8 +101,8 @@ Relation HashDivide(const Relation& r, const Relation& s, bool equality) {
     std::size_t group_size = 0;
   };
   std::unordered_map<Value, CandidateState> states;
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    TupleView t = r.tuple(i);
+  TupleView t;
+  while (next(&t)) {
     auto& state = states[t[0]];
     if (state.bitmap.empty() && !divisor.empty()) {
       state.bitmap = util::Bitset(divisor.size());
@@ -118,13 +122,15 @@ Relation HashDivide(const Relation& r, const Relation& s, bool equality) {
 
 // Aggregate (counting) division — the Section 5 strategy: count per
 // candidate how many divisor elements it matches; compare against |S|.
-Relation AggregateDivide(const Relation& r, const Relation& s, bool equality) {
+// Row-source-templated like HashDivideRows.
+template <typename NextRowFn>
+Relation AggregateDivideRows(NextRowFn&& next, const Relation& s, bool equality) {
   Relation out(1);
   const auto divisor = DivisorElements(s);
   std::unordered_set<Value> divisor_set(divisor.begin(), divisor.end());
   std::unordered_map<Value, std::pair<std::size_t, std::size_t>> counts;
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    TupleView t = r.tuple(i);
+  TupleView t;
+  while (next(&t)) {
     auto& [hits, total] = counts[t[0]];
     ++total;
     if (divisor_set.count(t[1]) > 0) ++hits;
@@ -136,6 +142,30 @@ Relation AggregateDivide(const Relation& r, const Relation& s, bool equality) {
     if (qualifies) out.Add({a});
   }
   return out;
+}
+
+// Row source iterating a normalized relation front to back.
+class RelationRowSource {
+ public:
+  explicit RelationRowSource(const Relation& r) : r_(&r) {}
+
+  bool operator()(TupleView* t) {
+    if (i_ >= r_->size()) return false;
+    *t = r_->tuple(i_++);
+    return true;
+  }
+
+ private:
+  const Relation* r_;
+  std::size_t i_ = 0;
+};
+
+Relation HashDivide(const Relation& r, const Relation& s, bool equality) {
+  return HashDivideRows(RelationRowSource(r), s, equality);
+}
+
+Relation AggregateDivide(const Relation& r, const Relation& s, bool equality) {
+  return AggregateDivideRows(RelationRowSource(r), s, equality);
 }
 
 // Evaluates the classic RA expression on a transient two-relation database.
@@ -208,6 +238,23 @@ core::Relation Divide(const core::Relation& r, const core::Relation& s,
 core::Relation DivideEqual(const core::Relation& r, const core::Relation& s,
                            DivisionAlgorithm algorithm, ra::EvalStats* stats) {
   return Dispatch(r, s, algorithm, /*equality=*/true, stats);
+}
+
+core::Relation DivideStream(const std::function<bool(core::TupleView*)>& next,
+                            const core::Relation& s, DivisionAlgorithm algorithm,
+                            bool equality) {
+  SETALG_CHECK_EQ(s.arity(), 1u);
+  switch (algorithm) {
+    case DivisionAlgorithm::kHashDivision:
+      return HashDivideRows(next, s, equality);
+    case DivisionAlgorithm::kAggregate:
+      return AggregateDivideRows(next, s, equality);
+    default:
+      SETALG_CHECK_STREAM(false)
+          << "DivideStream supports only the single-pass algorithms, got "
+          << DivisionAlgorithmToString(algorithm);
+  }
+  return Relation(1);
 }
 
 ra::ExprPtr ClassicDivisionExpr(const std::string& r_name, const std::string& s_name) {

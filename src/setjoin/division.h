@@ -17,6 +17,7 @@
 #ifndef SETALG_SETJOIN_DIVISION_H_
 #define SETALG_SETJOIN_DIVISION_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@ core::Relation Divide(const core::Relation& r, const core::Relation& s,
 core::Relation DivideEqual(const core::Relation& r, const core::Relation& s,
                            DivisionAlgorithm algorithm,
                            ra::EvalStats* stats = nullptr);
+
+/// Streaming (row-source) division: `next` yields the dividend's distinct
+/// (a, b) tuples one at a time, returning false when exhausted — e.g. the
+/// engine's batched probe side. Exactly the Divide/DivideEqual semantics
+/// (one shared kernel implementation); `algorithm` must be kHashDivision
+/// or kAggregate, the single-pass strategies with O(#groups) state.
+core::Relation DivideStream(const std::function<bool(core::TupleView*)>& next,
+                            const core::Relation& s, DivisionAlgorithm algorithm,
+                            bool equality);
 
 /// The textbook RA expression π_A(R) − π_A((π_A(R) × S) − R) over relation
 /// names `r_name` (binary) and `s_name` (unary).

@@ -7,30 +7,33 @@
 
 namespace setalg::setjoin {
 
-GroupedRelation GroupedRelation::FromBinary(const core::Relation& relation,
-                                            std::size_t key_column) {
-  SETALG_CHECK_EQ(relation.arity(), 2u);
-  SETALG_CHECK(key_column == 1 || key_column == 2);
-  const std::size_t value_column = key_column == 1 ? 2 : 1;
-
+GroupedRelation GroupedBuilder::Build() && {
   GroupedRelation grouped;
-  // The relation is sorted; when keyed on column 1 the groups come out
-  // contiguous. For column 2 we sort pairs first.
-  std::vector<std::pair<core::Value, core::Value>> pairs;
-  pairs.reserve(relation.size());
-  for (std::size_t i = 0; i < relation.size(); ++i) {
-    core::TupleView t = relation.tuple(i);
-    pairs.emplace_back(t[key_column - 1], t[value_column - 1]);
-  }
-  std::sort(pairs.begin(), pairs.end());
-  for (const auto& [key, element] : pairs) {
+  std::sort(pairs_.begin(), pairs_.end());
+  for (const auto& [key, element] : pairs_) {
     if (grouped.groups_.empty() || grouped.groups_.back().key != key) {
       grouped.groups_.push_back({key, {}});
     }
     auto& elements = grouped.groups_.back().elements;
     if (elements.empty() || elements.back() != element) elements.push_back(element);
   }
+  pairs_.clear();
   return grouped;
+}
+
+GroupedRelation GroupedRelation::FromBinary(const core::Relation& relation,
+                                            std::size_t key_column) {
+  SETALG_CHECK_EQ(relation.arity(), 2u);
+  SETALG_CHECK(key_column == 1 || key_column == 2);
+  const std::size_t value_column = key_column == 1 ? 2 : 1;
+
+  GroupedBuilder builder;
+  builder.Reserve(relation.size());
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    core::TupleView t = relation.tuple(i);
+    builder.Add(t[key_column - 1], t[value_column - 1]);
+  }
+  return std::move(builder).Build();
 }
 
 GroupedRelation AsGrouped(const core::Relation& relation, std::size_t key_column) {

@@ -18,6 +18,8 @@ struct Group {
   std::vector<core::Value> elements;
 };
 
+class GroupedBuilder;
+
 /// Groups of a binary relation, ordered by key.
 class GroupedRelation {
  public:
@@ -40,7 +42,30 @@ class GroupedRelation {
   std::size_t MaxGroupSize() const;
 
  private:
+  friend class GroupedBuilder;
+
   std::vector<Group> groups_;
+};
+
+/// Incremental grouping adapter: feed (key, element) pairs in any order —
+/// e.g. batch-at-a-time from the engine's set-join operators — then
+/// Build() the grouped view once. GroupedRelation::FromBinary (and hence
+/// AsGrouped) is a thin wrapper over this builder, so the batched and the
+/// whole-relation consumers share one grouping implementation.
+class GroupedBuilder {
+ public:
+  void Reserve(std::size_t pairs) { pairs_.reserve(pairs); }
+
+  void Add(core::Value key, core::Value element) {
+    pairs_.emplace_back(key, element);
+  }
+
+  /// Sorts and deduplicates the accumulated pairs into groups ordered by
+  /// key with sorted, unique element sets. Consumes the builder.
+  GroupedRelation Build() &&;
+
+ private:
+  std::vector<std::pair<core::Value, core::Value>> pairs_;
 };
 
 /// The shared spelling of "group this binary relation" used by the

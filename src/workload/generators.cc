@@ -96,6 +96,16 @@ SetJoinInstance MakeSetJoinInstance(const SetJoinConfig& config) {
   return instance;
 }
 
+core::Database SetJoinDatabase(const SetJoinInstance& instance) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  core::Database db(schema);
+  db.SetRelation("R", instance.r);
+  db.SetRelation("S", instance.s);
+  return db;
+}
+
 core::Relation UniformBinaryRelation(std::size_t rows, std::size_t domain,
                                      std::uint64_t seed) {
   SETALG_CHECK(domain > 0);

@@ -57,6 +57,10 @@ struct SetJoinConfig {
 /// when s_group_size >= r_group_size.
 SetJoinInstance MakeSetJoinInstance(const SetJoinConfig& config);
 
+/// A database over schema {R/2, S/2} holding a set-join instance (the
+/// shape the engine's hand-built set-join plans scan).
+core::Database SetJoinDatabase(const SetJoinInstance& instance);
+
 /// Uniform random binary relation with `rows` tuples over a value domain
 /// of the given size (values 1..domain).
 core::Relation UniformBinaryRelation(std::size_t rows, std::size_t domain,

@@ -1,0 +1,395 @@
+// Differential/property harness for batched execution: every plan must
+// produce identical (sorted, set-semantics) results and identical
+// per-operator PlanStats row counts whether it runs through the
+// materializing executor or the pipelined batch surface, at every batch
+// size — including the degenerate size 1 and the off-power-of-two 7 that
+// exercise batch-boundary carry-over.
+//
+// The suite reads SETALG_BATCH_SEED (default 1) as the base of its seed
+// range; CI runs it under ASan/UBSan with a fixed seed matrix so
+// batch-boundary lifetime bugs surface across distinct randomized
+// workloads.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "ra/rewrite.h"
+#include "setjoin/division.h"
+#include "setjoin/grouped.h"
+#include "setjoin/setjoin.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace setalg::engine {
+namespace {
+
+using core::Relation;
+using setalg::testing::MakeRel;
+
+constexpr std::size_t kBatchSizes[] = {1, 2, 7, 1024};
+
+std::uint64_t BaseSeed() {
+  const char* env = std::getenv("SETALG_BATCH_SEED");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  return (end == env || value == 0) ? 1 : static_cast<std::uint64_t>(value);
+}
+
+// Asserts that the pipelined run reproduced the materializing run's
+// per-operator instrumentation exactly: same operators in the same
+// post-order, same (distinct) output cardinalities, same aggregates.
+void ExpectSameStats(const PlanStats& expected, const PlanStats& actual,
+                     const std::string& context) {
+  EXPECT_EQ(actual.max_intermediate, expected.max_intermediate) << context;
+  EXPECT_EQ(actual.total_intermediate, expected.total_intermediate) << context;
+  EXPECT_EQ(actual.join_rows_emitted, expected.join_rows_emitted) << context;
+  ASSERT_EQ(actual.ops.size(), expected.ops.size()) << context;
+  for (std::size_t i = 0; i < expected.ops.size(); ++i) {
+    EXPECT_EQ(actual.ops[i].label, expected.ops[i].label) << context << " op " << i;
+    EXPECT_EQ(actual.ops[i].source, expected.ops[i].source) << context << " op " << i;
+    EXPECT_EQ(actual.ops[i].output_size, expected.ops[i].output_size)
+        << context << " op " << i << " (" << expected.ops[i].label << ")";
+  }
+}
+
+// Lowers `expr` once under `base` options and executes the same plan
+// through the materializing executor and through the pipelined executor at
+// every batch size, asserting identical results and row counts.
+void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
+                          const core::Database& db, const std::string& context) {
+  const Engine reference(base);
+  auto plan = base.cost_based ? reference.Plan(expr, db)
+                              : reference.Plan(expr, db.schema());
+  ASSERT_TRUE(plan.ok()) << context << ": " << plan.error();
+  auto expected = reference.RunPlan(*plan, db);
+  ASSERT_TRUE(expected.ok()) << context << ": " << expected.error();
+
+  for (std::size_t batch_size : kBatchSizes) {
+    EngineOptions options = base;
+    options.batched = true;
+    options.batch_size = batch_size;
+    const Engine batched(options);
+    auto run = batched.RunPlan(*plan, db);
+    const std::string what =
+        context + " batch_size=" + std::to_string(batch_size);
+    ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+    EXPECT_EQ(run->relation, expected->relation) << what;
+    ExpectSameStats(expected->stats, run->stats, what);
+    EXPECT_EQ(run->stats.batch_size, batch_size);
+    if (!expected->relation.empty()) {
+      EXPECT_GT(run->stats.batches_emitted, 0u) << what;
+      EXPECT_GT(run->stats.peak_batch_bytes, 0u) << what;
+    }
+  }
+}
+
+// The three planning modes the harness drives every workload through.
+std::vector<std::pair<std::string, EngineOptions>> AllModes() {
+  return {{"reference", EngineOptions::Reference()},
+          {"planned", EngineOptions{}},
+          {"cost-based", EngineOptions::CostBased()}};
+}
+
+// ---------------------------------------------------------------------------
+// Randomized expressions over random databases.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExec, DifferentialOnRandomSaExpressions) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  schema.AddRelation("T", 2);
+  const std::uint64_t base = BaseSeed();
+  for (std::uint64_t seed = base; seed < base + 4; ++seed) {
+    const auto db = setalg::testing::RandomDatabase(schema, 30, 12, seed);
+    setalg::testing::RandomSaEqGenerator generator(schema, {1, 2, 3}, seed * 97);
+    for (int trial = 0; trial < 6; ++trial) {
+      const auto expr = generator.Generate(1 + trial % 2, 3);
+      for (const auto& [name, options] : AllModes()) {
+        ExpectBatchedMatches(options, expr, db,
+                             name + " seed " + std::to_string(seed) + " expr " +
+                                 expr->ToString());
+      }
+    }
+  }
+}
+
+TEST(BatchExec, DifferentialOnJoinFormsOfRandomExpressions) {
+  // The RA embedding of semijoins yields π(⋈) shapes — the planner's
+  // semijoin reduction plus the join iterator's spill path get exercised.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  const std::uint64_t base = BaseSeed();
+  for (std::uint64_t seed = base + 10; seed < base + 13; ++seed) {
+    const auto db = setalg::testing::RandomDatabase(schema, 24, 10, seed);
+    setalg::testing::RandomSaEqGenerator generator(schema, {1, 2}, seed * 131);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto expr = ra::SemiJoinToJoin(generator.Generate(1, 3));
+      for (const auto& [name, options] : AllModes()) {
+        ExpectBatchedMatches(options, expr, db,
+                             name + " seed " + std::to_string(seed) + " expr " +
+                                 expr->ToString());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Division workloads (the paper's shapes) through all planning modes.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExec, DifferentialOnDivisionWorkloads) {
+  const std::uint64_t base = BaseSeed();
+  for (std::uint64_t seed = base; seed < base + 3; ++seed) {
+    workload::DivisionConfig config;
+    config.num_groups = 20 + 15 * (seed % 3);
+    config.group_size = 2 + seed % 5;
+    config.domain_size = 16 + 8 * (seed % 4);
+    config.divisor_size = 2 + seed % 6;
+    config.match_fraction = 0.3;
+    config.seed = seed;
+    const auto instance = workload::MakeDivisionInstance(config);
+    const auto db = setalg::testing::DivisionDb(instance.r, instance.s);
+    for (const auto& expr : {setjoin::ClassicDivisionExpr("R", "S"),
+                             setjoin::ClassicEqualityDivisionExpr("R", "S")}) {
+      for (const auto& [name, options] : AllModes()) {
+        ExpectBatchedMatches(options, expr, db,
+                             name + " division seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+// Every division algorithm behind the operator, including the streaming
+// hash/aggregate probe paths and the blocking kernels.
+TEST(BatchExec, DifferentialAcrossDivisionAlgorithms) {
+  const std::uint64_t base = BaseSeed();
+  workload::DivisionConfig config;
+  config.num_groups = 24;
+  config.group_size = 5;
+  config.domain_size = 20;
+  config.divisor_size = 4;
+  config.match_fraction = 0.4;
+  config.seed = base;
+  const auto instance = workload::MakeDivisionInstance(config);
+  const auto db = setalg::testing::DivisionDb(instance.r, instance.s);
+  for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
+    EngineOptions options;
+    options.division_algorithm = algorithm;
+    ExpectBatchedMatches(
+        options, setjoin::ClassicDivisionExpr("R", "S"), db,
+        std::string("division algorithm ") +
+            setjoin::DivisionAlgorithmToString(algorithm));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The workload::generators database families.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExec, DifferentialOnGeneratorFamilies) {
+  const std::uint64_t base = BaseSeed();
+
+  {
+    const auto db = workload::DivisionFamilyDatabase(240, 6, base);
+    for (const auto& [name, options] : AllModes()) {
+      ExpectBatchedMatches(options, setjoin::ClassicDivisionExpr("R", "S"), db,
+                           name + " division-family");
+    }
+  }
+  {
+    const auto db = workload::SparseBinaryDatabase(200, base + 1);
+    setalg::testing::RandomSaEqGenerator generator(db.schema(), {1, 2}, base * 7);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto expr = generator.Generate(1 + trial % 2, 3);
+      for (const auto& [name, options] : AllModes()) {
+        ExpectBatchedMatches(options, expr, db, name + " sparse-binary");
+      }
+    }
+  }
+  {
+    const auto db = workload::TwoRelationDatabase(150, base + 2);
+    setalg::testing::RandomSaEqGenerator generator(db.schema(), {1, 2}, base * 11);
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto expr = generator.Generate(2, 3);
+      for (const auto& [name, options] : AllModes()) {
+        ExpectBatchedMatches(options, expr, db, name + " two-relation");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built set-join plans (no logical form) through the batch surface.
+// ---------------------------------------------------------------------------
+
+void ExpectPlanBatchedMatches(const PhysicalPlan& plan, const core::Database& db,
+                              const Relation& expected, const std::string& context) {
+  const Engine materializing;
+  auto reference = materializing.RunPlan(plan, db);
+  ASSERT_TRUE(reference.ok()) << context << ": " << reference.error();
+  EXPECT_EQ(reference->relation, expected) << context;
+  for (std::size_t batch_size : kBatchSizes) {
+    const Engine batched(EngineOptions::Batched(batch_size));
+    auto run = batched.RunPlan(plan, db);
+    const std::string what = context + " batch_size=" + std::to_string(batch_size);
+    ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+    EXPECT_EQ(run->relation, expected) << what;
+    ExpectSameStats(reference->stats, run->stats, what);
+  }
+}
+
+TEST(BatchExec, DifferentialOnHandBuiltSetJoinPlans) {
+  workload::SetJoinConfig config;
+  config.r_groups = 30;
+  config.s_groups = 25;
+  config.r_group_size = 6;
+  config.s_group_size = 3;
+  config.domain_size = 15;
+  config.containment_fraction = 0.3;
+  config.seed = BaseSeed();
+  const auto instance = workload::MakeSetJoinInstance(config);
+  const auto db = workload::SetJoinDatabase(instance);
+
+  for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
+    PhysicalPlan plan;
+    plan.root = MakeSetContainmentJoin(MakeScan("R", 2), MakeScan("S", 2), algorithm);
+    ExpectPlanBatchedMatches(
+        plan, db, setjoin::SetContainmentJoin(instance.r, instance.s, algorithm),
+        std::string("containment ") +
+            setjoin::ContainmentAlgorithmToString(algorithm));
+  }
+  for (auto algorithm : {setjoin::EqualityJoinAlgorithm::kNestedLoop,
+                         setjoin::EqualityJoinAlgorithm::kCanonicalHash}) {
+    PhysicalPlan plan;
+    plan.root = MakeSetEqualityJoin(MakeScan("R", 2), MakeScan("S", 2), algorithm);
+    ExpectPlanBatchedMatches(
+        plan, db, setjoin::SetEqualityJoin(instance.r, instance.s, algorithm),
+        std::string("equality ") +
+            setjoin::EqualityJoinAlgorithmToString(algorithm));
+  }
+  {
+    PhysicalPlan plan;
+    plan.root = MakeSetOverlapJoin(MakeScan("R", 2), MakeScan("S", 2));
+    ExpectPlanBatchedMatches(plan, db,
+                             setjoin::SetOverlapJoin(instance.r, instance.s),
+                             "overlap");
+  }
+}
+
+// setjoin::AsGrouped consumers vs the reference nested-loop path, on the
+// adversarial shapes the batched adapters must also handle. The
+// differential harness exposed no semantic divergence between the grouped
+// adapters and the nested-loop reference (this suite plus the randomized
+// runs above are the repro surface: any future divergence fails here with
+// the offending instance printed).
+TEST(BatchExec, AsGroupedConsumersAgreeWithNestedLoopReference) {
+  const std::vector<std::pair<Relation, Relation>> instances = {
+      // Duplicate-heavy inputs (Add'ed twice; set semantics must collapse).
+      {MakeRel(2, {{1, 5}, {1, 5}, {1, 6}, {2, 5}, {2, 5}}),
+       MakeRel(2, {{9, 5}, {9, 5}, {8, 6}})},
+      // Empty sides.
+      {Relation(2), MakeRel(2, {{9, 5}})},
+      {MakeRel(2, {{1, 5}}), Relation(2)},
+      // Singleton groups and a single shared element value.
+      {MakeRel(2, {{1, 7}, {2, 7}, {3, 7}}), MakeRel(2, {{4, 7}, {5, 7}})},
+  };
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto& [r, s] = instances[i];
+    const auto gr = setjoin::AsGrouped(r);
+    const auto gs = setjoin::AsGrouped(s);
+    const Relation expected =
+        setjoin::SetContainmentJoin(gr, gs, setjoin::ContainmentAlgorithm::kNestedLoop);
+    for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
+      EXPECT_EQ(setjoin::SetContainmentJoin(gr, gs, algorithm), expected)
+          << "instance " << i << " algorithm "
+          << setjoin::ContainmentAlgorithmToString(algorithm) << "\nR = "
+          << r.ToString() << "\nS = " << s.ToString();
+    }
+    EXPECT_EQ(setjoin::SetEqualityJoin(
+                  gr, gs, setjoin::EqualityJoinAlgorithm::kCanonicalHash),
+              setjoin::SetEqualityJoin(gr, gs,
+                                       setjoin::EqualityJoinAlgorithm::kNestedLoop))
+        << "instance " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DAG sharing, budget enforcement, and batch accounting.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExec, SharedSubplansMaterializeOnceAndKeepStatsParity) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  core::Database db(schema);
+  db.SetRelation("R", workload::UniformBinaryRelation(60, 12, BaseSeed()));
+
+  // One scan shared by two parents: a stream has one consumer, so the
+  // pipelined executor must materialize the shared node and re-stream it.
+  PhysicalOpPtr scan = MakeScan("R", 2);
+  PhysicalPlan plan;
+  plan.root = MakeUnion(MakeProject(scan, {1}), MakeProject(scan, {2}));
+
+  const Engine materializing;
+  auto expected = materializing.RunPlan(plan, db);
+  ASSERT_TRUE(expected.ok()) << expected.error();
+  for (std::size_t batch_size : kBatchSizes) {
+    const Engine batched(EngineOptions::Batched(batch_size));
+    auto run = batched.RunPlan(plan, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    EXPECT_EQ(run->relation, expected->relation);
+    ExpectSameStats(expected->stats, run->stats,
+                    "shared batch_size=" + std::to_string(batch_size));
+  }
+}
+
+TEST(BatchExec, BudgetAbortsOversizedBatchedRuns) {
+  const auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {2, 20}, {3, 10}}), MakeRel(1, {{10}, {30}}));
+  EngineOptions options = EngineOptions::Batched(2);
+  options.recognize_division = false;
+  options.recognize_semijoin_projection = false;
+  options.use_fast_semijoin = false;
+  options.max_intermediate_budget = 2;
+  auto run = Engine::Run(ra::Product(ra::Rel("R", 2), ra::Rel("S", 1)), db, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.error().find("budget"), std::string::npos);
+}
+
+TEST(BatchExec, BatchAccountingBoundsThePipelineFootprint) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  core::Database db(schema);
+  db.SetRelation("R", workload::UniformBinaryRelation(300, 20, BaseSeed()));
+  core::Relation s(1);
+  for (core::Value v = 1; v <= 10; ++v) s.Add({v});
+  db.SetRelation("S", s);
+
+  const auto expr = ra::Join(ra::Rel("R", 2), ra::Rel("S", 1),
+                             {{2, ra::Cmp::kEq, 1}});
+  for (std::size_t batch_size : kBatchSizes) {
+    const Engine batched(EngineOptions::Batched(batch_size));
+    auto run = batched.Run(expr, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    // Widest stream in this plan is the join output (arity 3): no batch
+    // may outgrow its configured capacity.
+    EXPECT_LE(run->stats.peak_batch_bytes,
+              batch_size * 3 * sizeof(core::Value));
+    // Every operator's rows arrive in ceil(rows / batch_size)-or-more
+    // batches; with three operators the total must cover the output alone.
+    const std::size_t output_rows = run->relation.size();
+    EXPECT_GE(run->stats.batches_emitted,
+              (output_rows + batch_size - 1) / batch_size);
+  }
+}
+
+}  // namespace
+}  // namespace setalg::engine

@@ -80,6 +80,19 @@ TEST(Division, EmptyDividendYieldsEmptyResult) {
   for (auto algorithm : AllDivisionAlgorithms()) {
     EXPECT_TRUE(Divide(r, s, algorithm).empty())
         << DivisionAlgorithmToString(algorithm);
+    EXPECT_TRUE(DivideEqual(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, BothSidesEmpty) {
+  const Relation r(2);
+  const Relation s(1);
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_TRUE(Divide(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_TRUE(DivideEqual(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
   }
 }
 
@@ -88,6 +101,67 @@ TEST(Division, DivisorLargerThanAnyGroup) {
   const Relation s = MakeRel(1, {{7}, {8}, {9}});
   for (auto algorithm : AllDivisionAlgorithms()) {
     EXPECT_TRUE(Divide(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, DivisorContainedInNoGroupDespiteMatchingSizes) {
+  // Every group has |S| elements and even shares one of them, but none
+  // contains all of S — the per-element probes must not short-circuit on
+  // partial hits.
+  const Relation r = MakeRel(2, {{1, 7}, {1, 5}, {2, 8}, {2, 5}, {3, 7}, {3, 9}});
+  const Relation s = MakeRel(1, {{7}, {8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_TRUE(Divide(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_TRUE(DivideEqual(r, s, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, AllDuplicateTuplesCollapseUnderSetSemantics) {
+  // The same tuple Add'ed many times must count once everywhere: in
+  // particular equality division compares the *distinct* group size
+  // against |S|.
+  Relation r(2);
+  for (int copies = 0; copies < 5; ++copies) {
+    r.Add({1, 7});
+    r.Add({1, 8});
+    r.Add({2, 7});
+  }
+  const Relation s = MakeRel(1, {{7}, {8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(Divide(r, s, algorithm), MakeRel(1, {{1}}))
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_EQ(DivideEqual(r, s, algorithm), MakeRel(1, {{1}}))
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, SingleValueColumns) {
+  // Degenerate single-column content: every tuple repeats one key and one
+  // element value; the divisor is a single-element set.
+  const Relation r = MakeRel(2, {{1, 7}});
+  const Relation single = MakeRel(1, {{7}});
+  const Relation other = MakeRel(1, {{8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(Divide(r, single, algorithm), MakeRel(1, {{1}}))
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_EQ(DivideEqual(r, single, algorithm), MakeRel(1, {{1}}))
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_TRUE(Divide(r, other, algorithm).empty())
+        << DivisionAlgorithmToString(algorithm);
+  }
+}
+
+TEST(Division, EqualityRejectsProperSupersets) {
+  // Group 1 strictly contains S; containment admits it, equality must not.
+  const Relation r = MakeRel(2, {{1, 7}, {1, 8}, {1, 9}, {2, 7}, {2, 8}});
+  const Relation s = MakeRel(1, {{7}, {8}});
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    EXPECT_EQ(Divide(r, s, algorithm), MakeRel(1, {{1}, {2}}))
+        << DivisionAlgorithmToString(algorithm);
+    EXPECT_EQ(DivideEqual(r, s, algorithm), MakeRel(1, {{2}}))
         << DivisionAlgorithmToString(algorithm);
   }
 }

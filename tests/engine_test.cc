@@ -286,16 +286,6 @@ TEST(Engine, BudgetAdmitsThePlannedDivisionButNotTheClassicPlan) {
 // Hand-built physical plans: the set-join operators.
 // ---------------------------------------------------------------------------
 
-core::Database SetJoinDb(const workload::SetJoinInstance& instance) {
-  core::Schema schema;
-  schema.AddRelation("R", 2);
-  schema.AddRelation("S", 2);
-  core::Database db(schema);
-  db.SetRelation("R", instance.r);
-  db.SetRelation("S", instance.s);
-  return db;
-}
-
 TEST(Engine, RunPlanExecutesSetJoinOperators) {
   workload::SetJoinConfig config;
   config.r_groups = 40;
@@ -304,7 +294,7 @@ TEST(Engine, RunPlanExecutesSetJoinOperators) {
   config.containment_fraction = 0.2;
   config.seed = 5;
   const auto instance = workload::MakeSetJoinInstance(config);
-  const auto db = SetJoinDb(instance);
+  const auto db = workload::SetJoinDatabase(instance);
   const Engine engine;
 
   PhysicalPlan contain;

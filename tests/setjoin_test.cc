@@ -70,6 +70,55 @@ TEST(SetContainment, HandlesNoMatches) {
   }
 }
 
+TEST(SetContainment, EmptySidesProduceNothing) {
+  const Relation nonempty = MakeRel(2, {{1, 5}});
+  const Relation empty(2);
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_TRUE(SetContainmentJoin(empty, nonempty, algorithm).empty())
+        << ContainmentAlgorithmToString(algorithm);
+    EXPECT_TRUE(SetContainmentJoin(nonempty, empty, algorithm).empty())
+        << ContainmentAlgorithmToString(algorithm);
+    EXPECT_TRUE(SetContainmentJoin(empty, empty, algorithm).empty())
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetContainment, AllDuplicateTuplesCollapseUnderSetSemantics) {
+  Relation r(2), s(2);
+  for (int copies = 0; copies < 4; ++copies) {
+    r.Add({1, 5});
+    r.Add({1, 6});
+    s.Add({9, 5});
+  }
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_EQ(SetContainmentJoin(r, s, algorithm), MakeRel(2, {{1, 9}}))
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetContainment, SingleElementSetsEverywhere) {
+  // Every group is a singleton over a one-value domain: all pairs match,
+  // so the output is the full cross product of the keys.
+  const Relation r = MakeRel(2, {{1, 7}, {2, 7}, {3, 7}});
+  const Relation s = MakeRel(2, {{8, 7}, {9, 7}});
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_EQ(SetContainmentJoin(r, s, algorithm),
+              MakeRel(2, {{1, 8}, {1, 9}, {2, 8}, {2, 9}, {3, 8}, {3, 9}}))
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetContainment, NoGroupContainsDespiteSharedElements) {
+  // Every S set shares an element with every R set but none is contained —
+  // signature and inverted-index pruning must not over-admit.
+  const Relation r = MakeRel(2, {{1, 5}, {1, 6}, {2, 6}, {2, 7}});
+  const Relation s = MakeRel(2, {{8, 5}, {8, 7}, {9, 6}, {9, 8}});
+  for (auto algorithm : AllContainmentAlgorithms()) {
+    EXPECT_TRUE(SetContainmentJoin(r, s, algorithm).empty())
+        << ContainmentAlgorithmToString(algorithm);
+  }
+}
+
 TEST(SetContainment, ReflexiveContainment) {
   const Relation r = MakeRel(2, {{1, 5}, {1, 6}});
   for (auto algorithm : AllContainmentAlgorithms()) {
@@ -152,6 +201,36 @@ TEST(SetEquality, DistinguishesProperSubsets) {
   const Relation s = MakeRel(2, {{9, 5}});
   EXPECT_TRUE(
       SetEqualityJoin(r, s, EqualityJoinAlgorithm::kCanonicalHash).empty());
+}
+
+TEST(SetEquality, EdgeShapesAgreeAcrossAlgorithms) {
+  const Relation empty(2);
+  Relation duplicates(2);
+  for (int copies = 0; copies < 3; ++copies) {
+    duplicates.Add({1, 5});
+    duplicates.Add({2, 5});
+  }
+  const Relation singletons = MakeRel(2, {{7, 5}, {8, 5}});
+  for (auto algorithm : {EqualityJoinAlgorithm::kNestedLoop,
+                         EqualityJoinAlgorithm::kCanonicalHash}) {
+    // Empty sides.
+    EXPECT_TRUE(SetEqualityJoin(empty, singletons, algorithm).empty());
+    EXPECT_TRUE(SetEqualityJoin(singletons, empty, algorithm).empty());
+    // All-duplicate tuples collapse: both R keys still equal both S keys.
+    EXPECT_EQ(SetEqualityJoin(duplicates, singletons, algorithm),
+              MakeRel(2, {{1, 7}, {1, 8}, {2, 7}, {2, 8}}))
+        << EqualityJoinAlgorithmToString(algorithm);
+  }
+}
+
+TEST(SetOverlap, EdgeShapes) {
+  const Relation empty(2);
+  const Relation r = MakeRel(2, {{1, 5}});
+  EXPECT_TRUE(SetOverlapJoin(empty, r).empty());
+  EXPECT_TRUE(SetOverlapJoin(r, empty).empty());
+  Relation duplicates(2);
+  for (int copies = 0; copies < 3; ++copies) duplicates.Add({9, 5});
+  EXPECT_EQ(SetOverlapJoin(r, duplicates), MakeRel(2, {{1, 9}}));
 }
 
 TEST(SetEquality, OutputCanBeQuadratic) {
