@@ -13,8 +13,10 @@
 // trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -55,7 +57,18 @@ struct RuntimeRow {
   std::size_t n = 0;
   std::vector<std::pair<std::string, double>> cells;  // column name -> ms
   std::string chosen_division;  // Algorithm the cost model picked.
+  std::size_t threads = 0;      // Pool width of the parallel cell.
+  std::size_t partitions = 0;   // Partition tasks the parallel run fanned out.
 };
+
+// Worker-pool width of the `parallel` column: the hardware width, clamped
+// to [2, 4] — at least 2 so the pool is always exercised (the JSON's
+// hardware_threads field tells the regression gate whether the timing is
+// meaningful), at most 4 so the column stays comparable across runners.
+std::size_t ParallelThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2u, std::min(4u, hw == 0 ? 2u : hw));
+}
 
 // Best-of-`reps` wall time: table cells are single measurements, and the
 // CI regression gate compares them across runs — the min of a few repeats
@@ -87,8 +100,8 @@ std::vector<RuntimeRow> PrintRuntimeTable() {
   for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
     std::printf("  %-13s", setjoin::DivisionAlgorithmToString(algorithm));
   }
-  std::printf("  %-13s  %-13s  %-13s  %-13s\n", "extalg-linear", "engine-planned",
-              "cost-based", "batched");
+  std::printf("  %-13s  %-13s  %-13s  %-13s  %-13s\n", "extalg-linear",
+              "engine-planned", "cost-based", "batched", "parallel");
   for (std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
     const auto instance = Instance(n);
     RuntimeRow row;
@@ -154,8 +167,21 @@ std::vector<RuntimeRow> PrintRuntimeTable() {
       // Same plan again, executed through the pipelined batch surface; the
       // CI gate holds this within 1.1x of the materializing engine.
       auto [ms, result] = run_engine(engine::EngineOptions::Batched(), "batched");
-      std::printf("  %-13.3f\n", ms);
+      std::printf("  %-13.3f", ms);
       row.cells.emplace_back("batched", ms);
+    }
+    {
+      // The batched plan with a worker pool: the division operator fans
+      // out across hash partitions of the dividend. The CI gate requires
+      // this to beat the serial batched run at the largest n whenever the
+      // runner has >= 2 hardware threads.
+      const std::size_t threads = ParallelThreads();
+      auto [ms, result] =
+          run_engine(engine::EngineOptions::Parallel(threads), "parallel");
+      std::printf("  %-13.3f\n", ms);
+      row.cells.emplace_back("parallel", ms);
+      row.threads = result.stats.threads_used;
+      row.partitions = result.stats.partitions;
     }
     rows.push_back(std::move(row));
   }
@@ -207,12 +233,19 @@ void WriteJson(const std::vector<RuntimeRow>& runtime,
   util::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("division");
+  // The regression gate only trusts the parallel-vs-batched comparison on
+  // multi-core runners; single-core machines record the column but skip
+  // the gate.
+  json.Key("hardware_threads")
+      .Value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
   json.Key("runtime_ms").BeginArray();
   for (const auto& row : runtime) {
     json.BeginObject();
     json.Key("n").Value(row.n);
     for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
     json.Key("chosen_division").Value(row.chosen_division);
+    json.Key("threads").Value(row.threads);
+    json.Key("partitions").Value(row.partitions);
     json.EndObject();
   }
   json.EndArray();
@@ -307,6 +340,17 @@ void BM_BatchedDivision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BatchedDivision)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDivision(benchmark::State& state) {
+  const auto instance = Instance(static_cast<std::size_t>(state.range(0)));
+  const auto db = InstanceDb(instance);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+  const engine::Engine engine(engine::EngineOptions::Parallel(ParallelThreads()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(expr, db));
+  }
+}
+BENCHMARK(BM_ParallelDivision)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
 void BM_EqualityDivision(benchmark::State& state) {
   const auto instance = Instance(static_cast<std::size_t>(state.range(0)));

@@ -6,8 +6,10 @@
 // trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,22 +47,33 @@ engine::ExprEstimate EstimateOf(const core::Relation& relation) {
   return engine::FromStats(stats::ComputeRelationStats(relation));
 }
 
+// Worker-pool width of the `parallel` columns (see bench_division.cc:
+// hardware width clamped to [2, 4]; the JSON's hardware_threads field
+// tells the regression gate whether the comparison is meaningful).
+std::size_t ParallelThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2u, std::min(4u, hw == 0 ? 2u : hw));
+}
+
 // Best-of-3 wall time of a hand-built set-join plan executed through the
-// pipelined batch surface (batched columns; the engine run includes the
-// scans and grouping the kernel-direct cells do outside the timer).
-double BatchedPlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
-                         const char* what) {
+// pipelined batch surface (batched/parallel columns; the engine run
+// includes the scans and grouping the kernel-direct cells do outside the
+// timer). `stats_out`, when non-null, receives the last run's stats.
+double EnginePlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
+                        const char* what, const engine::EngineOptions& options,
+                        engine::PlanStats* stats_out = nullptr) {
   engine::PhysicalPlan plan;
   plan.root = std::move(root);
-  const engine::Engine engine(engine::EngineOptions::Batched());
+  const engine::Engine engine(options);
   return BestOfMillis([&] {
     auto result = engine.RunPlan(plan, db);
     benchmark::DoNotOptimize(result);
     if (!result.ok()) {
-      std::fprintf(stderr, "%s batched run failed: %s\n", what,
+      std::fprintf(stderr, "%s engine run failed: %s\n", what,
                    result.error().c_str());
       std::exit(1);  // The tracked artifact must never hide a failure.
     }
+    if (stats_out != nullptr) *stats_out = std::move(result->stats);
   });
 }
 
@@ -83,7 +96,10 @@ struct ContainmentRow {
   std::size_t matches = 0;
   std::string chosen;  // Algorithm the cost model picked.
   double chosen_ms = 0.0;
-  double batched_ms = 0.0;  // Engine plan through the batch surface.
+  double batched_ms = 0.0;   // Engine plan through the batch surface.
+  double parallel_ms = 0.0;  // Same plan with a worker pool.
+  std::size_t threads = 0;
+  std::size_t partitions = 0;
 };
 
 struct EqualityRow {
@@ -93,7 +109,10 @@ struct EqualityRow {
   std::size_t matches = 0;
   std::string chosen;  // Algorithm the cost model picked.
   double chosen_ms = 0.0;
-  double batched_ms = 0.0;  // Engine plan through the batch surface.
+  double batched_ms = 0.0;   // Engine plan through the batch surface.
+  double parallel_ms = 0.0;  // Same plan with a worker pool.
+  std::size_t threads = 0;
+  std::size_t partitions = 0;
 };
 
 std::vector<ContainmentRow> PrintContainmentTable() {
@@ -103,7 +122,8 @@ std::vector<ContainmentRow> PrintContainmentTable() {
   for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
     std::printf("  %-22s", setjoin::ContainmentAlgorithmToString(algorithm));
   }
-  std::printf("  %-22s  %-22s  matches\n", "cost-based", "batched");
+  std::printf("  %-22s  %-22s  %-22s  matches\n", "cost-based", "batched",
+              "parallel");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u}) {
     const auto instance = Instance(groups, 8, 0.05);
     const auto db = workload::SetJoinDatabase(instance);
@@ -130,13 +150,22 @@ std::vector<ContainmentRow> PrintContainmentTable() {
       });
       std::printf("  %-22.3f", row.chosen_ms);
     }
-    row.batched_ms = BatchedPlanMillis(
-        db,
-        engine::MakeSetContainmentJoin(engine::MakeScan("R", 2),
-                                       engine::MakeScan("S", 2),
-                                       setjoin::ContainmentAlgorithm::kInvertedIndex),
-        "containment");
+    auto make_root = [] {
+      return engine::MakeSetContainmentJoin(
+          engine::MakeScan("R", 2), engine::MakeScan("S", 2),
+          setjoin::ContainmentAlgorithm::kInvertedIndex);
+    };
+    row.batched_ms = EnginePlanMillis(db, make_root(), "containment",
+                                      engine::EngineOptions::Batched());
     std::printf("  %-22.3f", row.batched_ms);
+    engine::PlanStats parallel_stats;
+    row.parallel_ms =
+        EnginePlanMillis(db, make_root(), "containment-parallel",
+                         engine::EngineOptions::Parallel(ParallelThreads()),
+                         &parallel_stats);
+    row.threads = parallel_stats.threads_used;
+    row.partitions = parallel_stats.partitions;
+    std::printf("  %-22.3f", row.parallel_ms);
     std::printf("  %zu\n", row.matches);
     rows.push_back(std::move(row));
   }
@@ -150,8 +179,9 @@ std::vector<ContainmentRow> PrintContainmentTable() {
 std::vector<EqualityRow> PrintEqualityTable() {
   std::vector<EqualityRow> rows;
   std::printf("== E12: set-equality join, canonical hash vs nested loop (ms) ==\n");
-  std::printf("%-8s  %-14s  %-14s  %-14s  %-14s  %-8s\n", "groups", "nested-loop",
-              "canonical-hash", "cost-based", "batched", "matches");
+  std::printf("%-8s  %-14s  %-14s  %-14s  %-14s  %-14s  %-8s\n", "groups",
+              "nested-loop", "canonical-hash", "cost-based", "batched", "parallel",
+              "matches");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u, 4000u}) {
     workload::SetJoinConfig config;
     config.r_groups = groups;
@@ -181,14 +211,24 @@ std::vector<EqualityRow> PrintEqualityTable() {
     row.chosen_ms = BestOfMillis([&] {
       benchmark::DoNotOptimize(setjoin::SetEqualityJoin(r, s, choice.algorithm));
     });
-    row.batched_ms = BatchedPlanMillis(
-        workload::SetJoinDatabase(instance),
-        engine::MakeSetEqualityJoin(engine::MakeScan("R", 2), engine::MakeScan("S", 2),
-                                    setjoin::EqualityJoinAlgorithm::kCanonicalHash),
-        "equality");
-    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-8zu\n", groups,
-                row.nested_ms, row.hash_ms, row.chosen_ms, row.batched_ms,
-                row.matches);
+    const auto db = workload::SetJoinDatabase(instance);
+    auto make_root = [] {
+      return engine::MakeSetEqualityJoin(
+          engine::MakeScan("R", 2), engine::MakeScan("S", 2),
+          setjoin::EqualityJoinAlgorithm::kCanonicalHash);
+    };
+    row.batched_ms = EnginePlanMillis(db, make_root(), "equality",
+                                      engine::EngineOptions::Batched());
+    engine::PlanStats parallel_stats;
+    row.parallel_ms =
+        EnginePlanMillis(db, make_root(), "equality-parallel",
+                         engine::EngineOptions::Parallel(ParallelThreads()),
+                         &parallel_stats);
+    row.threads = parallel_stats.threads_used;
+    row.partitions = parallel_stats.partitions;
+    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-8zu\n",
+                groups, row.nested_ms, row.hash_ms, row.chosen_ms, row.batched_ms,
+                row.parallel_ms, row.matches);
     rows.push_back(std::move(row));
   }
   std::printf("(expected shape: canonical hashing is ~n log n + output — the\n"
@@ -201,6 +241,8 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
   util::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("setjoin");
+  json.Key("hardware_threads")
+      .Value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
   json.Key("containment_ms").BeginArray();
   for (const auto& row : containment) {
     json.BeginObject();
@@ -208,7 +250,10 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     for (const auto& [name, ms] : row.cells) json.Key(name).Value(ms);
     json.Key("cost-based").Value(row.chosen_ms);
     json.Key("batched").Value(row.batched_ms);
+    json.Key("parallel").Value(row.parallel_ms);
     json.Key("chosen_containment").Value(row.chosen);
+    json.Key("threads").Value(row.threads);
+    json.Key("partitions").Value(row.partitions);
     json.Key("matches").Value(row.matches);
     json.EndObject();
   }
@@ -221,7 +266,10 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("canonical-hash").Value(row.hash_ms);
     json.Key("cost-based").Value(row.chosen_ms);
     json.Key("batched").Value(row.batched_ms);
+    json.Key("parallel").Value(row.parallel_ms);
     json.Key("chosen_equality").Value(row.chosen);
+    json.Key("threads").Value(row.threads);
+    json.Key("partitions").Value(row.partitions);
     json.Key("matches").Value(row.matches);
     json.EndObject();
   }

@@ -24,6 +24,15 @@ bench/baseline/ and fails (exit 1) when:
      than the materializing `engine-planned` run at the largest n —
      pipelined batch execution must stay within noise of the
      materializing engine on the same plan.
+  5. `parallel` division is slower than PARALLEL_RATIO_LIMIT (1.0x) the
+     serial `batched` run at the largest n — the partitioned executor
+     must actually win at scale. Skipped (loudly) when the run's
+     `hardware_threads` field reports fewer than 2 hardware threads,
+     where a worker pool cannot win.
+  6. Any expected column is missing from the current JSON. Silent skips
+     hid real coverage loss (a bench dropping a tracked column looked
+     green); a missing expected column is now an error, and every check
+     prints exactly which table/column/sizes it compared.
 
 Regenerate the baseline after an intentional perf change with:
     python3 bench/check_regression.py --update \
@@ -38,6 +47,7 @@ import sys
 
 RATIO_LIMIT = 1.5          # engine-planned vs hash-division at max n.
 BATCHED_RATIO_LIMIT = 1.1  # batched vs engine-planned at max n.
+PARALLEL_RATIO_LIMIT = 1.0  # parallel vs batched at max n (>= 2 hw threads).
 REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
 ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
 
@@ -51,14 +61,17 @@ TRACKED = {
     "runtime_ms": (
         "n",
         "hash-division",
-        ["sort-merge", "aggregate", "engine-planned", "cost-based", "batched"],
+        ["sort-merge", "aggregate", "engine-planned", "cost-based", "batched",
+         "parallel"],
     ),
     "containment_ms": (
         "groups",
         "inverted-index",
-        ["signature-nested-loop", "partitioned", "cost-based", "batched"],
+        ["signature-nested-loop", "partitioned", "cost-based", "batched",
+         "parallel"],
     ),
-    "equality_ms": ("groups", "canonical-hash", ["cost-based", "batched"]),
+    "equality_ms": ("groups", "canonical-hash",
+                    ["cost-based", "batched", "parallel"]),
 }
 
 EXPECTED_CHOICES = {
@@ -99,6 +112,52 @@ def check_ratio(errors, data):
                 f"  ok: {column} {ms:.3f}ms <= {RATIO_LIMIT}x hash-division "
                 f"({hash_ms:.3f}ms) at n={row['n']}"
             )
+
+
+def check_parallel_ratio(errors, data):
+    """Gate 5: parallel vs the serial batched run at max n (multi-core only)."""
+    rows = data.get("runtime_ms", [])
+    if not rows:
+        return  # Gate 1 already reported the missing table.
+    row = max_row(rows, "n")
+    batched_ms = row.get("batched")
+    parallel_ms = row.get("parallel")
+    if batched_ms is None or parallel_ms is None:
+        errors.append(
+            f"column 'batched' or 'parallel' missing at n={row['n']}"
+        )
+        return
+    hardware_threads = data.get("hardware_threads")
+    if hardware_threads is None:
+        errors.append(
+            "hardware_threads missing from BENCH_division.json — cannot tell "
+            "whether the parallel-vs-batched gate is meaningful on this runner"
+        )
+        return
+    if hardware_threads < 2:
+        print(
+            f"  SKIPPED: parallel-vs-batched gate needs >= 2 hardware threads "
+            f"(runner has {hardware_threads}); parallel was "
+            f"{parallel_ms:.3f}ms vs batched {batched_ms:.3f}ms at n={row['n']}"
+        )
+        return
+    # Absolute slack only shields jitter-dominated sub-millisecond cells.
+    limit = PARALLEL_RATIO_LIMIT * batched_ms
+    if batched_ms < ABS_SLACK_MS:
+        limit = max(limit, batched_ms + ABS_SLACK_MS)
+    if parallel_ms > limit:
+        errors.append(
+            f"parallel at n={row['n']} is {parallel_ms:.3f}ms vs batched "
+            f"{batched_ms:.3f}ms ({parallel_ms / batched_ms:.2f}x > "
+            f"{PARALLEL_RATIO_LIMIT}x limit, threads={row.get('threads')}, "
+            f"partitions={row.get('partitions')})"
+        )
+    else:
+        print(
+            f"  ok: parallel {parallel_ms:.3f}ms <= {PARALLEL_RATIO_LIMIT}x "
+            f"batched ({batched_ms:.3f}ms) at n={row['n']} "
+            f"(threads={row.get('threads')}, partitions={row.get('partitions')})"
+        )
 
 
 def check_batched_ratio(errors, data):
@@ -151,20 +210,39 @@ def check_choices(errors, data, table):
 
 
 def check_against_baseline(errors, current, baseline, table):
-    """Every row present in both current and baseline is checked."""
+    """Every row present in both current and baseline is checked.
+
+    A tracked column absent from the *current* JSON is an error — a bench
+    silently dropping a column (as a rename or a lost emit would) must
+    fail CI, not shrink coverage. A column absent only from the *baseline*
+    is a newly-added column: it is reported and skipped until the
+    baseline is regenerated.
+    """
     axis, reference, columns = TRACKED[table]
     cur_rows = current.get(table, [])
     base_rows = baseline.get(table, [])
     if not cur_rows or not base_rows:
         errors.append(f"table '{table}' missing from current or baseline JSON")
         return
+    for cur in cur_rows:
+        for column in [reference] + columns:
+            if column not in cur:
+                errors.append(
+                    f"expected column '{column}' missing from current "
+                    f"'{table}' at {axis}={cur[axis]}"
+                )
     base_by_axis = {r[axis]: r for r in base_rows}
     compared = 0
+    compared_columns = {}  # column -> list of axis sizes actually compared
+    skipped = []           # (column, axis value, reason)
     for cur in cur_rows:
         base = base_by_axis.get(cur[axis])
         if base is None:
-            continue  # New table size: no baseline yet.
-        cur_ref, base_ref = cur[reference], base[reference]
+            skipped.append(("<row>", cur[axis], "no baseline row"))
+            continue
+        cur_ref, base_ref = cur.get(reference), base.get(reference)
+        if cur_ref is None or base_ref is None:
+            continue  # Reported as a missing expected column above.
         if cur_ref <= 0 or base_ref <= 0:
             errors.append(
                 f"non-positive reference '{reference}' time in '{table}' at "
@@ -173,15 +251,18 @@ def check_against_baseline(errors, current, baseline, table):
             continue
         compared += 1
         for column in columns:
-            if column not in cur or column not in base:
-                # New columns have no baseline yet; missing current columns
-                # are caught by the ratio/choice gates where they matter.
+            if column not in cur:
+                continue  # Reported as an error above.
+            if column not in base:
+                skipped.append((column, cur[axis], "no baseline column"))
                 continue
             cur_norm = cur[column] / cur_ref
             base_norm = base[column] / base_ref
             # Sub-slack cells are jitter-dominated; skip them.
             if cur[column] < ABS_SLACK_MS and base[column] < ABS_SLACK_MS:
+                skipped.append((column, cur[axis], "sub-slack timing"))
                 continue
+            compared_columns.setdefault(column, []).append(cur[axis])
             if cur_norm > REGRESSION_LIMIT * base_norm:
                 errors.append(
                     f"{table}/{column} at {axis}={cur[axis]} regressed: "
@@ -195,6 +276,12 @@ def check_against_baseline(errors, current, baseline, table):
                 )
     if compared == 0:
         errors.append(f"no comparable rows between current and baseline in '{table}'")
+    print(f"  compared in '{table}' (normalized by {reference}):")
+    for column in columns:
+        sizes = compared_columns.get(column, [])
+        print(f"    {column}: {axis}={sizes if sizes else '(nothing compared)'}")
+    for column, value, reason in skipped:
+        print(f"  skipped: {table}/{column} at {axis}={value} ({reason})")
 
 
 def main():
@@ -230,6 +317,7 @@ def main():
         if name == "BENCH_division.json":
             check_ratio(errors, current)
             check_batched_ratio(errors, current)
+            check_parallel_ratio(errors, current)
         for table in tables:
             check_choices(errors, current, table)
             check_against_baseline(errors, current, baseline, table)

@@ -13,7 +13,9 @@
 // fixed defaults; --reference disables the planner rewrites (legacy 1:1
 // evaluation); --batch-size N executes through the pipelined batch
 // surface with N-tuple batches (-v then also reports batch counts and the
-// peak batch footprint).
+// peak batch footprint); --threads N runs the division/set-join/semijoin
+// operators partitioned N ways across a worker pool (results are
+// identical to the serial run; -v reports the partition fan-out).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
   bool cost_based = false;
   bool batched = false;
   long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
+  long long threads = 1;
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -54,6 +57,12 @@ int main(int argc, char** argv) {
       }
       batched = true;
       ++i;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &threads) || threads < 1) {
+        std::fprintf(stderr, "--threads needs a positive integer\n");
+        return 2;
+      }
+      ++i;
     } else if (after_separator) {
       expression = arg;
     } else {
@@ -63,7 +72,8 @@ int main(int argc, char** argv) {
   if (relation_specs.empty() || expression.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
-                 "[--reference] [--cost-based] [--batch-size N] -- EXPR\n"
+                 "[--reference] [--cost-based] [--batch-size N] [--threads N] "
+                 "-- EXPR\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -114,6 +124,7 @@ int main(int argc, char** argv) {
                                                : engine::EngineOptions{};
   options.batched = batched;
   options.batch_size = static_cast<std::size_t>(batch_size);
+  options.threads = static_cast<std::size_t>(threads);
   const engine::Engine engine(options);
   auto run = engine.Run(*parsed, db);
   if (!run.ok()) {
@@ -133,6 +144,10 @@ int main(int argc, char** argv) {
                    run->stats.batch_size,
                    static_cast<unsigned long long>(run->stats.batches_emitted),
                    run->stats.peak_batch_bytes);
+    }
+    if (run->stats.threads_used > 1) {
+      std::fprintf(stderr, "-- parallel: %zu threads, %zu partition task(s)\n",
+                   run->stats.threads_used, run->stats.partitions);
     }
     for (const auto& op : run->stats.ops) {
       if (op.has_estimate) {

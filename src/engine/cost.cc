@@ -35,9 +35,7 @@ double SelectionSelectivity(ra::Cmp op) {
   return 0.5;
 }
 
-// Distinct-count estimate for one 1-based column of a subexpression: the
-// tracked key/element columns are used when they apply, sqrt(card)
-// otherwise (the classic fallback).
+// See EstimateColumnDistinct (cost.h) — the internal spelling.
 double ColumnDistinct(const ExprEstimate& e, std::size_t column, std::size_t arity) {
   if (column == 1) return NonZero(e.key_distinct);
   if (column == arity) return NonZero(e.elem_distinct);
@@ -79,6 +77,11 @@ ExprEstimate FromStats(const stats::RelationStats& stats) {
                     : NonZero(e.cardinality) / e.key_distinct;
   e.exact = true;
   return e;
+}
+
+double EstimateColumnDistinct(const ExprEstimate& e, std::size_t column,
+                              std::size_t arity) {
+  return ColumnDistinct(e, column, arity);
 }
 
 ExprEstimate CostModel::Estimate(const ra::ExprPtr& expr) const {
@@ -331,6 +334,54 @@ CostModel::EqualityChoice CostModel::ChooseSetEquality(const ExprEstimate& r,
     return {setjoin::EqualityJoinAlgorithm::kNestedLoop, nested};
   }
   return {setjoin::EqualityJoinAlgorithm::kCanonicalHash, hash};
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned (parallel) execution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One hash + route + bulk copy per tuple of the partitioning pass.
+constexpr double kPartitionTuple = 0.5;
+// Handing one partition task to the pool (dispatch, wake-up, cold
+// caches). Large relative to kTupleOp so tiny inputs stay serial: at a
+// few thousand tuples the fan-out costs more than it saves.
+constexpr double kTaskDispatch = 2000.0;
+
+}  // namespace
+
+CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
+                                            double input_cardinality,
+                                            std::size_t partitions,
+                                            std::size_t threads) {
+  const double p = NonZero(static_cast<double>(partitions));
+  const double waves =
+      std::ceil(p / NonZero(static_cast<double>(threads)));
+  CostEstimate est;
+  est.output_size = serial.output_size;
+  // Partition slices replace the serial kernel's working set; the merge
+  // buffers the same output once more.
+  est.max_intermediate = serial.max_intermediate + serial.output_size;
+  est.cost = kPartitionTuple * NonZero(input_cardinality)  // Serial split.
+             + serial.cost * waves / p                     // Kernel, in waves.
+             + kTaskDispatch * p                           // Fan-out/fan-in sync.
+             + kTupleOp * serial.output_size;              // Serial merge.
+  return est;
+}
+
+CostModel::ParallelChoice CostModel::ChooseParallelism(const CostEstimate& serial,
+                                                       double input_cardinality,
+                                                       double key_distinct,
+                                                       std::size_t threads) {
+  if (threads <= 1) return {1, serial};
+  const std::size_t partitions = static_cast<std::size_t>(std::max(
+      1.0, std::min(static_cast<double>(threads), NonZero(key_distinct))));
+  if (partitions <= 1) return {1, serial};
+  const CostEstimate partitioned =
+      EstimatePartitioned(serial, input_cardinality, partitions, threads);
+  if (partitioned.cost < serial.cost) return {partitions, partitioned};
+  return {1, serial};
 }
 
 // ---------------------------------------------------------------------------

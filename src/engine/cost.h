@@ -50,6 +50,15 @@ struct ExprEstimate {
 /// Converts one-pass relation statistics into the cost-formula view.
 ExprEstimate FromStats(const stats::RelationStats& stats);
 
+/// Distinct-count estimate for one 1-based column of a subexpression:
+/// the tracked key/element columns when they apply, sqrt(cardinality)
+/// otherwise (the classic fallback). Used by the formulas below and by
+/// the planner to cap partition widths on the actual partitioning
+/// column (e.g. a semijoin's first equality atom, which need not be
+/// column 1).
+double EstimateColumnDistinct(const ExprEstimate& e, std::size_t column,
+                              std::size_t arity);
+
 class CostModel {
  public:
   /// `provider` may be nullptr: estimates then fall back to coarse
@@ -104,6 +113,32 @@ class CostModel {
   };
   static EqualityChoice ChooseSetEquality(const ExprEstimate& r,
                                           const ExprEstimate& s);
+
+  // -- Partitioned (parallel) execution --------------------------------------
+
+  /// Prices running a serial alternative hash-partitioned by group key
+  /// into `partitions` parts on `threads` workers (per ROADMAP: the cost
+  /// model prices partition counts): a serial partitioning pass over the
+  /// `input_cardinality` tuples, the kernel work spread over
+  /// ceil(partitions / threads) waves, a per-partition dispatch overhead,
+  /// and a serial merge of the per-partition outputs.
+  static CostEstimate EstimatePartitioned(const CostEstimate& serial,
+                                          double input_cardinality,
+                                          std::size_t partitions,
+                                          std::size_t threads);
+
+  struct ParallelChoice {
+    /// 1 = stay serial; otherwise the chosen fan-out width.
+    std::size_t partitions;
+    CostEstimate estimate;
+  };
+  /// Serial vs partitioned for one call site: partitions the site
+  /// `threads` ways (capped by `key_distinct` — more partitions than
+  /// groups only buys empty tasks) iff that prices below the serial
+  /// alternative. With threads <= 1 the answer is always serial.
+  static ParallelChoice ChooseParallelism(const CostEstimate& serial,
+                                          double input_cardinality,
+                                          double key_distinct, std::size_t threads);
 
   // -- Semijoin ------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/parallel.h"
 #include "util/check.h"
 
 namespace setalg::engine {
@@ -31,8 +32,8 @@ OpStats MakeOpStats(const PhysicalOp* op, std::size_t output_size,
 class Executor {
  public:
   Executor(const core::Database* db, const EngineOptions* options,
-           const PhysicalPlan* plan, PlanStats* stats)
-      : ctx_(db, stats, options->batch_size), options_(options), plan_(plan),
+           const PhysicalPlan* plan, PlanStats* stats, WorkerPool* pool)
+      : ctx_(db, stats, options->batch_size, pool), options_(options), plan_(plan),
         stats_(stats) {}
 
   const core::Relation* Execute(const PhysicalOpPtr& op) {
@@ -130,8 +131,8 @@ class InstrumentedIterator final : public BatchIterator {
 class BatchedExecutor {
  public:
   BatchedExecutor(const core::Database* db, const EngineOptions* options,
-                  const PhysicalPlan* plan, PlanStats* stats)
-      : ctx_(db, stats, options->batch_size), options_(options), plan_(plan),
+                  const PhysicalPlan* plan, PlanStats* stats, WorkerPool* pool)
+      : ctx_(db, stats, options->batch_size, pool), options_(options), plan_(plan),
         stats_(stats) {}
 
   util::Result<core::Relation> Run(const PhysicalOpPtr& root) {
@@ -330,14 +331,20 @@ util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
   result.stats.rewrites = plan.rewrites;
   result.stats.choices = plan.choices;
   result.stats.batch_size = options_.batch_size == 0 ? 1 : options_.batch_size;
+  // One fixed worker pool per run (serial runs pay nothing): partitioned
+  // operators fan out through it, everything else ignores it.
+  const std::size_t threads = options_.threads == 0 ? 1 : options_.threads;
+  result.stats.threads_used = threads;
+  std::unique_ptr<WorkerPool> pool;
+  if (threads > 1) pool = std::make_unique<WorkerPool>(threads);
   if (options_.batched) {
-    BatchedExecutor executor(&db, &options_, &plan, &result.stats);
+    BatchedExecutor executor(&db, &options_, &plan, &result.stats, pool.get());
     auto out = executor.Run(plan.root);
     if (!out.ok()) return util::Result<RunResult>::Error(out.error());
     result.relation = std::move(*out);
     return result;
   }
-  Executor executor(&db, &options_, &plan, &result.stats);
+  Executor executor(&db, &options_, &plan, &result.stats, pool.get());
   if (executor.Execute(plan.root) == nullptr) {
     return util::Result<RunResult>::Error(executor.error());
   }

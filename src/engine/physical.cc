@@ -7,11 +7,17 @@
 #include <utility>
 
 #include "core/index.h"
+#include "engine/parallel.h"
 #include "sa/fast_semijoin.h"
 #include "setjoin/grouped.h"
 #include "util/check.h"
 
 namespace setalg::engine {
+
+std::size_t ExecContext::threads() const {
+  return pool_ == nullptr ? 1 : pool_->threads();
+}
+
 namespace {
 
 using core::Relation;
@@ -83,6 +89,34 @@ setjoin::GroupedRelation DrainGrouped(BatchIterator* input, std::size_t batch_si
   while (cursor.Next(&row)) builder.Add(row[0], row[1]);
   cursor.Close();
   return std::move(builder).Build();
+}
+
+// The generic semijoin as a whole-relation kernel — the partitioned
+// spelling of GenericSemiJoinIterator's probe (the streaming iterator
+// remains the serial path). Requires at least one equality atom (the
+// partitioned path never runs without one).
+Relation GenericSemijoinRelation(const Relation& left, const Relation& right,
+                                 const std::vector<ra::JoinAtom>& atoms) {
+  std::vector<ra::JoinAtom> eq;
+  std::vector<ra::JoinAtom> residual;
+  SplitAtoms(atoms, &eq, &residual);
+  SETALG_CHECK(!eq.empty());
+  std::vector<std::size_t> right_cols;
+  right_cols.reserve(eq.size());
+  for (const auto& atom : eq) right_cols.push_back(atom.right - 1);
+  const core::HashIndex index(&right, std::move(right_cols));
+  core::Tuple key(eq.size());
+  Relation out(left.arity());
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    const TupleView lt = left.tuple(i);
+    for (std::size_t k = 0; k < eq.size(); ++k) key[k] = lt[eq[k].left - 1];
+    bool found = false;
+    index.ForEachMatch(key, [&](std::size_t r) {
+      if (!found && ResidualHolds(residual, lt, right.tuple(r))) found = true;
+    });
+    if (found) out.Add(lt);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -632,10 +666,11 @@ class GenericSemiJoinIterator final : public BatchIterator {
 class SemiJoinOp final : public PhysicalOp {
  public:
   SemiJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, std::vector<ra::JoinAtom> atoms,
-             SemijoinStrategy strategy, const ra::Expr* source)
+             SemijoinStrategy strategy, const ra::Expr* source, std::size_t partitions)
       : PhysicalOp(left->arity(), {left, right}, source),
         atoms_(std::move(atoms)),
-        strategy_(strategy) {}
+        strategy_(strategy),
+        partitions_(partitions) {}
 
   std::string label() const override {
     return std::string("semijoin[") + AtomsToString(atoms_) + "]" +
@@ -645,6 +680,51 @@ class SemiJoinOp final : public PhysicalOp {
   std::unique_ptr<BatchIterator> MakeBatchIterator(
       ExecContext& ctx,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    const std::size_t parts = ResolvePartitions(partitions_, ctx);
+    if (parts > 1) {
+      // Co-partition both sides by the first equality atom: rows that can
+      // match share that atom's value, hence a partition, so the disjoint
+      // (left is partitioned) per-partition semijoins union to the serial
+      // output. No equality atom → no co-partitioning key → stay serial.
+      const ra::JoinAtom* eq = nullptr;
+      for (const auto& atom : atoms_) {
+        if (atom.op == ra::Cmp::kEq) {
+          eq = &atom;
+          break;
+        }
+      }
+      if (eq != nullptr) {
+        const std::size_t batch_size = ctx.batch_size();
+        const std::size_t left_arity = child(0)->arity();
+        const std::size_t right_arity = child(1)->arity();
+        const bool fast = strategy_ == SemijoinStrategy::kFastKernel;
+        const auto* atoms = &atoms_;
+        return std::make_unique<PartitionedIterator>(
+            ctx, arity(), std::move(inputs),
+            [parts, batch_size, left_arity, right_arity, fast, eq,
+             atoms](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+              const MaterializedInput left =
+                  MaterializedInput::From(streams[0].get(), left_arity, batch_size);
+              const MaterializedInput right =
+                  MaterializedInput::From(streams[1].get(), right_arity, batch_size);
+              auto left_parts = std::make_shared<std::vector<Relation>>(
+                  PartitionByColumn(left.get(), eq->left, parts));
+              auto right_parts = std::make_shared<std::vector<Relation>>(
+                  PartitionByColumn(right.get(), eq->right, parts));
+              std::vector<PartitionTask> tasks;
+              tasks.reserve(parts);
+              for (std::size_t p = 0; p < parts; ++p) {
+                tasks.push_back([left_parts, right_parts, p, fast, atoms] {
+                  const Relation& l = (*left_parts)[p];
+                  const Relation& r = (*right_parts)[p];
+                  return fast ? sa::Semijoin(l, r, *atoms)
+                              : GenericSemijoinRelation(l, r, *atoms);
+                });
+              }
+              return tasks;
+            });
+      }
+    }
     if (strategy_ == SemijoinStrategy::kFastKernel) {
       // The sa:: kernels pick their own access paths over whole relations;
       // they consume batches and emit their result in batches.
@@ -669,6 +749,7 @@ class SemiJoinOp final : public PhysicalOp {
  private:
   std::vector<ra::JoinAtom> atoms_;
   SemijoinStrategy strategy_;
+  std::size_t partitions_;
 };
 
 // ---------------------------------------------------------------------------
@@ -752,10 +833,11 @@ class DivisionOp final : public PhysicalOp {
  public:
   DivisionOp(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
              setjoin::DivisionAlgorithm algorithm, bool equality,
-             const ra::Expr* source)
+             const ra::Expr* source, std::size_t partitions)
       : PhysicalOp(1, {std::move(dividend), std::move(divisor)}, source),
         algorithm_(algorithm),
-        equality_(equality) {}
+        equality_(equality),
+        partitions_(partitions) {}
 
   std::string label() const override {
     return std::string(equality_ ? "division=[" : "division[") +
@@ -765,6 +847,41 @@ class DivisionOp final : public PhysicalOp {
   std::unique_ptr<BatchIterator> MakeBatchIterator(
       ExecContext& ctx,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
+    const std::size_t parts = ResolvePartitions(partitions_, ctx);
+    // Every group lies wholly in its key's partition, so dividing each
+    // partition against the shared divisor yields key-disjoint slices of
+    // the serial result — for every direct algorithm. kClassicRa stays
+    // serial: it evaluates one RA expression over the whole dividend.
+    if (parts > 1 && algorithm_ != setjoin::DivisionAlgorithm::kClassicRa) {
+      const std::size_t batch_size = ctx.batch_size();
+      const auto algorithm = algorithm_;
+      const bool equality = equality_;
+      return std::make_unique<PartitionedIterator>(
+          ctx, arity(), std::move(inputs),
+          [parts, batch_size, algorithm,
+           equality](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+            // Both inputs are consumed on the driving thread; the divisor
+            // is normalized here so workers only ever read it.
+            auto divisor = std::make_shared<MaterializedInput>(
+                MaterializedInput::From(streams[1].get(), 1, batch_size));
+            divisor->get().Normalize();
+            const MaterializedInput dividend =
+                MaterializedInput::From(streams[0].get(), 2, batch_size);
+            auto slices = std::make_shared<std::vector<Relation>>(
+                PartitionByColumn(dividend.get(), 1, parts));
+            std::vector<PartitionTask> tasks;
+            tasks.reserve(parts);
+            for (std::size_t p = 0; p < parts; ++p) {
+              tasks.push_back([slices, divisor, p, algorithm, equality] {
+                const Relation& slice = (*slices)[p];
+                return equality
+                           ? setjoin::DivideEqual(slice, divisor->get(), algorithm)
+                           : setjoin::Divide(slice, divisor->get(), algorithm);
+              });
+            }
+            return tasks;
+          });
+    }
     return std::make_unique<DivisionIterator>(ctx, std::move(inputs), algorithm_,
                                               equality_);
   }
@@ -772,20 +889,60 @@ class DivisionOp final : public PhysicalOp {
  private:
   setjoin::DivisionAlgorithm algorithm_;
   bool equality_;
+  std::size_t partitions_;
 };
 
 // ---------------------------------------------------------------------------
 // Set joins. Grouping is inherently blocking (a group's elements may span
 // the whole stream), so these consume their inputs through the shared
 // GroupedBuilder adapter and emit the kernel's result in batches.
+//
+// Partitioned execution splits the left side's groups by key
+// (setjoin::PartitionByKey) and shares the right side read-only: the
+// output is keyed on the left group in column 1, so per-partition kernel
+// outputs are disjoint and the fan-in reproduces the serial result.
 // ---------------------------------------------------------------------------
+
+// The shared fan-out plan of the partitioned set joins: `kernel` is the
+// serial per-partition kernel (left partition × whole right side).
+std::unique_ptr<BatchIterator> MakePartitionedSetJoin(
+    ExecContext& ctx, std::vector<std::unique_ptr<BatchIterator>> inputs,
+    std::size_t parts,
+    std::function<Relation(const setjoin::GroupedRelation&,
+                           const setjoin::GroupedRelation&)>
+        kernel) {
+  const std::size_t batch_size = ctx.batch_size();
+  auto shared_kernel = std::make_shared<
+      std::function<Relation(const setjoin::GroupedRelation&,
+                             const setjoin::GroupedRelation&)>>(std::move(kernel));
+  return std::make_unique<PartitionedIterator>(
+      ctx, 2, std::move(inputs),
+      [parts, batch_size,
+       shared_kernel](std::vector<std::unique_ptr<BatchIterator>>& streams) {
+        auto left = std::make_shared<std::vector<setjoin::GroupedRelation>>(
+            setjoin::PartitionByKey(DrainGrouped(streams[0].get(), batch_size),
+                                    parts));
+        auto right = std::make_shared<setjoin::GroupedRelation>(
+            DrainGrouped(streams[1].get(), batch_size));
+        std::vector<PartitionTask> tasks;
+        tasks.reserve(parts);
+        for (std::size_t p = 0; p < parts; ++p) {
+          tasks.push_back([left, right, p, shared_kernel] {
+            return (*shared_kernel)((*left)[p], *right);
+          });
+        }
+        return tasks;
+      });
+}
 
 class SetContainmentJoinOp final : public PhysicalOp {
  public:
   SetContainmentJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
-                       setjoin::ContainmentAlgorithm algorithm, const ra::Expr* source)
+                       setjoin::ContainmentAlgorithm algorithm, const ra::Expr* source,
+                       std::size_t partitions)
       : PhysicalOp(2, {std::move(left), std::move(right)}, source),
-        algorithm_(algorithm) {}
+        algorithm_(algorithm),
+        partitions_(partitions) {}
 
   std::string label() const override {
     return std::string("set-containment-join[") +
@@ -796,6 +953,16 @@ class SetContainmentJoinOp final : public PhysicalOp {
       ExecContext& ctx,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     const std::size_t batch_size = ctx.batch_size();
+    const std::size_t parts = ResolvePartitions(partitions_, ctx);
+    if (parts > 1) {
+      const auto algorithm = algorithm_;
+      return MakePartitionedSetJoin(
+          ctx, std::move(inputs), parts,
+          [algorithm](const setjoin::GroupedRelation& l,
+                      const setjoin::GroupedRelation& r) {
+            return setjoin::SetContainmentJoin(l, r, algorithm);
+          });
+    }
     return std::make_unique<BlockingIterator>(
         std::move(inputs),
         [this, batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
@@ -807,14 +974,17 @@ class SetContainmentJoinOp final : public PhysicalOp {
 
  private:
   setjoin::ContainmentAlgorithm algorithm_;
+  std::size_t partitions_;
 };
 
 class SetEqualityJoinOp final : public PhysicalOp {
  public:
   SetEqualityJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
-                    setjoin::EqualityJoinAlgorithm algorithm, const ra::Expr* source)
+                    setjoin::EqualityJoinAlgorithm algorithm, const ra::Expr* source,
+                    std::size_t partitions)
       : PhysicalOp(2, {std::move(left), std::move(right)}, source),
-        algorithm_(algorithm) {}
+        algorithm_(algorithm),
+        partitions_(partitions) {}
 
   std::string label() const override {
     return std::string("set-equality-join[") +
@@ -825,6 +995,16 @@ class SetEqualityJoinOp final : public PhysicalOp {
       ExecContext& ctx,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     const std::size_t batch_size = ctx.batch_size();
+    const std::size_t parts = ResolvePartitions(partitions_, ctx);
+    if (parts > 1) {
+      const auto algorithm = algorithm_;
+      return MakePartitionedSetJoin(
+          ctx, std::move(inputs), parts,
+          [algorithm](const setjoin::GroupedRelation& l,
+                      const setjoin::GroupedRelation& r) {
+            return setjoin::SetEqualityJoin(l, r, algorithm);
+          });
+    }
     return std::make_unique<BlockingIterator>(
         std::move(inputs),
         [this, batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
@@ -836,12 +1016,15 @@ class SetEqualityJoinOp final : public PhysicalOp {
 
  private:
   setjoin::EqualityJoinAlgorithm algorithm_;
+  std::size_t partitions_;
 };
 
 class SetOverlapJoinOp final : public PhysicalOp {
  public:
-  SetOverlapJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, const ra::Expr* source)
-      : PhysicalOp(2, {std::move(left), std::move(right)}, source) {}
+  SetOverlapJoinOp(PhysicalOpPtr left, PhysicalOpPtr right, const ra::Expr* source,
+                   std::size_t partitions)
+      : PhysicalOp(2, {std::move(left), std::move(right)}, source),
+        partitions_(partitions) {}
 
   std::string label() const override { return "set-overlap-join"; }
 
@@ -849,6 +1032,14 @@ class SetOverlapJoinOp final : public PhysicalOp {
       ExecContext& ctx,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     const std::size_t batch_size = ctx.batch_size();
+    const std::size_t parts = ResolvePartitions(partitions_, ctx);
+    if (parts > 1) {
+      return MakePartitionedSetJoin(
+          ctx, std::move(inputs), parts,
+          [](const setjoin::GroupedRelation& l, const setjoin::GroupedRelation& r) {
+            return setjoin::SetOverlapJoin(l, r);
+          });
+    }
     return std::make_unique<BlockingIterator>(
         std::move(inputs),
         [batch_size](std::vector<std::unique_ptr<BatchIterator>>& streams) {
@@ -856,6 +1047,9 @@ class SetOverlapJoinOp final : public PhysicalOp {
                                          DrainGrouped(streams[1].get(), batch_size));
         });
   }
+
+ private:
+  std::size_t partitions_;
 };
 
 void AppendTree(const PhysicalOp& op, std::size_t depth, std::string* out) {
@@ -944,48 +1138,49 @@ PhysicalOpPtr MakeJoin(PhysicalOpPtr left, PhysicalOpPtr right,
 
 PhysicalOpPtr MakeSemiJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                            std::vector<ra::JoinAtom> atoms, SemijoinStrategy strategy,
-                           const ra::Expr* source) {
+                           const ra::Expr* source, std::size_t partitions) {
   for (const auto& atom : atoms) {
     SETALG_CHECK_STREAM(atom.left >= 1 && atom.left <= left->arity() &&
                         atom.right >= 1 && atom.right <= right->arity())
         << "semijoin atom out of range";
   }
   return std::make_shared<SemiJoinOp>(std::move(left), std::move(right),
-                                      std::move(atoms), strategy, source);
+                                      std::move(atoms), strategy, source, partitions);
 }
 
 PhysicalOpPtr MakeDivision(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
                            setjoin::DivisionAlgorithm algorithm, bool equality,
-                           const ra::Expr* source) {
+                           const ra::Expr* source, std::size_t partitions) {
   SETALG_CHECK_EQ(dividend->arity(), 2u);
   SETALG_CHECK_EQ(divisor->arity(), 1u);
   return std::make_shared<DivisionOp>(std::move(dividend), std::move(divisor),
-                                      algorithm, equality, source);
+                                      algorithm, equality, source, partitions);
 }
 
 PhysicalOpPtr MakeSetContainmentJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                                      setjoin::ContainmentAlgorithm algorithm,
-                                     const ra::Expr* source) {
+                                     const ra::Expr* source, std::size_t partitions) {
   SETALG_CHECK_EQ(left->arity(), 2u);
   SETALG_CHECK_EQ(right->arity(), 2u);
   return std::make_shared<SetContainmentJoinOp>(std::move(left), std::move(right),
-                                                algorithm, source);
+                                                algorithm, source, partitions);
 }
 
 PhysicalOpPtr MakeSetEqualityJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                                   setjoin::EqualityJoinAlgorithm algorithm,
-                                  const ra::Expr* source) {
+                                  const ra::Expr* source, std::size_t partitions) {
   SETALG_CHECK_EQ(left->arity(), 2u);
   SETALG_CHECK_EQ(right->arity(), 2u);
   return std::make_shared<SetEqualityJoinOp>(std::move(left), std::move(right),
-                                             algorithm, source);
+                                             algorithm, source, partitions);
 }
 
 PhysicalOpPtr MakeSetOverlapJoin(PhysicalOpPtr left, PhysicalOpPtr right,
-                                 const ra::Expr* source) {
+                                 const ra::Expr* source, std::size_t partitions) {
   SETALG_CHECK_EQ(left->arity(), 2u);
   SETALG_CHECK_EQ(right->arity(), 2u);
-  return std::make_shared<SetOverlapJoinOp>(std::move(left), std::move(right), source);
+  return std::make_shared<SetOverlapJoinOp>(std::move(left), std::move(right), source,
+                                            partitions);
 }
 
 }  // namespace setalg::engine

@@ -101,20 +101,39 @@ struct PlanStats {
   /// Largest single operator-output batch footprint observed, in bytes —
   /// the per-edge buffering cost of the pipelined mode.
   std::size_t peak_batch_bytes = 0;
+  /// Worker threads available to the run (EngineOptions::threads; 1 for a
+  /// serial run). Partitioned operators never change results or the row
+  /// counts above — these two fields are the only stats that may differ
+  /// between a serial and a parallel run of the same plan.
+  std::size_t threads_used = 1;
+  /// Partition tasks executed by partitioned operators, summed across the
+  /// run (0 when every operator ran serial). Deterministic for fixed
+  /// options: partition counts are resolved per operator, never from load.
+  std::size_t partitions = 0;
 };
+
+class WorkerPool;  // engine/parallel.h
 
 /// Execution-time context handed to every operator.
 class ExecContext {
  public:
   ExecContext(const core::Database* db, PlanStats* stats,
-              std::size_t batch_size = kDefaultBatchSize)
-      : db_(db), stats_(stats), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+              std::size_t batch_size = kDefaultBatchSize, WorkerPool* pool = nullptr)
+      : db_(db), stats_(stats), batch_size_(batch_size == 0 ? 1 : batch_size),
+        pool_(pool) {}
 
   const core::Database& db() const { return *db_; }
   PlanStats* stats() const { return stats_; }
 
   /// Tuples per batch on the batch surface (always >= 1).
   std::size_t batch_size() const { return batch_size_; }
+
+  /// The run's worker pool, or nullptr for a serial run. Operators only
+  /// use it through PartitionedIterator (engine/parallel.h).
+  WorkerPool* pool() const { return pool_; }
+
+  /// Total parallelism available to partitioned operators (>= 1).
+  std::size_t threads() const;
 
   void CountJoinRows(std::uint64_t rows) {
     if (stats_ != nullptr) stats_->join_rows_emitted += rows;
@@ -129,10 +148,17 @@ class ExecContext {
     }
   }
 
+  /// Records one partitioned operator's fan-out width. Called from the
+  /// driving thread only (PartitionedIterator::Open after the fan-in).
+  void CountPartitions(std::size_t partitions) {
+    if (stats_ != nullptr) stats_->partitions += partitions;
+  }
+
  private:
   const core::Database* db_;
   PlanStats* stats_;
   std::size_t batch_size_;
+  WorkerPool* pool_;
 };
 
 /// An immutable physical operator. Build via the factory functions below;
@@ -216,30 +242,48 @@ PhysicalOpPtr MakeJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                        std::vector<ra::JoinAtom> atoms,
                        const ra::Expr* source = nullptr);
 
+/// `partitions` (here and below) configures partitioned parallel
+/// execution of the operator (see engine/parallel.h): 0 follows the
+/// run's worker-pool width (EngineOptions::threads), 1 pins the operator
+/// serial, N forces an N-way fan-out. Any value yields results and
+/// PlanStats row counts identical to the serial operator. Semijoins
+/// partition both sides by the first equality atom; conditions without an
+/// equality fall back to the serial kernel.
 PhysicalOpPtr MakeSemiJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                            std::vector<ra::JoinAtom> atoms,
                            SemijoinStrategy strategy,
-                           const ra::Expr* source = nullptr);
+                           const ra::Expr* source = nullptr,
+                           std::size_t partitions = 0);
 
 /// Division: child 0 is the binary dividend R(A,B), child 1 the unary
 /// divisor S(B). With `equality` the B-set must equal S, else contain it.
+/// Partitioned execution splits the dividend by key and shares the
+/// divisor; kClassicRa always runs serial (its plan is one RA expression).
 PhysicalOpPtr MakeDivision(PhysicalOpPtr dividend, PhysicalOpPtr divisor,
                            setjoin::DivisionAlgorithm algorithm, bool equality,
-                           const ra::Expr* source = nullptr);
+                           const ra::Expr* source = nullptr,
+                           std::size_t partitions = 0);
 
 /// Set-containment join over two binary inputs grouped on column 1.
+/// Partitioned execution splits the containing (left) side's groups by
+/// key and shares the contained side.
 PhysicalOpPtr MakeSetContainmentJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                                      setjoin::ContainmentAlgorithm algorithm,
-                                     const ra::Expr* source = nullptr);
+                                     const ra::Expr* source = nullptr,
+                                     std::size_t partitions = 0);
 
 /// Set-equality join over two binary inputs grouped on column 1.
+/// Partitioned execution splits the left side's groups by key.
 PhysicalOpPtr MakeSetEqualityJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                                   setjoin::EqualityJoinAlgorithm algorithm,
-                                  const ra::Expr* source = nullptr);
+                                  const ra::Expr* source = nullptr,
+                                  std::size_t partitions = 0);
 
 /// Set-overlap join over two binary inputs grouped on column 1.
+/// Partitioned execution splits the left side's groups by key.
 PhysicalOpPtr MakeSetOverlapJoin(PhysicalOpPtr left, PhysicalOpPtr right,
-                                 const ra::Expr* source = nullptr);
+                                 const ra::Expr* source = nullptr,
+                                 std::size_t partitions = 0);
 
 }  // namespace setalg::engine
 

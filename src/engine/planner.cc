@@ -114,25 +114,67 @@ class Lowering {
                                       : SemijoinStrategy::kGeneric;
   }
 
-  SemijoinStrategy SemijoinStrategyFor(const ExprPtr& left, const ExprPtr& right,
-                                       const std::vector<ra::JoinAtom>& atoms) {
-    if (!CostBased()) return Strategy();
+  /// Plan-time serial-vs-partitioned decision for one call site: under
+  /// cost_based planning with a worker pool configured, consult the
+  /// partition pricing and pin the operator (1 = serial, N = N-way);
+  /// otherwise defer to the execution context (0 = pool width).
+  std::size_t PartitionsFor(const char* site, const CostEstimate& serial,
+                            double input_cardinality, double key_distinct) {
+    if (options_.threads <= 1 || !CostBased()) return 0;
+    const CostModel::ParallelChoice choice = CostModel::ChooseParallelism(
+        serial, input_cardinality, key_distinct, options_.threads);
+    choices_.push_back({site,
+                        choice.partitions > 1
+                            ? util::StrCat("partitioned[",
+                                           std::to_string(choice.partitions), "]")
+                            : "serial",
+                        choice.estimate});
+    return choice.partitions;
+  }
+
+  struct SemijoinPlan {
+    SemijoinStrategy strategy;
+    std::size_t partitions;
+  };
+
+  SemijoinPlan SemijoinStrategyFor(const ExprPtr& left, const ExprPtr& right,
+                                   const std::vector<ra::JoinAtom>& atoms) {
+    if (!CostBased()) return {Strategy(), 0};
     const ExprEstimate l = model_.Estimate(left);
     const ExprEstimate r = model_.Estimate(right);
     const SemijoinStrategy strategy = CostModel::ChooseSemijoin(l, r, atoms);
+    const CostEstimate estimate = CostModel::EstimateSemijoin(l, r, atoms, strategy);
     choices_.push_back(
         {"semijoin",
          strategy == SemijoinStrategy::kFastKernel ? "fast-kernel" : "generic",
-         CostModel::EstimateSemijoin(l, r, atoms, strategy)});
-    return strategy;
+         estimate});
+    // The operator co-partitions both sides by the first equality atom:
+    // without one there is no routing key and the kernel stays serial, so
+    // no execution decision exists to price or record; with one, the
+    // fan-out cap must come from that atom's column (not column 1 — a
+    // near-constant partitioning column would leave all but one task
+    // empty while still paying the dispatch overhead).
+    const ra::JoinAtom* eq = nullptr;
+    for (const auto& atom : atoms) {
+      if (atom.op == ra::Cmp::kEq) {
+        eq = &atom;
+        break;
+      }
+    }
+    if (eq == nullptr) return {strategy, 1};
+    const std::size_t partitions = PartitionsFor(
+        "semijoin-execution", estimate, l.cardinality + r.cardinality,
+        EstimateColumnDistinct(l, eq->left, left->arity()));
+    return {strategy, partitions};
   }
 
   PhysicalOpPtr LowerDivision(const DivisionMatch& m, bool equality,
                               const ra::Expr* source) {
     setjoin::DivisionAlgorithm algorithm = options_.division_algorithm;
+    const ExprEstimate r_est = model_.Estimate(m.r);
+    const ExprEstimate s_est = model_.Estimate(m.s);
     if (CostBased()) {
-      const auto choice = CostModel::ChooseDivision(model_.Estimate(m.r),
-                                                    model_.Estimate(m.s), equality);
+      const auto choice = CostModel::ChooseDivision(r_est, s_est, equality);
       algorithm = choice.algorithm;
       choices_.push_back({equality ? "equality-division" : "division",
                           setjoin::DivisionAlgorithmToString(algorithm),
@@ -143,10 +185,15 @@ class Lowering {
                               : "division pattern → division[",
                      setjoin::DivisionAlgorithmToString(algorithm), "]",
                      CostBased() ? " (cost-based)" : ""));
-    PhysicalOpPtr op = MakeDivision(Lower(m.r), Lower(m.s), algorithm, equality, source);
+    const std::size_t partitions = PartitionsFor(
+        equality ? "equality-division-execution" : "division-execution",
+        CostModel::EstimateDivision(algorithm, r_est, s_est, equality),
+        r_est.cardinality + s_est.cardinality, r_est.key_distinct);
+    PhysicalOpPtr op = MakeDivision(Lower(m.r), Lower(m.s), algorithm, equality, source,
+                                    partitions);
     if (stats_ != nullptr) {
-      estimates_[op.get()] = CostModel::EstimateDivision(algorithm, model_.Estimate(m.r),
-                                                         model_.Estimate(m.s), equality);
+      estimates_[op.get()] =
+          CostModel::EstimateDivision(algorithm, r_est, s_est, equality);
     }
     return op;
   }
@@ -181,10 +228,12 @@ class Lowering {
         return MakeConstTag(Lower(e->child(0)), e->tag_value(), e.get());
       case OpKind::kJoin:
         return MakeJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(), e.get());
-      case OpKind::kSemiJoin:
+      case OpKind::kSemiJoin: {
+        const SemijoinPlan semi =
+            SemijoinStrategyFor(e->child(0), e->child(1), e->atoms());
         return MakeSemiJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(),
-                            SemijoinStrategyFor(e->child(0), e->child(1), e->atoms()),
-                            e.get());
+                            semi.strategy, e.get(), semi.partitions);
+      }
     }
     SETALG_CHECK_STREAM(false) << "unreachable";
     return nullptr;
@@ -206,9 +255,11 @@ class Lowering {
     if (all_left) {
       // The semijoin op is rewrite-synthesized: its output matches no
       // logical node, so it carries no source.
-      PhysicalOpPtr semi = MakeSemiJoin(
-          Lower(join->child(0)), Lower(join->child(1)), join->atoms(),
-          SemijoinStrategyFor(join->child(0), join->child(1), join->atoms()));
+      const SemijoinPlan plan =
+          SemijoinStrategyFor(join->child(0), join->child(1), join->atoms());
+      PhysicalOpPtr semi =
+          MakeSemiJoin(Lower(join->child(0)), Lower(join->child(1)), join->atoms(),
+                       plan.strategy, nullptr, plan.partitions);
       rewrites_.push_back("π(join) reduced to π(semijoin) at " + e->ToString());
       return MakeProject(std::move(semi), columns, e.get());
     }
@@ -221,9 +272,11 @@ class Lowering {
       std::vector<std::size_t> shifted;
       shifted.reserve(columns.size());
       for (std::size_t c : columns) shifted.push_back(c - left_arity);
-      PhysicalOpPtr semi = MakeSemiJoin(
-          Lower(join->child(1)), Lower(join->child(0)), std::move(mirrored),
-          SemijoinStrategyFor(join->child(1), join->child(0), join->atoms()));
+      const SemijoinPlan plan =
+          SemijoinStrategyFor(join->child(1), join->child(0), join->atoms());
+      PhysicalOpPtr semi =
+          MakeSemiJoin(Lower(join->child(1)), Lower(join->child(0)),
+                       std::move(mirrored), plan.strategy, nullptr, plan.partitions);
       rewrites_.push_back("π(join) reduced to π(mirrored semijoin) at " +
                           e->ToString());
       return MakeProject(std::move(semi), std::move(shifted), e.get());
@@ -260,6 +313,12 @@ EngineOptions EngineOptions::Batched(std::size_t batch_size) {
   EngineOptions options;
   options.batched = true;
   options.batch_size = batch_size;
+  return options;
+}
+
+EngineOptions EngineOptions::Parallel(std::size_t threads, std::size_t batch_size) {
+  EngineOptions options = Batched(batch_size);
+  options.threads = threads;
   return options;
 }
 

@@ -69,6 +69,19 @@ struct EngineOptions {
   /// Values < 1 are treated as 1.
   std::size_t batch_size = kDefaultBatchSize;
 
+  /// Worker threads for partitioned parallel execution of the division /
+  /// set-join / semijoin operators (engine/parallel.h; raq --threads).
+  /// 1 (the default) runs everything serial; N > 1 gives each run a fixed
+  /// N-wide worker pool and partitions eligible operators N ways by group
+  /// key. Like `batched`, this is an execution knob, not a semantics
+  /// change: results and per-operator PlanStats row counts are identical
+  /// to the serial run (tests/batch_exec_test.cc enforces it at threads
+  /// {1, 2, 7}); only PlanStats::threads_used/partitions differ. Under
+  /// `cost_based` the planner additionally decides serial vs partitioned
+  /// per call site from the inputs' shapes and records the decision in
+  /// PlanStats::choices. Values < 1 are treated as 1.
+  std::size_t threads = 1;
+
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
   bool collect_node_stats = true;
@@ -89,6 +102,11 @@ struct EngineOptions {
 
   /// The rewrite-enabled options with pipelined batch execution.
   static EngineOptions Batched(std::size_t batch_size = kDefaultBatchSize);
+
+  /// The rewrite-enabled options with pipelined batch execution and an
+  /// N-wide worker pool for partitioned operators.
+  static EngineOptions Parallel(std::size_t threads,
+                                std::size_t batch_size = kDefaultBatchSize);
 };
 
 /// A lowered plan plus the planner decisions that shaped it.

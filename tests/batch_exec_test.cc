@@ -1,14 +1,17 @@
-// Differential/property harness for batched execution: every plan must
-// produce identical (sorted, set-semantics) results and identical
-// per-operator PlanStats row counts whether it runs through the
-// materializing executor or the pipelined batch surface, at every batch
-// size — including the degenerate size 1 and the off-power-of-two 7 that
-// exercise batch-boundary carry-over.
+// Differential/property harness for batched AND parallel execution:
+// every plan must produce identical (sorted, set-semantics) results and
+// identical per-operator PlanStats row counts whether it runs through the
+// materializing executor, the pipelined batch surface, or the partitioned
+// parallel executor — at every batch size (including the degenerate size
+// 1 and the off-power-of-two 7 that exercise batch-boundary carry-over)
+// and at every thread count in {1, 2, 7} (1 exercises the partitioned
+// code inline, 2 a minimal pool, 7 an off-power-of-two fan-out wider than
+// many of the workloads' group counts, so empty partitions occur).
 //
 // The suite reads SETALG_BATCH_SEED (default 1) as the base of its seed
-// range; CI runs it under ASan/UBSan with a fixed seed matrix so
-// batch-boundary lifetime bugs surface across distinct randomized
-// workloads.
+// range; CI runs it under ASan/UBSan and under ThreadSanitizer with a
+// fixed seed matrix so batch-boundary lifetime bugs and cross-thread
+// races surface across distinct randomized workloads.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -32,6 +35,9 @@ using core::Relation;
 using setalg::testing::MakeRel;
 
 constexpr std::size_t kBatchSizes[] = {1, 2, 7, 1024};
+
+// Thread counts of the differential matrix (see the file comment).
+constexpr std::size_t kThreadCounts[] = {1, 2, 7};
 
 std::uint64_t BaseSeed() {
   const char* env = std::getenv("SETALG_BATCH_SEED");
@@ -59,8 +65,12 @@ void ExpectSameStats(const PlanStats& expected, const PlanStats& actual,
 }
 
 // Lowers `expr` once under `base` options and executes the same plan
-// through the materializing executor and through the pipelined executor at
-// every batch size, asserting identical results and row counts.
+// through the materializing executor (serial — the semantics reference)
+// and through the pipelined executor at every (threads × batch size)
+// point of the differential matrix, asserting results and PlanStats row
+// counts identical to the serial reference at every point. The parallel
+// materializing combination is exercised too (threads > 1, batched off):
+// partitioned operators plug into both executors.
 void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
                           const core::Database& db, const std::string& context) {
   const Engine reference(base);
@@ -70,21 +80,37 @@ void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
   auto expected = reference.RunPlan(*plan, db);
   ASSERT_TRUE(expected.ok()) << context << ": " << expected.error();
 
-  for (std::size_t batch_size : kBatchSizes) {
-    EngineOptions options = base;
-    options.batched = true;
-    options.batch_size = batch_size;
-    const Engine batched(options);
-    auto run = batched.RunPlan(*plan, db);
-    const std::string what =
-        context + " batch_size=" + std::to_string(batch_size);
-    ASSERT_TRUE(run.ok()) << what << ": " << run.error();
-    EXPECT_EQ(run->relation, expected->relation) << what;
-    ExpectSameStats(expected->stats, run->stats, what);
-    EXPECT_EQ(run->stats.batch_size, batch_size);
-    if (!expected->relation.empty()) {
-      EXPECT_GT(run->stats.batches_emitted, 0u) << what;
-      EXPECT_GT(run->stats.peak_batch_bytes, 0u) << what;
+  for (std::size_t threads : kThreadCounts) {
+    for (std::size_t batch_size : kBatchSizes) {
+      EngineOptions options = base;
+      options.batched = true;
+      options.batch_size = batch_size;
+      options.threads = threads;
+      const Engine batched(options);
+      auto run = batched.RunPlan(*plan, db);
+      const std::string what = context + " batch_size=" +
+                               std::to_string(batch_size) +
+                               " threads=" + std::to_string(threads);
+      ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+      EXPECT_EQ(run->relation, expected->relation) << what;
+      ExpectSameStats(expected->stats, run->stats, what);
+      EXPECT_EQ(run->stats.batch_size, batch_size);
+      EXPECT_EQ(run->stats.threads_used, threads) << what;
+      if (!expected->relation.empty()) {
+        EXPECT_GT(run->stats.batches_emitted, 0u) << what;
+        EXPECT_GT(run->stats.peak_batch_bytes, 0u) << what;
+      }
+    }
+    if (threads > 1) {
+      // Materializing executor with a worker pool (no batching).
+      EngineOptions options = base;
+      options.threads = threads;
+      auto run = Engine(options).RunPlan(*plan, db);
+      const std::string what =
+          context + " materializing threads=" + std::to_string(threads);
+      ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+      EXPECT_EQ(run->relation, expected->relation) << what;
+      ExpectSameStats(expected->stats, run->stats, what);
     }
   }
 }
@@ -236,13 +262,16 @@ void ExpectPlanBatchedMatches(const PhysicalPlan& plan, const core::Database& db
   auto reference = materializing.RunPlan(plan, db);
   ASSERT_TRUE(reference.ok()) << context << ": " << reference.error();
   EXPECT_EQ(reference->relation, expected) << context;
-  for (std::size_t batch_size : kBatchSizes) {
-    const Engine batched(EngineOptions::Batched(batch_size));
-    auto run = batched.RunPlan(plan, db);
-    const std::string what = context + " batch_size=" + std::to_string(batch_size);
-    ASSERT_TRUE(run.ok()) << what << ": " << run.error();
-    EXPECT_EQ(run->relation, expected) << what;
-    ExpectSameStats(reference->stats, run->stats, what);
+  for (std::size_t threads : kThreadCounts) {
+    for (std::size_t batch_size : kBatchSizes) {
+      const Engine batched(EngineOptions::Parallel(threads, batch_size));
+      auto run = batched.RunPlan(plan, db);
+      const std::string what = context + " batch_size=" + std::to_string(batch_size) +
+                               " threads=" + std::to_string(threads);
+      ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+      EXPECT_EQ(run->relation, expected) << what;
+      ExpectSameStats(reference->stats, run->stats, what);
+    }
   }
 }
 
@@ -361,6 +390,49 @@ TEST(BatchExec, BudgetAbortsOversizedBatchedRuns) {
   auto run = Engine::Run(ra::Product(ra::Rel("R", 2), ra::Rel("S", 1)), db, options);
   ASSERT_FALSE(run.ok());
   EXPECT_NE(run.error().find("budget"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel merge: repeated parallel runs of the same seed
+// must be byte-for-byte identical — same sorted storage, same PlanStats
+// (including the parallel accounting), independent of thread scheduling.
+// The fan-in concatenates per-partition outputs in partition-index order
+// and normalizes, so nothing observable may depend on completion order.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExec, ParallelMergeIsDeterministicAcrossRepeatedRuns) {
+  const std::uint64_t base = BaseSeed();
+  workload::DivisionConfig config;
+  config.num_groups = 50;
+  config.group_size = 4;
+  config.domain_size = 30;
+  config.divisor_size = 3;
+  config.match_fraction = 0.4;
+  config.seed = base;
+  const auto instance = workload::MakeDivisionInstance(config);
+  const auto db = setalg::testing::DivisionDb(instance.r, instance.s);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+
+  const Engine engine(EngineOptions::Parallel(7, /*batch_size=*/7));
+  auto plan = engine.Plan(expr, db.schema());
+  ASSERT_TRUE(plan.ok()) << plan.error();
+
+  auto first = engine.RunPlan(*plan, db);
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->stats.threads_used, 7u);
+  EXPECT_GT(first->stats.partitions, 0u);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    auto run = engine.RunPlan(*plan, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    // flat() compares the normalized storage byte-for-byte, a strictly
+    // stronger check than relation equality on sorted sets.
+    EXPECT_EQ(run->relation.flat(), first->relation.flat()) << "repeat " << repeat;
+    ExpectSameStats(first->stats, run->stats,
+                    "repeat " + std::to_string(repeat));
+    EXPECT_EQ(run->stats.partitions, first->stats.partitions);
+    EXPECT_EQ(run->stats.threads_used, first->stats.threads_used);
+    EXPECT_EQ(run->stats.batches_emitted, first->stats.batches_emitted);
+  }
 }
 
 TEST(BatchExec, BatchAccountingBoundsThePipelineFootprint) {

@@ -185,6 +185,88 @@ TEST(CostModel, PicksHashSetJoinsAtBenchScale) {
   EXPECT_GT(nested.cost, 4 * containment.estimate.cost);
 }
 
+TEST(CostModel, ParallelismPricingSeparatesTinyFromBenchScaleInputs) {
+  const auto instance = BenchInstance(16000);
+  const ExprEstimate r = EstimateOf(instance.r);
+  const ExprEstimate s = EstimateOf(instance.s);
+  const auto serial = CostModel::ChooseDivision(r, s, /*equality=*/false).estimate;
+
+  // At bench scale, a 4-wide pool must price the partitioned plan under
+  // the serial one; on a tiny input the dispatch overhead must keep the
+  // site serial; with one thread the question never arises.
+  const auto at_scale = CostModel::ChooseParallelism(
+      serial, r.cardinality + s.cardinality, r.key_distinct, 4);
+  EXPECT_GT(at_scale.partitions, 1u);
+  EXPECT_LT(at_scale.estimate.cost, serial.cost);
+
+  CostEstimate tiny_serial{/*cost=*/200.0, /*output_size=*/10.0,
+                           /*max_intermediate=*/10.0};
+  EXPECT_EQ(CostModel::ChooseParallelism(tiny_serial, 100.0, 20.0, 4).partitions, 1u);
+  EXPECT_EQ(CostModel::ChooseParallelism(serial, r.cardinality, r.key_distinct, 1)
+                .partitions,
+            1u);
+
+  // More partitions than groups buys only empty tasks: the fan-out is
+  // capped by the distinct-key estimate.
+  const auto few_keys = CostModel::ChooseParallelism(
+      CostEstimate{1e9, 100.0, 100.0}, 1e6, /*key_distinct=*/3.0, 16);
+  EXPECT_LE(few_keys.partitions, 3u);
+}
+
+TEST(CostBased, RecordsSerialVsPartitionedChoicePerCallSite) {
+  // Cost-based planning with a worker pool records a division-execution
+  // decision; at bench scale it must be partitioned, and the partitioned
+  // run must still match the serial cost-based result.
+  const auto db = InstanceDb(BenchInstance(8000));
+  EngineOptions parallel = EngineOptions::CostBased();
+  parallel.threads = 4;
+  const Engine engine(parallel);
+  auto run = engine.Run(setjoin::ClassicDivisionExpr("R", "S"), db);
+  ASSERT_TRUE(run.ok()) << run.error();
+  bool found = false;
+  for (const auto& choice : run->stats.choices) {
+    if (choice.site == "division-execution") {
+      EXPECT_EQ(choice.algorithm, "partitioned[4]");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no division-execution choice recorded";
+  EXPECT_GT(run->stats.partitions, 0u);
+
+  auto serial = Engine(EngineOptions::CostBased())
+                    .Run(setjoin::ClassicDivisionExpr("R", "S"), db);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  EXPECT_EQ(run->relation, serial->relation);
+  EXPECT_EQ(run->stats.max_intermediate, serial->stats.max_intermediate);
+}
+
+TEST(CostBased, NoPartitionedChoiceForSemijoinsWithoutAnEqualityAtom) {
+  // A pure-inequality semijoin has no co-partitioning key: the operator
+  // always runs serial, so the planner must not record (or price) a
+  // partitioned execution that can never happen.
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", workload::UniformBinaryRelation(300, 40, 3));
+  db.SetRelation("T", workload::UniformBinaryRelation(300, 40, 4));
+  EngineOptions parallel = EngineOptions::CostBased();
+  parallel.threads = 4;
+  const auto expr = ra::SemiJoin(ra::Rel("R", 2), ra::Rel("T", 2),
+                                 {{1, ra::Cmp::kLt, 1}});
+  auto run = Engine(parallel).Run(expr, db);
+  ASSERT_TRUE(run.ok()) << run.error();
+  for (const auto& choice : run->stats.choices) {
+    EXPECT_NE(choice.site, "semijoin-execution")
+        << "recorded a " << choice.algorithm << " decision for a semijoin "
+        << "that cannot partition";
+  }
+  EXPECT_EQ(run->stats.partitions, 0u);
+  auto serial = Engine(EngineOptions::CostBased()).Run(expr, db);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  EXPECT_EQ(run->relation, serial->relation);
+}
+
 TEST(CostModel, SemijoinKernelChoiceDegradesToGenericOnTinyInputs) {
   ExprEstimate tiny;
   tiny.cardinality = 4;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/engine.h"
 #include "ra/eval.h"
 #include "setjoin/division.h"
 #include "setjoin/grouped.h"
@@ -233,6 +234,88 @@ INSTANTIATE_TEST_SUITE_P(
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Partition-boundary edge cases: shapes where key-hash partitioning
+// degenerates — more partitions than groups, every row in one partition,
+// empty partitions, a divisor no per-partition group can cover — must
+// agree with the serial kernels for every algorithm, executed serial and
+// parallel through the engine's division operator.
+// ---------------------------------------------------------------------------
+
+// Runs R ÷ S (both variants) through the engine's division operator at
+// partition widths {1, 2, 7, 16} and threads {1, 4}, expecting the
+// brute-force reference everywhere. partitions=1 is the serial operator;
+// width > #groups forces empty partitions; threads=1 runs the fan-out
+// inline, threads=4 across a real pool.
+void ExpectPartitionedDivisionAgrees(const Relation& r, const Relation& s,
+                                     const char* what) {
+  const auto db = setalg::testing::DivisionDb(r, s);
+  for (auto algorithm : AllDivisionAlgorithms()) {
+    for (const bool equality : {false, true}) {
+      const Relation expected = ReferenceDivide(r, s, equality);
+      for (std::size_t partitions : {1u, 2u, 7u, 16u}) {
+        for (std::size_t threads : {1u, 4u}) {
+          engine::PhysicalPlan plan;
+          plan.root = engine::MakeDivision(engine::MakeScan("R", 2),
+                                           engine::MakeScan("S", 1), algorithm,
+                                           equality, nullptr, partitions);
+          engine::EngineOptions options;
+          options.threads = threads;
+          auto run = engine::Engine(options).RunPlan(plan, db);
+          ASSERT_TRUE(run.ok()) << what << ": " << run.error();
+          EXPECT_EQ(run->relation, expected)
+              << what << " algorithm " << DivisionAlgorithmToString(algorithm)
+              << (equality ? " equality" : " containment") << " partitions "
+              << partitions << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(DivisionPartitionEdges, MorePartitionsThanGroups) {
+  // 3 groups against up-to-16-way fan-outs: most partitions are empty.
+  ExpectPartitionedDivisionAgrees(
+      MakeRel(2, {{1, 7}, {1, 8}, {2, 7}, {3, 7}, {3, 8}, {3, 9}}),
+      MakeRel(1, {{7}, {8}}), "more partitions than groups");
+}
+
+TEST(DivisionPartitionEdges, AllRowsHashToOnePartition) {
+  // A single key: every row lands in one partition at any width, the
+  // remaining partitions divide nothing.
+  ExpectPartitionedDivisionAgrees(
+      MakeRel(2, {{5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 6}}),
+      MakeRel(1, {{2}, {3}}), "single-key skew");
+}
+
+TEST(DivisionPartitionEdges, EmptyDividendMeansEveryPartitionIsEmpty) {
+  ExpectPartitionedDivisionAgrees(Relation(2), MakeRel(1, {{7}}),
+                                  "empty dividend");
+}
+
+TEST(DivisionPartitionEdges, EmptyDivisorSharedByEveryPartition) {
+  // Containment division by ∅ returns every key; the shared divisor must
+  // behave identically in every partition.
+  ExpectPartitionedDivisionAgrees(MakeRel(2, {{1, 7}, {2, 8}, {3, 9}}),
+                                  Relation(1), "empty divisor");
+}
+
+TEST(DivisionPartitionEdges, DivisorLargerThanEveryPerPartitionGroup) {
+  // Every group has 2 elements, the divisor 4: no partition can ever
+  // produce a row, at any fan-out width.
+  ExpectPartitionedDivisionAgrees(
+      MakeRel(2, {{1, 7}, {1, 8}, {2, 8}, {2, 9}, {3, 7}, {3, 9}, {4, 10}, {4, 11}}),
+      MakeRel(1, {{7}, {8}, {9}, {10}}), "divisor larger than every group");
+}
+
+TEST(DivisionPartitionEdges, DivisorDisjointFromGroupsAtMatchingSizes) {
+  // Group sizes equal the divisor size but the elements never cover it —
+  // the counting/bitmap paths must not confuse size with coverage.
+  ExpectPartitionedDivisionAgrees(
+      MakeRel(2, {{1, 7}, {1, 8}, {2, 8}, {2, 20}, {3, 20}, {3, 21}}),
+      MakeRel(1, {{7}, {21}}), "divisor disjoint at matching sizes");
+}
 
 // ---------------------------------------------------------------------------
 // The classic RA expression and its quadratic intermediates.

@@ -324,6 +324,62 @@ TEST(Engine, RunPlanExecutesSetJoinOperators) {
             setjoin::SetOverlapJoin(instance.r, instance.s));
 }
 
+// ---------------------------------------------------------------------------
+// Parallel execution through the facade: EngineOptions::threads must
+// never change results or row counts, on lowered and hand-built plans.
+// ---------------------------------------------------------------------------
+
+TEST(Engine, ParallelParityOnRandomSaExpressions) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  const auto db = setalg::testing::RandomDatabase(schema, 40, 14, 3);
+  setalg::testing::RandomSaEqGenerator generator(schema, {1, 2, 3}, 41);
+  EngineOptions parallel;
+  parallel.threads = 3;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto expr = generator.Generate(1 + trial % 2, 3);
+    auto serial = Engine().Run(expr, db);
+    auto threaded = Engine(parallel).Run(expr, db);
+    ASSERT_TRUE(serial.ok()) << serial.error();
+    ASSERT_TRUE(threaded.ok()) << threaded.error();
+    EXPECT_EQ(threaded->relation, serial->relation) << expr->ToString();
+    EXPECT_EQ(threaded->stats.max_intermediate, serial->stats.max_intermediate);
+    EXPECT_EQ(threaded->stats.total_intermediate, serial->stats.total_intermediate);
+    EXPECT_EQ(threaded->stats.threads_used, 3u);
+  }
+}
+
+TEST(Engine, ParallelDivisionMatchesSerialAndRecordsFanOut) {
+  const auto instance = QuadraticInstance();
+  const auto db = setalg::testing::DivisionDb(instance.r, instance.s);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+  auto serial = Engine().Run(expr, db);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  for (std::size_t threads : {2u, 7u}) {
+    EngineOptions options;
+    options.threads = threads;
+    auto run = Engine(options).Run(expr, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    EXPECT_EQ(run->relation, serial->relation) << threads << " threads";
+    EXPECT_EQ(run->stats.threads_used, threads);
+    EXPECT_EQ(run->stats.partitions, threads)
+        << "the lowered division op must fan out pool-wide";
+  }
+}
+
+TEST(Engine, BudgetStillEnforcedOnParallelRuns) {
+  const auto db = SmallDb();
+  EngineOptions options = EngineOptions::Parallel(4, /*batch_size=*/2);
+  options.recognize_division = false;
+  options.recognize_semijoin_projection = false;
+  options.use_fast_semijoin = false;
+  options.max_intermediate_budget = 2;
+  auto run = Engine::Run(ra::Product(ra::Rel("R", 2), ra::Rel("S", 1)), db, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.error().find("budget"), std::string::npos);
+}
+
 TEST(Engine, RunPlanRecordsPerOperatorStats) {
   const auto db = SmallDb();
   const Engine engine;

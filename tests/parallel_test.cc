@@ -1,0 +1,190 @@
+// Unit tests for the parallel partitioned-execution building blocks
+// (engine/parallel.h, setjoin/grouped.h partitioners): the WorkerPool
+// runs every task exactly once, partitioning is deterministic and
+// lossless, and the fan-out/fan-in iterator reproduces serial results.
+// The end-to-end thread-differential harness lives in batch_exec_test.cc.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "core/relation.h"
+#include "engine/engine.h"
+#include "engine/parallel.h"
+#include "setjoin/grouped.h"
+#include "test_util.h"
+#include "workload/generators.h"
+
+namespace setalg::engine {
+namespace {
+
+using core::Relation;
+using core::Value;
+using setalg::testing::MakeRel;
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    WorkerPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr std::size_t kTasks = 64;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.Run(kTasks, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(WorkerPool, ReusableAcrossRunsAndHandlesEmptyAndSingleton) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  pool.Run(0, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 0);
+  pool.Run(1, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 1);
+  // A second batch through the same pool: no stale generation state.
+  pool.Run(10, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 11);
+}
+
+TEST(WorkerPool, TasksActuallyRunConcurrentlyWhenWorkersExist) {
+  // Not a timing test: two tasks block until both have started, which can
+  // only complete if two threads run them simultaneously.
+  WorkerPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int started = 0;
+  pool.Run(2, [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++started;
+    cv.notify_all();
+    cv.wait(lock, [&] { return started == 2; });
+  });
+  EXPECT_EQ(started, 2);
+}
+
+TEST(Partitioning, ByColumnIsLosslessDisjointAndDeterministic) {
+  const Relation r = setalg::workload::UniformBinaryRelation(200, 17, 5);
+  for (std::size_t parts : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    const auto a = PartitionByColumn(r, 1, parts);
+    const auto b = PartitionByColumn(r, 1, parts);
+    ASSERT_EQ(a.size(), parts);
+    std::size_t total = 0;
+    Relation merged(2);
+    for (std::size_t p = 0; p < parts; ++p) {
+      EXPECT_EQ(a[p], b[p]) << "partitioning must be deterministic";
+      total += a[p].size();
+      for (std::size_t i = 0; i < a[p].size(); ++i) {
+        merged.Add(a[p].tuple(i));
+        // Every row is routed by its column-1 value.
+        EXPECT_EQ(setjoin::PartitionOfKey(a[p].tuple(i)[0], parts), p);
+      }
+    }
+    EXPECT_EQ(total, r.size()) << "no row may be dropped or duplicated";
+    EXPECT_EQ(merged, r);
+  }
+}
+
+TEST(Partitioning, ByKeyRoutesWholeGroupsConsistentlyWithByColumn) {
+  const Relation r =
+      MakeRel(2, {{1, 5}, {1, 6}, {2, 5}, {3, 7}, {3, 8}, {3, 9}, {4, 5}});
+  constexpr std::size_t kParts = 3;
+  const auto grouped_parts = setjoin::PartitionByKey(setjoin::AsGrouped(r), kParts);
+  const auto row_parts = PartitionByColumn(r, 1, kParts);
+  ASSERT_EQ(grouped_parts.size(), kParts);
+  std::size_t groups_seen = 0;
+  for (std::size_t p = 0; p < kParts; ++p) {
+    // The grouped view of the row partition equals the partitioned
+    // grouped view: groups never split across partitions, and both
+    // routing paths agree on where each key lives.
+    const auto from_rows = setjoin::AsGrouped(row_parts[p]);
+    ASSERT_EQ(grouped_parts[p].NumGroups(), from_rows.NumGroups()) << "part " << p;
+    for (std::size_t g = 0; g < from_rows.NumGroups(); ++g) {
+      EXPECT_EQ(grouped_parts[p].group(g).key, from_rows.group(g).key);
+      EXPECT_EQ(grouped_parts[p].group(g).elements, from_rows.group(g).elements);
+    }
+    groups_seen += grouped_parts[p].NumGroups();
+  }
+  EXPECT_EQ(groups_seen, setjoin::AsGrouped(r).NumGroups());
+}
+
+TEST(Partitioning, MorePartitionsThanKeysLeavesSomeEmpty) {
+  const Relation r = MakeRel(2, {{1, 5}, {2, 6}});
+  const auto parts = PartitionByColumn(r, 1, 16);
+  std::size_t non_empty = 0;
+  for (const auto& p : parts) non_empty += p.empty() ? 0 : 1;
+  EXPECT_LE(non_empty, 2u);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, r.size());
+}
+
+// The fan-out/fan-in iterator through a real plan: an explicit partition
+// count must reproduce the serial result at every width, pool or no pool.
+TEST(PartitionedExecution, ExplicitPartitionCountsReproduceSerialResults) {
+  workload::DivisionConfig config;
+  config.num_groups = 40;
+  config.group_size = 4;
+  config.domain_size = 25;
+  config.divisor_size = 3;
+  config.match_fraction = 0.3;
+  config.seed = 11;
+  const auto instance = workload::MakeDivisionInstance(config);
+  const auto db = setalg::testing::DivisionDb(instance.r, instance.s);
+
+  PhysicalPlan serial;
+  serial.root = MakeDivision(MakeScan("R", 2), MakeScan("S", 1),
+                             setjoin::DivisionAlgorithm::kHashDivision,
+                             /*equality=*/false, nullptr, /*partitions=*/1);
+  const Engine engine;
+  auto expected = engine.RunPlan(serial, db);
+  ASSERT_TRUE(expected.ok()) << expected.error();
+
+  for (std::size_t partitions : {std::size_t{2}, std::size_t{5}, std::size_t{64}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      PhysicalPlan plan;
+      plan.root = MakeDivision(MakeScan("R", 2), MakeScan("S", 1),
+                               setjoin::DivisionAlgorithm::kHashDivision,
+                               /*equality=*/false, nullptr, partitions);
+      EngineOptions options;
+      options.threads = threads;
+      auto run = Engine(options).RunPlan(plan, db);
+      ASSERT_TRUE(run.ok()) << run.error();
+      EXPECT_EQ(run->relation, expected->relation)
+          << "partitions " << partitions << " threads " << threads;
+      EXPECT_EQ(run->stats.partitions, partitions);
+      EXPECT_EQ(run->stats.threads_used, threads);
+    }
+  }
+}
+
+// partitions=0 defers to the run's pool width; serial runs stay serial.
+TEST(PartitionedExecution, AutoPartitioningFollowsTheWorkerPoolWidth) {
+  const auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 7}, {1, 8}, {2, 7}, {3, 8}, {3, 7}, {3, 9}}),
+      MakeRel(1, {{7}, {8}}));
+  PhysicalPlan plan;
+  plan.root = MakeDivision(MakeScan("R", 2), MakeScan("S", 1),
+                           setjoin::DivisionAlgorithm::kAggregate,
+                           /*equality=*/false);
+  {
+    auto run = Engine().RunPlan(plan, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    EXPECT_EQ(run->stats.partitions, 0u) << "serial runs must not fan out";
+    EXPECT_EQ(run->stats.threads_used, 1u);
+  }
+  {
+    EngineOptions options;
+    options.threads = 5;
+    auto run = Engine(options).RunPlan(plan, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    EXPECT_EQ(run->stats.partitions, 5u);
+    EXPECT_EQ(run->stats.threads_used, 5u);
+    EXPECT_EQ(run->relation, MakeRel(1, {{1}, {3}}));
+  }
+}
+
+}  // namespace
+}  // namespace setalg::engine

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
+#include "engine/engine.h"
 #include "setjoin/grouped.h"
 #include "setjoin/setjoin.h"
 #include "test_util.h"
@@ -301,6 +303,104 @@ TEST(SetJoins, PredicateInclusionChain) {
   const auto overlap = SetOverlapJoin(r, s);
   EXPECT_EQ(core::Intersect(equal, contains), equal);
   EXPECT_EQ(core::Intersect(contains, overlap), contains);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-boundary edge cases: the engine's partitioned set joins split
+// the left side's groups by key hash and share the right side; shapes
+// where that degenerates (more partitions than groups, one-key skew,
+// empty partitions, contained sets bigger than any left group) must agree
+// with the serial kernels for every algorithm, serial and parallel.
+// ---------------------------------------------------------------------------
+
+// Runs all three set joins over (r, s) through the engine's operators at
+// partition widths {1, 2, 16} and threads {1, 4}, expecting the
+// brute-force references everywhere.
+void ExpectPartitionedSetJoinsAgree(const Relation& r, const Relation& s,
+                                    const char* what) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  core::Database db(schema);
+  db.SetRelation("R", r);
+  db.SetRelation("S", s);
+  const auto gr = AsGrouped(r);
+  const auto gs = AsGrouped(s);
+
+  auto check = [&](engine::PhysicalOpPtr root, const Relation& expected,
+                   const std::string& label) {
+    // The op was built with an explicit partition width; drive it at
+    // threads 1 (inline fan-out) and 4 (real pool).
+    for (std::size_t threads : {1u, 4u}) {
+      engine::PhysicalPlan plan;
+      plan.root = root;
+      engine::EngineOptions options;
+      options.threads = threads;
+      auto run = engine::Engine(options).RunPlan(plan, db);
+      ASSERT_TRUE(run.ok()) << what << " " << label << ": " << run.error();
+      EXPECT_EQ(run->relation, expected)
+          << what << " " << label << " threads " << threads;
+    }
+  };
+
+  for (std::size_t partitions : {1u, 2u, 16u}) {
+    const std::string suffix = " partitions " + std::to_string(partitions);
+    for (auto algorithm : AllContainmentAlgorithms()) {
+      check(engine::MakeSetContainmentJoin(engine::MakeScan("R", 2),
+                                           engine::MakeScan("S", 2), algorithm,
+                                           nullptr, partitions),
+            ReferenceContainment(gr, gs),
+            std::string("containment ") + ContainmentAlgorithmToString(algorithm) +
+                suffix);
+    }
+    for (auto algorithm :
+         {EqualityJoinAlgorithm::kNestedLoop, EqualityJoinAlgorithm::kCanonicalHash}) {
+      check(engine::MakeSetEqualityJoin(engine::MakeScan("R", 2),
+                                        engine::MakeScan("S", 2), algorithm, nullptr,
+                                        partitions),
+            ReferenceEquality(gr, gs),
+            std::string("equality ") + EqualityJoinAlgorithmToString(algorithm) +
+                suffix);
+    }
+    check(engine::MakeSetOverlapJoin(engine::MakeScan("R", 2),
+                                     engine::MakeScan("S", 2), nullptr, partitions),
+          ReferenceOverlap(gr, gs), "overlap" + suffix);
+  }
+}
+
+TEST(SetJoinPartitionEdges, MorePartitionsThanGroups) {
+  ExpectPartitionedSetJoinsAgree(
+      MakeRel(2, {{1, 5}, {1, 6}, {2, 5}, {3, 6}, {3, 7}}),
+      MakeRel(2, {{9, 5}, {9, 6}, {8, 6}}), "more partitions than groups");
+}
+
+TEST(SetJoinPartitionEdges, AllLeftGroupsHashToOnePartition) {
+  // One left key: the whole containing side lands in a single partition
+  // while the others run the kernels on empty grouped views.
+  ExpectPartitionedSetJoinsAgree(MakeRel(2, {{5, 1}, {5, 2}, {5, 3}}),
+                                 MakeRel(2, {{7, 1}, {7, 2}, {8, 3}, {9, 4}}),
+                                 "single-key left side");
+}
+
+TEST(SetJoinPartitionEdges, EmptySidesGiveEmptyPartitionsEverywhere) {
+  ExpectPartitionedSetJoinsAgree(Relation(2), MakeRel(2, {{9, 5}}), "empty left");
+  ExpectPartitionedSetJoinsAgree(MakeRel(2, {{1, 5}}), Relation(2), "empty right");
+  ExpectPartitionedSetJoinsAgree(Relation(2), Relation(2), "both empty");
+}
+
+TEST(SetJoinPartitionEdges, ContainedSetsBiggerThanEveryLeftGroup) {
+  // Every right set is larger than every left group, so containment and
+  // equality are empty in every partition; overlap still fires.
+  ExpectPartitionedSetJoinsAgree(
+      MakeRel(2, {{1, 5}, {2, 6}, {3, 7}}),
+      MakeRel(2, {{8, 5}, {8, 6}, {8, 7}, {9, 5}, {9, 9}, {9, 10}}),
+      "right sets bigger than left groups");
+}
+
+TEST(SetJoinPartitionEdges, DuplicateHeavyInputsCollapseIdenticallyWhenPartitioned) {
+  ExpectPartitionedSetJoinsAgree(
+      MakeRel(2, {{1, 5}, {1, 5}, {1, 6}, {2, 5}, {2, 5}}),
+      MakeRel(2, {{9, 5}, {9, 5}, {8, 6}}), "duplicate-heavy");
 }
 
 TEST(Grouped, AsGroupedIsTheSharedGroupingHelper) {
