@@ -77,6 +77,30 @@ double EnginePlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
   });
 }
 
+// Best-of-3 wall time of the same plan through a prepared-statement
+// handle (Engine::Prepare over the hand-built plan, then Run(handle)):
+// the prepared hot path with per-run version-vector revalidation.
+double PreparedPlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
+                          const char* what, const engine::EngineOptions& options) {
+  engine::PhysicalPlan plan;
+  plan.root = std::move(root);
+  const engine::Engine engine(options);
+  auto handle = engine.Prepare(std::move(plan), db);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "%s prepare failed: %s\n", what, handle.error().c_str());
+    std::exit(1);  // The tracked artifact must never hide a failure.
+  }
+  return BestOfMillis([&] {
+    auto result = engine.Run(*handle, db);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s prepared run failed: %s\n", what,
+                   result.error().c_str());
+      std::exit(1);
+    }
+  });
+}
+
 workload::SetJoinInstance Instance(std::size_t groups, std::size_t set_size,
                                    double containment, std::uint64_t seed = 23) {
   workload::SetJoinConfig config;
@@ -98,6 +122,7 @@ struct ContainmentRow {
   double chosen_ms = 0.0;
   double batched_ms = 0.0;   // Engine plan through the batch surface.
   double parallel_ms = 0.0;  // Same plan with a worker pool.
+  double prepared_ms = 0.0;  // Same plan through a prepared handle.
   std::size_t threads = 0;
   std::size_t partitions = 0;
 };
@@ -111,6 +136,7 @@ struct EqualityRow {
   double chosen_ms = 0.0;
   double batched_ms = 0.0;   // Engine plan through the batch surface.
   double parallel_ms = 0.0;  // Same plan with a worker pool.
+  double prepared_ms = 0.0;  // Same plan through a prepared handle.
   std::size_t threads = 0;
   std::size_t partitions = 0;
 };
@@ -122,8 +148,8 @@ std::vector<ContainmentRow> PrintContainmentTable() {
   for (auto algorithm : setjoin::AllContainmentAlgorithms()) {
     std::printf("  %-22s", setjoin::ContainmentAlgorithmToString(algorithm));
   }
-  std::printf("  %-22s  %-22s  %-22s  matches\n", "cost-based", "batched",
-              "parallel");
+  std::printf("  %-22s  %-22s  %-22s  %-22s  matches\n", "cost-based", "batched",
+              "parallel", "prepared");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u}) {
     const auto instance = Instance(groups, 8, 0.05);
     const auto db = workload::SetJoinDatabase(instance);
@@ -166,6 +192,9 @@ std::vector<ContainmentRow> PrintContainmentTable() {
     row.threads = parallel_stats.threads_used;
     row.partitions = parallel_stats.partitions;
     std::printf("  %-22.3f", row.parallel_ms);
+    row.prepared_ms = PreparedPlanMillis(db, make_root(), "containment-prepared",
+                                         engine::EngineOptions::Batched());
+    std::printf("  %-22.3f", row.prepared_ms);
     std::printf("  %zu\n", row.matches);
     rows.push_back(std::move(row));
   }
@@ -179,9 +208,9 @@ std::vector<ContainmentRow> PrintContainmentTable() {
 std::vector<EqualityRow> PrintEqualityTable() {
   std::vector<EqualityRow> rows;
   std::printf("== E12: set-equality join, canonical hash vs nested loop (ms) ==\n");
-  std::printf("%-8s  %-14s  %-14s  %-14s  %-14s  %-14s  %-8s\n", "groups",
+  std::printf("%-8s  %-14s  %-14s  %-14s  %-14s  %-14s  %-14s  %-8s\n", "groups",
               "nested-loop", "canonical-hash", "cost-based", "batched", "parallel",
-              "matches");
+              "prepared", "matches");
   for (std::size_t groups : {250u, 500u, 1000u, 2000u, 4000u}) {
     workload::SetJoinConfig config;
     config.r_groups = groups;
@@ -226,9 +255,12 @@ std::vector<EqualityRow> PrintEqualityTable() {
                          &parallel_stats);
     row.threads = parallel_stats.threads_used;
     row.partitions = parallel_stats.partitions;
-    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-8zu\n",
+    row.prepared_ms = PreparedPlanMillis(db, make_root(), "equality-prepared",
+                                         engine::EngineOptions::Batched());
+    std::printf("%-8zu  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-14.3f  %-14.3f  "
+                "%-8zu\n",
                 groups, row.nested_ms, row.hash_ms, row.chosen_ms, row.batched_ms,
-                row.parallel_ms, row.matches);
+                row.parallel_ms, row.prepared_ms, row.matches);
     rows.push_back(std::move(row));
   }
   std::printf("(expected shape: canonical hashing is ~n log n + output — the\n"
@@ -251,6 +283,7 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("cost-based").Value(row.chosen_ms);
     json.Key("batched").Value(row.batched_ms);
     json.Key("parallel").Value(row.parallel_ms);
+    json.Key("prepared").Value(row.prepared_ms);
     json.Key("chosen_containment").Value(row.chosen);
     json.Key("threads").Value(row.threads);
     json.Key("partitions").Value(row.partitions);
@@ -267,6 +300,7 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("cost-based").Value(row.chosen_ms);
     json.Key("batched").Value(row.batched_ms);
     json.Key("parallel").Value(row.parallel_ms);
+    json.Key("prepared").Value(row.prepared_ms);
     json.Key("chosen_equality").Value(row.chosen);
     json.Key("threads").Value(row.threads);
     json.Key("partitions").Value(row.partitions);

@@ -33,6 +33,20 @@ bench/baseline/ and fails (exit 1) when:
      hid real coverage loss (a bench dropping a tracked column looked
      green); a missing expected column is now an error, and every check
      prints exactly which table/column/sizes it compared.
+  7. `prepared` division (the plan-cache hot path: Prepare once, run the
+     handle) exceeds PREPARED_RATIO_LIMIT (1.0x) the replanning
+     `engine-planned` run at the largest n — caching the plan must never
+     cost anything — or the per-call planning path served from the warm
+     cache (`prepared_planning_ms`) is less than PLANNING_SPEEDUP (2x)
+     faster than fresh planning (`planning_ms`).
+
+The parallel *drift* gate (the baseline comparison of the `parallel`
+column) arms itself from the baseline: it runs only when the baseline
+JSON records `hardware_threads >= 2`, i.e. when the snapshot was taken on
+a runner class where the parallel timings are meaningful. A baseline
+regenerated on a single-core box disarms the drift comparison (loudly)
+instead of gating against oversubscription-inflated ratios — the PR 4
+stale-baseline footgun.
 
 Regenerate the baseline after an intentional perf change with:
     python3 bench/check_regression.py --update \
@@ -48,6 +62,14 @@ import sys
 RATIO_LIMIT = 1.5          # engine-planned vs hash-division at max n.
 BATCHED_RATIO_LIMIT = 1.1  # batched vs engine-planned at max n.
 PARALLEL_RATIO_LIMIT = 1.0  # parallel vs batched at max n (>= 2 hw threads).
+PREPARED_RATIO_LIMIT = 1.0  # prepared vs engine-planned at max n.
+# Timer-noise allowance for the prepared gate: both cells run the *same
+# executor work* (the hit path only replaces lowering with a hash lookup),
+# so they land within a few percent of each other on ~2ms cells; a real
+# regression here (every run silently recomputing statistics or
+# replanning) costs an order of magnitude more than this slack.
+PREPARED_ABS_SLACK_MS = 0.25
+PLANNING_SPEEDUP = 2.0      # Warm-cache planning vs fresh planning at max n.
 REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
 ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
 
@@ -62,17 +84,22 @@ TRACKED = {
         "n",
         "hash-division",
         ["sort-merge", "aggregate", "engine-planned", "cost-based", "batched",
-         "parallel"],
+         "parallel", "prepared"],
     ),
     "containment_ms": (
         "groups",
         "inverted-index",
         ["signature-nested-loop", "partitioned", "cost-based", "batched",
-         "parallel"],
+         "parallel", "prepared"],
     ),
     "equality_ms": ("groups", "canonical-hash",
-                    ["cost-based", "batched", "parallel"]),
+                    ["cost-based", "batched", "parallel", "prepared"]),
 }
+
+# Columns whose timings are only meaningful on multi-core runners: their
+# baseline drift comparison arms itself from the baseline snapshot's own
+# hardware_threads field (see check_against_baseline).
+MULTICORE_COLUMNS = {"parallel"}
 
 EXPECTED_CHOICES = {
     "runtime_ms": ("chosen_division", "hash-division"),
@@ -191,6 +218,70 @@ def check_batched_ratio(errors, data):
         )
 
 
+def check_prepared_ratio(errors, data):
+    """Gate 7: the plan-cache hot path vs replanning every call."""
+    rows = data.get("runtime_ms", [])
+    if not rows:
+        return  # Gate 1 already reported the missing table.
+    row = max_row(rows, "n")
+    planned_ms = row.get("engine-planned")
+    prepared_ms = row.get("prepared")
+    if planned_ms is None or prepared_ms is None:
+        errors.append(
+            f"column 'engine-planned' or 'prepared' missing at n={row['n']}"
+        )
+        return
+    outcome = row.get("prepared_outcome")
+    if outcome != "hit":
+        errors.append(
+            f"prepared cell at n={row['n']} reported cache outcome "
+            f"'{outcome}', expected 'hit' — the hot path silently fell back "
+            f"to replanning"
+        )
+    limit = max(PREPARED_RATIO_LIMIT * planned_ms,
+                planned_ms + PREPARED_ABS_SLACK_MS)
+    if prepared_ms > limit:
+        errors.append(
+            f"prepared at n={row['n']} is {prepared_ms:.3f}ms vs "
+            f"engine-planned {planned_ms:.3f}ms "
+            f"({prepared_ms / planned_ms:.2f}x > {PREPARED_RATIO_LIMIT}x limit)"
+        )
+    else:
+        print(
+            f"  ok: prepared {prepared_ms:.3f}ms <= {PREPARED_RATIO_LIMIT}x "
+            f"engine-planned ({planned_ms:.3f}ms) at n={row['n']} "
+            f"(outcome={outcome})"
+        )
+    # The planning path itself (per-call, loop-amortized): a warm cache
+    # acquisition must beat fresh planning by at least PLANNING_SPEEDUP.
+    planning = row.get("planning_ms")
+    warm = row.get("prepared_planning_ms")
+    if planning is None or warm is None:
+        errors.append(
+            f"'planning_ms' or 'prepared_planning_ms' missing at n={row['n']}"
+        )
+        return
+    if warm <= 0 or planning <= 0:
+        errors.append(
+            f"non-positive planning timings at n={row['n']}: "
+            f"planning_ms={planning}, prepared_planning_ms={warm}"
+        )
+        return
+    speedup = planning / warm
+    if speedup < PLANNING_SPEEDUP:
+        errors.append(
+            f"warm-cache planning at n={row['n']} is only {speedup:.2f}x "
+            f"faster than fresh planning ({warm * 1000:.2f}us vs "
+            f"{planning * 1000:.2f}us per call; need >= {PLANNING_SPEEDUP}x)"
+        )
+    else:
+        print(
+            f"  ok: warm-cache planning {warm * 1000:.2f}us/call is "
+            f"{speedup:.1f}x faster than fresh planning "
+            f"({planning * 1000:.2f}us/call) at n={row['n']}"
+        )
+
+
 def check_choices(errors, data, table):
     expectation = EXPECTED_CHOICES.get(table)
     rows = data.get(table, [])
@@ -217,8 +308,24 @@ def check_against_baseline(errors, current, baseline, table):
     fail CI, not shrink coverage. A column absent only from the *baseline*
     is a newly-added column: it is reported and skipped until the
     baseline is regenerated.
+
+    Multi-core-only columns (MULTICORE_COLUMNS) are compared only when
+    the *baseline itself* records hardware_threads >= 2: a snapshot taken
+    on a single-core runner carries oversubscription-inflated parallel
+    ratios that would mis-gate every multi-core run (and vice versa), so
+    the drift gate arms automatically with the baseline's runner class
+    instead of relying on a human to remember.
     """
     axis, reference, columns = TRACKED[table]
+    base_hw = baseline.get("hardware_threads")
+    multicore_armed = base_hw is not None and base_hw >= 2
+    if not multicore_armed and any(c in MULTICORE_COLUMNS for c in columns):
+        print(
+            f"  DISARMED: multi-core drift columns {sorted(MULTICORE_COLUMNS)} "
+            f"in '{table}' skipped — baseline records hardware_threads="
+            f"{base_hw!r}; regenerate bench/baseline on a multi-core runner "
+            f"to arm them"
+        )
     cur_rows = current.get(table, [])
     base_rows = baseline.get(table, [])
     if not cur_rows or not base_rows:
@@ -253,6 +360,9 @@ def check_against_baseline(errors, current, baseline, table):
         for column in columns:
             if column not in cur:
                 continue  # Reported as an error above.
+            if column in MULTICORE_COLUMNS and not multicore_armed:
+                skipped.append((column, cur[axis], "baseline not multi-core"))
+                continue
             if column not in base:
                 skipped.append((column, cur[axis], "no baseline column"))
                 continue
@@ -318,6 +428,7 @@ def main():
             check_ratio(errors, current)
             check_batched_ratio(errors, current)
             check_parallel_ratio(errors, current)
+            check_prepared_ratio(errors, current)
         for table in tables:
             check_choices(errors, current, table)
             check_against_baseline(errors, current, baseline, table)

@@ -15,7 +15,11 @@
 // surface with N-tuple batches (-v then also reports batch counts and the
 // peak batch footprint); --threads N runs the division/set-join/semijoin
 // operators partitioned N ways across a worker pool (results are
-// identical to the serial run; -v reports the partition fan-out).
+// identical to the serial run; -v reports the partition fan-out);
+// --plan-cache [N] enables the engine's plan cache (N entries, default
+// 64) and runs the expression twice — the second run is served from the
+// cache, and -v reports the outcome (miss then hit) plus cache tallies,
+// so the prepared-statement hot path is observable from the CLI.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   bool batched = false;
   long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
   long long threads = 1;
+  long long plan_cache_entries = 0;
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +54,16 @@ int main(int argc, char** argv) {
       reference = true;
     } else if (arg == "--cost-based") {
       cost_based = true;
+    } else if (arg == "--plan-cache") {
+      plan_cache_entries = 64;
+      // Optional capacity operand (the next token, when numeric).
+      if (i + 1 < argc && util::ParseInt64(argv[i + 1], &plan_cache_entries)) {
+        if (plan_cache_entries < 1) {
+          std::fprintf(stderr, "--plan-cache needs a positive entry count\n");
+          return 2;
+        }
+        ++i;
+      }
     } else if (arg == "--batch-size") {
       if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &batch_size) ||
           batch_size < 1) {
@@ -73,7 +88,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
                  "[--reference] [--cost-based] [--batch-size N] [--threads N] "
-                 "-- EXPR\n"
+                 "[--plan-cache [N]] -- EXPR\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -125,8 +140,14 @@ int main(int argc, char** argv) {
   options.batched = batched;
   options.batch_size = static_cast<std::size_t>(batch_size);
   options.threads = static_cast<std::size_t>(threads);
+  options.plan_cache_entries = static_cast<std::size_t>(plan_cache_entries);
   const engine::Engine engine(options);
   auto run = engine.Run(*parsed, db);
+  if (run.ok() && plan_cache_entries > 0) {
+    // Second execution: served from the cache (a hit on the unchanged
+    // database), so the CLI demonstrates the prepared hot path end to end.
+    run = engine.Run(*parsed, db);
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
     return 1;
@@ -148,6 +169,16 @@ int main(int argc, char** argv) {
     if (run->stats.threads_used > 1) {
       std::fprintf(stderr, "-- parallel: %zu threads, %zu partition task(s)\n",
                    run->stats.threads_used, run->stats.partitions);
+    }
+    if (run->stats.cache != engine::CacheOutcome::kUncached) {
+      const auto* cache = engine.plan_cache();
+      std::fprintf(stderr,
+                   "-- plan-cache: %s (%zu entr%s, ~%zu bytes; %zu hit(s), "
+                   "%zu miss(es), %zu revalidation(s), %zu repick(s))\n",
+                   engine::CacheOutcomeToString(run->stats.cache), cache->size(),
+                   cache->size() == 1 ? "y" : "ies", cache->bytes(),
+                   cache->stats().hits, cache->stats().misses,
+                   cache->stats().revalidations, cache->stats().repicks);
     }
     for (const auto& op : run->stats.ops) {
       if (op.has_estimate) {

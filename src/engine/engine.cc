@@ -293,11 +293,103 @@ const stats::DatabaseStats* Engine::StatsFor(const core::Database& db) const {
   return db_stats_.get();
 }
 
+PlanCache* Engine::EnsureCache() const {
+  if (options_.plan_cache_entries == 0) return nullptr;
+  if (plan_cache_ == nullptr) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_entries,
+                                              options_.plan_cache_bytes);
+  }
+  return plan_cache_.get();
+}
+
+void Engine::ClearPlanCache() const {
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+}
+
+util::Result<RunResult> Engine::RunCached(const CachedPlanPtr& entry,
+                                          const core::Database& db) const {
+  const CacheOutcome outcome =
+      RevalidateCachedPlan(*entry, db, StatsFor(db), options_);
+  // No-op for entries the cache is not holding (detached hand-built
+  // handles, evicted entries): the tallies only count runs it served.
+  if (plan_cache_ != nullptr) plan_cache_->NoteUse(entry, outcome);
+  ++entry->uses;
+  auto run = RunPlan(entry->plan, db);
+  if (run.ok()) run->stats.cache = outcome;
+  return run;
+}
+
 util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr,
                                     const core::Database& db) const {
+  PlanCache* cache = EnsureCache();
+  if (cache != nullptr) {
+    if (CachedPlanPtr entry = cache->Lookup(expr, db.id())) {
+      return RunCached(entry, db);
+    }
+    auto plan = Plan(expr, db);
+    if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
+    const CachedPlanPtr entry =
+        cache->Insert(MakeCachedPlan(expr, db, std::move(*plan)));
+    cache->RecordOutcome(CacheOutcome::kMiss);
+    ++entry->uses;
+    auto run = RunPlan(entry->plan, db);
+    if (run.ok()) run->stats.cache = CacheOutcome::kMiss;
+    return run;
+  }
   auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
   return RunPlan(*plan, db);
+}
+
+util::Result<PreparedQuery> Engine::Prepare(const ra::ExprPtr& expr,
+                                            const core::Database& db) const {
+  SETALG_CHECK(expr != nullptr);
+  PlanCache* cache = EnsureCache();
+  if (cache != nullptr) {
+    if (CachedPlanPtr entry = cache->Lookup(expr, db.id())) {
+      // Reuse the transparently cached plan: the handle and the cache
+      // share one entry, so each keeps the other's revalidations warm.
+      const CacheOutcome outcome =
+          RevalidateCachedPlan(*entry, db, StatsFor(db), options_);
+      cache->NoteUse(entry, outcome);
+      return util::Result<PreparedQuery>(PreparedQuery(std::move(entry)));
+    }
+  }
+  auto plan = Plan(expr, db);
+  if (!plan.ok()) return util::Result<PreparedQuery>::Error(plan.error());
+  CachedPlanPtr entry = MakeCachedPlan(expr, db, std::move(*plan));
+  if (cache != nullptr) {
+    cache->Insert(entry);
+    cache->RecordOutcome(CacheOutcome::kMiss);
+  }
+  return util::Result<PreparedQuery>(PreparedQuery(std::move(entry)));
+}
+
+util::Result<PreparedQuery> Engine::Prepare(PhysicalPlan plan,
+                                            const core::Database& db) const {
+  if (plan.root == nullptr) {
+    return util::Result<PreparedQuery>::Error("cannot prepare an empty plan");
+  }
+  // Hand-built plans have no logical key, so they never enter the
+  // expression-keyed cache: the handle alone owns the entry.
+  return util::Result<PreparedQuery>(
+      PreparedQuery(MakeCachedPlan(nullptr, db, std::move(plan))));
+}
+
+util::Result<RunResult> Engine::Run(const PreparedQuery& prepared,
+                                    const core::Database& db) const {
+  SETALG_CHECK(prepared.valid());
+  const CachedPlanPtr& entry = prepared.entry_;
+  if (entry->db_id != db.id()) {
+    // Prepared against a different database instance. Same-named
+    // relations on another database are different data — never reuse the
+    // handle's costs for them. With a logical key the transparent path
+    // plans (or cache-fetches) for *this* database; a hand-built plan
+    // has no key, so it runs uncached with its plan-time annotations.
+    if (entry->expr != nullptr) return Run(entry->expr, db);
+    return RunPlan(entry->plan, db);
+  }
+  return RunCached(entry, db);
 }
 
 util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,

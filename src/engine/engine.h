@@ -21,6 +21,7 @@
 #include "core/database.h"
 #include "core/relation.h"
 #include "engine/physical.h"
+#include "engine/plan_cache.h"
 #include "engine/planner.h"
 #include "ra/eval.h"
 #include "ra/expr.h"
@@ -35,10 +36,66 @@ struct RunResult {
   PlanStats stats;
 };
 
+/// A prepared statement: a handle owning one lowered physical plan, its
+/// canonical cache key (structural expression hash), and the per-relation
+/// version vector it was last costed against. Obtained from
+/// Engine::Prepare and executed with Engine::Run(prepared, db); cheap to
+/// copy (shared ownership of the underlying entry). The handle keeps its
+/// plan alive across cache eviction and Engine::ClearPlanCache — and
+/// stays correct across database mutation: every execution revalidates
+/// the version vector first and re-costs (never re-lowers) on mismatch.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  bool valid() const { return entry_ != nullptr; }
+
+  /// The canonical key expression (null for handles prepared from
+  /// hand-built plans, which have no logical form).
+  const ra::ExprPtr& expr() const { return entry().expr; }
+
+  /// Structural hash of the key expression (0 for hand-built plans).
+  std::uint64_t key() const { return entry().expr_hash; }
+
+  /// Id of the database instance the handle was prepared against.
+  std::uint64_t database_id() const { return entry().db_id; }
+
+  /// The version vector the plan was last costed against (mutates on
+  /// revalidation).
+  const stats::VersionVector& versions() const { return entry().versions; }
+
+  const PhysicalPlan& plan() const { return entry().plan; }
+
+  /// Runs served from this handle's entry so far.
+  std::size_t uses() const { return entry().uses; }
+
+  /// Approximate resident footprint of the owned plan (what the cache's
+  /// byte budget charges; revalidation may resize it in place).
+  std::size_t approx_bytes() const { return entry().approx_bytes; }
+
+ private:
+  friend class Engine;
+  explicit PreparedQuery(CachedPlanPtr entry) : entry_(std::move(entry)) {}
+
+  /// Every accessor funnels through here so an empty (default-constructed
+  /// or moved-from) handle fails the valid() check loudly instead of
+  /// dereferencing null.
+  const CachedPlan& entry() const {
+    SETALG_CHECK_STREAM(entry_ != nullptr)
+        << "PreparedQuery is empty (default-constructed or moved-from); "
+           "check valid() first";
+    return *entry_;
+  }
+
+  CachedPlanPtr entry_;
+};
+
 /// Not thread-safe: the engine memoizes relation statistics for the last
 /// database it ran against (stats::DatabaseStats, invalidated via the
-/// database's mutation counters), so concurrent Runs on one Engine would
-/// race on the cache.
+/// database's mutation counters) and, when enabled, a plan cache
+/// (engine/plan_cache.h), so concurrent Runs on one Engine would race on
+/// those caches. Use one Engine per thread; the worker-pool parallelism
+/// of EngineOptions::threads lives *inside* a run and is unaffected.
 class Engine {
  public:
   /// An engine with the default (rewrite-enabled) options.
@@ -48,8 +105,49 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Plans and executes `expr` on `db`. Schema mismatches and budget
-  /// violations come back as Result errors, never aborts.
+  /// violations come back as Result errors, never aborts. With
+  /// EngineOptions::plan_cache_entries > 0 the lowered plan is cached
+  /// transparently, keyed on the expression's structure and db.id():
+  /// repeated runs of the same shape skip lowering entirely (hit) or
+  /// re-cost the cached plan from fresh statistics after a mutation
+  /// (revalidated/repicked) — PlanStats::cache reports which. Results
+  /// and row counts are identical either way.
   util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db) const;
+
+  /// Prepares `expr` against `db`: lowers it once (statistics-annotated)
+  /// and returns a handle that owns the plan, its structural cache key,
+  /// and the version vector it was costed against. When the plan cache
+  /// is enabled the entry is shared with it (a later Run(expr, db) of a
+  /// structurally equal expression hits the same entry); otherwise the
+  /// handle is detached and self-contained.
+  util::Result<PreparedQuery> Prepare(const ra::ExprPtr& expr,
+                                      const core::Database& db) const;
+
+  /// Prepares a hand-assembled physical plan (e.g. a set-join operator
+  /// tree, which has no logical form). The version vector covers every
+  /// relation the plan scans; revalidation refreshes cost annotations
+  /// but has no recorded choice points to re-pick.
+  util::Result<PreparedQuery> Prepare(PhysicalPlan plan,
+                                      const core::Database& db) const;
+
+  /// Executes a prepared statement: revalidates the handle's version
+  /// vector against `db` (hit → run as-is; mismatch → re-cost the cached
+  /// plan, swapping algorithm choices in place when a decision flips) and
+  /// runs the plan. Handed a database other than the one the handle was
+  /// prepared against (by id), falls back to the transparent Run(expr,
+  /// db) path — plans never leak across database identities. Results are
+  /// always identical to a fresh un-cached Run.
+  util::Result<RunResult> Run(const PreparedQuery& prepared,
+                              const core::Database& db) const;
+
+  /// The transparent plan cache (created on first access), or nullptr
+  /// when options().plan_cache_entries == 0. Observable state only
+  /// (sizes, hit/miss/revalidated/repicked tallies).
+  const PlanCache* plan_cache() const { return EnsureCache(); }
+
+  /// Drops every cached plan (prepared handles keep theirs and stay
+  /// runnable; the next Run re-lowers and re-inserts).
+  void ClearPlanCache() const;
 
   /// Lowers without executing. Without a database there are no statistics:
   /// the plan carries no cost estimates and cost_based options fall back
@@ -89,9 +187,17 @@ class Engine {
   /// database's mutation counters.
   const stats::DatabaseStats* StatsFor(const core::Database& db) const;
 
+  /// The plan cache, created on first use (null when disabled).
+  PlanCache* EnsureCache() const;
+
+  /// Shared tail of the cached execution paths: revalidate, tally, run.
+  util::Result<RunResult> RunCached(const CachedPlanPtr& entry,
+                                    const core::Database& db) const;
+
   EngineOptions options_;
   mutable std::unique_ptr<stats::DatabaseStats> db_stats_;
   mutable std::uint64_t db_stats_id_ = 0;
+  mutable std::unique_ptr<PlanCache> plan_cache_;
 };
 
 /// Projects PlanStats onto the legacy ra::EvalStats view: operators that

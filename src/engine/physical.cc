@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 #include "core/index.h"
@@ -227,6 +228,13 @@ class ScanOp final : public PhysicalOp {
     return std::make_unique<ScanIterator>(ctx, &name_, arity());
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK(children.empty());
+    return std::make_shared<ScanOp>(name_, arity(), source());
+  }
+
+  const std::string* scan_relation() const override { return &name_; }
+
  private:
   std::string name_;
 };
@@ -273,6 +281,12 @@ class UnionOp final : public PhysicalOp {
       ExecContext&,
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     return std::make_unique<UnionIterator>(std::move(inputs));
+  }
+
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<UnionOp>(std::move(children[0]), std::move(children[1]),
+                                     source());
   }
 };
 
@@ -330,6 +344,12 @@ class DifferenceOp final : public PhysicalOp {
     return std::make_unique<DifferenceIterator>(std::move(inputs), arity(),
                                                 ctx.batch_size());
   }
+
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<DifferenceOp>(std::move(children[0]),
+                                          std::move(children[1]), source());
+  }
 };
 
 class ProjectIterator final : public StreamingUnaryIterator {
@@ -370,6 +390,11 @@ class ProjectOp final : public PhysicalOp {
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     return std::make_unique<ProjectIterator>(std::move(inputs[0]), child(0)->arity(),
                                              &columns_, ctx.batch_size());
+  }
+
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 1u);
+    return std::make_shared<ProjectOp>(std::move(children[0]), columns_, source());
   }
 
   const std::vector<std::size_t>& columns() const { return columns_; }
@@ -419,6 +444,11 @@ class SelectOp final : public PhysicalOp {
                                             ctx.batch_size());
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 1u);
+    return std::make_shared<SelectOp>(std::move(children[0]), op_, i_, j_, source());
+  }
+
  private:
   ra::Cmp op_;
   std::size_t i_;
@@ -463,6 +493,11 @@ class ConstTagOp final : public PhysicalOp {
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     return std::make_unique<ConstTagIterator>(std::move(inputs[0]), arity() - 1,
                                               value_, ctx.batch_size());
+  }
+
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 1u);
+    return std::make_shared<ConstTagOp>(std::move(children[0]), value_, source());
   }
 
  private:
@@ -585,6 +620,12 @@ class JoinOp final : public PhysicalOp {
       std::vector<std::unique_ptr<BatchIterator>> inputs) const override {
     return std::make_unique<JoinIterator>(ctx, std::move(inputs), &atoms_,
                                           child(0)->arity(), child(1)->arity());
+  }
+
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<JoinOp>(std::move(children[0]), std::move(children[1]),
+                                    atoms_, source());
   }
 
  private:
@@ -746,6 +787,12 @@ class SemiJoinOp final : public PhysicalOp {
         ctx, std::move(inputs), &atoms_, child(0)->arity(), child(1)->arity());
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<SemiJoinOp>(std::move(children[0]), std::move(children[1]),
+                                        atoms_, strategy_, source(), partitions_);
+  }
+
  private:
   std::vector<ra::JoinAtom> atoms_;
   SemijoinStrategy strategy_;
@@ -886,6 +933,12 @@ class DivisionOp final : public PhysicalOp {
                                               equality_);
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<DivisionOp>(std::move(children[0]), std::move(children[1]),
+                                        algorithm_, equality_, source(), partitions_);
+  }
+
  private:
   setjoin::DivisionAlgorithm algorithm_;
   bool equality_;
@@ -972,6 +1025,13 @@ class SetContainmentJoinOp final : public PhysicalOp {
         });
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<SetContainmentJoinOp>(
+        std::move(children[0]), std::move(children[1]), algorithm_, source(),
+        partitions_);
+  }
+
  private:
   setjoin::ContainmentAlgorithm algorithm_;
   std::size_t partitions_;
@@ -1014,6 +1074,13 @@ class SetEqualityJoinOp final : public PhysicalOp {
         });
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<SetEqualityJoinOp>(std::move(children[0]),
+                                               std::move(children[1]), algorithm_,
+                                               source(), partitions_);
+  }
+
  private:
   setjoin::EqualityJoinAlgorithm algorithm_;
   std::size_t partitions_;
@@ -1048,6 +1115,13 @@ class SetOverlapJoinOp final : public PhysicalOp {
         });
   }
 
+  PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const override {
+    SETALG_CHECK_EQ(children.size(), 2u);
+    return std::make_shared<SetOverlapJoinOp>(std::move(children[0]),
+                                              std::move(children[1]), source(),
+                                              partitions_);
+  }
+
  private:
   std::size_t partitions_;
 };
@@ -1059,7 +1133,40 @@ void AppendTree(const PhysicalOp& op, std::size_t depth, std::string* out) {
   for (const auto& child : op.children()) AppendTree(*child, depth + 1, out);
 }
 
+void CollectScans(const PhysicalOpPtr& op,
+                  std::unordered_set<const PhysicalOp*>* seen,
+                  std::vector<std::string>* names) {
+  if (!seen->insert(op.get()).second) return;  // Shared subplans walk once.
+  if (const std::string* name = op->scan_relation()) names->push_back(*name);
+  for (const auto& child : op->children()) CollectScans(child, seen, names);
+}
+
 }  // namespace
+
+const char* CacheOutcomeToString(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kUncached:
+      return "uncached";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kRevalidated:
+      return "revalidated";
+    case CacheOutcome::kRepicked:
+      return "repicked";
+  }
+  return "?";
+}
+
+std::vector<std::string> CollectScanRelations(const PhysicalOpPtr& root) {
+  std::vector<std::string> names;
+  std::unordered_set<const PhysicalOp*> seen;
+  if (root != nullptr) CollectScans(root, &seen, &names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
 
 core::Relation PhysicalOp::Execute(
     ExecContext& ctx, const std::vector<const core::Relation*>& inputs) const {

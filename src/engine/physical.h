@@ -78,6 +78,20 @@ struct OpStats {
   double estimated_cost = 0.0;
 };
 
+/// How one Engine run obtained its physical plan from the plan cache
+/// (engine/plan_cache.h). kUncached for runs that never consulted it
+/// (cache disabled, or RunPlan on a hand-assembled plan).
+enum class CacheOutcome {
+  kUncached,     // The cache was not consulted.
+  kMiss,         // Lowered fresh (and inserted when the cache is enabled).
+  kHit,          // Version vector matched: the cached plan ran as-is.
+  kRevalidated,  // Versions moved; re-costed, every algorithm choice held.
+  kRepicked,     // Versions moved; re-costing flipped >= 1 choice in place.
+};
+
+/// The outcome's raq/-v spelling ("hit", "repicked", ...).
+const char* CacheOutcomeToString(CacheOutcome outcome);
+
 /// Instrumentation collected by one Engine run — the physical-plan
 /// analogue of ra::EvalStats.
 struct PlanStats {
@@ -110,6 +124,11 @@ struct PlanStats {
   /// run (0 when every operator ran serial). Deterministic for fixed
   /// options: partition counts are resolved per operator, never from load.
   std::size_t partitions = 0;
+  /// How the plan was obtained from the plan cache. Purely provenance:
+  /// every other field (and the result) is identical whichever way the
+  /// plan arrived — the cache-differential harness in
+  /// tests/plan_cache_test.cc enforces it.
+  CacheOutcome cache = CacheOutcome::kUncached;
 };
 
 class WorkerPool;  // engine/parallel.h
@@ -191,6 +210,17 @@ class PhysicalOp {
   /// before recording stats.
   core::Relation Execute(ExecContext& ctx,
                          const std::vector<const core::Relation*>& inputs) const;
+
+  /// A copy of this operator over different children (same kind, payload
+  /// and source; `children` must match the original count and arities).
+  /// The structural substitution primitive behind plan-cache revalidation:
+  /// a cached plan swaps a re-picked operator in place by rebuilding only
+  /// the spine above it, never re-lowering the logical expression.
+  virtual PhysicalOpPtr WithChildren(std::vector<PhysicalOpPtr> children) const = 0;
+
+  /// The stored relation this operator scans, or nullptr for every
+  /// non-scan operator (used to derive a plan's version vector).
+  virtual const std::string* scan_relation() const { return nullptr; }
 
   /// Indented rendering of the subplan rooted here.
   std::string ToString() const;
@@ -284,6 +314,11 @@ PhysicalOpPtr MakeSetEqualityJoin(PhysicalOpPtr left, PhysicalOpPtr right,
 PhysicalOpPtr MakeSetOverlapJoin(PhysicalOpPtr left, PhysicalOpPtr right,
                                  const ra::Expr* source = nullptr,
                                  std::size_t partitions = 0);
+
+/// All stored-relation names scanned anywhere in the plan rooted at
+/// `root`, sorted and unique — the relation set a plan's cache entry
+/// snapshots its version vector over.
+std::vector<std::string> CollectScanRelations(const PhysicalOpPtr& root);
 
 }  // namespace setalg::engine
 

@@ -14,10 +14,10 @@ namespace {
 using ra::ExprPtr;
 using ra::OpKind;
 
-// Structural equality. Expr trees round-trip through their textual form
-// (Expr::ToString feeds the parser), so string equality is exact.
+// Structural equality (pointer short-circuit inside) — the same predicate
+// the engine's plan cache keys on.
 bool SameExpr(const ExprPtr& a, const ExprPtr& b) {
-  return a == b || a->ToString() == b->ToString();
+  return ra::StructuralEqual(*a, *b);
 }
 
 bool IsProjectionOf(const ExprPtr& e, const std::vector<std::size_t>& columns) {
@@ -96,6 +96,9 @@ class Lowering {
       const ExprEstimate guess = model_.Estimate(e);
       estimates_[op.get()] = {0.0, guess.cardinality, guess.cardinality};
     }
+    // Pair the operator with its logical node so a cached plan can
+    // refresh the estimate from fresh statistics without re-lowering.
+    op_sources_.emplace_back(op.get(), e);
     memo_.emplace(e.get(), op);
     return op;
   }
@@ -105,6 +108,10 @@ class Lowering {
   std::unordered_map<const PhysicalOp*, CostEstimate> TakeEstimates() {
     return std::move(estimates_);
   }
+  std::vector<std::pair<const PhysicalOp*, ExprPtr>> TakeOpSources() {
+    return std::move(op_sources_);
+  }
+  std::vector<ChoicePoint> TakeChoicePoints() { return std::move(choice_points_); }
 
  private:
   bool CostBased() const { return options_.cost_based && stats_ != nullptr; }
@@ -123,11 +130,7 @@ class Lowering {
     if (options_.threads <= 1 || !CostBased()) return 0;
     const CostModel::ParallelChoice choice = CostModel::ChooseParallelism(
         serial, input_cardinality, key_distinct, options_.threads);
-    choices_.push_back({site,
-                        choice.partitions > 1
-                            ? util::StrCat("partitioned[",
-                                           std::to_string(choice.partitions), "]")
-                            : "serial",
+    choices_.push_back({site, ParallelChoiceLabel(choice.partitions),
                         choice.estimate});
     return choice.partitions;
   }
@@ -135,11 +138,15 @@ class Lowering {
   struct SemijoinPlan {
     SemijoinStrategy strategy;
     std::size_t partitions;
+    /// Slice of choices_ this decision wrote (for the plan's ChoicePoint).
+    std::size_t first_choice;
+    std::size_t num_choices;
   };
 
   SemijoinPlan SemijoinStrategyFor(const ExprPtr& left, const ExprPtr& right,
                                    const std::vector<ra::JoinAtom>& atoms) {
-    if (!CostBased()) return {Strategy(), 0};
+    const std::size_t first_choice = choices_.size();
+    if (!CostBased()) return {Strategy(), 0, first_choice, 0};
     const ExprEstimate l = model_.Estimate(left);
     const ExprEstimate r = model_.Estimate(right);
     const SemijoinStrategy strategy = CostModel::ChooseSemijoin(l, r, atoms);
@@ -161,11 +168,33 @@ class Lowering {
         break;
       }
     }
-    if (eq == nullptr) return {strategy, 1};
+    if (eq == nullptr) return {strategy, 1, first_choice, choices_.size() - first_choice};
     const std::size_t partitions = PartitionsFor(
         "semijoin-execution", estimate, l.cardinality + r.cardinality,
         EstimateColumnDistinct(l, eq->left, left->arity()));
-    return {strategy, partitions};
+    return {strategy, partitions, first_choice, choices_.size() - first_choice};
+  }
+
+  /// Records the re-costable decision behind one lowered semijoin
+  /// operator (both the direct lowering and the π(⋈) reductions).
+  void RecordSemijoinPoint(const PhysicalOpPtr& op, const ExprPtr& left,
+                           const ExprPtr& right,
+                           const std::vector<ra::JoinAtom>& pricing_atoms,
+                           std::vector<ra::JoinAtom> op_atoms,
+                           const ra::Expr* source, const SemijoinPlan& plan) {
+    ChoicePoint point;
+    point.kind = ChoicePoint::Kind::kSemijoin;
+    point.op = op.get();
+    point.left = left;
+    point.right = right;
+    point.atoms = pricing_atoms;
+    point.op_atoms = std::move(op_atoms);
+    point.source = source;
+    point.semijoin_strategy = plan.strategy;
+    point.partitions = plan.partitions;
+    point.first_choice = plan.first_choice;
+    point.num_choices = plan.num_choices;
+    choice_points_.push_back(std::move(point));
   }
 
   PhysicalOpPtr LowerDivision(const DivisionMatch& m, bool equality,
@@ -173,6 +202,7 @@ class Lowering {
     setjoin::DivisionAlgorithm algorithm = options_.division_algorithm;
     const ExprEstimate r_est = model_.Estimate(m.r);
     const ExprEstimate s_est = model_.Estimate(m.s);
+    const std::size_t first_choice = choices_.size();
     if (CostBased()) {
       const auto choice = CostModel::ChooseDivision(r_est, s_est, equality);
       algorithm = choice.algorithm;
@@ -180,21 +210,32 @@ class Lowering {
                           setjoin::DivisionAlgorithmToString(algorithm),
                           choice.estimate});
     }
-    rewrites_.push_back(
-        util::StrCat(equality ? "equality-division pattern → division=["
-                              : "division pattern → division[",
-                     setjoin::DivisionAlgorithmToString(algorithm), "]",
-                     CostBased() ? " (cost-based)" : ""));
+    const std::size_t rewrite_index = rewrites_.size();
+    rewrites_.push_back(DivisionRewriteNote(algorithm, equality, CostBased()));
     const std::size_t partitions = PartitionsFor(
         equality ? "equality-division-execution" : "division-execution",
         CostModel::EstimateDivision(algorithm, r_est, s_est, equality),
         r_est.cardinality + s_est.cardinality, r_est.key_distinct);
+    const std::size_t num_choices = choices_.size() - first_choice;
     PhysicalOpPtr op = MakeDivision(Lower(m.r), Lower(m.s), algorithm, equality, source,
                                     partitions);
     if (stats_ != nullptr) {
       estimates_[op.get()] =
           CostModel::EstimateDivision(algorithm, r_est, s_est, equality);
     }
+    ChoicePoint point;
+    point.kind = ChoicePoint::Kind::kDivision;
+    point.op = op.get();
+    point.left = m.r;
+    point.right = m.s;
+    point.equality = equality;
+    point.source = source;
+    point.division_algorithm = algorithm;
+    point.partitions = partitions;
+    point.first_choice = first_choice;
+    point.num_choices = num_choices;
+    point.rewrite_index = rewrite_index;
+    choice_points_.push_back(std::move(point));
     return op;
   }
 
@@ -231,8 +272,12 @@ class Lowering {
       case OpKind::kSemiJoin: {
         const SemijoinPlan semi =
             SemijoinStrategyFor(e->child(0), e->child(1), e->atoms());
-        return MakeSemiJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(),
-                            semi.strategy, e.get(), semi.partitions);
+        PhysicalOpPtr op = MakeSemiJoin(Lower(e->child(0)), Lower(e->child(1)),
+                                        e->atoms(), semi.strategy, e.get(),
+                                        semi.partitions);
+        RecordSemijoinPoint(op, e->child(0), e->child(1), e->atoms(), e->atoms(),
+                            e.get(), semi);
+        return op;
       }
     }
     SETALG_CHECK_STREAM(false) << "unreachable";
@@ -260,6 +305,8 @@ class Lowering {
       PhysicalOpPtr semi =
           MakeSemiJoin(Lower(join->child(0)), Lower(join->child(1)), join->atoms(),
                        plan.strategy, nullptr, plan.partitions);
+      RecordSemijoinPoint(semi, join->child(0), join->child(1), join->atoms(),
+                          join->atoms(), nullptr, plan);
       rewrites_.push_back("π(join) reduced to π(semijoin) at " + e->ToString());
       return MakeProject(std::move(semi), columns, e.get());
     }
@@ -275,8 +322,10 @@ class Lowering {
       const SemijoinPlan plan =
           SemijoinStrategyFor(join->child(1), join->child(0), join->atoms());
       PhysicalOpPtr semi =
-          MakeSemiJoin(Lower(join->child(1)), Lower(join->child(0)),
-                       std::move(mirrored), plan.strategy, nullptr, plan.partitions);
+          MakeSemiJoin(Lower(join->child(1)), Lower(join->child(0)), mirrored,
+                       plan.strategy, nullptr, plan.partitions);
+      RecordSemijoinPoint(semi, join->child(1), join->child(0), join->atoms(),
+                          std::move(mirrored), nullptr, plan);
       rewrites_.push_back("π(join) reduced to π(mirrored semijoin) at " +
                           e->ToString());
       return MakeProject(std::move(semi), std::move(shifted), e.get());
@@ -291,9 +340,25 @@ class Lowering {
   std::vector<std::string> rewrites_;
   std::vector<AlgorithmChoice> choices_;
   std::unordered_map<const PhysicalOp*, CostEstimate> estimates_;
+  std::vector<std::pair<const PhysicalOp*, ExprPtr>> op_sources_;
+  std::vector<ChoicePoint> choice_points_;
 };
 
 }  // namespace
+
+std::string ParallelChoiceLabel(std::size_t partitions) {
+  return partitions > 1
+             ? util::StrCat("partitioned[", std::to_string(partitions), "]")
+             : std::string("serial");
+}
+
+std::string DivisionRewriteNote(setjoin::DivisionAlgorithm algorithm, bool equality,
+                                bool cost_based) {
+  return util::StrCat(equality ? "equality-division pattern → division=["
+                               : "division pattern → division[",
+                      setjoin::DivisionAlgorithmToString(algorithm), "]",
+                      cost_based ? " (cost-based)" : "");
+}
 
 EngineOptions EngineOptions::Reference() {
   EngineOptions options;
@@ -348,6 +413,8 @@ util::Result<PhysicalPlan> Planner::Lower(const ra::ExprPtr& expr,
   plan.rewrites = lowering.TakeRewrites();
   plan.choices = lowering.TakeChoices();
   plan.estimates = lowering.TakeEstimates();
+  plan.op_sources = lowering.TakeOpSources();
+  plan.choice_points = lowering.TakeChoicePoints();
   return plan;
 }
 

@@ -82,6 +82,26 @@ struct EngineOptions {
   /// PlanStats::choices. Values < 1 are treated as 1.
   std::size_t threads = 1;
 
+  /// Plan-cache capacity of the Engine facade, in entries (raq
+  /// --plan-cache). 0 (the default) disables the transparent cache:
+  /// Engine::Run lowers fresh every call and Engine::Prepare returns
+  /// detached handles. N > 0 keeps the N most recently used lowered
+  /// plans, keyed on the expression's structure (ra::ExprHash) and the
+  /// database's id; a version-vector mismatch re-costs the cached plan
+  /// from fresh statistics instead of re-lowering it (PlanStats::cache
+  /// reports hit/miss/revalidated/repicked). Like `batched`/`threads`
+  /// this is an execution-path knob, never a semantics change: cached
+  /// results and per-operator PlanStats row counts are bit-identical to
+  /// an uncached run (tests/plan_cache_test.cc enforces it).
+  std::size_t plan_cache_entries = 0;
+
+  /// Byte budget for the plan cache's approximate footprint (operators +
+  /// key expressions + estimate tables). 0 = bounded by entry count only.
+  /// Exceeding it evicts least-recently-used entries; an entry being
+  /// executed or held by a PreparedQuery survives its eviction (shared
+  /// ownership) — eviction only forgets, it never invalidates.
+  std::size_t plan_cache_bytes = 0;
+
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
   bool collect_node_stats = true;
@@ -109,6 +129,46 @@ struct EngineOptions {
                                 std::size_t batch_size = kDefaultBatchSize);
 };
 
+/// One re-costable algorithm decision baked into a lowered plan: the call
+/// site kind, the logical inputs its cost formulas price, and the operator
+/// the decision produced. A cached plan keeps these alive so a
+/// version-vector mismatch re-prices the recorded alternatives from fresh
+/// statistics — and swaps the operator in place when the decision flips —
+/// without ever re-lowering the expression (engine/plan_cache.h).
+struct ChoicePoint {
+  enum class Kind { kDivision, kSemijoin };
+  Kind kind = Kind::kDivision;
+  /// The operator this decision built (remapped when a swap rebuilds it).
+  const PhysicalOp* op = nullptr;
+  /// Logical inputs: dividend/divisor for kDivision, left/right for
+  /// kSemijoin. Owned here so estimates survive beyond the lowering.
+  ra::ExprPtr left;
+  ra::ExprPtr right;
+  bool equality = false;  // Division flavor.
+  /// Semijoin condition as the cost formulas price it (the planner's
+  /// exact inputs, so re-costing reproduces fresh-lowering estimates).
+  std::vector<ra::JoinAtom> atoms;
+  /// Semijoin condition as baked into the operator — differs from `atoms`
+  /// for the mirrored π(⋈) reduction, where the operator's sides are
+  /// swapped. A flip rebuilds the operator with these.
+  std::vector<ra::JoinAtom> op_atoms;
+  const ra::Expr* source = nullptr;  // Logical node the operator mirrors.
+  /// The decision currently baked into `op`.
+  setjoin::DivisionAlgorithm division_algorithm =
+      setjoin::DivisionAlgorithm::kHashDivision;
+  SemijoinStrategy semijoin_strategy = SemijoinStrategy::kFastKernel;
+  std::size_t partitions = 0;
+  /// This decision's slice of PhysicalPlan::choices (first index + count;
+  /// 0 when the plan was not cost-based), updated in place on re-cost so
+  /// revalidated runs report choices in the exact fresh-lowering order.
+  std::size_t first_choice = 0;
+  std::size_t num_choices = 0;
+  /// Index of this decision's note in PhysicalPlan::rewrites (division
+  /// pattern notes name the algorithm, so a repick rewrites the note), or
+  /// SIZE_MAX when no note mentions the decision.
+  std::size_t rewrite_index = static_cast<std::size_t>(-1);
+};
+
 /// A lowered plan plus the planner decisions that shaped it.
 struct PhysicalPlan {
   PhysicalOpPtr root;
@@ -120,10 +180,26 @@ struct PhysicalPlan {
   /// matching prediction into each OpStats entry, so a run's stats read
   /// as estimated-vs-actual pairs.
   std::unordered_map<const PhysicalOp*, CostEstimate> estimates;
+  /// Each lowered operator paired with the logical node it reproduces, in
+  /// lowering order — what re-costing iterates to refresh `estimates`
+  /// from fresh statistics without re-lowering.
+  std::vector<std::pair<const PhysicalOp*, ra::ExprPtr>> op_sources;
+  /// The re-costable decisions baked into the plan, in lowering order.
+  std::vector<ChoicePoint> choice_points;
 
   /// Indented operator tree followed by the rewrite notes.
   std::string ToString() const;
 };
+
+/// The rewrite note LowerDivision records for a routed division pattern —
+/// shared with plan-cache revalidation, which rewrites the note in place
+/// when a repick changes the algorithm the note names.
+std::string DivisionRewriteNote(setjoin::DivisionAlgorithm algorithm, bool equality,
+                                bool cost_based);
+
+/// The label CostBased() records for an execution-parallelism decision:
+/// "partitioned[N]" (N > 1) or "serial".
+std::string ParallelChoiceLabel(std::size_t partitions);
 
 class Planner {
  public:

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/str.h"
 
 namespace setalg::ra {
@@ -313,6 +314,94 @@ std::string ValidateAgainstSchema(const Expr& e, const core::Schema& schema) {
     }
   }
   return "";
+}
+
+namespace {
+
+// One structural fact per combine, mixed in order: the hash
+// distinguishes e.g. pi[1,2] from pi[2,1] and join[1=2] from join[2=1].
+// The child count is mixed in too, so trees whose flattened token
+// streams coincide but whose shapes differ cannot collide even for a
+// future variable-arity operator (today every kind has a fixed count).
+std::uint64_t HashNode(const Expr& e) {
+  std::uint64_t h = util::HashCombine(util::kFnvOffsetBasis,
+                                      static_cast<std::uint64_t>(e.kind()));
+  h = util::HashCombine(h, e.arity());
+  h = util::HashCombine(h, e.children().size());
+  switch (e.kind()) {
+    case OpKind::kRelation:
+      h = util::HashCombine(h, util::FnvHashString(e.relation_name()));
+      break;
+    case OpKind::kProjection:
+      h = util::HashCombine(h, e.projection().size());
+      for (std::size_t c : e.projection()) h = util::HashCombine(h, c);
+      break;
+    case OpKind::kSelection:
+      h = util::HashCombine(h, static_cast<std::uint64_t>(e.selection_op()));
+      h = util::HashCombine(h, e.selection_i());
+      h = util::HashCombine(h, e.selection_j());
+      break;
+    case OpKind::kConstTag:
+      h = util::HashCombine(h, static_cast<std::uint64_t>(e.tag_value()));
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+      h = util::HashCombine(h, e.atoms().size());
+      for (const auto& atom : e.atoms()) {
+        h = util::HashCombine(h, atom.left);
+        h = util::HashCombine(h, static_cast<std::uint64_t>(atom.op));
+        h = util::HashCombine(h, atom.right);
+      }
+      break;
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      break;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t StructuralHash(const Expr& e) {
+  std::uint64_t h = HashNode(e);
+  for (const auto& child : e.children()) {
+    h = util::HashCombine(h, StructuralHash(*child));
+  }
+  return h;
+}
+
+bool StructuralEqual(const Expr& a, const Expr& b) {
+  if (&a == &b) return true;
+  if (a.kind() != b.kind() || a.arity() != b.arity()) return false;
+  switch (a.kind()) {
+    case OpKind::kRelation:
+      if (a.relation_name() != b.relation_name()) return false;
+      break;
+    case OpKind::kProjection:
+      if (a.projection() != b.projection()) return false;
+      break;
+    case OpKind::kSelection:
+      if (a.selection_op() != b.selection_op() || a.selection_i() != b.selection_i() ||
+          a.selection_j() != b.selection_j()) {
+        return false;
+      }
+      break;
+    case OpKind::kConstTag:
+      if (a.tag_value() != b.tag_value()) return false;
+      break;
+    case OpKind::kJoin:
+    case OpKind::kSemiJoin:
+      if (a.atoms() != b.atoms()) return false;
+      break;
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+      break;
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (!StructuralEqual(*a.child(i), *b.child(i))) return false;
+  }
+  return true;
 }
 
 std::vector<const Expr*> PostOrder(const Expr& e) {

@@ -181,6 +181,42 @@ std::string ValidateAgainstSchema(const Expr& e, const core::Schema& schema);
 /// at `e`, parents after children (post-order).
 std::vector<const Expr*> PostOrder(const Expr& e);
 
+// ---------------------------------------------------------------------------
+// Structural hashing and equality.
+//
+// Two expression trees are structurally equal iff they evaluate the same
+// way on every database: same operator tree, same relation names, same
+// column lists / conditions / constants. StructuralHash respects that
+// equivalence and is computed from the tree alone (FNV/SplitMix over a
+// canonical encoding — never from pointers or std::hash, so the value is
+// identical across processes and library versions; the engine's plan
+// cache relies on that for deterministic cache statistics).
+// ---------------------------------------------------------------------------
+
+/// Order-dependent 64-bit structural hash of the tree rooted at `e`.
+std::uint64_t StructuralHash(const Expr& e);
+
+/// True iff `a` and `b` are structurally identical trees (pointer
+/// equality short-circuits; shared subtrees compare once per path).
+bool StructuralEqual(const Expr& a, const Expr& b);
+
+/// Hash functor over ExprPtr for unordered containers keyed on structure
+/// (e.g. the engine's plan cache). Null hashes to 0.
+struct ExprHash {
+  std::size_t operator()(const ExprPtr& e) const {
+    return e == nullptr ? 0 : static_cast<std::size_t>(StructuralHash(*e));
+  }
+};
+
+/// Equality functor paired with ExprHash. Two nulls compare equal.
+struct ExprEqual {
+  bool operator()(const ExprPtr& a, const ExprPtr& b) const {
+    if (a == b) return true;
+    if (a == nullptr || b == nullptr) return false;
+    return StructuralEqual(*a, *b);
+  }
+};
+
 }  // namespace setalg::ra
 
 #endif  // SETALG_RA_EXPR_H_

@@ -87,6 +87,26 @@ std::string RelationStats::ToString() const {
   return out.str();
 }
 
+VersionVector SnapshotVersions(const core::Database& db,
+                               std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  VersionVector versions;
+  versions.reserve(names.size());
+  for (auto& name : names) {
+    const std::uint64_t version = db.relation_version(name);
+    versions.emplace_back(std::move(name), version);
+  }
+  return versions;
+}
+
+bool VersionsMatch(const core::Database& db, const VersionVector& versions) {
+  for (const auto& [name, version] : versions) {
+    if (db.relation_version(name) != version) return false;
+  }
+  return true;
+}
+
 DatabaseStats::DatabaseStats(const core::Database* db) : db_(db) {
   SETALG_CHECK(db != nullptr);
 }

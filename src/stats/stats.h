@@ -71,6 +71,21 @@ class StatsProvider {
   virtual const RelationStats* Get(const std::string& name) const = 0;
 };
 
+/// A named snapshot of per-relation mutation counters — the invalidation
+/// signal every cache derived from stored relations (DatabaseStats, the
+/// engine's plan cache) compares against. Kept sorted by name so two
+/// snapshots over the same relation set compare element-wise.
+using VersionVector = std::vector<std::pair<std::string, std::uint64_t>>;
+
+/// Snapshots db.relation_version(name) for each of `names` (sorted by
+/// name; duplicates collapsed). Names outside the schema snapshot as 0.
+VersionVector SnapshotVersions(const core::Database& db,
+                               std::vector<std::string> names);
+
+/// True iff none of the snapshotted relations has been mutated since —
+/// i.e. re-snapshotting `db` would reproduce `versions` exactly.
+bool VersionsMatch(const core::Database& db, const VersionVector& versions);
+
 /// The caching provider over one database: statistics are computed on
 /// first use and reused until the relation's mutation counter moves.
 /// Holds a pointer to the database; not thread-safe (matching the rest of

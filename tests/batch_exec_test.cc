@@ -64,13 +64,47 @@ void ExpectSameStats(const PlanStats& expected, const PlanStats& actual,
   }
 }
 
+// Plan-cache leg of the harness: a shared Engine with the plan cache
+// enabled runs `expr` twice under `options` — the first run populates the
+// cache (miss), the second is served from it (hit). Both must match the
+// reference relation and row counts, and the hit must be byte-identical
+// to the miss on every stat the run reports, including the parallel and
+// batch accounting (partitions, batches_emitted, peak_batch_bytes).
+void ExpectCachedRunsMatch(const EngineOptions& options, const ra::ExprPtr& expr,
+                           const core::Database& db,
+                           const core::Relation& expected_relation,
+                           const PlanStats& expected_stats,
+                           const std::string& context) {
+  EngineOptions cached_options = options;
+  cached_options.plan_cache_entries = 4;
+  const Engine cached(cached_options);
+  auto miss = cached.Run(expr, db);
+  ASSERT_TRUE(miss.ok()) << context << ": " << miss.error();
+  ASSERT_EQ(miss->stats.cache, CacheOutcome::kMiss) << context;
+  auto hit = cached.Run(expr, db);
+  ASSERT_TRUE(hit.ok()) << context << ": " << hit.error();
+  ASSERT_EQ(hit->stats.cache, CacheOutcome::kHit) << context;
+  for (const auto* run : {&*miss, &*hit}) {
+    EXPECT_EQ(run->relation, expected_relation) << context;
+    ExpectSameStats(expected_stats, run->stats, context);
+  }
+  // Hit path vs miss path: byte-identical, parallel accounting included.
+  EXPECT_EQ(hit->relation.flat(), miss->relation.flat()) << context;
+  EXPECT_EQ(hit->stats.partitions, miss->stats.partitions) << context;
+  EXPECT_EQ(hit->stats.batches_emitted, miss->stats.batches_emitted) << context;
+  EXPECT_EQ(hit->stats.peak_batch_bytes, miss->stats.peak_batch_bytes) << context;
+  EXPECT_EQ(hit->stats.threads_used, miss->stats.threads_used) << context;
+}
+
 // Lowers `expr` once under `base` options and executes the same plan
 // through the materializing executor (serial — the semantics reference)
 // and through the pipelined executor at every (threads × batch size)
 // point of the differential matrix, asserting results and PlanStats row
 // counts identical to the serial reference at every point. The parallel
 // materializing combination is exercised too (threads > 1, batched off):
-// partitioned operators plug into both executors.
+// partitioned operators plug into both executors. At one batch size per
+// thread count the workload additionally runs through a shared Engine
+// with the plan cache enabled (see ExpectCachedRunsMatch).
 void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
                           const core::Database& db, const std::string& context) {
   const Engine reference(base);
@@ -99,6 +133,10 @@ void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
       if (!expected->relation.empty()) {
         EXPECT_GT(run->stats.batches_emitted, 0u) << what;
         EXPECT_GT(run->stats.peak_batch_bytes, 0u) << what;
+      }
+      if (batch_size == 7) {
+        ExpectCachedRunsMatch(options, expr, db, expected->relation,
+                              expected->stats, what + " plan-cache");
       }
     }
     if (threads > 1) {

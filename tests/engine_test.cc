@@ -380,6 +380,103 @@ TEST(Engine, BudgetStillEnforcedOnParallelRuns) {
   EXPECT_NE(run.error().find("budget"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Prepared statements & the plan cache through the facade: invalidation
+// edge cases (the randomized interleavings live in plan_cache_test.cc).
+// ---------------------------------------------------------------------------
+
+TEST(Engine, MutationDuringOpenPreparedHandleStaysCorrect) {
+  auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {1, 20}, {2, 10}}), MakeRel(1, {{10}, {20}}));
+  const Engine engine(EngineOptions::CostBased());
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+
+  auto handle = engine.Prepare(expr, db);
+  ASSERT_TRUE(handle.ok()) << handle.error();
+
+  // The handle stays open across a whole sequence of mutations; every
+  // execution must match a fresh evaluation of the *current* data.
+  for (int step = 0; step < 4; ++step) {
+    db.mutable_relation("R")->Add({10 + step, 10});
+    db.mutable_relation("R")->Add({10 + step, 20});
+    auto run = engine.Run(*handle, db);
+    ASSERT_TRUE(run.ok()) << run.error();
+    EXPECT_EQ(run->relation, ra::Eval(expr, db)) << "step " << step;
+    EXPECT_TRUE(run->stats.cache == CacheOutcome::kRevalidated ||
+                run->stats.cache == CacheOutcome::kRepicked)
+        << "step " << step << ": " << CacheOutcomeToString(run->stats.cache);
+  }
+}
+
+TEST(Engine, PreparedHandleNeverLeaksAcrossCollidingDatabases) {
+  // Same schema, same relation names, different Database::id(): the
+  // handle was costed for db1 and must not carry those plans onto db2.
+  auto db1 = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {1, 20}, {2, 10}}), MakeRel(1, {{10}, {20}}));
+  const core::Database db2 = db1;  // Copy: fresh id, then diverge.
+  ASSERT_NE(db1.id(), db2.id());
+
+  const Engine engine;
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+  auto handle = engine.Prepare(expr, db1);
+  ASSERT_TRUE(handle.ok());
+
+  db1.SetRelation("R", MakeRel(2, {{9, 10}, {9, 20}}));
+  // db2 still holds the original data; the handle must evaluate each
+  // database's own relations, not the other's.
+  auto on_db2 = engine.Run(*handle, db2);
+  ASSERT_TRUE(on_db2.ok());
+  EXPECT_EQ(on_db2->relation, MakeRel(1, {{1}}));
+  auto on_db1 = engine.Run(*handle, db1);
+  ASSERT_TRUE(on_db1.ok());
+  EXPECT_EQ(on_db1->relation, MakeRel(1, {{9}}));
+}
+
+TEST(Engine, PreparedHandleSurvivesCacheEvictionMidSequence) {
+  auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {2, 20}, {3, 10}}), MakeRel(1, {{10}}));
+  EngineOptions options;
+  options.plan_cache_entries = 1;  // Any other query evicts the handle's entry.
+  const Engine engine(options);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+
+  auto handle = engine.Prepare(expr, db);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(engine.Run(*handle, db).ok());
+
+  // Evict the handle's entry by running a different query through the
+  // 1-entry cache, then mutate and run the evicted handle again.
+  ASSERT_TRUE(engine.Run(ra::Project(ra::Rel("R", 2), {1}), db).ok());
+  EXPECT_GE(engine.plan_cache()->stats().evictions, 1u);
+  db.mutable_relation("R")->Add({4, 10});
+  auto run = engine.Run(*handle, db);
+  ASSERT_TRUE(run.ok()) << run.error();
+  EXPECT_EQ(run->stats.cache, CacheOutcome::kRevalidated);
+  EXPECT_EQ(run->relation, ra::Eval(expr, db));
+}
+
+TEST(Engine, ClearPlanCacheThenRePrepareIsAFreshStart) {
+  auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {2, 20}}), MakeRel(1, {{10}}));
+  EngineOptions options;
+  options.plan_cache_entries = 4;
+  const Engine engine(options);
+  const auto expr = setjoin::ClassicDivisionExpr("R", "S");
+
+  ASSERT_TRUE(engine.Prepare(expr, db).ok());
+  ASSERT_TRUE(engine.Run(expr, db).ok());
+  engine.ClearPlanCache();
+  EXPECT_EQ(engine.plan_cache()->size(), 0u);
+
+  auto handle = engine.Prepare(expr, db);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(engine.plan_cache()->size(), 1u);
+  auto run = engine.Run(*handle, db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.cache, CacheOutcome::kHit);
+  EXPECT_EQ(run->relation, ra::Eval(expr, db));
+}
+
 TEST(Engine, RunPlanRecordsPerOperatorStats) {
   const auto db = SmallDb();
   const Engine engine;

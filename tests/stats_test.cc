@@ -184,6 +184,62 @@ TEST(DatabaseStats, CachesUntilInvalidatedByMutation) {
   EXPECT_EQ(provider.recompute_count(), 4u);
 }
 
+// ---------------------------------------------------------------------------
+// Version vectors — the plan cache's invalidation snapshot.
+// ---------------------------------------------------------------------------
+
+TEST(VersionVector, SnapshotSortsDeduplicatesAndTracksMutations) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  const VersionVector versions = SnapshotVersions(db, {"S", "R", "S"});
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].first, "R");
+  EXPECT_EQ(versions[1].first, "S");
+  EXPECT_TRUE(VersionsMatch(db, versions));
+
+  // Mutating any snapshotted relation breaks the match...
+  db.mutable_relation("S")->Add({7});
+  EXPECT_FALSE(VersionsMatch(db, versions));
+
+  // ...and a fresh snapshot matches again.
+  EXPECT_TRUE(VersionsMatch(db, SnapshotVersions(db, {"R", "S"})));
+}
+
+TEST(VersionVector, MutationOutsideTheSnapshotDoesNotInvalidate) {
+  auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  const VersionVector r_only = SnapshotVersions(db, {"R"});
+  db.mutable_relation("S")->Add({9});
+  EXPECT_TRUE(VersionsMatch(db, r_only))
+      << "a plan that only reads R must survive mutations of S";
+}
+
+TEST(VersionVector, CollidingNamesOnDifferentDatabasesAreIndependent) {
+  // Two databases, same relation names, independent mutation counters:
+  // a version vector snapshotted from one database says nothing about
+  // the other — which is why every plan-cache key also carries the
+  // database's process-unique id.
+  auto db1 = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  core::Database db2 = db1;
+  ASSERT_NE(db1.id(), db2.id());
+
+  const VersionVector from_db1 = SnapshotVersions(db1, {"R", "S"});
+  // The copy starts with identical counters, so the raw vector *would*
+  // match db2 — stale data under a colliding name. Mutating db2 shows
+  // the counters diverge independently while db1's snapshot stays valid.
+  db2.SetRelation("R", MakeRel(2, {{5, 6}}));
+  EXPECT_TRUE(VersionsMatch(db1, from_db1));
+  EXPECT_FALSE(VersionsMatch(db2, from_db1));
+  EXPECT_GT(db2.relation_version("R"), db1.relation_version("R"));
+}
+
+TEST(VersionVector, NamesOutsideTheSchemaSnapshotAsZero) {
+  const auto db =
+      setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
+  const VersionVector versions = SnapshotVersions(db, {"Missing"});
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].second, 0u);
+  EXPECT_TRUE(VersionsMatch(db, versions));
+}
+
 TEST(DatabaseStats, UnknownRelationIsNullNotAnAbort) {
   auto db = setalg::testing::DivisionDb(MakeRel(2, {{1, 2}}), MakeRel(1, {{2}}));
   DatabaseStats provider(&db);
