@@ -15,18 +15,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/result_cache.h"
+#include "engine/shared_cache.h"
 #include "extalg/extended.h"
 #include "ra/eval.h"
 #include "setjoin/division.h"
 #include "util/json.h"
 #include "util/timer.h"
 #include "workload/generators.h"
+
+// Injected by CMake from `git rev-parse --short HEAD` at configure time.
+#ifndef SETALG_GIT_SHA
+#define SETALG_GIT_SHA "unknown"
+#endif
 
 namespace {
 
@@ -60,6 +68,7 @@ struct RuntimeRow {
   std::size_t threads = 0;      // Pool width of the parallel cell.
   std::size_t partitions = 0;   // Partition tasks the parallel run fanned out.
   std::string prepared_outcome;  // Plan-cache outcome of the prepared cell.
+  std::string result_cache_outcome;  // Cache outcome of the result-cached cell.
   double planning_ms = 0.0;           // Fresh planning path, per call.
   double prepared_planning_ms = 0.0;  // Warm cache acquisition, per call.
 };
@@ -103,8 +112,9 @@ std::vector<RuntimeRow> PrintRuntimeTable() {
   for (auto algorithm : setjoin::AllDivisionAlgorithms()) {
     std::printf("  %-13s", setjoin::DivisionAlgorithmToString(algorithm));
   }
-  std::printf("  %-13s  %-13s  %-13s  %-13s  %-13s  %-13s\n", "extalg-linear",
-              "engine-planned", "cost-based", "batched", "parallel", "prepared");
+  std::printf("  %-13s  %-13s  %-13s  %-13s  %-13s  %-13s  %-13s\n",
+              "extalg-linear", "engine-planned", "cost-based", "batched",
+              "parallel", "prepared", "result-cached");
   for (std::size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
     const auto instance = Instance(n);
     RuntimeRow row;
@@ -211,7 +221,7 @@ std::vector<RuntimeRow> PrintRuntimeTable() {
         }
         last = std::move(*result);
       });
-      std::printf("  %-13.3f\n", ms);
+      std::printf("  %-13.3f", ms);
       row.cells.emplace_back("prepared", ms);
       row.prepared_outcome = engine::CacheOutcomeToString(last.stats.cache);
 
@@ -235,6 +245,41 @@ std::vector<RuntimeRow> PrintRuntimeTable() {
           benchmark::DoNotOptimize(warm);
         }
       }) / kPlanIters;
+    }
+    {
+      // The whole-result hot path: an engine wired to the process-wide
+      // shared caches serves repeats of the same expression on unchanged
+      // data straight from the stored relation — no plan runs at all. The
+      // CI gate requires the warm hit to beat the uncached engine-planned
+      // run; the recorded outcome ("result-hit") makes a silent
+      // regression to re-execution visible.
+      engine::EngineOptions options;
+      options.plan_cache_entries = 0;
+      options.shared_plan_cache = std::make_shared<engine::SharedPlanCache>(8, 0);
+      options.result_cache = std::make_shared<engine::ResultCache>(8, 0);
+      const engine::Engine engine(options);
+      {
+        auto warm = engine.Run(expr, db);  // Populate the result cache.
+        if (!warm.ok()) {
+          std::fprintf(stderr, "result-cache warm-up failed: %s\n",
+                       warm.error().c_str());
+          std::exit(1);  // The tracked artifact must never hide a failure.
+        }
+      }
+      engine::RunResult last;
+      const double ms = BestOfMillis([&] {
+        auto result = engine.Run(expr, db);
+        benchmark::DoNotOptimize(result);
+        if (!result.ok()) {
+          std::fprintf(stderr, "result-cached run failed: %s\n",
+                       result.error().c_str());
+          std::exit(1);
+        }
+        last = std::move(*result);
+      });
+      std::printf("  %-13.3f\n", ms);
+      row.cells.emplace_back("result-cached", ms);
+      row.result_cache_outcome = engine::CacheOutcomeToString(last.stats.cache);
     }
     rows.push_back(std::move(row));
   }
@@ -288,9 +333,11 @@ void WriteJson(const std::vector<RuntimeRow>& runtime,
   json.Key("bench").Value("division");
   // The regression gate only trusts the parallel-vs-batched comparison on
   // multi-core runners; single-core machines record the column but skip
-  // the gate.
+  // the gate. The git SHA attributes the artifact (and thus the checked-in
+  // baseline snapshot) to the commit it was built from.
   json.Key("hardware_threads")
       .Value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.Key("git_sha").Value(SETALG_GIT_SHA);
   json.Key("runtime_ms").BeginArray();
   for (const auto& row : runtime) {
     json.BeginObject();
@@ -300,6 +347,7 @@ void WriteJson(const std::vector<RuntimeRow>& runtime,
     json.Key("threads").Value(row.threads);
     json.Key("partitions").Value(row.partitions);
     json.Key("prepared_outcome").Value(row.prepared_outcome);
+    json.Key("result_cache_outcome").Value(row.result_cache_outcome);
     json.Key("planning_ms").Value(row.planning_ms);
     json.Key("prepared_planning_ms").Value(row.prepared_planning_ms);
     json.EndObject();

@@ -21,6 +21,11 @@
 #include "util/timer.h"
 #include "workload/generators.h"
 
+// Injected by CMake from `git rev-parse --short HEAD` at configure time.
+#ifndef SETALG_GIT_SHA
+#define SETALG_GIT_SHA "unknown"
+#endif
+
 namespace {
 
 using namespace setalg;
@@ -275,6 +280,7 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
   json.Key("bench").Value("setjoin");
   json.Key("hardware_threads")
       .Value(static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  json.Key("git_sha").Value(SETALG_GIT_SHA);
   json.Key("containment_ms").BeginArray();
   for (const auto& row : containment) {
     json.BeginObject();

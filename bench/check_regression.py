@@ -39,6 +39,17 @@ bench/baseline/ and fails (exit 1) when:
      cost anything — or the per-call planning path served from the warm
      cache (`prepared_planning_ms`) is less than PLANNING_SPEEDUP (2x)
      faster than fresh planning (`planning_ms`).
+  8. `result-cached` division (the whole-result hot path: a warm hit in
+     the invalidation-aware result cache) is not at least
+     RESULT_CACHED_SPEEDUP (2x) faster than the uncached `engine-planned`
+     run at the largest n, or its recorded outcome is not "result-hit" —
+     serving a stored relation must beat re-executing the plan by a wide
+     margin, and must actually come from the cache.
+
+Whenever a gate disarms (skips) instead of judging, the skip message
+prints the runner fingerprint — hardware_threads and git_sha — of the
+JSON(s) involved, so a stale or wrong-class baseline is attributable at
+a glance.
 
 The parallel *drift* gate (the baseline comparison of the `parallel`
 column) arms itself from the baseline: it runs only when the baseline
@@ -70,6 +81,7 @@ PREPARED_RATIO_LIMIT = 1.0  # prepared vs engine-planned at max n.
 # replanning) costs an order of magnitude more than this slack.
 PREPARED_ABS_SLACK_MS = 0.25
 PLANNING_SPEEDUP = 2.0      # Warm-cache planning vs fresh planning at max n.
+RESULT_CACHED_SPEEDUP = 2.0  # engine-planned vs a warm result-cache hit.
 REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
 ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
 
@@ -84,7 +96,7 @@ TRACKED = {
         "n",
         "hash-division",
         ["sort-merge", "aggregate", "engine-planned", "cost-based", "batched",
-         "parallel", "prepared"],
+         "parallel", "prepared", "result-cached"],
     ),
     "containment_ms": (
         "groups",
@@ -110,6 +122,12 @@ EXPECTED_CHOICES = {
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def runner_info(data):
+    """The JSON's runner fingerprint, printed whenever a gate disarms."""
+    return (f"hardware_threads={data.get('hardware_threads')!r}, "
+            f"git_sha={data.get('git_sha', 'unknown')!r}")
 
 
 def max_row(rows, axis):
@@ -164,7 +182,7 @@ def check_parallel_ratio(errors, data):
     if hardware_threads < 2:
         print(
             f"  SKIPPED: parallel-vs-batched gate needs >= 2 hardware threads "
-            f"(runner has {hardware_threads}); parallel was "
+            f"(current run: {runner_info(data)}); parallel was "
             f"{parallel_ms:.3f}ms vs batched {batched_ms:.3f}ms at n={row['n']}"
         )
         return
@@ -282,6 +300,47 @@ def check_prepared_ratio(errors, data):
         )
 
 
+def check_result_cached_ratio(errors, data):
+    """Gate 8: a warm result-cache hit vs the uncached engine-planned run."""
+    rows = data.get("runtime_ms", [])
+    if not rows:
+        return  # Gate 1 already reported the missing table.
+    row = max_row(rows, "n")
+    planned_ms = row.get("engine-planned")
+    cached_ms = row.get("result-cached")
+    if planned_ms is None or cached_ms is None:
+        errors.append(
+            f"column 'engine-planned' or 'result-cached' missing at n={row['n']}"
+        )
+        return
+    outcome = row.get("result_cache_outcome")
+    if outcome != "result-hit":
+        errors.append(
+            f"result-cached cell at n={row['n']} reported cache outcome "
+            f"'{outcome}', expected 'result-hit' — the hot path silently "
+            f"fell back to executing the plan"
+        )
+    if cached_ms <= 0 or planned_ms <= 0:
+        errors.append(
+            f"non-positive timings at n={row['n']}: "
+            f"engine-planned={planned_ms}, result-cached={cached_ms}"
+        )
+        return
+    speedup = planned_ms / cached_ms
+    if speedup < RESULT_CACHED_SPEEDUP:
+        errors.append(
+            f"result-cached at n={row['n']} is {cached_ms:.3f}ms vs "
+            f"engine-planned {planned_ms:.3f}ms (only {speedup:.2f}x faster; "
+            f"need >= {RESULT_CACHED_SPEEDUP}x)"
+        )
+    else:
+        print(
+            f"  ok: result-cached {cached_ms:.3f}ms is {speedup:.1f}x faster "
+            f"than engine-planned ({planned_ms:.3f}ms) at n={row['n']} "
+            f"(outcome={outcome})"
+        )
+
+
 def check_choices(errors, data, table):
     expectation = EXPECTED_CHOICES.get(table)
     rows = data.get(table, [])
@@ -322,9 +381,9 @@ def check_against_baseline(errors, current, baseline, table):
     if not multicore_armed and any(c in MULTICORE_COLUMNS for c in columns):
         print(
             f"  DISARMED: multi-core drift columns {sorted(MULTICORE_COLUMNS)} "
-            f"in '{table}' skipped — baseline records hardware_threads="
-            f"{base_hw!r}; regenerate bench/baseline on a multi-core runner "
-            f"to arm them"
+            f"in '{table}' skipped — baseline: {runner_info(baseline)}; "
+            f"current: {runner_info(current)}; regenerate bench/baseline on "
+            f"a multi-core runner to arm them"
         )
     cur_rows = current.get(table, [])
     base_rows = baseline.get(table, [])
@@ -429,6 +488,7 @@ def main():
             check_batched_ratio(errors, current)
             check_parallel_ratio(errors, current)
             check_prepared_ratio(errors, current)
+            check_result_cached_ratio(errors, current)
         for table in tables:
             check_choices(errors, current, table)
             check_against_baseline(errors, current, baseline, table)

@@ -20,22 +20,49 @@
 // 64) and runs the expression twice — the second run is served from the
 // cache, and -v reports the outcome (miss then hit) plus cache tallies,
 // so the prepared-statement hot path is observable from the CLI.
+//
+// Concurrent serving: several expressions may follow `--`, and
+// --sessions N runs that query list from N threads against one shared
+// engine and one snapshot of a txn::VersionedDatabase head, through the
+// process-wide shared plan cache and result cache. Each session prints a
+// digest line per query (FNV over the result's flat bytes) — sessions on
+// one snapshot always print identical digests, which makes this the
+// smoke entry point for the MVCC serving path.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/csv.h"
 #include "core/database.h"
 #include "engine/engine.h"
+#include "engine/result_cache.h"
+#include "engine/shared_cache.h"
 #include "ra/parse.h"
+#include "txn/snapshot.h"
+#include "util/hash.h"
 #include "util/str.h"
+
+namespace {
+
+// Order-dependent digest of a relation's normalized flat storage.
+std::uint64_t RelationDigest(const setalg::core::Relation& relation) {
+  using namespace setalg;
+  std::uint64_t h = util::FnvHashBytes(relation.flat().data(),
+                                       relation.flat().size() * sizeof(core::Value));
+  h = util::HashCombine(h, relation.arity());
+  return util::HashCombine(h, relation.size());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace setalg;
 
   std::vector<std::string> relation_specs;
-  std::string expression;
+  std::vector<std::string> expressions;
   bool verbose = false;
   bool reference = false;
   bool cost_based = false;
@@ -43,6 +70,7 @@ int main(int argc, char** argv) {
   long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
   long long threads = 1;
   long long plan_cache_entries = 0;
+  long long sessions = 0;
   bool after_separator = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,17 +106,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       ++i;
+    } else if (arg == "--sessions") {
+      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &sessions) || sessions < 1) {
+        std::fprintf(stderr, "--sessions needs a positive integer\n");
+        return 2;
+      }
+      ++i;
     } else if (after_separator) {
-      expression = arg;
+      expressions.push_back(arg);
     } else {
       relation_specs.push_back(arg);
     }
   }
-  if (relation_specs.empty() || expression.empty()) {
+  if (relation_specs.empty() || expressions.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
                  "[--reference] [--cost-based] [--batch-size N] [--threads N] "
-                 "[--plan-cache [N]] -- EXPR\n"
+                 "[--plan-cache [N]] [--sessions N] -- EXPR [EXPR ...]\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -128,10 +162,15 @@ int main(int argc, char** argv) {
   core::Database db(schema);
   for (auto& [name, relation] : loaded) db.SetRelation(name, std::move(relation));
 
-  auto parsed = ra::Parse(expression, schema);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", parsed.error().c_str());
-    return 1;
+  std::vector<ra::ExprPtr> parsed_list;
+  for (const auto& expression : expressions) {
+    auto parsed = ra::Parse(expression, schema);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error in '%s': %s\n", expression.c_str(),
+                   parsed.error().c_str());
+      return 1;
+    }
+    parsed_list.push_back(std::move(*parsed));
   }
 
   engine::EngineOptions options = reference    ? engine::EngineOptions::Reference()
@@ -141,61 +180,136 @@ int main(int argc, char** argv) {
   options.batch_size = static_cast<std::size_t>(batch_size);
   options.threads = static_cast<std::size_t>(threads);
   options.plan_cache_entries = static_cast<std::size_t>(plan_cache_entries);
+
+  if (sessions > 0) {
+    // Concurrent serving: N session threads share one engine and one
+    // snapshot of a versioned head, through the process-wide caches. The
+    // engine-local plan cache stays off (it is single-threaded).
+    options.plan_cache_entries = 0;
+    options.shared_plan_cache = std::make_shared<engine::SharedPlanCache>(256, 0);
+    options.result_cache =
+        std::make_shared<engine::ResultCache>(256, std::size_t{64} << 20);
+    const engine::Engine engine(options);
+    txn::VersionedDatabase head(db);
+    const txn::SnapshotPtr snapshot = head.snapshot();
+
+    const std::size_t n = static_cast<std::size_t>(sessions);
+    std::vector<std::vector<std::string>> reports(n);
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      workers.emplace_back([&, s] {
+        for (std::size_t q = 0; q < parsed_list.size(); ++q) {
+          auto run = engine.Run(parsed_list[q], *snapshot);
+          if (!run.ok()) {
+            reports[s].push_back(util::StrCat("session ", s + 1, " Q", q + 1,
+                                              ": error: ", run.error()));
+            failed.store(true);
+            return;
+          }
+          char digest[32];
+          std::snprintf(digest, sizeof(digest), "%016llx",
+                        static_cast<unsigned long long>(
+                            RelationDigest(run->relation)));
+          reports[s].push_back(util::StrCat(
+              "session ", s + 1, " Q", q + 1, ": digest=", digest, " rows=",
+              run->relation.size(), " cache=",
+              engine::CacheOutcomeToString(run->stats.cache)));
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto& session_lines : reports) {
+      for (const auto& line : session_lines) std::printf("%s\n", line.c_str());
+    }
+    if (verbose) {
+      const auto plan_stats = options.shared_plan_cache->stats();
+      const auto result_stats = options.result_cache->stats();
+      std::fprintf(stderr,
+                   "-- shared plan cache: %zu entr%s; %zu hit(s), %zu miss(es), "
+                   "%zu revalidation(s), %zu repick(s)\n",
+                   options.shared_plan_cache->size(),
+                   options.shared_plan_cache->size() == 1 ? "y" : "ies",
+                   plan_stats.hits, plan_stats.misses, plan_stats.revalidations,
+                   plan_stats.repicks);
+      std::fprintf(stderr,
+                   "-- result cache: %zu entr%s, ~%zu bytes; %zu hit(s), "
+                   "%zu miss(es), %zu invalidation(s)\n",
+                   options.result_cache->size(),
+                   options.result_cache->size() == 1 ? "y" : "ies",
+                   options.result_cache->bytes(), result_stats.hits,
+                   result_stats.misses, result_stats.invalidations);
+    }
+    return failed.load() ? 1 : 0;
+  }
+
   const engine::Engine engine(options);
-  auto run = engine.Run(*parsed, db);
-  if (run.ok() && plan_cache_entries > 0) {
-    // Second execution: served from the cache (a hit on the unchanged
-    // database), so the CLI demonstrates the prepared hot path end to end.
-    run = engine.Run(*parsed, db);
-  }
-  if (!run.ok()) {
-    std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
-    return 1;
-  }
-  std::fputs(core::WriteRelationCsv(run->relation, &names).c_str(), stdout);
-  if (verbose) {
-    std::fprintf(stderr,
-                 "-- %zu tuple(s); max intermediate %zu; operators "
-                 "(actual / estimated):\n",
-                 run->relation.size(), run->stats.max_intermediate);
-    if (batched) {
+  int exit_code = 0;
+  for (const auto& parsed : parsed_list) {
+    auto run = engine.Run(parsed, db);
+    if (run.ok() && plan_cache_entries > 0) {
+      // Second execution: served from the cache (a hit on the unchanged
+      // database), so the CLI demonstrates the prepared hot path end to end.
+      run = engine.Run(parsed, db);
+    }
+    if (!run.ok()) {
+      std::fprintf(stderr, "eval error: %s\n", run.error().c_str());
+      exit_code = 1;
+      continue;
+    }
+    std::fputs(core::WriteRelationCsv(run->relation, &names).c_str(), stdout);
+    if (verbose) {
       std::fprintf(stderr,
-                   "-- batched: %zu-tuple batches, %llu emitted, peak batch "
-                   "%zu bytes\n",
-                   run->stats.batch_size,
-                   static_cast<unsigned long long>(run->stats.batches_emitted),
-                   run->stats.peak_batch_bytes);
-    }
-    if (run->stats.threads_used > 1) {
-      std::fprintf(stderr, "-- parallel: %zu threads, %zu partition task(s)\n",
-                   run->stats.threads_used, run->stats.partitions);
-    }
-    if (run->stats.cache != engine::CacheOutcome::kUncached) {
-      const auto* cache = engine.plan_cache();
-      std::fprintf(stderr,
-                   "-- plan-cache: %s (%zu entr%s, ~%zu bytes; %zu hit(s), "
-                   "%zu miss(es), %zu revalidation(s), %zu repick(s))\n",
-                   engine::CacheOutcomeToString(run->stats.cache), cache->size(),
-                   cache->size() == 1 ? "y" : "ies", cache->bytes(),
-                   cache->stats().hits, cache->stats().misses,
-                   cache->stats().revalidations, cache->stats().repicks);
-    }
-    for (const auto& op : run->stats.ops) {
-      if (op.has_estimate) {
-        std::fprintf(stderr, "   %6zu  est=%-8.0f %s\n", op.output_size,
-                     op.estimated_output, op.label.c_str());
-      } else {
-        std::fprintf(stderr, "   %6zu  %s\n", op.output_size, op.label.c_str());
+                   "-- %zu tuple(s); max intermediate %zu; operators "
+                   "(actual / estimated):\n",
+                   run->relation.size(), run->stats.max_intermediate);
+      if (batched) {
+        std::fprintf(stderr,
+                     "-- batched: %zu-tuple batches, %llu emitted, peak batch "
+                     "%zu bytes\n",
+                     run->stats.batch_size,
+                     static_cast<unsigned long long>(run->stats.batches_emitted),
+                     run->stats.peak_batch_bytes);
+      }
+      if (run->stats.threads_used > 1) {
+        std::fprintf(stderr, "-- parallel: %zu threads, %zu partition task(s)\n",
+                     run->stats.threads_used, run->stats.partitions);
+      }
+      if (run->stats.cache != engine::CacheOutcome::kUncached) {
+        // The engine-local cache may be absent when the outcome came from
+        // the shared caches (e.g. result-hit) — never dereference it then.
+        const auto* cache = engine.plan_cache();
+        if (cache != nullptr) {
+          std::fprintf(stderr,
+                       "-- plan-cache: %s (%zu entr%s, ~%zu bytes; %zu hit(s), "
+                       "%zu miss(es), %zu revalidation(s), %zu repick(s))\n",
+                       engine::CacheOutcomeToString(run->stats.cache), cache->size(),
+                       cache->size() == 1 ? "y" : "ies", cache->bytes(),
+                       cache->stats().hits, cache->stats().misses,
+                       cache->stats().revalidations, cache->stats().repicks);
+        } else {
+          std::fprintf(stderr, "-- cache: %s\n",
+                       engine::CacheOutcomeToString(run->stats.cache));
+        }
+      }
+      for (const auto& op : run->stats.ops) {
+        if (op.has_estimate) {
+          std::fprintf(stderr, "   %6zu  est=%-8.0f %s\n", op.output_size,
+                       op.estimated_output, op.label.c_str());
+        } else {
+          std::fprintf(stderr, "   %6zu  %s\n", op.output_size, op.label.c_str());
+        }
+      }
+      for (const auto& rewrite : run->stats.rewrites) {
+        std::fprintf(stderr, "-- rewrite: %s\n", rewrite.c_str());
+      }
+      for (const auto& choice : run->stats.choices) {
+        std::fprintf(stderr, "-- cost-based: %s → %s (est cost %.0f, est rows %.0f)\n",
+                     choice.site.c_str(), choice.algorithm.c_str(),
+                     choice.estimate.cost, choice.estimate.output_size);
       }
     }
-    for (const auto& rewrite : run->stats.rewrites) {
-      std::fprintf(stderr, "-- rewrite: %s\n", rewrite.c_str());
-    }
-    for (const auto& choice : run->stats.choices) {
-      std::fprintf(stderr, "-- cost-based: %s → %s (est cost %.0f, est rows %.0f)\n",
-                   choice.site.c_str(), choice.algorithm.c_str(),
-                   choice.estimate.cost, choice.estimate.output_size);
-    }
   }
-  return 0;
+  return exit_code;
 }

@@ -9,10 +9,12 @@
 
 namespace setalg::core {
 
-std::uint64_t Database::NextId() {
+std::uint64_t NextDatabaseId() {
   static std::atomic<std::uint64_t> counter{0};
   return ++counter;
 }
+
+std::uint64_t Database::NextId() { return NextDatabaseId(); }
 
 Database::Database() : id_(NextId()) {}
 

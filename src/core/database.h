@@ -16,6 +16,39 @@
 
 namespace setalg::core {
 
+/// Draws the next value from the process-wide database-identity counter.
+/// Every storage lineage that can serve as a cache key — a `Database`, a
+/// `txn::VersionedDatabase` head — must allocate its id here so ids never
+/// collide across storage kinds.
+std::uint64_t NextDatabaseId();
+
+/// Read-only view of a database: the minimal interface the engine needs
+/// to plan and execute a query. Both the live, mutable `Database` and the
+/// immutable `txn::Snapshot` implement it, so every consumer — the
+/// planner, the executors, stats collection, the caches — is agnostic to
+/// whether it reads a head being mutated or a frozen version.
+///
+/// The identity contract mirrors Database: `id()` names the storage
+/// lineage and `relation_version(name)` is a monotone per-relation
+/// mutation counter within that lineage. Two views with equal id and
+/// equal relation versions (for the relations a query reads) are
+/// guaranteed to expose byte-identical relation contents.
+class DatabaseView {
+ public:
+  virtual ~DatabaseView() = default;
+
+  virtual const Schema& schema() const = 0;
+
+  /// Read access to a stored relation; the name must be in the schema.
+  virtual const Relation& relation(const std::string& name) const = 0;
+
+  /// Identity of the storage lineage this view reads.
+  virtual std::uint64_t id() const = 0;
+
+  /// Monotone per-relation mutation counter (see Database).
+  virtual std::uint64_t relation_version(const std::string& name) const = 0;
+};
+
 /// An assignment of a finite relation to each relation name of a schema.
 ///
 /// Every database carries a process-unique `id()` and a per-relation
@@ -23,7 +56,7 @@ namespace setalg::core {
 /// cached relation statistics of stats::DatabaseStats — can be invalidated
 /// precisely when a stored relation changes instead of being recomputed
 /// per query. Copies get a fresh id (they diverge independently).
-class Database {
+class Database : public DatabaseView {
  public:
   /// An empty database over the empty schema (useful as a placeholder).
   Database();
@@ -35,10 +68,10 @@ class Database {
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const override { return schema_; }
 
   /// Read access to a stored relation; the name must be in the schema.
-  const Relation& relation(const std::string& name) const;
+  const Relation& relation(const std::string& name) const override;
 
   /// Replaces the stored relation; arity must match the schema.
   void SetRelation(const std::string& name, Relation relation);
@@ -49,12 +82,12 @@ class Database {
 
   /// Process-unique identity of this database instance (fresh on
   /// construction and on copy; preserved by moves).
-  std::uint64_t id() const { return id_; }
+  std::uint64_t id() const override { return id_; }
 
   /// Monotone counter bumped every time `name` is (potentially) mutated —
   /// by SetRelation or mutable_relation. Derived caches store the counter
   /// they computed against and recompute when it moves.
-  std::uint64_t relation_version(const std::string& name) const;
+  std::uint64_t relation_version(const std::string& name) const override;
 
   /// |D|: the sum of the cardinalities of all relations (Definition 15).
   std::size_t size() const;

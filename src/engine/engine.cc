@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "engine/parallel.h"
+#include "engine/result_cache.h"
+#include "engine/shared_cache.h"
 #include "util/check.h"
 
 namespace setalg::engine {
@@ -31,7 +33,7 @@ OpStats MakeOpStats(const PhysicalOp* op, std::size_t output_size,
 // Post-order DAG execution with memoization: shared operators run once.
 class Executor {
  public:
-  Executor(const core::Database* db, const EngineOptions* options,
+  Executor(const core::DatabaseView* db, const EngineOptions* options,
            const PhysicalPlan* plan, PlanStats* stats, WorkerPool* pool)
       : ctx_(db, stats, options->batch_size, pool), options_(options), plan_(plan),
         stats_(stats) {}
@@ -130,7 +132,7 @@ class InstrumentedIterator final : public BatchIterator {
 // actual buffering.
 class BatchedExecutor {
  public:
-  BatchedExecutor(const core::Database* db, const EngineOptions* options,
+  BatchedExecutor(const core::DatabaseView* db, const EngineOptions* options,
                   const PhysicalPlan* plan, PlanStats* stats, WorkerPool* pool)
       : ctx_(db, stats, options->batch_size, pool), options_(options), plan_(plan),
         stats_(stats) {}
@@ -285,7 +287,14 @@ void InstrumentedIterator::FinalizeOnce() {
 
 }  // namespace
 
-const stats::DatabaseStats* Engine::StatsFor(const core::Database& db) const {
+const stats::StatsProvider* Engine::StatsFor(const core::DatabaseView& db) const {
+  // Views that double as their own statistics provider — txn::Snapshot
+  // computes per-relation stats lazily behind its own mutex — bypass the
+  // engine's memoized provider entirely. This keeps concurrent
+  // Run(expr, snapshot) calls off the engine's mutable state.
+  if (const auto* provider = dynamic_cast<const stats::StatsProvider*>(&db)) {
+    return provider;
+  }
   if (db_stats_ == nullptr || db_stats_id_ != db.id() || &db_stats_->db() != &db) {
     db_stats_ = std::make_unique<stats::DatabaseStats>(&db);
     db_stats_id_ = db.id();
@@ -307,7 +316,7 @@ void Engine::ClearPlanCache() const {
 }
 
 util::Result<RunResult> Engine::RunCached(const CachedPlanPtr& entry,
-                                          const core::Database& db) const {
+                                          const core::DatabaseView& db) const {
   const CacheOutcome outcome =
       RevalidateCachedPlan(*entry, db, StatsFor(db), options_);
   // No-op for entries the cache is not holding (detached hand-built
@@ -320,11 +329,58 @@ util::Result<RunResult> Engine::RunCached(const CachedPlanPtr& entry,
 }
 
 util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr,
-                                    const core::Database& db) const {
+                                    const core::DatabaseView& db) const {
+  const ResultCache* results = options_.result_cache.get();
+  if (results == nullptr) {
+    PhysicalOpPtr pin;
+    return RunWithPlanCaches(expr, db, &pin);
+  }
+  const std::uint64_t fp = OptionsFingerprint(options_);
+  if (auto hit = results->Lookup(expr, db, fp)) {
+    RunResult out;
+    out.relation = std::move(hit->relation);
+    out.stats = std::move(hit->stats);
+    return util::Result<RunResult>(std::move(out));
+  }
+  PhysicalOpPtr pin;
+  auto run = RunWithPlanCaches(expr, db, &pin);
+  if (run.ok()) {
+    // Key the stored result on the versions of exactly the relations the
+    // expression reads. Consistent with the data the run saw: a
+    // snapshot's counters are frozen, and a live Database is
+    // single-threaded by contract.
+    results->Insert(expr, db.id(), fp,
+                    stats::SnapshotVersions(db, ra::CollectRelationNames(*expr)),
+                    run->relation, run->stats, std::move(pin));
+  }
+  return run;
+}
+
+util::Result<RunResult> Engine::RunWithPlanCaches(const ra::ExprPtr& expr,
+                                                  const core::DatabaseView& db,
+                                                  PhysicalOpPtr* pin) const {
+  if (const SharedPlanCache* shared = options_.shared_plan_cache.get()) {
+    // The process-wide cache takes precedence over the engine-local one:
+    // entries are immutable and revalidated by replacement, so this path
+    // is safe from any number of threads.
+    auto acquired = shared->Acquire(expr, db, StatsFor(db), options_);
+    SharedPlanPtr entry = std::move(acquired.entry);
+    if (entry == nullptr) {
+      auto plan = Plan(expr, db);
+      if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
+      entry = shared->Insert(MakeCachedPlan(expr, db, std::move(*plan)), options_);
+    }
+    auto run = RunPlan(entry->plan, db);
+    if (run.ok()) run->stats.cache = acquired.outcome;
+    *pin = entry->plan.root;
+    return run;
+  }
   PlanCache* cache = EnsureCache();
   if (cache != nullptr) {
     if (CachedPlanPtr entry = cache->Lookup(expr, db.id())) {
-      return RunCached(entry, db);
+      auto run = RunCached(entry, db);
+      *pin = entry->plan.root;  // After the run: revalidation may swap it.
+      return run;
     }
     auto plan = Plan(expr, db);
     if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
@@ -334,15 +390,18 @@ util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr,
     ++entry->uses;
     auto run = RunPlan(entry->plan, db);
     if (run.ok()) run->stats.cache = CacheOutcome::kMiss;
+    *pin = entry->plan.root;
     return run;
   }
   auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
-  return RunPlan(*plan, db);
+  auto run = RunPlan(*plan, db);
+  *pin = plan->root;
+  return run;
 }
 
 util::Result<PreparedQuery> Engine::Prepare(const ra::ExprPtr& expr,
-                                            const core::Database& db) const {
+                                            const core::DatabaseView& db) const {
   SETALG_CHECK(expr != nullptr);
   PlanCache* cache = EnsureCache();
   if (cache != nullptr) {
@@ -366,7 +425,7 @@ util::Result<PreparedQuery> Engine::Prepare(const ra::ExprPtr& expr,
 }
 
 util::Result<PreparedQuery> Engine::Prepare(PhysicalPlan plan,
-                                            const core::Database& db) const {
+                                            const core::DatabaseView& db) const {
   if (plan.root == nullptr) {
     return util::Result<PreparedQuery>::Error("cannot prepare an empty plan");
   }
@@ -377,7 +436,7 @@ util::Result<PreparedQuery> Engine::Prepare(PhysicalPlan plan,
 }
 
 util::Result<RunResult> Engine::Run(const PreparedQuery& prepared,
-                                    const core::Database& db) const {
+                                    const core::DatabaseView& db) const {
   SETALG_CHECK(prepared.valid());
   const CachedPlanPtr& entry = prepared.entry_;
   if (entry->db_id != db.id()) {
@@ -398,7 +457,7 @@ util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,
 }
 
 util::Result<PhysicalPlan> Engine::Plan(const ra::ExprPtr& expr,
-                                        const core::Database& db) const {
+                                        const core::DatabaseView& db) const {
   return Planner(options_).Lower(expr, db.schema(), StatsFor(db));
 }
 
@@ -410,14 +469,14 @@ util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
 }
 
 util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
-                                          const core::Database& db) const {
+                                          const core::DatabaseView& db) const {
   auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<std::string>::Error(plan.error());
   return plan->ToString();
 }
 
 util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
-                                        const core::Database& db) const {
+                                        const core::DatabaseView& db) const {
   SETALG_CHECK(plan.root != nullptr);
   RunResult result;
   result.stats.rewrites = plan.rewrites;
@@ -444,7 +503,7 @@ util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
   return result;
 }
 
-util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr, const core::Database& db,
+util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr, const core::DatabaseView& db,
                                     const EngineOptions& options) {
   // The throwaway engine cannot amortize a statistics pass across calls
   // (this is the hot path behind legacy ra::Eval), so it only computes

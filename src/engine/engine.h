@@ -90,12 +90,20 @@ class PreparedQuery {
   CachedPlanPtr entry_;
 };
 
-/// Not thread-safe: the engine memoizes relation statistics for the last
-/// database it ran against (stats::DatabaseStats, invalidated via the
-/// database's mutation counters) and, when enabled, a plan cache
-/// (engine/plan_cache.h), so concurrent Runs on one Engine would race on
-/// those caches. Use one Engine per thread; the worker-pool parallelism
-/// of EngineOptions::threads lives *inside* a run and is unaffected.
+/// Every entry point takes a core::DatabaseView — a live core::Database
+/// or an immutable txn::Snapshot — so the same engine serves one-shot
+/// evaluation and MVCC snapshot serving.
+///
+/// Thread-safety: an Engine is safe for concurrent Run(expr, view) calls
+/// iff (a) every view passed is its own thread-safe statistics provider
+/// (txn::Snapshot is; a live Database routes through the engine's
+/// memoized, single-threaded stats::DatabaseStats) and (b) the
+/// engine-local plan cache is disabled (plan_cache_entries == 0) — use
+/// the process-wide EngineOptions::shared_plan_cache / result_cache
+/// instead, which are striped/locked and shareable across engines and
+/// threads. Prepared handles remain session-scoped (single-threaded).
+/// The worker-pool parallelism of EngineOptions::threads lives *inside*
+/// a run and is unaffected by any of this.
 class Engine {
  public:
   /// An engine with the default (rewrite-enabled) options.
@@ -112,7 +120,7 @@ class Engine {
   /// re-cost the cached plan from fresh statistics after a mutation
   /// (revalidated/repicked) — PlanStats::cache reports which. Results
   /// and row counts are identical either way.
-  util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db) const;
+  util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::DatabaseView& db) const;
 
   /// Prepares `expr` against `db`: lowers it once (statistics-annotated)
   /// and returns a handle that owns the plan, its structural cache key,
@@ -121,14 +129,14 @@ class Engine {
   /// structurally equal expression hits the same entry); otherwise the
   /// handle is detached and self-contained.
   util::Result<PreparedQuery> Prepare(const ra::ExprPtr& expr,
-                                      const core::Database& db) const;
+                                      const core::DatabaseView& db) const;
 
   /// Prepares a hand-assembled physical plan (e.g. a set-join operator
   /// tree, which has no logical form). The version vector covers every
   /// relation the plan scans; revalidation refreshes cost annotations
   /// but has no recorded choice points to re-pick.
   util::Result<PreparedQuery> Prepare(PhysicalPlan plan,
-                                      const core::Database& db) const;
+                                      const core::DatabaseView& db) const;
 
   /// Executes a prepared statement: revalidates the handle's version
   /// vector against `db` (hit → run as-is; mismatch → re-cost the cached
@@ -138,7 +146,7 @@ class Engine {
   /// db) path — plans never leak across database identities. Results are
   /// always identical to a fresh un-cached Run.
   util::Result<RunResult> Run(const PreparedQuery& prepared,
-                              const core::Database& db) const;
+                              const core::DatabaseView& db) const;
 
   /// The transparent plan cache (created on first access), or nullptr
   /// when options().plan_cache_entries == 0. Observable state only
@@ -158,7 +166,7 @@ class Engine {
   /// Statistics-aware lowering: the plan is annotated with cost estimates
   /// and cost_based options pick algorithms from `db`'s relation stats.
   util::Result<PhysicalPlan> Plan(const ra::ExprPtr& expr,
-                                  const core::Database& db) const;
+                                  const core::DatabaseView& db) const;
 
   /// The plan rendered as text (operator tree + rewrite notes).
   util::Result<std::string> Explain(const ra::ExprPtr& expr,
@@ -166,33 +174,42 @@ class Engine {
 
   /// Statistics-aware Explain: additionally shows cost-based choices.
   util::Result<std::string> Explain(const ra::ExprPtr& expr,
-                                    const core::Database& db) const;
+                                    const core::DatabaseView& db) const;
 
   /// Executes a plan built by Plan() or assembled by hand from the
   /// physical.h factories (e.g. a set-containment join operator, which has
   /// no succinct logical form).
   util::Result<RunResult> RunPlan(const PhysicalPlan& plan,
-                                  const core::Database& db) const;
+                                  const core::DatabaseView& db) const;
 
   /// One-shot convenience. Computes statistics only when
   /// `options.cost_based` needs them (a throwaway engine cannot amortize
   /// the pass); use a persistent Engine for cached stats and
   /// estimated-vs-actual annotations on every run.
-  static util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::Database& db,
+  static util::Result<RunResult> Run(const ra::ExprPtr& expr, const core::DatabaseView& db,
                                      const EngineOptions& options);
 
  private:
-  /// The statistics provider for `db`, rebuilt when a different database
-  /// (by id) comes through; per-relation stats within it refresh via the
-  /// database's mutation counters.
-  const stats::DatabaseStats* StatsFor(const core::Database& db) const;
+  /// The statistics provider for `db`. Views that are their own provider
+  /// (txn::Snapshot) are returned directly — thread-safe, no engine
+  /// state touched. Otherwise the memoized stats::DatabaseStats is
+  /// rebuilt when a different database (by id) comes through;
+  /// per-relation stats within it refresh via the mutation counters.
+  const stats::StatsProvider* StatsFor(const core::DatabaseView& db) const;
 
   /// The plan cache, created on first use (null when disabled).
   PlanCache* EnsureCache() const;
 
   /// Shared tail of the cached execution paths: revalidate, tally, run.
   util::Result<RunResult> RunCached(const CachedPlanPtr& entry,
-                                    const core::Database& db) const;
+                                    const core::DatabaseView& db) const;
+
+  /// Run through the plan caches (shared first, then engine-local, then
+  /// uncached), leaving PlanStats::cache set. `*pin` receives the root
+  /// of the plan that actually ran (for result-cache provenance).
+  util::Result<RunResult> RunWithPlanCaches(const ra::ExprPtr& expr,
+                                            const core::DatabaseView& db,
+                                            PhysicalOpPtr* pin) const;
 
   EngineOptions options_;
   mutable std::unique_ptr<stats::DatabaseStats> db_stats_;

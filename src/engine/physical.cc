@@ -1155,6 +1155,8 @@ const char* CacheOutcomeToString(CacheOutcome outcome) {
       return "revalidated";
     case CacheOutcome::kRepicked:
       return "repicked";
+    case CacheOutcome::kResultHit:
+      return "result-hit";
   }
   return "?";
 }

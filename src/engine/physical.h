@@ -87,6 +87,9 @@ enum class CacheOutcome {
   kHit,          // Version vector matched: the cached plan ran as-is.
   kRevalidated,  // Versions moved; re-costed, every algorithm choice held.
   kRepicked,     // Versions moved; re-costing flipped >= 1 choice in place.
+  kResultHit,    // Served from the result cache (engine/result_cache.h):
+                 // no plan ran at all — the stored relation and the
+                 // producing run's stats were replayed verbatim.
 };
 
 /// The outcome's raq/-v spelling ("hit", "repicked", ...).
@@ -136,12 +139,12 @@ class WorkerPool;  // engine/parallel.h
 /// Execution-time context handed to every operator.
 class ExecContext {
  public:
-  ExecContext(const core::Database* db, PlanStats* stats,
+  ExecContext(const core::DatabaseView* db, PlanStats* stats,
               std::size_t batch_size = kDefaultBatchSize, WorkerPool* pool = nullptr)
       : db_(db), stats_(stats), batch_size_(batch_size == 0 ? 1 : batch_size),
         pool_(pool) {}
 
-  const core::Database& db() const { return *db_; }
+  const core::DatabaseView& db() const { return *db_; }
   PlanStats* stats() const { return stats_; }
 
   /// Tuples per batch on the batch surface (always >= 1).
@@ -174,7 +177,7 @@ class ExecContext {
   }
 
  private:
-  const core::Database* db_;
+  const core::DatabaseView* db_;
   PlanStats* stats_;
   std::size_t batch_size_;
   WorkerPool* pool_;

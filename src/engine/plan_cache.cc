@@ -98,7 +98,7 @@ std::size_t ApproxPlanBytes(const CachedPlan& entry) {
   return bytes;
 }
 
-CachedPlanPtr MakeCachedPlan(ra::ExprPtr expr, const core::Database& db,
+CachedPlanPtr MakeCachedPlan(ra::ExprPtr expr, const core::DatabaseView& db,
                              PhysicalPlan plan) {
   auto entry = std::make_shared<CachedPlan>();
   entry->expr_hash = expr == nullptr ? 0 : ra::StructuralHash(*expr);
@@ -113,7 +113,7 @@ CachedPlanPtr MakeCachedPlan(ra::ExprPtr expr, const core::Database& db,
   return entry;
 }
 
-CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::Database& db,
+CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& db,
                                   const stats::StatsProvider* stats,
                                   const EngineOptions& options) {
   if (stats::VersionsMatch(db, entry.versions)) return CacheOutcome::kHit;
@@ -345,6 +345,8 @@ void PlanCache::RecordOutcome(CacheOutcome outcome) {
       ++stats_.repicks;
       break;
     case CacheOutcome::kUncached:
+    case CacheOutcome::kResultHit:
+      // Result-cache hits never touch the plan cache (no plan ran).
       break;
   }
 }

@@ -72,7 +72,7 @@ using CachedPlanPtr = std::shared_ptr<CachedPlan>;
 /// Builds a cache entry (detached — not registered anywhere) for `plan`
 /// as lowered for `db`. `expr` may be null for hand-built plans; the
 /// version vector then comes from the plan's scans.
-CachedPlanPtr MakeCachedPlan(ra::ExprPtr expr, const core::Database& db,
+CachedPlanPtr MakeCachedPlan(ra::ExprPtr expr, const core::DatabaseView& db,
                              PhysicalPlan plan);
 
 /// Approximate bytes held live by `entry` (deterministic, so cache-budget
@@ -91,7 +91,7 @@ std::size_t ApproxPlanBytes(const CachedPlan& entry);
 /// `options` must be the options the plan was lowered under (the Engine
 /// guarantees this: one cache per engine, one options set per engine).
 /// `db` must be the instance the entry is keyed on (same id).
-CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::Database& db,
+CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& db,
                                   const stats::StatsProvider* stats,
                                   const EngineOptions& options);
 

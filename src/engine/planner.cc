@@ -6,6 +6,7 @@
 
 #include "engine/cost.h"
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/str.h"
 
 namespace setalg::engine {
@@ -385,6 +386,24 @@ EngineOptions EngineOptions::Parallel(std::size_t threads, std::size_t batch_siz
   EngineOptions options = Batched(batch_size);
   options.threads = threads;
   return options;
+}
+
+std::uint64_t OptionsFingerprint(const EngineOptions& options) {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  auto mix = [&h](std::uint64_t value) { h = util::HashCombine(h, value); };
+  mix(options.recognize_division);
+  mix(options.recognize_semijoin_projection);
+  mix(options.use_fast_semijoin);
+  mix(static_cast<std::uint64_t>(options.division_algorithm));
+  mix(static_cast<std::uint64_t>(options.containment_algorithm));
+  mix(static_cast<std::uint64_t>(options.set_equality_algorithm));
+  mix(options.cost_based);
+  mix(options.batched);
+  mix(options.batch_size);
+  mix(options.threads);
+  mix(options.collect_node_stats);
+  mix(options.max_intermediate_budget);
+  return h;
 }
 
 std::string PhysicalPlan::ToString() const {

@@ -15,6 +15,8 @@
 #ifndef SETALG_ENGINE_PLANNER_H_
 #define SETALG_ENGINE_PLANNER_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +28,9 @@
 #include "util/result.h"
 
 namespace setalg::engine {
+
+class SharedPlanCache;  // engine/shared_cache.h
+class ResultCache;      // engine/result_cache.h
 
 /// Knobs for planning and execution.
 struct EngineOptions {
@@ -102,6 +107,23 @@ struct EngineOptions {
   /// ownership) — eviction only forgets, it never invalidates.
   std::size_t plan_cache_bytes = 0;
 
+  /// Process-wide striped plan cache shared between engines and threads
+  /// (engine/shared_cache.h). When set it takes precedence over the
+  /// engine-local cache above for Engine::Run — entries are immutable
+  /// and revalidated by replacement, so any number of engines on any
+  /// number of threads may share one instance. Prepared handles keep
+  /// using the engine-local path (a handle is a session-scoped object).
+  /// Excluded from OptionsFingerprint (cache wiring, not semantics).
+  std::shared_ptr<SharedPlanCache> shared_plan_cache;
+
+  /// Invalidation-aware result cache (engine/result_cache.h): whole query
+  /// results keyed on expression structure × database id × the version
+  /// vector of the relations read. Checked before any planning; a hit
+  /// replays the stored relation and the producing run's PlanStats with
+  /// cache = kResultHit. Shareable across engines and threads. Excluded
+  /// from OptionsFingerprint (cache wiring, not semantics).
+  std::shared_ptr<ResultCache> result_cache;
+
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
   bool collect_node_stats = true;
@@ -128,6 +150,15 @@ struct EngineOptions {
   static EngineOptions Parallel(std::size_t threads,
                                 std::size_t batch_size = kDefaultBatchSize);
 };
+
+/// Deterministic hash of every EngineOptions field that can change what a
+/// lowered plan looks like or what a run produces (rewrites, algorithm
+/// defaults, cost_based, execution mode, budgets, stats collection).
+/// Cache-wiring fields (plan_cache_*, shared_plan_cache, result_cache)
+/// are excluded: they select *where* plans/results are stored, never what
+/// they are. The process-wide caches mix this into their keys so engines
+/// configured differently can share one cache without exchanging plans.
+std::uint64_t OptionsFingerprint(const EngineOptions& options);
 
 /// One re-costable algorithm decision baked into a lowered plan: the call
 /// site kind, the logical inputs its cost formulas price, and the operator

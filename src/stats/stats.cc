@@ -87,7 +87,7 @@ std::string RelationStats::ToString() const {
   return out.str();
 }
 
-VersionVector SnapshotVersions(const core::Database& db,
+VersionVector SnapshotVersions(const core::DatabaseView& db,
                                std::vector<std::string> names) {
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
@@ -100,14 +100,14 @@ VersionVector SnapshotVersions(const core::Database& db,
   return versions;
 }
 
-bool VersionsMatch(const core::Database& db, const VersionVector& versions) {
+bool VersionsMatch(const core::DatabaseView& db, const VersionVector& versions) {
   for (const auto& [name, version] : versions) {
     if (db.relation_version(name) != version) return false;
   }
   return true;
 }
 
-DatabaseStats::DatabaseStats(const core::Database* db) : db_(db) {
+DatabaseStats::DatabaseStats(const core::DatabaseView* db) : db_(db) {
   SETALG_CHECK(db != nullptr);
 }
 

@@ -79,22 +79,22 @@ using VersionVector = std::vector<std::pair<std::string, std::uint64_t>>;
 
 /// Snapshots db.relation_version(name) for each of `names` (sorted by
 /// name; duplicates collapsed). Names outside the schema snapshot as 0.
-VersionVector SnapshotVersions(const core::Database& db,
+VersionVector SnapshotVersions(const core::DatabaseView& db,
                                std::vector<std::string> names);
 
 /// True iff none of the snapshotted relations has been mutated since —
 /// i.e. re-snapshotting `db` would reproduce `versions` exactly.
-bool VersionsMatch(const core::Database& db, const VersionVector& versions);
+bool VersionsMatch(const core::DatabaseView& db, const VersionVector& versions);
 
-/// The caching provider over one database: statistics are computed on
-/// first use and reused until the relation's mutation counter moves.
-/// Holds a pointer to the database; not thread-safe (matching the rest of
-/// the library).
+/// The caching provider over one database view: statistics are computed
+/// on first use and reused until the relation's mutation counter moves.
+/// Holds a pointer to the view; not thread-safe (immutable views that
+/// need a concurrent provider — txn::Snapshot — carry their own).
 class DatabaseStats : public StatsProvider {
  public:
-  explicit DatabaseStats(const core::Database* db);
+  explicit DatabaseStats(const core::DatabaseView* db);
 
-  const core::Database& db() const { return *db_; }
+  const core::DatabaseView& db() const { return *db_; }
 
   /// Stats of the stored relation `name` (nullptr if not in the schema).
   /// Recomputes iff db().relation_version(name) moved since the last call.
@@ -110,7 +110,7 @@ class DatabaseStats : public StatsProvider {
     RelationStats stats;
   };
 
-  const core::Database* db_;
+  const core::DatabaseView* db_;
   mutable std::unordered_map<std::string, Entry> cache_;
   mutable std::size_t recompute_count_ = 0;
 };

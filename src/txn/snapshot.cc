@@ -1,0 +1,124 @@
+#include "txn/snapshot.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace setalg::txn {
+
+const core::Relation& Snapshot::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  SETALG_CHECK_STREAM(it != relations_.end()) << "unknown relation: " << name;
+  return *it->second;
+}
+
+std::uint64_t Snapshot::relation_version(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+stats::VersionVector Snapshot::Versions() const {
+  std::vector<std::string> names = schema_.Names();
+  return stats::SnapshotVersions(*this, std::move(names));
+}
+
+const stats::RelationStats* Snapshot::Get(const std::string& name) const {
+  if (!schema_.HasRelation(name)) return nullptr;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(name, stats::ComputeRelationStats(relation(name)))
+             .first;
+  }
+  return &it->second;
+}
+
+void WriteBatch::Set(std::string name, core::Relation relation) {
+  // Last write per name wins — and counts as one write: re-staging a name
+  // replaces the earlier entry so a commit bumps each touched relation's
+  // version exactly once.
+  for (auto& [staged_name, staged_relation] : writes_) {
+    if (staged_name == name) {
+      staged_relation = std::move(relation);
+      return;
+    }
+  }
+  writes_.emplace_back(std::move(name), std::move(relation));
+}
+
+VersionedDatabase::VersionedDatabase(core::Schema schema)
+    : schema_(std::move(schema)), id_(core::NextDatabaseId()) {
+  Snapshot::RelationMap relations;
+  std::unordered_map<std::string, std::uint64_t> versions;
+  for (const auto& name : schema_.Names()) {
+    relations.emplace(name,
+                      std::make_shared<core::Relation>(schema_.Arity(name)));
+    versions.emplace(name, 0);
+  }
+  head_ = SnapshotPtr(new Snapshot(schema_, std::move(relations),
+                                   std::move(versions), id_, 0));
+}
+
+VersionedDatabase::VersionedDatabase(const core::Database& db)
+    : schema_(db.schema()), id_(core::NextDatabaseId()) {
+  Snapshot::RelationMap relations;
+  std::unordered_map<std::string, std::uint64_t> versions;
+  for (const auto& name : schema_.Names()) {
+    relations.emplace(name, std::make_shared<core::Relation>(db.relation(name)));
+    versions.emplace(name, 0);
+  }
+  head_ = SnapshotPtr(new Snapshot(schema_, std::move(relations),
+                                   std::move(versions), id_, 0));
+}
+
+SnapshotPtr VersionedDatabase::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+SnapshotPtr VersionedDatabase::SetRelation(const std::string& name,
+                                           core::Relation relation) {
+  std::vector<std::pair<std::string, core::Relation>> writes;
+  writes.emplace_back(name, std::move(relation));
+  std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked(std::move(writes));
+}
+
+SnapshotPtr VersionedDatabase::Mutate(
+    const std::string& name, const std::function<void(core::Relation&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  core::Relation copy = head_->relation(name);
+  fn(copy);
+  std::vector<std::pair<std::string, core::Relation>> writes;
+  writes.emplace_back(name, std::move(copy));
+  return PublishLocked(std::move(writes));
+}
+
+SnapshotPtr VersionedDatabase::Commit(WriteBatch batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PublishLocked(std::move(batch.writes_));
+}
+
+SnapshotPtr VersionedDatabase::PublishLocked(
+    std::vector<std::pair<std::string, core::Relation>> writes) {
+  // Copy-on-write: shallow-copy the published maps (shared_ptr per
+  // relation), then replace only the touched entries. Readers holding
+  // the old snapshot keep the old relation objects alive; nothing they
+  // can reach is ever modified.
+  Snapshot::RelationMap relations = head_->relations_;
+  std::unordered_map<std::string, std::uint64_t> versions = head_->versions_;
+  for (auto& [name, relation] : writes) {
+    SETALG_CHECK_STREAM(schema_.HasRelation(name))
+        << "unknown relation: " << name;
+    SETALG_CHECK_EQ(schema_.Arity(name), relation.arity());
+    relations.insert_or_assign(
+        name, std::make_shared<core::Relation>(std::move(relation)));
+    ++versions[name];
+  }
+  head_ = SnapshotPtr(new Snapshot(schema_, std::move(relations),
+                                   std::move(versions), id_,
+                                   head_->version() + 1));
+  return head_;
+}
+
+}  // namespace setalg::txn

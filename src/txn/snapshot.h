@@ -1,0 +1,161 @@
+// MVCC storage: a mutable head (`VersionedDatabase`) that publishes
+// immutable snapshots (`Snapshot`) by copy-on-write.
+//
+// The concurrency contract, in one paragraph: writers serialize on the
+// head's mutex; each commit shallow-copies the head's relation map
+// (shared_ptr per relation), replaces only the touched relations with
+// freshly allocated copies, bumps their mutation counters, and publishes
+// a new `Snapshot` under the same mutex. Readers call `snapshot()` —
+// also under the mutex, a handful of instructions — and from then on
+// never synchronize with anyone: a snapshot is deeply immutable, its
+// relation pointers are frozen at commit time, and the shared_ptr keeps
+// every relation alive for as long as any reader holds the snapshot.
+// Any number of threads may therefore execute queries against the same
+// (or different) snapshots while writers keep committing.
+//
+// Identity: the head allocates its id from the same process-wide counter
+// as core::Database (`core::NextDatabaseId`), and every snapshot reports
+// that head id with the per-relation mutation counters frozen at its
+// commit. The (id, version vector) pair is thus a precise cache key:
+// equal pairs imply byte-identical relation contents, across snapshots
+// and across time — which is exactly what the shared plan cache and the
+// result cache index on.
+#ifndef SETALG_TXN_SNAPSHOT_H_
+#define SETALG_TXN_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/schema.h"
+#include "stats/stats.h"
+
+namespace setalg::txn {
+
+class Snapshot;
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// One immutable published version of a versioned database. Implements
+/// the engine's read interface (core::DatabaseView) and the planner's
+/// statistics interface (stats::StatsProvider); the statistics are
+/// computed lazily, once per relation per snapshot, behind a mutex — so
+/// a snapshot is safe to share between any number of query threads.
+class Snapshot final : public core::DatabaseView, public stats::StatsProvider {
+ public:
+  const core::Schema& schema() const override { return schema_; }
+  const core::Relation& relation(const std::string& name) const override;
+
+  /// The id of the head this snapshot was published from (NOT unique per
+  /// snapshot — snapshots of one head share the lineage; the version
+  /// vector distinguishes them).
+  std::uint64_t id() const override { return id_; }
+  std::uint64_t relation_version(const std::string& name) const override;
+
+  /// Publication counter: 0 for the head's initial snapshot, +1 per
+  /// commit. Strictly increasing along a head's publication order.
+  std::uint64_t version() const { return version_; }
+
+  /// The full version vector (every relation in the schema, sorted by
+  /// name) — the replay key used by the differential harnesses.
+  stats::VersionVector Versions() const;
+
+  /// stats::StatsProvider: lazily computed per-relation statistics,
+  /// safe to call from multiple threads concurrently. Pointers stay
+  /// valid for the snapshot's lifetime (entries are never replaced:
+  /// the underlying relation can not change).
+  const stats::RelationStats* Get(const std::string& name) const override;
+
+ private:
+  friend class VersionedDatabase;
+
+  using RelationMap =
+      std::unordered_map<std::string, std::shared_ptr<const core::Relation>>;
+
+  Snapshot(core::Schema schema, RelationMap relations,
+           std::unordered_map<std::string, std::uint64_t> versions,
+           std::uint64_t id, std::uint64_t version)
+      : schema_(std::move(schema)),
+        relations_(std::move(relations)),
+        versions_(std::move(versions)),
+        id_(id),
+        version_(version) {}
+
+  core::Schema schema_;
+  RelationMap relations_;
+  std::unordered_map<std::string, std::uint64_t> versions_;
+  std::uint64_t id_ = 0;
+  std::uint64_t version_ = 0;
+
+  // Lazy statistics. unordered_map node storage keeps value references
+  // stable across rehashes, and entries are inserted once and never
+  // replaced, so a pointer returned under the mutex stays valid without
+  // further locking.
+  mutable std::mutex stats_mu_;
+  mutable std::unordered_map<std::string, stats::RelationStats> stats_;
+};
+
+/// A set of relation replacements applied (and published) atomically:
+/// readers observe either none or all of the writes of one batch.
+class WriteBatch {
+ public:
+  /// Stages a full replacement of `name` (last write per name wins).
+  void Set(std::string name, core::Relation relation);
+
+  bool empty() const { return writes_.empty(); }
+
+ private:
+  friend class VersionedDatabase;
+  std::vector<std::pair<std::string, core::Relation>> writes_;
+};
+
+/// The mutable head: accepts writes, publishes snapshots. All members
+/// are thread-safe; writers serialize on an internal mutex, readers only
+/// take it for the duration of a pointer copy.
+class VersionedDatabase {
+ public:
+  explicit VersionedDatabase(core::Schema schema);
+
+  /// Seeds the head from an existing database (relation contents are
+  /// copied; the head gets a fresh lineage id and version counters
+  /// starting at 0).
+  explicit VersionedDatabase(const core::Database& db);
+
+  /// The lineage id shared by all snapshots of this head.
+  std::uint64_t id() const { return id_; }
+
+  /// The currently published snapshot. O(1); safe from any thread.
+  SnapshotPtr snapshot() const;
+
+  /// Replaces one relation and publishes. Arity must match the schema.
+  SnapshotPtr SetRelation(const std::string& name, core::Relation relation);
+
+  /// Copies the named relation, lets `fn` mutate the copy, publishes the
+  /// result as a replacement. The copy-modify-publish is atomic with
+  /// respect to other writers and invisible to readers until published.
+  SnapshotPtr Mutate(const std::string& name,
+                     const std::function<void(core::Relation&)>& fn);
+
+  /// Applies every write of `batch` and publishes exactly one snapshot.
+  SnapshotPtr Commit(WriteBatch batch);
+
+ private:
+  SnapshotPtr PublishLocked(
+      std::vector<std::pair<std::string, core::Relation>> writes);
+
+  core::Schema schema_;
+  std::uint64_t id_ = 0;
+
+  mutable std::mutex mu_;
+  SnapshotPtr head_;  // Guarded by mu_; never null after construction.
+};
+
+}  // namespace setalg::txn
+
+#endif  // SETALG_TXN_SNAPSHOT_H_

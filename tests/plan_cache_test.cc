@@ -25,6 +25,8 @@
 
 #include "engine/engine.h"
 #include "engine/plan_cache.h"
+#include "engine/result_cache.h"
+#include "engine/shared_cache.h"
 #include "ra/expr.h"
 #include "setjoin/division.h"
 #include "test_util.h"
@@ -618,6 +620,198 @@ TEST(PlanCache, CollidingRelationNamesOnDifferentDatabasesNeverShareEntries) {
   ASSERT_TRUE(crossed.ok());
   EXPECT_EQ(crossed->relation, MakeRel(1, {{7}, {8}}));
   EXPECT_EQ(crossed->stats.cache, CacheOutcome::kHit);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache: whole-result replay, invalidation, keying.
+// ---------------------------------------------------------------------------
+
+// The result-cache differential: across randomized mutation/execution
+// interleavings, a warm engine wired to the process-wide caches returns
+// results and stats byte-identical to a fresh cache-free engine, and the
+// second touch of any (expression, unchanged data) pair is a whole-result
+// replay (cache = kResultHit).
+TEST(ResultCacheTest, DifferentialUnderRandomizedMutations) {
+  const std::uint64_t base = BaseSeed();
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+
+  for (std::uint64_t seed = base; seed < base + 2; ++seed) {
+    setalg::testing::RandomSaEqGenerator generator(schema, {1, 2, 3}, seed * 719);
+    const std::vector<ra::ExprPtr> exprs = {
+        setjoin::ClassicDivisionExpr("R", "S"),
+        setjoin::ClassicEqualityDivisionExpr("R", "S"),
+        generator.Generate(1, 3),
+    };
+    for (const Mode& mode : AllModes()) {
+      for (bool batched : {false, true}) {
+        EngineOptions options = mode.options;
+        options.batched = batched;
+        options.batch_size = 7;
+        EngineOptions cached_options = options;
+        cached_options.plan_cache_entries = 0;  // The concurrent wiring.
+        cached_options.shared_plan_cache =
+            std::make_shared<SharedPlanCache>(16, 0);
+        const auto results = std::make_shared<ResultCache>(16, 1u << 20);
+        cached_options.result_cache = results;
+        const Engine cached(cached_options);
+        const Engine fresh(options);
+        const std::string what = mode.name + (batched ? " batched" : "") +
+                                 " seed=" + std::to_string(seed);
+
+        auto db = setalg::testing::RandomDatabase(schema, 40, 12, seed);
+        util::Rng rng(seed * 1013 + (batched ? 7 : 0));
+        for (int step = 0; step < 5; ++step) {
+          MutateDatabase(&db, &rng, seed, step);
+          for (std::size_t i = 0; i < exprs.size(); ++i) {
+            const std::string context = what + " step=" + std::to_string(step) +
+                                        " expr=" + std::to_string(i);
+            auto want = fresh.Run(exprs[i], db);
+            ASSERT_TRUE(want.ok()) << context << ": " << want.error();
+            ASSERT_EQ(want->stats.cache, CacheOutcome::kUncached);
+
+            // First touch after the mutation: may be served any way —
+            // including a result hit, when the mutation happened to leave
+            // this expression's read set untouched — but never silently
+            // stale: identical to the fresh run or bust.
+            auto first = cached.Run(exprs[i], db);
+            ASSERT_TRUE(first.ok()) << context << ": " << first.error();
+            EXPECT_EQ(first->relation.flat(), want->relation.flat())
+                << context << " (first)";
+            ExpectIdenticalStats(want->stats, first->stats, context + " (first)");
+
+            // Second touch with no intervening mutation: whole-result
+            // replay, still byte-identical.
+            auto second = cached.Run(exprs[i], db);
+            ASSERT_TRUE(second.ok()) << context << ": " << second.error();
+            EXPECT_EQ(second->stats.cache, CacheOutcome::kResultHit) << context;
+            EXPECT_EQ(second->relation.flat(), want->relation.flat())
+                << context << " (second)";
+            ExpectIdenticalStats(want->stats, second->stats,
+                                 context + " (second)");
+          }
+        }
+        EXPECT_GT(results->stats().hits, 0u) << what;
+        EXPECT_GT(results->stats().insertions, 0u) << what;
+      }
+    }
+  }
+}
+
+// The invalidation law, deterministically: a result hit can never survive
+// a version-vector change on any relation the expression reads — and is
+// unaffected by mutations outside its read set. Also pins down the
+// options-fingerprint keying: engines with different semantics never
+// share a stored result.
+TEST(ResultCacheTest, HitNeverSurvivesVersionVectorChange) {
+  auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {1, 20}, {2, 10}, {3, 20}}), MakeRel(1, {{10}, {20}}));
+  const auto results = std::make_shared<ResultCache>(8, 0);
+  EngineOptions options;
+  options.plan_cache_entries = 0;
+  options.result_cache = results;
+  const Engine engine(options);
+
+  const auto division = setjoin::ClassicDivisionExpr("R", "S");
+  auto run1 = engine.Run(division, db);
+  ASSERT_TRUE(run1.ok());
+  EXPECT_EQ(run1->stats.cache, CacheOutcome::kUncached);
+  EXPECT_EQ(run1->relation, MakeRel(1, {{1}}));
+
+  auto run2 = engine.Run(division, db);
+  ASSERT_TRUE(run2.ok());
+  EXPECT_EQ(run2->stats.cache, CacheOutcome::kResultHit);
+  EXPECT_EQ(run2->relation, MakeRel(1, {{1}}));
+  EXPECT_EQ(results->stats().hits, 1u);
+  EXPECT_EQ(results->stats().invalidations, 0u);
+
+  // Mutate the dividend: the stored vector is stale, the entry must die.
+  db.mutable_relation("R")->Add({2, 20});
+  auto run3 = engine.Run(division, db);
+  ASSERT_TRUE(run3.ok());
+  EXPECT_NE(run3->stats.cache, CacheOutcome::kResultHit);
+  EXPECT_EQ(run3->relation, MakeRel(1, {{1}, {2}}));
+  EXPECT_EQ(results->stats().invalidations, 1u);
+
+  // The re-inserted result serves hits again...
+  auto run4 = engine.Run(division, db);
+  ASSERT_TRUE(run4.ok());
+  EXPECT_EQ(run4->stats.cache, CacheOutcome::kResultHit);
+  EXPECT_EQ(run4->relation, MakeRel(1, {{1}, {2}}));
+
+  // ...until the divisor moves: every relation in the read set counts.
+  db.SetRelation("S", MakeRel(1, {{10}}));
+  auto run5 = engine.Run(division, db);
+  ASSERT_TRUE(run5.ok());
+  EXPECT_NE(run5->stats.cache, CacheOutcome::kResultHit);
+  EXPECT_EQ(results->stats().invalidations, 2u);
+
+  // A projection reading only R is untouched by divisor churn.
+  const auto r_only = ra::Project(ra::Rel("R", 2), {1});
+  ASSERT_TRUE(engine.Run(r_only, db).ok());
+  db.SetRelation("S", MakeRel(1, {{20}}));
+  auto r_only_hit = engine.Run(r_only, db);
+  ASSERT_TRUE(r_only_hit.ok());
+  EXPECT_EQ(r_only_hit->stats.cache, CacheOutcome::kResultHit);
+
+  // A second engine with different semantics shares the cache object but
+  // not the entries: the options fingerprint partitions the key space.
+  EngineOptions batched_options = options;
+  batched_options.batched = true;
+  const Engine batched(batched_options);
+  auto cross = batched.Run(division, db);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_NE(cross->stats.cache, CacheOutcome::kResultHit);
+  auto plain = Engine().Run(division, db);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(cross->relation.flat(), plain->relation.flat());
+}
+
+// The shared plan cache carries the same provenance contract as the
+// engine-local one — across engines: a plan lowered by one engine serves
+// hits/revalidations to every engine wired to the cache.
+TEST(SharedPlanCacheTest, SharedAcrossEnginesWithProvenance) {
+  auto db = setalg::testing::DivisionDb(
+      MakeRel(2, {{1, 10}, {1, 20}, {2, 10}}), MakeRel(1, {{10}, {20}}));
+  const auto shared = std::make_shared<SharedPlanCache>(8, 0);
+  EngineOptions options = EngineOptions::CostBased();
+  options.plan_cache_entries = 0;
+  options.shared_plan_cache = shared;
+  const Engine a(options);
+  const Engine b(options);
+  const Engine fresh(EngineOptions::CostBased());
+
+  const auto division = setjoin::ClassicDivisionExpr("R", "S");
+  auto miss = a.Run(division, db);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->stats.cache, CacheOutcome::kMiss);
+  EXPECT_EQ(shared->stats().misses, 1u);
+
+  // The other engine hits the plan the first one lowered.
+  auto hit = b.Run(division, db);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->stats.cache, CacheOutcome::kHit);
+  EXPECT_EQ(hit->relation, miss->relation);
+  EXPECT_GE(shared->stats().hits, 1u);
+
+  // After a mutation the entry re-costs (revalidated, or repicked when a
+  // cost choice flips) — and stays bit-identical to a cache-free run.
+  db.SetRelation("R", workload::UniformBinaryRelation(200, 5, BaseSeed() * 7 + 1));
+  auto revalidated = b.Run(division, db);
+  ASSERT_TRUE(revalidated.ok());
+  EXPECT_TRUE(revalidated->stats.cache == CacheOutcome::kRevalidated ||
+              revalidated->stats.cache == CacheOutcome::kRepicked)
+      << CacheOutcomeToString(revalidated->stats.cache);
+  auto want = fresh.Run(division, db);
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(revalidated->relation.flat(), want->relation.flat());
+  ExpectIdenticalStats(want->stats, revalidated->stats, "shared revalidation");
+
+  // The republished entry is warm again for everyone.
+  auto warm = a.Run(division, db);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.cache, CacheOutcome::kHit);
 }
 
 }  // namespace
