@@ -2,6 +2,11 @@
 // algorithm is known — all four stay superlinear, the heuristics win by
 // constants) and the O(n log n + output) set-equality join.
 //
+// Also benches the worst-case-optimal multiway join on a skewed triangle
+// query where the binary plan's intermediate blows past the AGM bound:
+// binary vs multiway runtimes plus the recorded max intermediates and the
+// AGM bound itself, so the regression gate can assert the bound holds.
+//
 // Emits BENCH_setjoin.json with the measured tables so the perf
 // trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
@@ -15,9 +20,11 @@
 
 #include "engine/cost.h"
 #include "engine/engine.h"
+#include "ra/expr.h"
 #include "setjoin/setjoin.h"
 #include "stats/stats.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/timer.h"
 #include "workload/generators.h"
 
@@ -71,7 +78,7 @@ double EnginePlanMillis(const core::Database& db, engine::PhysicalOpPtr root,
   plan.root = std::move(root);
   const engine::Engine engine(options);
   return BestOfMillis([&] {
-    auto result = engine.RunPlan(plan, db);
+    auto result = engine.Run(plan, db);
     benchmark::DoNotOptimize(result);
     if (!result.ok()) {
       std::fprintf(stderr, "%s engine run failed: %s\n", what,
@@ -273,8 +280,146 @@ std::vector<EqualityRow> PrintEqualityTable() {
   return rows;
 }
 
+struct MultiwayRow {
+  std::size_t n = 0;
+  std::size_t d = 0;            // Middle-domain width of the skew.
+  double binary_ms = 0.0;       // Planned binary hash-join chain.
+  double multiway_ms = 0.0;     // Same query routed to the multiway operator.
+  double agm_bound = 0.0;       // AGM bound recorded by the planner.
+  std::size_t binary_max_intermediate = 0;
+  std::size_t multiway_max_intermediate = 0;
+  std::string chosen;           // join-chain routing label ("multiway[3]").
+  std::size_t matches = 0;
+};
+
+// The triangle chain R(a,b) ⋈ S(b,c) ⋈ T(c,a), written the binary way —
+// the planner collects the chain and routes it itself.
+ra::ExprPtr TriangleChainExpr() {
+  return ra::Join(
+      ra::Join(ra::Rel("R", 2), ra::Rel("S", 2), {{2, ra::Cmp::kEq, 1}}),
+      ra::Rel("T", 2), {{4, ra::Cmp::kEq, 1}, {1, ra::Cmp::kEq, 2}});
+}
+
+// Skewed triangle data (mirrors tests/batch_exec_test.cc): R = X×Y and
+// S = Y×Z are complete bipartite through a d-element middle domain Y, so
+// the binary R⋈S intermediate is n²/d tuples — far past the AGM bound
+// n^1.5 — while T is n random (c, a) pairs keeping the output sparse.
+// Disjoint value ranges per variable keep estimator distinct counts exact.
+core::Database TriangleDatabase(std::size_t n, std::size_t d,
+                                std::uint64_t seed = 37) {
+  const std::size_t side = n / d;
+  core::Relation r(2), s(2), t(2);
+  for (std::size_t x = 0; x < side; ++x) {
+    for (std::size_t y = 0; y < d; ++y) {
+      r.Add({static_cast<core::Value>(1 + x),
+             static_cast<core::Value>(1000001 + y)});
+    }
+  }
+  for (std::size_t y = 0; y < d; ++y) {
+    for (std::size_t z = 0; z < side; ++z) {
+      s.Add({static_cast<core::Value>(1000001 + y),
+             static_cast<core::Value>(2000001 + z)});
+    }
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.Add({static_cast<core::Value>(2000001 + rng.NextBounded(side)),
+           static_cast<core::Value>(1 + rng.NextBounded(side))});
+  }
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", std::move(r));
+  db.SetRelation("S", std::move(s));
+  db.SetRelation("T", std::move(t));
+  return db;
+}
+
+// Best-of-3 wall time of a fully planned query (choice points, AGM bound
+// and all — unlike EnginePlanMillis, which executes a hand-built root).
+double PlannedQueryMillis(const engine::Engine& engine,
+                          const engine::PhysicalPlan& plan,
+                          const core::Database& db, const char* what,
+                          engine::PlanStats* stats_out,
+                          std::size_t* matches_out) {
+  return BestOfMillis([&] {
+    auto result = engine.Run(plan, db);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s engine run failed: %s\n", what,
+                   result.error().c_str());
+      std::exit(1);  // The tracked artifact must never hide a failure.
+    }
+    if (matches_out != nullptr) *matches_out = result->relation.size();
+    if (stats_out != nullptr) *stats_out = std::move(result->stats);
+  });
+}
+
+std::vector<MultiwayRow> PrintMultiwayTable() {
+  std::vector<MultiwayRow> rows;
+  std::printf("== worst-case-optimal triangle: binary chain vs multiway (ms) ==\n");
+  std::printf("%-8s  %-4s  %-12s  %-12s  %-12s  %-14s  %-14s  %-14s  matches\n",
+              "n", "d", "binary", "multiway", "chosen", "agm-bound",
+              "binary-maxint", "multiway-maxint");
+  const auto expr = TriangleChainExpr();
+  for (const auto& [n, d] : {std::pair<std::size_t, std::size_t>{2000, 10},
+                             std::pair<std::size_t, std::size_t>{16000, 32}}) {
+    const auto db = TriangleDatabase(n, d);
+    MultiwayRow row;
+    row.n = n;
+    row.d = d;
+
+    const engine::Engine binary(engine::EngineOptions::CostBased());
+    auto binary_plan = binary.Plan(expr, db);
+    if (!binary_plan.ok()) {
+      std::fprintf(stderr, "binary triangle plan failed: %s\n",
+                   binary_plan.error().c_str());
+      std::exit(1);
+    }
+    engine::PlanStats binary_stats;
+    row.binary_ms = PlannedQueryMillis(binary, *binary_plan, db,
+                                       "binary-triangle", &binary_stats,
+                                       &row.matches);
+    row.binary_max_intermediate = binary_stats.max_intermediate;
+
+    const engine::Engine multiway(
+        engine::EngineOptions::CostBased().WithMultiway());
+    auto multiway_plan = multiway.Plan(expr, db);
+    if (!multiway_plan.ok()) {
+      std::fprintf(stderr, "multiway triangle plan failed: %s\n",
+                   multiway_plan.error().c_str());
+      std::exit(1);
+    }
+    for (const auto& choice : multiway_plan->choices) {
+      if (choice.site == "join-chain") row.chosen = choice.algorithm;
+    }
+    engine::PlanStats multiway_stats;
+    row.multiway_ms = PlannedQueryMillis(multiway, *multiway_plan, db,
+                                         "multiway-triangle", &multiway_stats,
+                                         nullptr);
+    row.multiway_max_intermediate = multiway_stats.max_intermediate;
+    row.agm_bound =
+        multiway_stats.has_agm_bound ? multiway_stats.agm_bound : 0.0;
+
+    std::printf("%-8zu  %-4zu  %-12.3f  %-12.3f  %-12s  %-14.0f  %-14zu  "
+                "%-14zu  %zu\n",
+                row.n, row.d, row.binary_ms, row.multiway_ms,
+                row.chosen.c_str(), row.agm_bound, row.binary_max_intermediate,
+                row.multiway_max_intermediate, row.matches);
+    rows.push_back(std::move(row));
+  }
+  std::printf("(expected shape: the binary chain materializes the n²/d\n"
+              " bipartite intermediate, past the AGM bound n^1.5; the\n"
+              " multiway generic join stays under the bound and the cost\n"
+              " model routes the chain to it at every listed size)\n\n");
+  return rows;
+}
+
 void WriteJson(const std::vector<ContainmentRow>& containment,
-               const std::vector<EqualityRow>& equality) {
+               const std::vector<EqualityRow>& equality,
+               const std::vector<MultiwayRow>& multiway) {
   util::JsonWriter json;
   json.BeginObject();
   json.Key("bench").Value("setjoin");
@@ -310,6 +455,21 @@ void WriteJson(const std::vector<ContainmentRow>& containment,
     json.Key("chosen_equality").Value(row.chosen);
     json.Key("threads").Value(row.threads);
     json.Key("partitions").Value(row.partitions);
+    json.Key("matches").Value(row.matches);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("multiway_ms").BeginArray();
+  for (const auto& row : multiway) {
+    json.BeginObject();
+    json.Key("n").Value(row.n);
+    json.Key("d").Value(row.d);
+    json.Key("binary").Value(row.binary_ms);
+    json.Key("multiway").Value(row.multiway_ms);
+    json.Key("agm_bound").Value(row.agm_bound);
+    json.Key("binary_max_intermediate").Value(row.binary_max_intermediate);
+    json.Key("multiway_max_intermediate").Value(row.multiway_max_intermediate);
+    json.Key("chosen_join").Value(row.chosen);
     json.Key("matches").Value(row.matches);
     json.EndObject();
   }
@@ -388,7 +548,8 @@ BENCHMARK(BM_SetOverlapJoin)->Arg(1000)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   const auto containment = PrintContainmentTable();
   const auto equality = PrintEqualityTable();
-  WriteJson(containment, equality);
+  const auto multiway = PrintMultiwayTable();
+  WriteJson(containment, equality, multiway);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

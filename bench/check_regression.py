@@ -45,6 +45,14 @@ bench/baseline/ and fails (exit 1) when:
      run at the largest n, or its recorded outcome is not "result-hit" —
      serving a stored relation must beat re-executing the plan by a wide
      margin, and must actually come from the cache.
+  9. The worst-case-optimal invariants on the skewed-triangle table
+     (`multiway_ms` in BENCH_setjoin.json) break at the largest n: the
+     cost model must route the chain to the multiway operator
+     (`chosen_join` starts with "multiway"), the multiway run's max
+     intermediate must stay within the recorded AGM bound, and it must be
+     at most MULTIWAY_INTERMEDIATE_FRACTION (0.5x) of the binary plan's
+     max intermediate — the operator's whole point is refusing to
+     materialize the blown-up binary intermediate.
 
 Whenever a gate disarms (skips) instead of judging, the skip message
 prints the runner fingerprint — hardware_threads and git_sha — of the
@@ -84,10 +92,15 @@ PLANNING_SPEEDUP = 2.0      # Warm-cache planning vs fresh planning at max n.
 RESULT_CACHED_SPEEDUP = 2.0  # engine-planned vs a warm result-cache hit.
 REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
 ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
+# Multiway max intermediate vs the binary plan's at max n: the skewed
+# triangle's binary intermediate is n²/d tuples, the multiway operator's
+# footprint is output-bounded, so 0.5x is generous — a breach means the
+# operator started materializing something binary-shaped.
+MULTIWAY_INTERMEDIATE_FRACTION = 0.5
 
 FILES = {
     "BENCH_division.json": ("runtime_ms",),
-    "BENCH_setjoin.json": ("containment_ms", "equality_ms"),
+    "BENCH_setjoin.json": ("containment_ms", "equality_ms", "multiway_ms"),
 }
 
 # table key -> (row axis key, reference column, tracked columns)
@@ -106,6 +119,7 @@ TRACKED = {
     ),
     "equality_ms": ("groups", "canonical-hash",
                     ["cost-based", "batched", "parallel", "prepared"]),
+    "multiway_ms": ("n", "binary", ["multiway"]),
 }
 
 # Columns whose timings are only meaningful on multi-core runners: their
@@ -341,6 +355,61 @@ def check_result_cached_ratio(errors, data):
         )
 
 
+def check_multiway_bound(errors, data):
+    """Gate 9: worst-case-optimal invariants on the skewed triangle."""
+    rows = data.get("multiway_ms", [])
+    if not rows:
+        errors.append("multiway_ms table missing from BENCH_setjoin.json")
+        return
+    row = max_row(rows, "n")
+    n = row["n"]
+    missing = [key for key in ("chosen_join", "agm_bound",
+                               "multiway_max_intermediate",
+                               "binary_max_intermediate") if key not in row]
+    if missing:
+        errors.append(
+            f"multiway_ms at n={n} is missing field(s) {missing}"
+        )
+        return
+    chosen = row["chosen_join"]
+    agm = row["agm_bound"]
+    multiway_int = row["multiway_max_intermediate"]
+    binary_int = row["binary_max_intermediate"]
+    if not str(chosen).startswith("multiway"):
+        errors.append(
+            f"cost model picked '{chosen}' (chosen_join) at n={n}, expected "
+            f"a multiway routing — the skewed triangle must route to the "
+            f"worst-case-optimal operator"
+        )
+    if agm <= 0:
+        errors.append(f"non-positive agm_bound {agm} in multiway_ms at n={n}")
+        return
+    if multiway_int > agm:
+        errors.append(
+            f"multiway max intermediate {multiway_int} exceeds the AGM bound "
+            f"{agm:.0f} at n={n} — the operator is no longer "
+            f"worst-case-optimal"
+        )
+    else:
+        print(
+            f"  ok: multiway max intermediate {multiway_int} <= AGM bound "
+            f"{agm:.0f} at n={n}"
+        )
+    limit = MULTIWAY_INTERMEDIATE_FRACTION * binary_int
+    if multiway_int > limit:
+        errors.append(
+            f"multiway max intermediate {multiway_int} is more than "
+            f"{MULTIWAY_INTERMEDIATE_FRACTION}x the binary plan's "
+            f"{binary_int} at n={n} — the skew advantage collapsed"
+        )
+    else:
+        print(
+            f"  ok: multiway max intermediate {multiway_int} <= "
+            f"{MULTIWAY_INTERMEDIATE_FRACTION}x binary ({binary_int}) at n={n} "
+            f"(chosen_join={chosen})"
+        )
+
+
 def check_choices(errors, data, table):
     expectation = EXPECTED_CHOICES.get(table)
     rows = data.get(table, [])
@@ -489,6 +558,8 @@ def main():
             check_parallel_ratio(errors, current)
             check_prepared_ratio(errors, current)
             check_result_cached_ratio(errors, current)
+        if name == "BENCH_setjoin.json":
+            check_multiway_bound(errors, current)
         for table in tables:
             check_choices(errors, current, table)
             check_against_baseline(errors, current, baseline, table)

@@ -7,15 +7,21 @@
 // `--` is parsed against the loaded schema (both RA and SA operators are
 // supported), planned and executed by engine::Engine, and the result is
 // printed as CSV. With -v the physical plan, planner rewrites, cost-based
-// algorithm choices (with their estimates) and per-operator estimated-vs-
-// actual intermediate sizes are reported too; --cost-based picks the
-// division/set-join algorithms from relation statistics instead of the
-// fixed defaults; --reference disables the planner rewrites (legacy 1:1
-// evaluation); --batch-size N executes through the pipelined batch
-// surface with N-tuple batches (-v then also reports batch counts and the
-// peak batch footprint); --threads N runs the division/set-join/semijoin
-// operators partitioned N ways across a worker pool (results are
-// identical to the serial run; -v reports the partition fan-out);
+// algorithm choices (with their estimates), the AGM output bound of any
+// collected join chain, and per-operator estimated-vs-actual intermediate
+// sizes are reported too.
+//
+// Execution is selected by one --mode flag plus orthogonal knobs:
+//   --mode reference   legacy 1:1 evaluation, no planner rewrites
+//   --mode planned     rewrite-enabled planning (the default)
+//   --mode cost        statistics-driven algorithm selection
+//   --mode batched     pipelined batch execution
+//   --mode parallel    batched + a worker pool for partitioned operators
+// --threads N sizes the worker pool, --batch-size N sets the pipelined
+// batch granularity (and implies the batch surface), and --multiway lets
+// the planner collect equality-join chains and route them to the
+// worst-case-optimal multiway operator when they beat the binary plan
+// (the older --reference / --cost-based spellings are still accepted);
 // --plan-cache [N] enables the engine's plan cache (N entries, default
 // 64) and runs the expression twice — the second run is served from the
 // cache, and -v reports the outcome (miss then hit) plus cache tallies,
@@ -64,9 +70,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> relation_specs;
   std::vector<std::string> expressions;
   bool verbose = false;
-  bool reference = false;
-  bool cost_based = false;
+  std::string mode = "planned";
+  bool multiway = false;
   bool batched = false;
+  bool threads_given = false;
   long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
   long long threads = 1;
   long long plan_cache_entries = 0;
@@ -78,10 +85,19 @@ int main(int argc, char** argv) {
       after_separator = true;
     } else if (arg == "-v") {
       verbose = true;
-    } else if (arg == "--reference") {
-      reference = true;
-    } else if (arg == "--cost-based") {
-      cost_based = true;
+    } else if (arg == "--mode") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--mode needs one of "
+                             "reference|planned|cost|batched|parallel\n");
+        return 2;
+      }
+      mode = argv[++i];
+    } else if (arg == "--reference") {  // Pre---mode spelling, still accepted.
+      mode = "reference";
+    } else if (arg == "--cost-based") {  // Pre---mode spelling, still accepted.
+      mode = "cost";
+    } else if (arg == "--multiway") {
+      multiway = true;
     } else if (arg == "--plan-cache") {
       plan_cache_entries = 64;
       // Optional capacity operand (the next token, when numeric).
@@ -105,6 +121,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads needs a positive integer\n");
         return 2;
       }
+      threads_given = true;
       ++i;
     } else if (arg == "--sessions") {
       if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &sessions) || sessions < 1) {
@@ -121,8 +138,9 @@ int main(int argc, char** argv) {
   if (relation_specs.empty() || expressions.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
-                 "[--reference] [--cost-based] [--batch-size N] [--threads N] "
-                 "[--plan-cache [N]] [--sessions N] -- EXPR [EXPR ...]\n"
+                 "[--mode reference|planned|cost|batched|parallel] [--multiway] "
+                 "[--threads N] [--batch-size N] [--plan-cache [N]] "
+                 "[--sessions N] -- EXPR [EXPR ...]\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
   }
@@ -173,13 +191,29 @@ int main(int argc, char** argv) {
     parsed_list.push_back(std::move(*parsed));
   }
 
-  engine::EngineOptions options = reference    ? engine::EngineOptions::Reference()
-                                  : cost_based ? engine::EngineOptions::CostBased()
-                                               : engine::EngineOptions{};
-  options.batched = batched;
-  options.batch_size = static_cast<std::size_t>(batch_size);
-  options.threads = static_cast<std::size_t>(threads);
-  options.plan_cache_entries = static_cast<std::size_t>(plan_cache_entries);
+  // One preset per --mode, with the orthogonal knobs composed on top.
+  engine::EngineOptions options;
+  if (mode == "reference") {
+    options = engine::EngineOptions::Reference();
+  } else if (mode == "planned") {
+    options = engine::EngineOptions{};
+  } else if (mode == "cost") {
+    options = engine::EngineOptions::CostBased();
+  } else if (mode == "batched") {
+    options = engine::EngineOptions::Batched();
+  } else if (mode == "parallel") {
+    if (!threads_given) threads = 4;
+    options = engine::EngineOptions::Parallel(static_cast<std::size_t>(threads));
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s' (want "
+                         "reference|planned|cost|batched|parallel)\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (batched) options = options.WithBatchSize(static_cast<std::size_t>(batch_size));
+  if (threads_given) options = options.WithThreads(static_cast<std::size_t>(threads));
+  if (multiway) options = options.WithMultiway();
+  options = options.WithPlanCache(static_cast<std::size_t>(plan_cache_entries));
 
   if (sessions > 0) {
     // Concurrent serving: N session threads share one engine and one
@@ -264,6 +298,17 @@ int main(int argc, char** argv) {
                    "-- %zu tuple(s); max intermediate %zu; operators "
                    "(actual / estimated):\n",
                    run->relation.size(), run->stats.max_intermediate);
+      if (run->stats.has_agm_bound) {
+        // The worst-case-optimal output bound of the collected join chain;
+        // the routing itself (multiway vs binary) shows up in the
+        // cost-based choice lines below as the "join-chain" site.
+        std::fprintf(stderr, "-- AGM bound: %.0f row(s); max intermediate %s it\n",
+                     run->stats.agm_bound,
+                     static_cast<double>(run->stats.max_intermediate) <=
+                             run->stats.agm_bound
+                         ? "within"
+                         : "exceeds");
+      }
       if (batched) {
         std::fprintf(stderr,
                      "-- batched: %zu-tuple batches, %llu emitted, peak batch "

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 
@@ -396,6 +397,202 @@ SemijoinStrategy CostModel::ChooseSemijoin(const ExprEstimate& left,
   if (atoms.empty()) return SemijoinStrategy::kGeneric;
   if (left.cardinality + right.cardinality < 64.0) return SemijoinStrategy::kGeneric;
   return SemijoinStrategy::kFastKernel;
+}
+
+// ---------------------------------------------------------------------------
+// AGM output bounds and the multiway (worst-case-optimal) join.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Solves the square system `a`·w = `rhs` in place by Gaussian elimination
+// with partial pivoting. Returns false on a (numerically) singular basis.
+bool SolveSquare(std::vector<double>& a, std::vector<double>& rhs, std::size_t k) {
+  constexpr double kPivotEps = 1e-9;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::fabs(a[row * k + col]) > std::fabs(a[pivot * k + col])) pivot = row;
+    }
+    if (std::fabs(a[pivot * k + col]) < kPivotEps) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) std::swap(a[col * k + j], a[pivot * k + j]);
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (std::size_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const double f = a[row * k + col] / a[col * k + col];
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < k; ++j) a[row * k + j] -= f * a[col * k + j];
+      rhs[row] -= f * rhs[col];
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) rhs[i] /= a[i * k + i];
+  return true;
+}
+
+}  // namespace
+
+FractionalEdgeCover SolveFractionalEdgeCover(const JoinHypergraph& graph) {
+  FractionalEdgeCover result;
+  const std::size_t k = graph.edges.size();
+  const std::size_t m = graph.num_vars;
+  if (k == 0 || k > kMaxHypergraphEdges || m == 0 || m > kMaxHypergraphVars) {
+    result.bound = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  // Coverage matrix: cover[v][e] = 1 iff edge e contains variable v.
+  std::vector<double> cover(m * k, 0.0);
+  for (std::size_t e = 0; e < k; ++e) {
+    for (std::size_t v : graph.edges[e].vars) {
+      SETALG_CHECK(v < m);
+      cover[v * k + e] = 1.0;
+    }
+  }
+  for (std::size_t v = 0; v < m; ++v) {
+    bool covered = false;
+    for (std::size_t e = 0; e < k; ++e) covered |= cover[v * k + e] != 0.0;
+    if (!covered) {  // Infeasible: a variable no relation can bind.
+      result.bound = std::numeric_limits<double>::infinity();
+      return result;
+    }
+  }
+  // Objective coefficients: ln of the (clamped) cardinalities. An
+  // identically-zero edge empties the join regardless of the cover.
+  bool empty_edge = false;
+  std::vector<double> obj(k);
+  for (std::size_t e = 0; e < k; ++e) {
+    empty_edge |= graph.edges[e].cardinality <= 0.0;
+    obj[e] = std::log(NonZero(graph.edges[e].cardinality));
+  }
+  // Enumerate basic points: every size-k subset of the m coverage rows
+  // plus k nonnegativity rows, solved tight. The feasible region
+  // {A·w >= 1, w >= 0} is pointed and the objective is bounded below by
+  // 0, so a vertex attains the minimum.
+  constexpr double kFeasEps = 1e-7;
+  const std::size_t rows = m + k;
+  std::vector<std::size_t> pick(k);
+  std::vector<double> best_w;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> a(k * k);
+  std::vector<double> w(k);
+  // Iterative combination enumeration over `rows` choose `k`.
+  for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+  while (true) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t r = pick[i];
+      if (r < m) {
+        for (std::size_t e = 0; e < k; ++e) a[i * k + e] = cover[r * k + e];
+        w[i] = 1.0;
+      } else {  // Nonnegativity row: w[r - m] = 0.
+        for (std::size_t e = 0; e < k; ++e) a[i * k + e] = 0.0;
+        a[i * k + (r - m)] = 1.0;
+        w[i] = 0.0;
+      }
+    }
+    if (SolveSquare(a, w, k)) {
+      bool feasible = true;
+      for (std::size_t e = 0; e < k && feasible; ++e) feasible = w[e] >= -kFeasEps;
+      for (std::size_t v = 0; v < m && feasible; ++v) {
+        double lhs = 0.0;
+        for (std::size_t e = 0; e < k; ++e) lhs += cover[v * k + e] * w[e];
+        feasible = lhs >= 1.0 - kFeasEps;
+      }
+      if (feasible) {
+        double value = 0.0;
+        for (std::size_t e = 0; e < k; ++e) value += std::max(0.0, w[e]) * obj[e];
+        if (value < best_obj) {
+          best_obj = value;
+          best_w = w;
+        }
+      }
+    }
+    // Advance the combination (lexicographic); stop when exhausted.
+    bool advanced = false;
+    for (std::size_t i = k; i-- > 0;) {
+      if (pick[i] != i + rows - k) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  if (!std::isfinite(best_obj)) {  // Should not happen for covered graphs.
+    result.bound = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  result.feasible = true;
+  result.weights.resize(k);
+  double bound = 1.0;
+  for (std::size_t e = 0; e < k; ++e) {
+    result.weights[e] = std::max(0.0, best_w[e]);
+    bound *= std::pow(NonZero(graph.edges[e].cardinality), result.weights[e]);
+  }
+  result.bound = empty_edge ? 0.0 : bound;
+  return result;
+}
+
+double AgmBound(const JoinHypergraph& graph) {
+  return SolveFractionalEdgeCover(graph).bound;
+}
+
+CostEstimate CostModel::EstimateMultiwayJoin(const JoinHypergraph& graph,
+                                             double output_guess) {
+  const double agm = AgmBound(graph);
+  double sum_inputs = 0.0;
+  for (const auto& edge : graph.edges) sum_inputs += NonZero(edge.cardinality);
+  CostEstimate est;
+  est.output_size = std::isfinite(agm) ? std::min(std::max(0.0, output_guess), agm)
+                                       : std::max(0.0, output_guess);
+  // The generic-join kernel materializes only its inputs and output; the
+  // enumeration visits at most AGM-many bindings per variable level.
+  est.max_intermediate = est.output_size;
+  const double enumeration =
+      std::isfinite(agm) ? agm : std::max(0.0, output_guess);
+  est.cost = kHashProbe * sum_inputs  // Sort/permute every input once.
+             + kTupleOp * NonZero(static_cast<double>(graph.num_vars)) *
+                   NonZero(enumeration);
+  return est;
+}
+
+CostEstimate CostModel::EstimateBinaryJoinChain(const JoinHypergraph& graph,
+                                                const std::vector<double>& interior_cards) {
+  double sum_inputs = 0.0;
+  for (const auto& edge : graph.edges) sum_inputs += NonZero(edge.cardinality);
+  CostEstimate est;
+  est.output_size = interior_cards.empty() ? 0.0 : std::max(0.0, interior_cards.back());
+  double max_interior = 0.0;
+  double sum_interior = 0.0;
+  for (double c : interior_cards) {
+    max_interior = std::max(max_interior, c);
+    sum_interior += std::max(0.0, c);
+  }
+  est.max_intermediate = max_interior;
+  // Each interior node materializes its output once and probes it once
+  // downstream; the leaves are hashed/scanned once each.
+  est.cost = kHashProbe * sum_inputs + 2 * kTupleOp * sum_interior;
+  return est;
+}
+
+CostModel::MultiwayChoice CostModel::ChooseMultiwayJoin(
+    const JoinHypergraph& graph, const std::vector<double>& interior_cards,
+    bool cost_based) {
+  MultiwayChoice choice;
+  choice.agm_bound = AgmBound(graph);
+  const double output_guess =
+      interior_cards.empty() ? 0.0 : interior_cards.back();
+  choice.multiway = EstimateMultiwayJoin(graph, output_guess);
+  choice.binary = EstimateBinaryJoinChain(graph, interior_cards);
+  if (!std::isfinite(choice.agm_bound)) {
+    choice.use_multiway = false;  // Infeasible or over the arity caps.
+    return choice;
+  }
+  choice.use_multiway = cost_based
+                            ? choice.multiway.cost < choice.binary.cost
+                            : choice.binary.max_intermediate > choice.agm_bound;
+  return choice;
 }
 
 CostEstimate CostModel::EstimateSemijoin(const ExprEstimate& left,

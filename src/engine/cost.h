@@ -19,6 +19,7 @@
 #ifndef SETALG_ENGINE_COST_H_
 #define SETALG_ENGINE_COST_H_
 
+#include <cstddef>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,48 @@ ExprEstimate FromStats(const stats::RelationStats& stats);
 /// column 1).
 double EstimateColumnDistinct(const ExprEstimate& e, std::size_t column,
                               std::size_t arity);
+
+// -- AGM output bounds (Atserias–Grohe–Marx) ---------------------------------
+
+/// A join hypergraph: one vertex per join variable, one edge per input
+/// relation listing the (deduplicated, 0-based) variables it covers, with
+/// the relation's estimated cardinality. Built by the planner when it
+/// collects a maximal binary-join chain.
+struct JoinHypergraph {
+  struct Edge {
+    std::vector<std::size_t> vars;
+    double cardinality = 0.0;
+  };
+  std::size_t num_vars = 0;
+  std::vector<Edge> edges;
+};
+
+/// Arity caps under which the exact vertex-enumeration LP solve below is
+/// cheap (C(num_vars + edges, edges) small systems). The planner refuses
+/// to route larger chains to the multiway operator.
+inline constexpr std::size_t kMaxHypergraphEdges = 6;
+inline constexpr std::size_t kMaxHypergraphVars = 10;
+
+struct FractionalEdgeCover {
+  /// False when some variable is covered by no edge (the LP is infeasible;
+  /// `bound` is +infinity) or the hypergraph exceeds the arity caps.
+  bool feasible = false;
+  /// The AGM bound: prod_e cardinality_e ^ weight_e at the optimal cover.
+  /// Zero when any edge has cardinality 0 (the join output is empty).
+  double bound = 0.0;
+  /// Optimal per-edge weights (empty when infeasible).
+  std::vector<double> weights;
+};
+
+/// Exact minimum-weight fractional edge cover, minimizing
+/// sum_e w_e * ln(cardinality_e) subject to (per variable) sum_{e ∋ v} w_e
+/// >= 1 and w >= 0. Solved by enumerating basic feasible points (the
+/// polyhedron is pointed, so a vertex attains the optimum) — LP-free and
+/// exact at the arities the planner sees.
+FractionalEdgeCover SolveFractionalEdgeCover(const JoinHypergraph& graph);
+
+/// Convenience: the bound alone. +infinity when infeasible or over caps.
+double AgmBound(const JoinHypergraph& graph);
 
 class CostModel {
  public:
@@ -152,6 +195,39 @@ class CostModel {
                                        const ExprEstimate& right,
                                        const std::vector<ra::JoinAtom>& atoms,
                                        SemijoinStrategy strategy);
+
+  // -- Multiway (worst-case-optimal) join ------------------------------------
+
+  /// Prices the generic-join kernel on `graph`: sorting/materializing every
+  /// input plus the AGM-bounded enumeration work. `output_guess` is the
+  /// chain root's propagated cardinality estimate; the reported output and
+  /// max intermediate are its minimum with the AGM bound (the kernel never
+  /// materializes more than the output).
+  static CostEstimate EstimateMultiwayJoin(const JoinHypergraph& graph,
+                                           double output_guess);
+
+  /// Prices the written binary-join chain over the same inputs:
+  /// `interior_cards` are the cardinality estimates of every interior
+  /// (join/selection/projection) node, root last. Max intermediate is the
+  /// largest interior estimate — the quantity the AGM bound budgets.
+  static CostEstimate EstimateBinaryJoinChain(const JoinHypergraph& graph,
+                                              const std::vector<double>& interior_cards);
+
+  struct MultiwayChoice {
+    bool use_multiway = false;
+    CostEstimate multiway;
+    CostEstimate binary;
+    double agm_bound = 0.0;
+  };
+  /// Multiway vs the written binary chain for one collected join
+  /// hypergraph. Cost-based mode prices both kernels and takes the
+  /// cheaper; planned (rule-based) mode routes exactly when the binary
+  /// plan's estimated max intermediate exceeds the AGM bound — the
+  /// paper's division dichotomy generalized. Never routes when the LP is
+  /// infeasible or the hypergraph exceeds the arity caps.
+  static MultiwayChoice ChooseMultiwayJoin(const JoinHypergraph& graph,
+                                           const std::vector<double>& interior_cards,
+                                           bool cost_based);
 
  private:
   ExprEstimate EstimateUncached(const ra::ExprPtr& expr) const;

@@ -323,7 +323,7 @@ util::Result<RunResult> Engine::RunCached(const CachedPlanPtr& entry,
   // handles, evicted entries): the tallies only count runs it served.
   if (plan_cache_ != nullptr) plan_cache_->NoteUse(entry, outcome);
   ++entry->uses;
-  auto run = RunPlan(entry->plan, db);
+  auto run = RunImpl(entry->plan, db);
   if (run.ok()) run->stats.cache = outcome;
   return run;
 }
@@ -370,7 +370,7 @@ util::Result<RunResult> Engine::RunWithPlanCaches(const ra::ExprPtr& expr,
       if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
       entry = shared->Insert(MakeCachedPlan(expr, db, std::move(*plan)), options_);
     }
-    auto run = RunPlan(entry->plan, db);
+    auto run = RunImpl(entry->plan, db);
     if (run.ok()) run->stats.cache = acquired.outcome;
     *pin = entry->plan.root;
     return run;
@@ -388,14 +388,14 @@ util::Result<RunResult> Engine::RunWithPlanCaches(const ra::ExprPtr& expr,
         cache->Insert(MakeCachedPlan(expr, db, std::move(*plan)));
     cache->RecordOutcome(CacheOutcome::kMiss);
     ++entry->uses;
-    auto run = RunPlan(entry->plan, db);
+    auto run = RunImpl(entry->plan, db);
     if (run.ok()) run->stats.cache = CacheOutcome::kMiss;
     *pin = entry->plan.root;
     return run;
   }
   auto plan = Plan(expr, db);
   if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
-  auto run = RunPlan(*plan, db);
+  auto run = RunImpl(*plan, db);
   *pin = plan->root;
   return run;
 }
@@ -446,7 +446,7 @@ util::Result<RunResult> Engine::Run(const PreparedQuery& prepared,
     // plans (or cache-fetches) for *this* database; a hand-built plan
     // has no key, so it runs uncached with its plan-time annotations.
     if (entry->expr != nullptr) return Run(entry->expr, db);
-    return RunPlan(entry->plan, db);
+    return RunImpl(entry->plan, db);
   }
   return RunCached(entry, db);
 }
@@ -475,12 +475,19 @@ util::Result<std::string> Engine::Explain(const ra::ExprPtr& expr,
   return plan->ToString();
 }
 
-util::Result<RunResult> Engine::RunPlan(const PhysicalPlan& plan,
+util::Result<RunResult> Engine::Run(const PhysicalPlan& plan,
+                                    const core::DatabaseView& db) const {
+  return RunImpl(plan, db);
+}
+
+util::Result<RunResult> Engine::RunImpl(const PhysicalPlan& plan,
                                         const core::DatabaseView& db) const {
   SETALG_CHECK(plan.root != nullptr);
   RunResult result;
   result.stats.rewrites = plan.rewrites;
   result.stats.choices = plan.choices;
+  result.stats.agm_bound = plan.agm_bound;
+  result.stats.has_agm_bound = plan.has_agm_bound;
   result.stats.batch_size = options_.batch_size == 0 ? 1 : options_.batch_size;
   // One fixed worker pool per run (serial runs pay nothing): partitioned
   // operators fan out through it, everything else ignores it.
@@ -513,7 +520,7 @@ util::Result<RunResult> Engine::Run(const ra::ExprPtr& expr, const core::Databas
   auto plan = options.cost_based ? engine.Plan(expr, db)
                                  : engine.Plan(expr, db.schema());
   if (!plan.ok()) return util::Result<RunResult>::Error(plan.error());
-  return engine.RunPlan(*plan, db);
+  return engine.RunImpl(*plan, db);
 }
 
 ra::EvalStats ToEvalStats(const PlanStats& stats) {

@@ -178,9 +178,18 @@ class Engine {
 
   /// Executes a plan built by Plan() or assembled by hand from the
   /// physical.h factories (e.g. a set-containment join operator, which has
-  /// no succinct logical form).
-  util::Result<RunResult> RunPlan(const PhysicalPlan& plan,
-                                  const core::DatabaseView& db) const;
+  /// no succinct logical form). One spelling per intent: Run(expr, db)
+  /// plans and executes, Run(prepared, db) serves a handle, Run(plan, db)
+  /// executes what you already lowered — all funnel into one RunImpl.
+  util::Result<RunResult> Run(const PhysicalPlan& plan,
+                              const core::DatabaseView& db) const;
+
+  /// Deprecated spelling of Run(plan, db), kept so out-of-tree callers
+  /// keep compiling. In-repo code uses the Run overload.
+  [[deprecated("use Run(plan, db)")]] util::Result<RunResult> RunPlan(
+      const PhysicalPlan& plan, const core::DatabaseView& db) const {
+    return Run(plan, db);
+  }
 
   /// One-shot convenience. Computes statistics only when
   /// `options.cost_based` needs them (a throwaway engine cannot amortize
@@ -190,6 +199,12 @@ class Engine {
                                      const EngineOptions& options);
 
  private:
+  /// The single execution tail every Run overload lands on: builds the
+  /// worker pool, picks the executor, copies plan-level annotations
+  /// (rewrites, choices, AGM bound) into the run's PlanStats.
+  util::Result<RunResult> RunImpl(const PhysicalPlan& plan,
+                                  const core::DatabaseView& db) const;
+
   /// The statistics provider for `db`. Views that are their own provider
   /// (txn::Snapshot) are returned directly — thread-safe, no engine
   /// state touched. Otherwise the memoized stats::DatabaseStats is

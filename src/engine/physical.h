@@ -127,6 +127,13 @@ struct PlanStats {
   /// run (0 when every operator ran serial). Deterministic for fixed
   /// options: partition counts are resolved per operator, never from load.
   std::size_t partitions = 0;
+  /// The AGM (fractional edge cover) output bound of the first join chain
+  /// the planner collected into a hypergraph, in tuples — the provable
+  /// worst-case output size the multiway router budgets against. Present
+  /// (has_agm_bound) whenever a chain was collected with statistics,
+  /// whether or not the multiway operator was chosen.
+  double agm_bound = 0.0;
+  bool has_agm_bound = false;
   /// How the plan was obtained from the plan cache. Purely provenance:
   /// every other field (and the result) is identical whichever way the
   /// plan arrived — the cache-differential harness in

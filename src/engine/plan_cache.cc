@@ -1,11 +1,13 @@
 #include "engine/plan_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "engine/cost.h"
+#include "engine/multiway.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -48,6 +50,12 @@ PhysicalOpPtr RebuildOp(
       out = MakeDivision(std::move(children[0]), std::move(children[1]),
                          flip->second.division_algorithm, point.equality,
                          point.source, flip->second.partitions);
+    } else if (point.kind == ChoicePoint::Kind::kMultiway) {
+      // The routing itself is structural (pinned at lowering); only the
+      // serial-vs-partitioned execution decision can flip here.
+      out = MakeMultiwayJoin(std::move(children), point.multiway_var_maps,
+                             point.multiway_num_vars, point.source,
+                             flip->second.partitions);
     } else {
       out = MakeSemiJoin(std::move(children[0]), std::move(children[1]),
                          point.op_atoms, flip->second.strategy, point.source,
@@ -127,6 +135,10 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
   const CostModel model(stats);
   const bool cost_based = options.cost_based && stats != nullptr;
   std::unordered_map<const PhysicalOp*, NewDecision> flips;
+  // Fresh dedicated estimates for routed multiway points, applied after
+  // the structural swap remaps point.op.
+  std::vector<std::pair<const ChoicePoint*, CostEstimate>> multiway_estimates;
+  bool agm_refreshed = false;
   for (ChoicePoint& point : plan.choice_points) {
     std::vector<AlgorithmChoice> entries;
     NewDecision decision;
@@ -164,6 +176,67 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
         }
         point.division_algorithm = algorithm;
         point.partitions = partitions;
+      }
+    } else if (point.kind == ChoicePoint::Kind::kMultiway) {
+      // The multiway-vs-binary routing is baked into the plan's shape and
+      // never flips on revalidation (re-routing would be a re-lowering);
+      // the point re-prices the pinned alternative from fresh statistics
+      // and, for a routed chain, re-decides only the execution fan-out.
+      JoinHypergraph graph;
+      graph.num_vars = point.multiway_num_vars;
+      double sum_inputs = 0.0;
+      for (std::size_t i = 0; i < point.multiway_inputs.size(); ++i) {
+        JoinHypergraph::Edge edge;
+        edge.vars = point.multiway_var_maps[i];
+        std::sort(edge.vars.begin(), edge.vars.end());
+        edge.vars.erase(std::unique(edge.vars.begin(), edge.vars.end()),
+                        edge.vars.end());
+        edge.cardinality = model.Estimate(point.multiway_inputs[i]).cardinality;
+        sum_inputs += edge.cardinality;
+        graph.edges.push_back(std::move(edge));
+      }
+      std::vector<double> interior_cards;
+      interior_cards.reserve(point.multiway_interior.size());
+      for (const auto& node : point.multiway_interior) {
+        interior_cards.push_back(model.Estimate(node).cardinality);
+      }
+      const auto choice =
+          CostModel::ChooseMultiwayJoin(graph, interior_cards, cost_based);
+      if (cost_based) {
+        entries.push_back(
+            {"join-chain",
+             MultiwayChoiceLabel(point.multiway_routed, point.multiway_inputs.size()),
+             point.multiway_routed ? choice.multiway : choice.binary});
+      }
+      if (std::isfinite(choice.agm_bound) && !agm_refreshed) {
+        plan.agm_bound = choice.agm_bound;  // Plan-level bound: first chain.
+        agm_refreshed = true;
+      }
+      if (point.multiway_routed) {
+        std::size_t partitions = 0;
+        if (options.threads > 1 && cost_based) {
+          const ra::ExprPtr& key_leaf = point.multiway_inputs[point.multiway_key_leaf];
+          const auto parallel = CostModel::ChooseParallelism(
+              choice.multiway, sum_inputs,
+              EstimateColumnDistinct(model.Estimate(key_leaf),
+                                     point.multiway_key_column, key_leaf->arity()),
+              options.threads);
+          entries.push_back({"multiway-execution",
+                             ParallelChoiceLabel(parallel.partitions),
+                             parallel.estimate});
+          partitions = parallel.partitions;
+        }
+        if (point.rewrite_index < plan.rewrites.size() &&
+            std::isfinite(choice.agm_bound)) {
+          plan.rewrites[point.rewrite_index] =
+              MultiwayRewriteNote(point.multiway_inputs.size(), choice.agm_bound);
+        }
+        if (stats != nullptr) multiway_estimates.emplace_back(&point, choice.multiway);
+        decision.partitions = partitions;
+        if (partitions != point.partitions) {
+          flips.emplace(point.op, decision);
+          point.partitions = partitions;
+        }
       }
     } else {
       SemijoinStrategy strategy = options.use_fast_semijoin
@@ -248,6 +321,9 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
       plan.estimates[point.op] = CostModel::EstimateDivision(
           point.division_algorithm, model.Estimate(point.left),
           model.Estimate(point.right), point.equality);
+    }
+    for (const auto& [point, estimate] : multiway_estimates) {
+      plan.estimates[point->op] = estimate;
     }
     for (const auto& [op, expr] : plan.op_sources) {
       if (plan.estimates.find(op) != plan.estimates.end()) continue;

@@ -1,10 +1,13 @@
 #include "engine/planner.h"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "engine/cost.h"
+#include "engine/multiway.h"
 #include "util/check.h"
 #include "util/hash.h"
 #include "util/str.h"
@@ -113,6 +116,8 @@ class Lowering {
     return std::move(op_sources_);
   }
   std::vector<ChoicePoint> TakeChoicePoints() { return std::move(choice_points_); }
+  double agm_bound() const { return agm_bound_; }
+  bool has_agm_bound() const { return has_agm_bound_; }
 
  private:
   bool CostBased() const { return options_.cost_based && stats_ != nullptr; }
@@ -240,6 +245,203 @@ class Lowering {
     return op;
   }
 
+  // -- Multiway join chains --------------------------------------------------
+  // CollectChain flattens a maximal all-equality binary-join chain into a
+  // join hypergraph: equality joins union the variables their atoms
+  // relate, equality selections union two variables of one subtree
+  // (selection pushdown — the filter becomes a duplicate-variable
+  // constraint on a leaf or a variable merge), and projections re-index
+  // (projection pruning — dropped columns survive as join variables, which
+  // only constrains further, and the chain root's projection restores the
+  // visible columns exactly). Anything else is a leaf, lowered normally.
+
+  struct CollectedChain {
+    std::vector<ExprPtr> leaves;
+    /// Raw (pre-union) variable ids per leaf column.
+    std::vector<std::vector<std::size_t>> leaf_vars;
+    /// Collected interior nodes in post-order, chain root last.
+    std::vector<ExprPtr> interior;
+    /// Union-find over raw variable ids.
+    std::vector<std::size_t> uf;
+
+    std::size_t Find(std::size_t v) {
+      while (uf[v] != v) {
+        uf[v] = uf[uf[v]];
+        v = uf[v];
+      }
+      return v;
+    }
+    void Union(std::size_t a, std::size_t b) { uf[Find(a)] = Find(b); }
+  };
+
+  static bool AllEqualityAtoms(const ExprPtr& e) {
+    return std::all_of(e->atoms().begin(), e->atoms().end(),
+                       [](const ra::JoinAtom& a) { return a.op == ra::Cmp::kEq; });
+  }
+
+  /// Returns the raw variable id of each output column of `e`.
+  std::vector<std::size_t> CollectChain(const ExprPtr& e, CollectedChain& chain) {
+    if (e->kind() == OpKind::kJoin && AllEqualityAtoms(e)) {
+      std::vector<std::size_t> left = CollectChain(e->child(0), chain);
+      std::vector<std::size_t> right = CollectChain(e->child(1), chain);
+      for (const auto& atom : e->atoms()) {
+        chain.Union(left[atom.left - 1], right[atom.right - 1]);
+      }
+      chain.interior.push_back(e);
+      left.insert(left.end(), right.begin(), right.end());
+      return left;
+    }
+    if (e->kind() == OpKind::kSelection && e->selection_op() == ra::Cmp::kEq) {
+      std::vector<std::size_t> cols = CollectChain(e->child(0), chain);
+      chain.Union(cols[e->selection_i() - 1], cols[e->selection_j() - 1]);
+      chain.interior.push_back(e);
+      return cols;
+    }
+    if (e->kind() == OpKind::kProjection) {
+      std::vector<std::size_t> cols = CollectChain(e->child(0), chain);
+      std::vector<std::size_t> mapped;
+      mapped.reserve(e->projection().size());
+      for (std::size_t c : e->projection()) mapped.push_back(cols[c - 1]);
+      chain.interior.push_back(e);
+      return mapped;
+    }
+    std::vector<std::size_t> vars;
+    vars.reserve(e->arity());
+    for (std::size_t c = 0; c < e->arity(); ++c) {
+      vars.push_back(chain.uf.size());
+      chain.uf.push_back(chain.uf.size());
+    }
+    chain.leaves.push_back(e);
+    chain.leaf_vars.push_back(vars);
+    return vars;
+  }
+
+  /// Collects the join chain rooted at `e` and routes it to the multiway
+  /// operator (or keeps the written binary plan, recording the priced
+  /// decision) per CostModel::ChooseMultiwayJoin. Returns nullptr when no
+  /// viable chain exists — the caller falls through to 1:1 lowering.
+  PhysicalOpPtr TryMultiwayChain(const ExprPtr& e) {
+    if (!AllEqualityAtoms(e)) return nullptr;
+    CollectedChain chain;
+    const std::vector<std::size_t> root_raw = CollectChain(e, chain);
+    if (chain.leaves.size() < 3 || chain.leaves.size() > kMaxHypergraphEdges) {
+      return nullptr;
+    }
+    for (const ExprPtr& leaf : chain.leaves) {
+      if (leaf->arity() == 0) return nullptr;
+    }
+    // Compress union-find classes to dense variable ids in first-appearance
+    // order (variable 0 is leaf 0's column 1 — the partitioning key).
+    std::unordered_map<std::size_t, std::size_t> dense;
+    std::vector<std::vector<std::size_t>> var_maps(chain.leaves.size());
+    for (std::size_t i = 0; i < chain.leaves.size(); ++i) {
+      var_maps[i].reserve(chain.leaf_vars[i].size());
+      for (std::size_t raw : chain.leaf_vars[i]) {
+        const std::size_t root = chain.Find(raw);
+        const auto it = dense.emplace(root, dense.size()).first;
+        var_maps[i].push_back(it->second);
+      }
+    }
+    const std::size_t num_vars = dense.size();
+    if (num_vars == 0 || num_vars > kMaxHypergraphVars) return nullptr;
+
+    JoinHypergraph graph;
+    graph.num_vars = num_vars;
+    double sum_inputs = 0.0;
+    for (std::size_t i = 0; i < chain.leaves.size(); ++i) {
+      JoinHypergraph::Edge edge;
+      edge.vars = var_maps[i];
+      std::sort(edge.vars.begin(), edge.vars.end());
+      edge.vars.erase(std::unique(edge.vars.begin(), edge.vars.end()),
+                      edge.vars.end());
+      edge.cardinality = model_.Estimate(chain.leaves[i]).cardinality;
+      sum_inputs += edge.cardinality;
+      graph.edges.push_back(std::move(edge));
+    }
+    std::vector<double> interior_cards;
+    interior_cards.reserve(chain.interior.size());
+    for (const ExprPtr& node : chain.interior) {
+      interior_cards.push_back(model_.Estimate(node).cardinality);
+    }
+    const CostModel::MultiwayChoice choice =
+        CostModel::ChooseMultiwayJoin(graph, interior_cards, CostBased());
+    if (!std::isfinite(choice.agm_bound)) return nullptr;
+    if (!has_agm_bound_) {  // The plan-level bound: first chain collected.
+      agm_bound_ = choice.agm_bound;
+      has_agm_bound_ = true;
+    }
+
+    const std::size_t first_choice = choices_.size();
+    if (CostBased()) {
+      choices_.push_back(
+          {"join-chain", MultiwayChoiceLabel(choice.use_multiway, chain.leaves.size()),
+           choice.use_multiway ? choice.multiway : choice.binary});
+    }
+
+    ChoicePoint point;
+    point.kind = ChoicePoint::Kind::kMultiway;
+    point.left = e;
+    point.multiway_inputs = chain.leaves;
+    point.multiway_var_maps = var_maps;
+    point.multiway_num_vars = num_vars;
+    point.multiway_interior = chain.interior;
+    point.first_choice = first_choice;
+
+    if (!choice.use_multiway) {
+      // Keep the written binary plan; the recorded point lets a cached
+      // plan re-price the (pinned) decision from fresh statistics.
+      PhysicalOpPtr op =
+          MakeJoin(Lower(e->child(0)), Lower(e->child(1)), e->atoms(), e.get());
+      point.op = op.get();
+      point.source = e.get();
+      point.multiway_routed = false;
+      point.num_choices = choices_.size() - first_choice;
+      choice_points_.push_back(std::move(point));
+      return op;
+    }
+
+    // Variable 0's first binding column: the partitioning key the
+    // parallel fan-out is priced on.
+    std::size_t key_leaf = 0;
+    std::size_t key_column = 1;
+    for (std::size_t i = 0; i < var_maps.size(); ++i) {
+      const auto it = std::find(var_maps[i].begin(), var_maps[i].end(), 0u);
+      if (it != var_maps[i].end()) {
+        key_leaf = i;
+        key_column = static_cast<std::size_t>(it - var_maps[i].begin()) + 1;
+        break;
+      }
+    }
+    const std::size_t partitions = PartitionsFor(
+        "multiway-execution", choice.multiway, sum_inputs,
+        EstimateColumnDistinct(model_.Estimate(chain.leaves[key_leaf]), key_column,
+                               chain.leaves[key_leaf]->arity()));
+    const std::size_t rewrite_index = rewrites_.size();
+    rewrites_.push_back(MultiwayRewriteNote(chain.leaves.size(), choice.agm_bound));
+
+    std::vector<PhysicalOpPtr> children;
+    children.reserve(chain.leaves.size());
+    for (const ExprPtr& leaf : chain.leaves) children.push_back(Lower(leaf));
+    PhysicalOpPtr mw = MakeMultiwayJoin(std::move(children), var_maps, num_vars,
+                                        /*source=*/nullptr, partitions);
+    if (stats_ != nullptr) estimates_[mw.get()] = choice.multiway;
+    std::vector<std::size_t> projection;
+    projection.reserve(root_raw.size());
+    for (std::size_t raw : root_raw) {
+      projection.push_back(dense.at(chain.Find(raw)) + 1);
+    }
+    point.op = mw.get();
+    point.source = nullptr;  // Rewrite-synthesized, like the reduced semijoin.
+    point.multiway_routed = true;
+    point.multiway_key_leaf = key_leaf;
+    point.multiway_key_column = key_column;
+    point.partitions = partitions;
+    point.num_choices = choices_.size() - first_choice;
+    point.rewrite_index = rewrite_index;
+    choice_points_.push_back(std::move(point));
+    return MakeProject(std::move(mw), std::move(projection), e.get());
+  }
+
   PhysicalOpPtr LowerUncached(const ExprPtr& e) {
     if (options_.recognize_division) {
       if (auto m = MatchEqualityDivision(e)) {
@@ -252,6 +454,9 @@ class Lowering {
     if (options_.recognize_semijoin_projection && e->kind() == OpKind::kProjection &&
         e->child(0)->kind() == OpKind::kJoin) {
       if (PhysicalOpPtr reduced = TrySemijoinReduction(e)) return reduced;
+    }
+    if (options_.multiway && stats_ != nullptr && e->kind() == OpKind::kJoin) {
+      if (PhysicalOpPtr chained = TryMultiwayChain(e)) return chained;
     }
 
     switch (e->kind()) {
@@ -343,6 +548,8 @@ class Lowering {
   std::unordered_map<const PhysicalOp*, CostEstimate> estimates_;
   std::vector<std::pair<const PhysicalOp*, ExprPtr>> op_sources_;
   std::vector<ChoicePoint> choice_points_;
+  double agm_bound_ = 0.0;
+  bool has_agm_bound_ = false;
 };
 
 }  // namespace
@@ -359,6 +566,17 @@ std::string DivisionRewriteNote(setjoin::DivisionAlgorithm algorithm, bool equal
                                : "division pattern → division[",
                       setjoin::DivisionAlgorithmToString(algorithm), "]",
                       cost_based ? " (cost-based)" : "");
+}
+
+std::string MultiwayRewriteNote(std::size_t relations, double agm_bound) {
+  return util::StrCat("join chain [", std::to_string(relations),
+                      " relations] → multiway generic join (AGM bound ",
+                      std::to_string(static_cast<std::size_t>(agm_bound)), ")");
+}
+
+std::string MultiwayChoiceLabel(bool routed, std::size_t relations) {
+  return routed ? util::StrCat("multiway[", std::to_string(relations), "]")
+                : std::string("binary");
 }
 
 EngineOptions EngineOptions::Reference() {
@@ -398,6 +616,7 @@ std::uint64_t OptionsFingerprint(const EngineOptions& options) {
   mix(static_cast<std::uint64_t>(options.containment_algorithm));
   mix(static_cast<std::uint64_t>(options.set_equality_algorithm));
   mix(options.cost_based);
+  mix(options.multiway);
   mix(options.batched);
   mix(options.batch_size);
   mix(options.threads);
@@ -434,6 +653,8 @@ util::Result<PhysicalPlan> Planner::Lower(const ra::ExprPtr& expr,
   plan.estimates = lowering.TakeEstimates();
   plan.op_sources = lowering.TakeOpSources();
   plan.choice_points = lowering.TakeChoicePoints();
+  plan.agm_bound = lowering.agm_bound();
+  plan.has_agm_bound = lowering.has_agm_bound();
   return plan;
 }
 

@@ -54,6 +54,16 @@ struct EngineOptions {
   setjoin::EqualityJoinAlgorithm set_equality_algorithm =
       setjoin::EqualityJoinAlgorithm::kCanonicalHash;
 
+  /// Collect maximal binary-join chains into a join hypergraph and route
+  /// them to the worst-case-optimal multiway operator
+  /// (engine/multiway.h) when the written binary plan's estimated max
+  /// intermediate exceeds the AGM fractional-edge-cover bound (cost-based
+  /// mode prices both kernels instead and records the choice). Requires
+  /// statistics (Engine::Run supplies them); without stats the chains are
+  /// lowered 1:1. Off by default: multiway routing changes plan shape,
+  /// so existing baselines opt in explicitly via WithMultiway().
+  bool multiway = false;
+
   /// Pick the algorithm per call site from relation statistics via the
   /// cost model (engine/cost.h) instead of the fixed defaults above.
   /// Requires statistics (Planner::Lower's `stats`, supplied automatically
@@ -149,6 +159,48 @@ struct EngineOptions {
   /// N-wide worker pool for partitioned operators.
   static EngineOptions Parallel(std::size_t threads,
                                 std::size_t batch_size = kDefaultBatchSize);
+
+  // -- Fluent composition ----------------------------------------------------
+  // The presets above return a fresh value; these mutators layer knobs on
+  // top of any preset without overwriting the rest, so
+  // `EngineOptions::CostBased().WithThreads(4).WithMultiway()` reads as the
+  // sum of its parts. Each returns a modified copy (value semantics).
+
+  EngineOptions WithThreads(std::size_t n) const {
+    EngineOptions o = *this;
+    o.threads = n < 1 ? 1 : n;
+    return o;
+  }
+
+  /// Also turns on batched execution: a batch size only matters on the
+  /// pipelined surface.
+  EngineOptions WithBatchSize(std::size_t n) const {
+    EngineOptions o = *this;
+    o.batched = true;
+    o.batch_size = n < 1 ? 1 : n;
+    return o;
+  }
+
+  EngineOptions WithMultiway(bool on = true) const {
+    EngineOptions o = *this;
+    o.multiway = on;
+    return o;
+  }
+
+  EngineOptions WithPlanCache(std::size_t entries, std::size_t bytes = 0) const {
+    EngineOptions o = *this;
+    o.plan_cache_entries = entries;
+    o.plan_cache_bytes = bytes;
+    return o;
+  }
+
+  EngineOptions WithSharedCaches(std::shared_ptr<SharedPlanCache> plans,
+                                 std::shared_ptr<ResultCache> results) const {
+    EngineOptions o = *this;
+    o.shared_plan_cache = std::move(plans);
+    o.result_cache = std::move(results);
+    return o;
+  }
 };
 
 /// Deterministic hash of every EngineOptions field that can change what a
@@ -167,7 +219,7 @@ std::uint64_t OptionsFingerprint(const EngineOptions& options);
 /// statistics — and swaps the operator in place when the decision flips —
 /// without ever re-lowering the expression (engine/plan_cache.h).
 struct ChoicePoint {
-  enum class Kind { kDivision, kSemijoin };
+  enum class Kind { kDivision, kSemijoin, kMultiway };
   Kind kind = Kind::kDivision;
   /// The operator this decision built (remapped when a swap rebuilds it).
   const PhysicalOp* op = nullptr;
@@ -189,6 +241,25 @@ struct ChoicePoint {
       setjoin::DivisionAlgorithm::kHashDivision;
   SemijoinStrategy semijoin_strategy = SemijoinStrategy::kFastKernel;
   std::size_t partitions = 0;
+  /// kMultiway payload: the collected join chain. The routing itself is
+  /// structural (like the division-pattern rewrite, revalidation never
+  /// un-routes a chain — see plan_cache.cc); these inputs let re-costing
+  /// re-price the pinned alternative and repick only the fan-out width.
+  /// Leaf relations of the hypergraph, in edge order.
+  std::vector<ra::ExprPtr> multiway_inputs;
+  /// Per leaf, per column: the 0-based join variable the column binds.
+  std::vector<std::vector<std::size_t>> multiway_var_maps;
+  std::size_t multiway_num_vars = 0;
+  /// Interior nodes of the written binary chain, root last — what
+  /// EstimateBinaryJoinChain prices against the AGM bound.
+  std::vector<ra::ExprPtr> multiway_interior;
+  /// True when the chain was routed to the multiway operator (`op` is the
+  /// multiway join); false when the written binary plan was kept.
+  bool multiway_routed = false;
+  /// Leaf index / 1-based column that binds join variable 0 — the
+  /// partitioning key the parallel width is priced on.
+  std::size_t multiway_key_leaf = 0;
+  std::size_t multiway_key_column = 1;
   /// This decision's slice of PhysicalPlan::choices (first index + count;
   /// 0 when the plan was not cost-based), updated in place on re-cost so
   /// revalidated runs report choices in the exact fresh-lowering order.
@@ -217,6 +288,9 @@ struct PhysicalPlan {
   std::vector<std::pair<const PhysicalOp*, ra::ExprPtr>> op_sources;
   /// The re-costable decisions baked into the plan, in lowering order.
   std::vector<ChoicePoint> choice_points;
+  /// AGM bound of the first collected join chain (see PlanStats).
+  double agm_bound = 0.0;
+  bool has_agm_bound = false;
 
   /// Indented operator tree followed by the rewrite notes.
   std::string ToString() const;
@@ -231,6 +305,15 @@ std::string DivisionRewriteNote(setjoin::DivisionAlgorithm algorithm, bool equal
 /// The label CostBased() records for an execution-parallelism decision:
 /// "partitioned[N]" (N > 1) or "serial".
 std::string ParallelChoiceLabel(std::size_t partitions);
+
+/// The rewrite note recorded when a collected join chain is routed to the
+/// multiway operator — shared with plan-cache revalidation, which
+/// refreshes the AGM figure the note quotes on re-cost.
+std::string MultiwayRewriteNote(std::size_t relations, double agm_bound);
+
+/// The choices label for the multiway-vs-binary decision:
+/// "multiway[k]" when routed, "binary" when the written plan was kept.
+std::string MultiwayChoiceLabel(bool routed, std::size_t relations);
 
 class Planner {
  public:

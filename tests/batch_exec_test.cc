@@ -111,7 +111,7 @@ void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
   auto plan = base.cost_based ? reference.Plan(expr, db)
                               : reference.Plan(expr, db.schema());
   ASSERT_TRUE(plan.ok()) << context << ": " << plan.error();
-  auto expected = reference.RunPlan(*plan, db);
+  auto expected = reference.Run(*plan, db);
   ASSERT_TRUE(expected.ok()) << context << ": " << expected.error();
 
   for (std::size_t threads : kThreadCounts) {
@@ -121,7 +121,7 @@ void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
       options.batch_size = batch_size;
       options.threads = threads;
       const Engine batched(options);
-      auto run = batched.RunPlan(*plan, db);
+      auto run = batched.Run(*plan, db);
       const std::string what = context + " batch_size=" +
                                std::to_string(batch_size) +
                                " threads=" + std::to_string(threads);
@@ -143,7 +143,7 @@ void ExpectBatchedMatches(const EngineOptions& base, const ra::ExprPtr& expr,
       // Materializing executor with a worker pool (no batching).
       EngineOptions options = base;
       options.threads = threads;
-      auto run = Engine(options).RunPlan(*plan, db);
+      auto run = Engine(options).Run(*plan, db);
       const std::string what =
           context + " materializing threads=" + std::to_string(threads);
       ASSERT_TRUE(run.ok()) << what << ": " << run.error();
@@ -291,19 +291,105 @@ TEST(BatchExec, DifferentialOnGeneratorFamilies) {
 }
 
 // ---------------------------------------------------------------------------
+// Multiway join chains: the worst-case-optimal operator through every
+// executor, differentially against the binary plan.
+// ---------------------------------------------------------------------------
+
+// The triangle chain R(a,b) ⋈ S(b,c) ⋈ T(c,a), written the binary way.
+ra::ExprPtr TriangleChainExpr() {
+  return ra::Join(
+      ra::Join(ra::Rel("R", 2), ra::Rel("S", 2), {{2, ra::Cmp::kEq, 1}}),
+      ra::Rel("T", 2), {{4, ra::Cmp::kEq, 1}, {1, ra::Cmp::kEq, 2}});
+}
+
+// Skewed triangle data: R = X×Y and S = Y×Z are complete bipartite
+// through a d-element middle domain Y, so the binary R⋈S intermediate is
+// (n/d)·d·(n/d) = n²/d tuples — far past the AGM bound (n·n·n)^(1/2) —
+// while T is n random (c, a) pairs keeping the output sparse. Value
+// ranges are disjoint per variable so estimator distinct counts are exact.
+core::Database TriangleChainDatabase(std::size_t n, std::size_t d,
+                                     std::uint64_t seed) {
+  const std::size_t side = n / d;
+  core::Relation r(2), s(2), t(2);
+  for (std::size_t x = 0; x < side; ++x) {
+    for (std::size_t y = 0; y < d; ++y) {
+      r.Add({static_cast<core::Value>(1 + x),
+             static_cast<core::Value>(10001 + y)});
+    }
+  }
+  for (std::size_t y = 0; y < d; ++y) {
+    for (std::size_t z = 0; z < side; ++z) {
+      s.Add({static_cast<core::Value>(10001 + y),
+             static_cast<core::Value>(20001 + z)});
+    }
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.Add({static_cast<core::Value>(20001 + rng.NextBounded(side)),
+           static_cast<core::Value>(1 + rng.NextBounded(side))});
+  }
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", std::move(r));
+  db.SetRelation("S", std::move(s));
+  db.SetRelation("T", std::move(t));
+  return db;
+}
+
+TEST(BatchExec, DifferentialOnMultiwayJoinChains) {
+  const auto db = TriangleChainDatabase(300, 6, BaseSeed());
+  const auto expr = TriangleChainExpr();
+  const EngineOptions on = EngineOptions::CostBased().WithMultiway();
+  const EngineOptions off = EngineOptions::CostBased();
+
+  // The skew must actually flip the routing, or the leg below would
+  // exercise nothing new.
+  auto plan = Engine(on).Plan(expr, db);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  ASSERT_TRUE(plan->has_agm_bound);
+  bool routed = false;
+  for (const auto& choice : plan->choices) {
+    if (choice.site == "join-chain" &&
+        choice.algorithm.rfind("multiway", 0) == 0) {
+      routed = true;
+    }
+  }
+  ASSERT_TRUE(routed) << "triangle chain kept the binary plan";
+
+  ExpectBatchedMatches(on, expr, db, "multiway-on triangle");
+  ExpectBatchedMatches(off, expr, db, "multiway-off triangle");
+
+  // Multiway on vs off: different plans, byte-identical results.
+  auto with = Engine(on).Run(expr, db);
+  auto without = Engine(off).Run(expr, db);
+  ASSERT_TRUE(with.ok()) << with.error();
+  ASSERT_TRUE(without.ok()) << without.error();
+  EXPECT_EQ(with->relation.flat(), without->relation.flat());
+  EXPECT_TRUE(with->stats.has_agm_bound);
+  EXPECT_FALSE(without->stats.has_agm_bound);
+  EXPECT_LE(static_cast<double>(with->stats.max_intermediate),
+            with->stats.agm_bound);
+  EXPECT_GT(static_cast<double>(without->stats.max_intermediate),
+            with->stats.agm_bound);
+}
+
+// ---------------------------------------------------------------------------
 // Hand-built set-join plans (no logical form) through the batch surface.
 // ---------------------------------------------------------------------------
 
 void ExpectPlanBatchedMatches(const PhysicalPlan& plan, const core::Database& db,
                               const Relation& expected, const std::string& context) {
   const Engine materializing;
-  auto reference = materializing.RunPlan(plan, db);
+  auto reference = materializing.Run(plan, db);
   ASSERT_TRUE(reference.ok()) << context << ": " << reference.error();
   EXPECT_EQ(reference->relation, expected) << context;
   for (std::size_t threads : kThreadCounts) {
     for (std::size_t batch_size : kBatchSizes) {
       const Engine batched(EngineOptions::Parallel(threads, batch_size));
-      auto run = batched.RunPlan(plan, db);
+      auto run = batched.Run(plan, db);
       const std::string what = context + " batch_size=" + std::to_string(batch_size) +
                                " threads=" + std::to_string(threads);
       ASSERT_TRUE(run.ok()) << what << ": " << run.error();
@@ -405,11 +491,11 @@ TEST(BatchExec, SharedSubplansMaterializeOnceAndKeepStatsParity) {
   plan.root = MakeUnion(MakeProject(scan, {1}), MakeProject(scan, {2}));
 
   const Engine materializing;
-  auto expected = materializing.RunPlan(plan, db);
+  auto expected = materializing.Run(plan, db);
   ASSERT_TRUE(expected.ok()) << expected.error();
   for (std::size_t batch_size : kBatchSizes) {
     const Engine batched(EngineOptions::Batched(batch_size));
-    auto run = batched.RunPlan(plan, db);
+    auto run = batched.Run(plan, db);
     ASSERT_TRUE(run.ok()) << run.error();
     EXPECT_EQ(run->relation, expected->relation);
     ExpectSameStats(expected->stats, run->stats,
@@ -455,12 +541,12 @@ TEST(BatchExec, ParallelMergeIsDeterministicAcrossRepeatedRuns) {
   auto plan = engine.Plan(expr, db.schema());
   ASSERT_TRUE(plan.ok()) << plan.error();
 
-  auto first = engine.RunPlan(*plan, db);
+  auto first = engine.Run(*plan, db);
   ASSERT_TRUE(first.ok()) << first.error();
   EXPECT_EQ(first->stats.threads_used, 7u);
   EXPECT_GT(first->stats.partitions, 0u);
   for (int repeat = 0; repeat < 5; ++repeat) {
-    auto run = engine.RunPlan(*plan, db);
+    auto run = engine.Run(*plan, db);
     ASSERT_TRUE(run.ok()) << run.error();
     // flat() compares the normalized storage byte-for-byte, a strictly
     // stronger check than relation equality on sorted sets.

@@ -262,7 +262,7 @@ void ExpectPartitionedDivisionAgrees(const Relation& r, const Relation& s,
                                            equality, nullptr, partitions);
           engine::EngineOptions options;
           options.threads = threads;
-          auto run = engine::Engine(options).RunPlan(plan, db);
+          auto run = engine::Engine(options).Run(plan, db);
           ASSERT_TRUE(run.ok()) << what << ": " << run.error();
           EXPECT_EQ(run->relation, expected)
               << what << " algorithm " << DivisionAlgorithmToString(algorithm)

@@ -286,7 +286,7 @@ TEST(Engine, BudgetAdmitsThePlannedDivisionButNotTheClassicPlan) {
 // Hand-built physical plans: the set-join operators.
 // ---------------------------------------------------------------------------
 
-TEST(Engine, RunPlanExecutesSetJoinOperators) {
+TEST(Engine, RunExecutesHandBuiltSetJoinPlans) {
   workload::SetJoinConfig config;
   config.r_groups = 40;
   config.s_groups = 40;
@@ -301,7 +301,7 @@ TEST(Engine, RunPlanExecutesSetJoinOperators) {
   contain.root = MakeSetContainmentJoin(
       MakeScan("R", 2), MakeScan("S", 2),
       setjoin::ContainmentAlgorithm::kInvertedIndex);
-  auto contain_run = engine.RunPlan(contain, db);
+  auto contain_run = engine.Run(contain, db);
   ASSERT_TRUE(contain_run.ok());
   EXPECT_EQ(contain_run->relation,
             setjoin::SetContainmentJoin(instance.r, instance.s,
@@ -310,7 +310,7 @@ TEST(Engine, RunPlanExecutesSetJoinOperators) {
   PhysicalPlan equal;
   equal.root = MakeSetEqualityJoin(MakeScan("R", 2), MakeScan("S", 2),
                                    setjoin::EqualityJoinAlgorithm::kCanonicalHash);
-  auto equal_run = engine.RunPlan(equal, db);
+  auto equal_run = engine.Run(equal, db);
   ASSERT_TRUE(equal_run.ok());
   EXPECT_EQ(equal_run->relation,
             setjoin::SetEqualityJoin(instance.r, instance.s,
@@ -318,7 +318,7 @@ TEST(Engine, RunPlanExecutesSetJoinOperators) {
 
   PhysicalPlan overlap;
   overlap.root = MakeSetOverlapJoin(MakeScan("R", 2), MakeScan("S", 2));
-  auto overlap_run = engine.RunPlan(overlap, db);
+  auto overlap_run = engine.Run(overlap, db);
   ASSERT_TRUE(overlap_run.ok());
   EXPECT_EQ(overlap_run->relation,
             setjoin::SetOverlapJoin(instance.r, instance.s));
@@ -477,14 +477,14 @@ TEST(Engine, ClearPlanCacheThenRePrepareIsAFreshStart) {
   EXPECT_EQ(run->relation, ra::Eval(expr, db));
 }
 
-TEST(Engine, RunPlanRecordsPerOperatorStats) {
+TEST(Engine, RunRecordsPerOperatorStats) {
   const auto db = SmallDb();
   const Engine engine;
   PhysicalPlan plan;
   plan.root = MakeDivision(MakeScan("R", 2), MakeScan("S", 1),
                            setjoin::DivisionAlgorithm::kSortMerge,
                            /*equality=*/false);
-  auto run = engine.RunPlan(plan, db);
+  auto run = engine.Run(plan, db);
   ASSERT_TRUE(run.ok());
   ASSERT_EQ(run->stats.ops.size(), 3u);  // Two scans + the division.
   EXPECT_EQ(run->stats.ops.back().label, "division[sort-merge]");

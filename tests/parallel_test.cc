@@ -139,7 +139,7 @@ TEST(PartitionedExecution, ExplicitPartitionCountsReproduceSerialResults) {
                              setjoin::DivisionAlgorithm::kHashDivision,
                              /*equality=*/false, nullptr, /*partitions=*/1);
   const Engine engine;
-  auto expected = engine.RunPlan(serial, db);
+  auto expected = engine.Run(serial, db);
   ASSERT_TRUE(expected.ok()) << expected.error();
 
   for (std::size_t partitions : {std::size_t{2}, std::size_t{5}, std::size_t{64}}) {
@@ -150,7 +150,7 @@ TEST(PartitionedExecution, ExplicitPartitionCountsReproduceSerialResults) {
                                /*equality=*/false, nullptr, partitions);
       EngineOptions options;
       options.threads = threads;
-      auto run = Engine(options).RunPlan(plan, db);
+      auto run = Engine(options).Run(plan, db);
       ASSERT_TRUE(run.ok()) << run.error();
       EXPECT_EQ(run->relation, expected->relation)
           << "partitions " << partitions << " threads " << threads;
@@ -170,7 +170,7 @@ TEST(PartitionedExecution, AutoPartitioningFollowsTheWorkerPoolWidth) {
                            setjoin::DivisionAlgorithm::kAggregate,
                            /*equality=*/false);
   {
-    auto run = Engine().RunPlan(plan, db);
+    auto run = Engine().Run(plan, db);
     ASSERT_TRUE(run.ok()) << run.error();
     EXPECT_EQ(run->stats.partitions, 0u) << "serial runs must not fan out";
     EXPECT_EQ(run->stats.threads_used, 1u);
@@ -178,7 +178,7 @@ TEST(PartitionedExecution, AutoPartitioningFollowsTheWorkerPoolWidth) {
   {
     EngineOptions options;
     options.threads = 5;
-    auto run = Engine(options).RunPlan(plan, db);
+    auto run = Engine(options).Run(plan, db);
     ASSERT_TRUE(run.ok()) << run.error();
     EXPECT_EQ(run->stats.partitions, 5u);
     EXPECT_EQ(run->stats.threads_used, 5u);

@@ -336,7 +336,7 @@ void ExpectPartitionedSetJoinsAgree(const Relation& r, const Relation& s,
       plan.root = root;
       engine::EngineOptions options;
       options.threads = threads;
-      auto run = engine::Engine(options).RunPlan(plan, db);
+      auto run = engine::Engine(options).Run(plan, db);
       ASSERT_TRUE(run.ok()) << what << " " << label << ": " << run.error();
       EXPECT_EQ(run->relation, expected)
           << what << " " << label << " threads " << threads;
