@@ -1,15 +1,18 @@
-// raq — a tiny relational-algebra query tool over CSV files.
+// raq — a tiny query tool over CSV files, speaking both algebra text and
+// the SQL subset.
 //
 //   build/examples/raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'
+//   build/examples/raq R=2:r.csv S=1:s.csv -- 'SELECT c1 FROM R WHERE c2 = 5'
 //
 // Each positional argument NAME=ARITY:PATH loads a CSV file (one tuple per
-// line; non-integer fields are interned as strings). The expression after
-// `--` is parsed against the loaded schema (both RA and SA operators are
-// supported), planned and executed by engine::Engine, and the result is
-// printed as CSV. With -v the physical plan, planner rewrites, cost-based
-// algorithm choices (with their estimates), the AGM output bound of any
-// collected join chain, and per-operator estimated-vs-actual intermediate
-// sizes are reported too.
+// line; non-integer fields are interned as strings). Statements after `--`
+// are parsed against the loaded schema — SELECT-led statements through the
+// SQL frontend (sql/analyzer.h), everything else through the RA/SA
+// expression grammar — then planned and executed by engine::Engine, and the
+// result is printed as CSV. With -v the physical plan, planner rewrites,
+// cost-based algorithm choices (with their estimates), the AGM output bound
+// of any collected join chain, and per-operator estimated-vs-actual
+// intermediate sizes are reported too.
 //
 // Execution is selected by one --mode flag plus orthogonal knobs:
 //   --mode reference   legacy 1:1 evaluation, no planner rewrites
@@ -27,13 +30,19 @@
 // cache, and -v reports the outcome (miss then hit) plus cache tallies,
 // so the prepared-statement hot path is observable from the CLI.
 //
-// Concurrent serving: several expressions may follow `--`, and
+// Concurrent serving: several statements may follow `--`, and
 // --sessions N runs that query list from N threads against one shared
 // engine and one snapshot of a txn::VersionedDatabase head, through the
 // process-wide shared plan cache and result cache. Each session prints a
 // digest line per query (FNV over the result's flat bytes) — sessions on
 // one snapshot always print identical digests, which makes this the
 // smoke entry point for the MVCC serving path.
+//
+// Client mode: --connect HOST:PORT skips the local engine entirely and
+// sends every statement to a running setalgd (examples/setalgd.cc) as
+// QUERY requests — one connection per session — printing the same
+// per-session digest lines from the server's OK headers, so local and
+// served runs diff directly.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -47,30 +56,37 @@
 #include "engine/result_cache.h"
 #include "engine/shared_cache.h"
 #include "ra/parse.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
 #include "txn/snapshot.h"
-#include "util/hash.h"
 #include "util/str.h"
-
-namespace {
-
-// Order-dependent digest of a relation's normalized flat storage.
-std::uint64_t RelationDigest(const setalg::core::Relation& relation) {
-  using namespace setalg;
-  std::uint64_t h = util::FnvHashBytes(relation.flat().data(),
-                                       relation.flat().size() * sizeof(core::Value));
-  h = util::HashCombine(h, relation.arity());
-  return util::HashCombine(h, relation.size());
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace setalg;
+
+  // Canonicalize the legacy flag spellings first, so one parse loop below
+  // handles one spelling per option.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reference") {
+      args.push_back("--mode");
+      args.push_back("reference");
+    } else if (arg == "--cost-based") {
+      args.push_back("--mode");
+      args.push_back("cost");
+    } else {
+      args.push_back(arg);
+    }
+  }
 
   std::vector<std::string> relation_specs;
   std::vector<std::string> expressions;
   bool verbose = false;
   std::string mode = "planned";
+  std::string connect;
   bool multiway = false;
   bool batched = false;
   bool threads_given = false;
@@ -79,29 +95,32 @@ int main(int argc, char** argv) {
   long long plan_cache_entries = 0;
   long long sessions = 0;
   bool after_separator = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  const std::size_t nargs = args.size();
+  for (std::size_t i = 0; i < nargs; ++i) {
+    const std::string& arg = args[i];
     if (arg == "--") {
       after_separator = true;
     } else if (arg == "-v") {
       verbose = true;
     } else if (arg == "--mode") {
-      if (i + 1 >= argc) {
+      if (i + 1 >= nargs) {
         std::fprintf(stderr, "--mode needs one of "
                              "reference|planned|cost|batched|parallel\n");
         return 2;
       }
-      mode = argv[++i];
-    } else if (arg == "--reference") {  // Pre---mode spelling, still accepted.
-      mode = "reference";
-    } else if (arg == "--cost-based") {  // Pre---mode spelling, still accepted.
-      mode = "cost";
+      mode = args[++i];
+    } else if (arg == "--connect") {
+      if (i + 1 >= nargs) {
+        std::fprintf(stderr, "--connect needs HOST:PORT\n");
+        return 2;
+      }
+      connect = args[++i];
     } else if (arg == "--multiway") {
       multiway = true;
     } else if (arg == "--plan-cache") {
       plan_cache_entries = 64;
       // Optional capacity operand (the next token, when numeric).
-      if (i + 1 < argc && util::ParseInt64(argv[i + 1], &plan_cache_entries)) {
+      if (i + 1 < nargs && util::ParseInt64(args[i + 1], &plan_cache_entries)) {
         if (plan_cache_entries < 1) {
           std::fprintf(stderr, "--plan-cache needs a positive entry count\n");
           return 2;
@@ -109,7 +128,7 @@ int main(int argc, char** argv) {
         ++i;
       }
     } else if (arg == "--batch-size") {
-      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &batch_size) ||
+      if (i + 1 >= nargs || !util::ParseInt64(args[i + 1], &batch_size) ||
           batch_size < 1) {
         std::fprintf(stderr, "--batch-size needs a positive integer\n");
         return 2;
@@ -117,14 +136,14 @@ int main(int argc, char** argv) {
       batched = true;
       ++i;
     } else if (arg == "--threads") {
-      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &threads) || threads < 1) {
+      if (i + 1 >= nargs || !util::ParseInt64(args[i + 1], &threads) || threads < 1) {
         std::fprintf(stderr, "--threads needs a positive integer\n");
         return 2;
       }
       threads_given = true;
       ++i;
     } else if (arg == "--sessions") {
-      if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &sessions) || sessions < 1) {
+      if (i + 1 >= nargs || !util::ParseInt64(args[i + 1], &sessions) || sessions < 1) {
         std::fprintf(stderr, "--sessions needs a positive integer\n");
         return 2;
       }
@@ -135,14 +154,68 @@ int main(int argc, char** argv) {
       relation_specs.push_back(arg);
     }
   }
-  if (relation_specs.empty() || expressions.empty()) {
+  if ((relation_specs.empty() && connect.empty()) || expressions.empty()) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
                  "[--mode reference|planned|cost|batched|parallel] [--multiway] "
                  "[--threads N] [--batch-size N] [--plan-cache [N]] "
-                 "[--sessions N] -- EXPR [EXPR ...]\n"
+                 "[--sessions N] [--connect HOST:PORT] -- STMT [STMT ...]\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
+  }
+
+  if (!connect.empty()) {
+    // Client mode: every statement goes to a running setalgd verbatim (the
+    // server does the SQL-vs-RA dispatch); one connection per session.
+    const auto colon = connect.rfind(':');
+    long long port = 0;
+    if (colon == std::string::npos ||
+        !util::ParseInt64(connect.substr(colon + 1), &port) || port < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "--connect needs HOST:PORT, got '%s'\n", connect.c_str());
+      return 2;
+    }
+    const std::string host = connect.substr(0, colon);
+    const std::size_t n = sessions > 0 ? static_cast<std::size_t>(sessions) : 1;
+    std::vector<std::vector<std::string>> reports(n);
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      workers.emplace_back([&, s] {
+        auto client = server::Client::Connect(host, static_cast<int>(port));
+        if (!client.ok()) {
+          reports[s].push_back(util::StrCat("session ", s + 1, ": ", client.error()));
+          failed.store(true);
+          return;
+        }
+        for (std::size_t q = 0; q < expressions.size(); ++q) {
+          auto response = client->Roundtrip(util::StrCat("QUERY ", expressions[q]));
+          if (!response.ok()) {
+            reports[s].push_back(util::StrCat("session ", s + 1, " Q", q + 1,
+                                              ": transport error: ",
+                                              response.error()));
+            failed.store(true);
+            return;
+          }
+          if (!response->header.ok) {
+            reports[s].push_back(util::StrCat("session ", s + 1, " Q", q + 1,
+                                              ": error: ", response->header.error));
+            failed.store(true);
+            return;
+          }
+          reports[s].push_back(util::StrCat(
+              "session ", s + 1, " Q", q + 1, ": digest=", response->header.digest,
+              " rows=", response->header.rows, " cache=", response->header.cache));
+        }
+        client->Close();
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (const auto& session_lines : reports) {
+      for (const auto& line : session_lines) std::printf("%s\n", line.c_str());
+    }
+    return failed.load() ? 1 : 0;
   }
 
   core::NameMap names;
@@ -182,7 +255,8 @@ int main(int argc, char** argv) {
 
   std::vector<ra::ExprPtr> parsed_list;
   for (const auto& expression : expressions) {
-    auto parsed = ra::Parse(expression, schema);
+    auto parsed = sql::LooksLikeSql(expression) ? sql::Compile(expression, schema)
+                                                : ra::Parse(expression, schema);
     if (!parsed.ok()) {
       std::fprintf(stderr, "parse error in '%s': %s\n", expression.c_str(),
                    parsed.error().c_str());
@@ -242,13 +316,10 @@ int main(int argc, char** argv) {
             failed.store(true);
             return;
           }
-          char digest[32];
-          std::snprintf(digest, sizeof(digest), "%016llx",
-                        static_cast<unsigned long long>(
-                            RelationDigest(run->relation)));
           reports[s].push_back(util::StrCat(
-              "session ", s + 1, " Q", q + 1, ": digest=", digest, " rows=",
-              run->relation.size(), " cache=",
+              "session ", s + 1, " Q", q + 1, ": digest=",
+              server::DigestToHex(server::RelationDigest(run->relation)),
+              " rows=", run->relation.size(), " cache=",
               engine::CacheOutcomeToString(run->stats.cache)));
         }
       });

@@ -184,13 +184,6 @@ class Engine {
   util::Result<RunResult> Run(const PhysicalPlan& plan,
                               const core::DatabaseView& db) const;
 
-  /// Deprecated spelling of Run(plan, db), kept so out-of-tree callers
-  /// keep compiling. In-repo code uses the Run overload.
-  [[deprecated("use Run(plan, db)")]] util::Result<RunResult> RunPlan(
-      const PhysicalPlan& plan, const core::DatabaseView& db) const {
-    return Run(plan, db);
-  }
-
   /// One-shot convenience. Computes statistics only when
   /// `options.cost_based` needs them (a throwaway engine cannot amortize
   /// the pass); use a persistent Engine for cached stats and

@@ -80,7 +80,7 @@ struct OpStats {
 
 /// How one Engine run obtained its physical plan from the plan cache
 /// (engine/plan_cache.h). kUncached for runs that never consulted it
-/// (cache disabled, or RunPlan on a hand-assembled plan).
+/// (cache disabled, or Run on a hand-assembled plan).
 enum class CacheOutcome {
   kUncached,     // The cache was not consulted.
   kMiss,         // Lowered fresh (and inserted when the cache is enabled).

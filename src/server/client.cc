@@ -1,0 +1,113 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/str.h"
+
+namespace setalg::server {
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+util::Result<Client> Client::Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Result<Client>::Error(
+        util::StrCat("socket: ", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Result<Client>::Error(
+        util::StrCat("bad host '", host, "' (want an IPv4 address)"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return util::Result<Client>::Error(
+        util::StrCat("connect to ", host, ":", port, ": ", error));
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+bool Client::ReadLine(std::string* line) {
+  line->clear();
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+util::Result<Client::Response> Client::Roundtrip(const std::string& request_line) {
+  if (fd_ < 0) return util::Result<Response>::Error("not connected");
+  std::string out = request_line;
+  if (out.empty() || out.back() != '\n') out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return util::Result<Response>::Error(
+          util::StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string line;
+  if (!ReadLine(&line)) {
+    return util::Result<Response>::Error("connection closed before response");
+  }
+  auto header = ParseResponseHeader(line);
+  if (!header.ok()) return util::Result<Response>::Error(header.error());
+  Response response;
+  response.header = std::move(*header);
+  for (;;) {
+    if (!ReadLine(&line)) {
+      return util::Result<Response>::Error("connection closed mid-response");
+    }
+    if (line == kTerminator) break;
+    response.rows.push_back(line);
+  }
+  return response;
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  (void)Roundtrip("CLOSE");
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace setalg::server

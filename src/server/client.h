@@ -1,0 +1,53 @@
+// A minimal blocking client for the setalgd wire protocol — the
+// counterpart raq --connect and the server tests use. One request line
+// out, one framed response (header + data rows + ".") back.
+#ifndef SETALG_SERVER_CLIENT_H_
+#define SETALG_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace setalg::server {
+
+class Client {
+ public:
+  /// One complete server response.
+  struct Response {
+    ResponseHeader header;
+    std::vector<std::string> rows;  // CSV data rows (OK responses only).
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `host`:`port` (host is a dotted-quad or "localhost").
+  static util::Result<Client> Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line and reads the full framed response.
+  /// Transport failures (send/recv) come back as errors; protocol-level
+  /// failures come back as an ok Result with header.ok == false.
+  util::Result<Response> Roundtrip(const std::string& request_line);
+
+  /// Sends CLOSE (ignoring the BYE) and closes the socket.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // recv carry-over between lines.
+
+  bool ReadLine(std::string* line);
+};
+
+}  // namespace setalg::server
+
+#endif  // SETALG_SERVER_CLIENT_H_

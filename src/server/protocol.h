@@ -1,0 +1,83 @@
+// The setalgd wire protocol: line-oriented, one request per line, one
+// framed response per request.
+//
+// Requests (first word is the verb, case-sensitive):
+//   QUERY <statement>           run one statement (SQL or RA text)
+//   PREPARE <name> <statement>  compile + prepare under a session name
+//   EXECUTE <name>              run a prepared statement
+//   PING                        liveness probe
+//   CLOSE                       end the session
+//
+// Every response is one header line, zero or more CSV data rows, and a
+// terminating "." line:
+//   OK rows=<n> version=<v> digest=<16 hex> cache=<outcome>   (+ n rows)
+//   PREPARED <name>
+//   PONG
+//   BYE
+//   ERR <line>:<column>: <message>
+//
+// Statements are dispatched on sql::LooksLikeSql: SELECT-led text goes
+// through the SQL frontend (sql/analyzer.h), anything else through the
+// RA expression grammar (ra/parse.h). `version` is the MVCC snapshot the
+// statement ran against (txn::Snapshot::version()), `digest` the
+// RelationDigest of the result — the invariant the server soak test
+// leans on: equal (version, statement) implies equal digest.
+#ifndef SETALG_SERVER_PROTOCOL_H_
+#define SETALG_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/relation.h"
+#include "util/result.h"
+
+namespace setalg::server {
+
+/// The response terminator line.
+inline constexpr char kTerminator[] = ".";
+
+/// Order-dependent FNV digest of a relation's normalized flat storage
+/// (value bytes, then arity, then size). The digest raq prints in
+/// --sessions mode and setalgd returns in every OK header.
+std::uint64_t RelationDigest(const core::Relation& relation);
+
+/// 16-character lowercase hex rendering of a digest.
+std::string DigestToHex(std::uint64_t digest);
+
+/// One parsed request line.
+struct Request {
+  enum class Kind { kQuery, kPrepare, kExecute, kPing, kClose };
+  Kind kind = Kind::kPing;
+  std::string name;       // PREPARE / EXECUTE target.
+  std::string statement;  // QUERY / PREPARE payload.
+};
+
+/// Parses one request line. Unknown verbs and missing operands are
+/// errors (the server answers ERR and keeps the session open).
+util::Result<Request> ParseRequest(const std::string& line);
+
+/// One parsed response header line.
+struct ResponseHeader {
+  std::string verb;  // "OK", "PREPARED", "PONG", "BYE" or "ERR".
+  bool ok = false;   // True for every verb except ERR.
+  std::size_t rows = 0;       // OK only.
+  std::uint64_t version = 0;  // OK only.
+  std::string digest;         // OK only (16 hex chars).
+  std::string cache;          // OK only (CacheOutcomeToString spelling).
+  std::string name;           // PREPARED only.
+  std::string error;          // ERR only (located "line:column: ..." text).
+};
+
+/// Parses a response header line (the counterpart used by raq --connect
+/// and the server tests).
+util::Result<ResponseHeader> ParseResponseHeader(const std::string& line);
+
+/// Header formatters — the exact lines the server writes.
+std::string FormatOkHeader(std::size_t rows, std::uint64_t version,
+                           std::uint64_t digest, const std::string& cache);
+std::string FormatPreparedHeader(const std::string& name);
+std::string FormatErrHeader(const std::string& error);
+
+}  // namespace setalg::server
+
+#endif  // SETALG_SERVER_PROTOCOL_H_

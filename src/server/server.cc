@@ -1,0 +1,262 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/csv.h"
+#include "engine/engine.h"
+#include "engine/result_cache.h"
+#include "engine/shared_cache.h"
+#include "ra/parse.h"
+#include "server/protocol.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "util/str.h"
+
+namespace setalg::server {
+namespace {
+
+/// Writes the whole buffer, swallowing EPIPE (a client that hung up
+/// mid-response just ends the session).
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a socket; lines are '\n'-terminated,
+/// carriage returns stripped.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+Server::Server(std::shared_ptr<txn::VersionedDatabase> head,
+               engine::EngineOptions options,
+               std::shared_ptr<const core::NameMap> names)
+    : head_(std::move(head)), options_(std::move(options)), names_(std::move(names)) {
+  // Per the engine's thread-safety contract: the engine-local plan cache
+  // is single-threaded, so concurrent serving goes through the shared
+  // caches instead.
+  options_.plan_cache_entries = 0;
+  if (options_.shared_plan_cache == nullptr) {
+    options_.shared_plan_cache = std::make_shared<engine::SharedPlanCache>(256, 0);
+  }
+  if (options_.result_cache == nullptr) {
+    options_.result_cache =
+        std::make_shared<engine::ResultCache>(256, std::size_t{64} << 20);
+  }
+}
+
+Server::~Server() { Stop(); }
+
+util::Result<int> Server::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Result<int>::Error(
+        util::StrCat("socket: ", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Result<int>::Error(util::StrCat("bind: ", std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Result<int>::Error(util::StrCat("listen: ", std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Unblock accept(), then every session's recv(); the loops observe the
+  // shutdown and exit after flushing their in-flight response.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      ::shutdown(session->fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
+    if (session->thread.joinable()) session->thread.join();
+    ::close(session->fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    sessions_accepted_.fetch_add(1);
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    Session* raw = session.get();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    sessions_.push_back(std::move(session));
+    raw->thread = std::thread([this, fd] { SessionLoop(fd); });
+  }
+}
+
+void Server::SessionLoop(int fd) {
+  // One engine per session: prepared handles are session-scoped, and the
+  // shared caches (copied into options_) do the cross-session sharing.
+  const engine::Engine engine(options_);
+  std::unordered_map<std::string, engine::PreparedQuery> prepared;
+  LineReader reader(fd);
+  std::string line;
+
+  const auto respond_error = [&](const std::string& message) {
+    return WriteAll(fd, util::StrCat(FormatErrHeader(message), "\n",
+                                     kTerminator, "\n"));
+  };
+  const auto compile = [&](const std::string& statement,
+                           const core::Schema& schema) {
+    return sql::LooksLikeSql(statement) ? sql::Compile(statement, schema)
+                                        : ra::Parse(statement, schema);
+  };
+
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    auto request = ParseRequest(line);
+    if (!request.ok()) {
+      if (!respond_error(request.error())) break;
+      continue;
+    }
+    switch (request->kind) {
+      case Request::Kind::kPing:
+        if (!WriteAll(fd, util::StrCat("PONG\n", kTerminator, "\n"))) return;
+        continue;
+      case Request::Kind::kClose:
+        WriteAll(fd, util::StrCat("BYE\n", kTerminator, "\n"));
+        return;
+      case Request::Kind::kPrepare: {
+        const txn::SnapshotPtr snapshot = head_->snapshot();
+        auto expr = compile(request->statement, snapshot->schema());
+        if (!expr.ok()) {
+          if (!respond_error(expr.error())) return;
+          continue;
+        }
+        auto handle = engine.Prepare(*expr, *snapshot);
+        if (!handle.ok()) {
+          if (!respond_error(handle.error())) return;
+          continue;
+        }
+        prepared[request->name] = std::move(*handle);
+        if (!WriteAll(fd, util::StrCat(FormatPreparedHeader(request->name), "\n",
+                                       kTerminator, "\n"))) {
+          return;
+        }
+        continue;
+      }
+      case Request::Kind::kQuery:
+      case Request::Kind::kExecute: {
+        const txn::SnapshotPtr snapshot = head_->snapshot();
+        util::Result<engine::RunResult> run =
+            util::Result<engine::RunResult>::Error("unreachable");
+        if (request->kind == Request::Kind::kQuery) {
+          auto expr = compile(request->statement, snapshot->schema());
+          if (!expr.ok()) {
+            if (!respond_error(expr.error())) return;
+            continue;
+          }
+          run = engine.Run(*expr, *snapshot);
+        } else {
+          const auto it = prepared.find(request->name);
+          if (it == prepared.end()) {
+            if (!respond_error(util::StrCat("no prepared statement named '",
+                                            request->name, "'"))) {
+              return;
+            }
+            continue;
+          }
+          run = engine.Run(it->second, *snapshot);
+        }
+        if (!run.ok()) {
+          if (!respond_error(run.error())) return;
+          continue;
+        }
+        std::string response = FormatOkHeader(
+            run->relation.size(), snapshot->version(),
+            RelationDigest(run->relation),
+            engine::CacheOutcomeToString(run->stats.cache));
+        response += "\n";
+        response += core::WriteRelationCsv(run->relation, names_.get());
+        response += kTerminator;
+        response += "\n";
+        if (!WriteAll(fd, response)) return;
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace setalg::server

@@ -1,0 +1,91 @@
+// setalgd's serving core: a TCP server speaking the line protocol of
+// server/protocol.h over a txn::VersionedDatabase head.
+//
+// Concurrency model, matching the engine's documented contract
+// (engine/engine.h): every connection gets its own session thread and
+// its own engine::Engine (prepared handles are session-scoped and
+// single-threaded), the engine-local plan cache is forced off, and all
+// sessions share the process-wide SharedPlanCache / ResultCache supplied
+// through EngineOptions. Each statement runs against a fresh
+// head->snapshot(), so sessions never block writers and a response's
+// `version` field pins exactly which published state it saw.
+//
+// Lifecycle: Start() binds (port 0 picks a free port — the bound port is
+// returned and reported by port()), spawns the accept loop, and returns.
+// Stop() is graceful and idempotent: it shuts down the listener and
+// every live session socket, then joins all threads; in-flight
+// statements finish and their responses are flushed first. The
+// destructor calls Stop().
+#ifndef SETALG_SERVER_SERVER_H_
+#define SETALG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/name_map.h"
+#include "engine/planner.h"
+#include "txn/snapshot.h"
+#include "util/result.h"
+
+namespace setalg::server {
+
+class Server {
+ public:
+  /// `head` is the versioned database every session serves from;
+  /// `options` configures the per-session engines (shared caches are
+  /// created when absent; the engine-local plan cache is forced off —
+  /// it is single-threaded by contract). `names` renders interned
+  /// string values in CSV rows; may be null.
+  Server(std::shared_ptr<txn::VersionedDatabase> head,
+         engine::EngineOptions options,
+         std::shared_ptr<const core::NameMap> names);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = any free port), starts the accept loop
+  /// and returns the bound port.
+  util::Result<int> Start(int port = 0);
+
+  /// The bound port (0 before Start succeeds).
+  int port() const { return port_; }
+
+  /// Graceful shutdown; safe to call repeatedly and from any thread
+  /// other than a session thread.
+  void Stop();
+
+  /// Number of sessions accepted so far (monotonic; for tests).
+  std::size_t sessions_accepted() const { return sessions_accepted_.load(); }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void SessionLoop(int fd);
+
+  std::shared_ptr<txn::VersionedDatabase> head_;
+  engine::EngineOptions options_;
+  std::shared_ptr<const core::NameMap> names_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> sessions_accepted_{0};
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace setalg::server
+
+#endif  // SETALG_SERVER_SERVER_H_

@@ -1,0 +1,73 @@
+// Semantic analysis: resolves a parsed SQL query against a core::Schema
+// and lowers it to a ra::ExprPtr, so every planner rewrite (division
+// pattern, semijoin projection, AGM-routed multiway chains) applies to
+// SQL exactly as it does to hand-built algebra trees.
+//
+// The lowering is deterministic and documented here because the workload
+// generator (workload/generators.h) mirrors it independently — the
+// differential fuzz harness in tests/sql_test.cc asserts the two agree
+// structurally, query by query:
+//
+//   1. Each FROM table becomes a scan; the table's single-table WHERE
+//      conjuncts apply to it in WHERE order:
+//        ci = cj   -> sigma_{i=j}         ci < cj  -> sigma_{i<j}
+//        ci > cj   -> sigma_{j<i}         ci <> cj -> E - sigma_{i=j}(E)
+//        ci = k    -> sigma_{i='k'} (the tag/select/project composite)
+//        ci <> k   -> E - sigma_{i='k'}(E)
+//        ci < k    -> pi_{1..n}(sigma_{i<n+1}(tag_k(E)))
+//        ci > k    -> pi_{1..n}(sigma_{n+1<i}(tag_k(E)))
+//   2. The FROM list joins left-deep in FROM order. A cross-table
+//      conjunct becomes a join atom at the join that brings in the later
+//      table (atoms in WHERE order, oriented earlier-table-left; the left
+//      index is the column's offset in the accumulated tuple).
+//   3. Subquery conjuncts apply after the join tree, in WHERE order:
+//        EXISTS (sub)      -> E semijoin_theta sub
+//        NOT EXISTS (sub)  -> E - (E semijoin_theta sub)
+//        c [NOT] IN (sub)  -> same with theta = {c = 1} (sub arity 1)
+//      where theta for EXISTS is the subquery's correlated conjuncts (in
+//      the subquery's WHERE order, oriented outer-left, both sides as
+//      offsets into the respective FROM-concatenated tuples). Correlated
+//      references reach the immediately enclosing SELECT only.
+//   4. The select list becomes a final projection (SELECT * adds none).
+//      DISTINCT is a no-op: the algebra is set-semantics throughout.
+//   5. UNION -> union, EXCEPT -> difference, and
+//      INTERSECT(l, r) -> l - (l - r).
+//
+// One family is recognized before the generic rules: the FOR ALL-style
+// double-NOT-EXISTS division idiom
+//
+//   SELECT r.c1 FROM R r WHERE NOT EXISTS (SELECT * FROM S s
+//     WHERE NOT EXISTS (SELECT * FROM R r2
+//       WHERE r2.c1 = r.c1 AND r2.c2 = s.c1))
+//
+// (R binary, S unary; the inner correlation legitimately spans two
+// levels) lowers to the textbook division pattern
+// pi_1(R) - pi_1((pi_1(R) x S) - R), which the planner's division rewrite
+// then routes to the direct sub-quadratic operator.
+//
+// Errors are located ("line:column: message"), never aborts: unknown
+// tables/columns, ambiguous bare columns, arity mismatches in set
+// operations, non-unary IN subqueries, and correlations deeper than one
+// level all come back as Result errors.
+#ifndef SETALG_SQL_ANALYZER_H_
+#define SETALG_SQL_ANALYZER_H_
+
+#include <string>
+
+#include "core/schema.h"
+#include "ra/expr.h"
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace setalg::sql {
+
+/// Lowers a parsed query against `schema`.
+util::Result<ra::ExprPtr> Lower(const Query& query, const core::Schema& schema);
+
+/// Parse + Lower in one call — the entry point raq and setalgd use.
+util::Result<ra::ExprPtr> Compile(const std::string& text,
+                                  const core::Schema& schema);
+
+}  // namespace setalg::sql
+
+#endif  // SETALG_SQL_ANALYZER_H_

@@ -1,0 +1,85 @@
+// Parse tree for the SQL subset — the parser's output, the analyzer's
+// input (sql/parser.h, sql/analyzer.h).
+//
+// Column naming convention: a relation of arity k exposes the positional
+// columns c1..ck (the core schema stores names and arities only, so column
+// identity is positional by construction). References are `alias.cN` or,
+// when exactly one table is in scope, a bare `cN`.
+#ifndef SETALG_SQL_AST_H_
+#define SETALG_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "ra/expr.h"
+
+namespace setalg::sql {
+
+/// `alias.cN` or bare `cN` (qualifier empty). Position of the reference's
+/// first token, for located analysis errors.
+struct ColumnRef {
+  std::string qualifier;  // Table alias; empty for an unqualified reference.
+  std::string column;     // As written, e.g. "c2"; decoded by the analyzer.
+  std::size_t line = 1;
+  std::size_t column_pos = 1;
+};
+
+/// One FROM entry `Table [alias]`; the alias defaults to the table name.
+struct TableRef {
+  std::string table;
+  std::string alias;
+  std::size_t line = 1;
+  std::size_t column_pos = 1;
+};
+
+struct Query;
+using QueryPtr = std::unique_ptr<Query>;
+
+/// One WHERE conjunct. The parser normalizes literal comparisons so the
+/// column is always on the left (mirroring the operator as needed).
+struct Predicate {
+  enum class Kind {
+    kColumnColumn,  // lhs op rhs
+    kColumnConst,   // lhs op constant
+    kIn,            // lhs [NOT] IN (subquery)
+    kExists,        // [NOT] EXISTS (subquery)
+  };
+  Kind kind = Kind::kColumnColumn;
+  bool negated = false;  // NOT IN / NOT EXISTS.
+  ColumnRef lhs;
+  ColumnRef rhs;
+  ra::Cmp op = ra::Cmp::kEq;
+  core::Value constant = 0;
+  QueryPtr subquery;
+  std::size_t line = 1;
+  std::size_t column_pos = 1;
+};
+
+/// SELECT [DISTINCT] cols FROM tables [WHERE conjuncts].
+struct Select {
+  bool distinct = false;
+  bool select_star = false;         // SELECT * — no projection applied.
+  std::vector<ColumnRef> columns;   // Empty iff select_star.
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;
+  std::size_t line = 1;
+  std::size_t column_pos = 1;
+};
+
+/// A query term tree: a Select leaf, or a left-associative set operation
+/// over two subtrees (UNION / EXCEPT / INTERSECT; arities must agree).
+struct Query {
+  enum class Op { kSelect, kUnion, kExcept, kIntersect };
+  Op op = Op::kSelect;
+  std::unique_ptr<Select> select;  // kSelect payload.
+  QueryPtr left;                   // Set-operation payloads.
+  QueryPtr right;
+  std::size_t line = 1;
+  std::size_t column_pos = 1;
+};
+
+}  // namespace setalg::sql
+
+#endif  // SETALG_SQL_AST_H_

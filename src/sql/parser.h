@@ -1,0 +1,40 @@
+// Recursive-descent parser for the SQL subset.
+//
+// Grammar (case-insensitive keywords; whitespace-insensitive):
+//   query     := term (('UNION' | 'EXCEPT' | 'INTERSECT') term)*
+//   term      := select | '(' query ')'
+//   select    := 'SELECT' ['DISTINCT'] selectList 'FROM' tableList
+//                ['WHERE' conjunct ('AND' conjunct)*]
+//   selectList:= '*' | columnRef (',' columnRef)*
+//   tableList := IDENT [IDENT] (',' IDENT [IDENT])*
+//   conjunct  := columnRef cmp (columnRef | NUMBER)
+//              | NUMBER cmp columnRef
+//              | columnRef ['NOT'] 'IN' '(' query ')'
+//              | ['NOT'] 'EXISTS' '(' query ')'
+//   columnRef := IDENT ['.' IDENT]
+//   cmp       := '=' | '<>' | '!=' | '<' | '>'
+//
+// Pure syntax: names are not resolved here (sql/analyzer.h does that
+// against a core::Schema). Every error is a located "line:column: ..."
+// message; malformed input never crashes and never partially succeeds.
+#ifndef SETALG_SQL_PARSER_H_
+#define SETALG_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/result.h"
+
+namespace setalg::sql {
+
+/// Parses one statement. Trailing tokens after the query are an error.
+util::Result<QueryPtr> Parse(const std::string& text);
+
+/// True when `statement` reads as SQL (its first word, ignoring leading
+/// parentheses, is SELECT) rather than the RA expression syntax of
+/// ra/parse.h. The raq CLI and the setalgd server share this dispatch.
+bool LooksLikeSql(const std::string& statement);
+
+}  // namespace setalg::sql
+
+#endif  // SETALG_SQL_PARSER_H_

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
+#include "gf/formula.h"
+#include "gf/translate.h"
 #include "util/check.h"
+#include "util/str.h"
 
 namespace setalg::workload {
 
@@ -163,6 +167,567 @@ core::Database TwoRelationDatabase(std::size_t n, std::uint64_t seed) {
   const std::size_t domain = std::max<std::size_t>(2, n);
   db.SetRelation("R", UniformBinaryRelation(n, domain, seed));
   db.SetRelation("T", UniformBinaryRelation(n, domain, seed ^ 0x9e3779b97f4a7c15ULL));
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Paired SQL / algebra workloads.
+//
+// Every builder here mirrors the lowering rules documented in
+// sql/analyzer.h *by hand* — the point of the differential harness is
+// that two independent implementations of the same deterministic spec
+// agree tree for tree, so nothing below calls into sql/.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The element domain shared by every relation of SqlWorkloadDatabase;
+// generated constants are drawn from it so predicates stay selective but
+// non-degenerate.
+constexpr std::size_t kSqlDomain = 24;
+
+const char* CmpSql(ra::Cmp op) {
+  switch (op) {
+    case ra::Cmp::kEq: return "=";
+    case ra::Cmp::kNeq: return "<>";
+    case ra::Cmp::kLt: return "<";
+    case ra::Cmp::kGt: return ">";
+  }
+  return "=";
+}
+
+ra::Cmp DrawCmp(util::Rng* rng, bool eq_heavy) {
+  if (eq_heavy && rng->NextBool(0.6)) return ra::Cmp::kEq;
+  switch (rng->NextBounded(4)) {
+    case 0: return ra::Cmp::kEq;
+    case 1: return ra::Cmp::kNeq;
+    case 2: return ra::Cmp::kLt;
+    default: return ra::Cmp::kGt;
+  }
+}
+
+// Rule-1 mirror: the single-table composites of sql/analyzer.h.
+ra::ExprPtr MirrorColumnColumn(ra::ExprPtr e, std::size_t i, ra::Cmp op,
+                               std::size_t j) {
+  switch (op) {
+    case ra::Cmp::kEq: return ra::SelectEq(e, i, j);
+    case ra::Cmp::kLt: return ra::SelectLt(e, i, j);
+    case ra::Cmp::kGt: return ra::SelectLt(e, j, i);
+    case ra::Cmp::kNeq: return ra::Diff(e, ra::SelectEq(e, i, j));
+  }
+  return e;
+}
+
+ra::ExprPtr MirrorColumnConst(ra::ExprPtr e, std::size_t i, ra::Cmp op, Value k) {
+  const std::size_t n = e->arity();
+  std::vector<std::size_t> identity(n);
+  for (std::size_t c = 0; c < n; ++c) identity[c] = c + 1;
+  switch (op) {
+    case ra::Cmp::kEq: return ra::SelectConst(e, i, k);
+    case ra::Cmp::kNeq: return ra::Diff(e, ra::SelectConst(e, i, k));
+    case ra::Cmp::kLt:
+      return ra::Project(ra::SelectLt(ra::Tag(e, k), i, n + 1), identity);
+    case ra::Cmp::kGt:
+      return ra::Project(ra::SelectLt(ra::Tag(e, k), n + 1, i), identity);
+  }
+  return e;
+}
+
+// One table in a generated FROM list.
+struct GenTable {
+  std::string name;
+  std::size_t arity = 2;
+  std::string alias;
+  std::size_t offset = 0;  // Of its first column in the accumulated tuple.
+};
+
+GenTable PickBinary(util::Rng* rng, const std::string& alias) {
+  static const char* const kBinary[] = {"R", "T", "U"};
+  return GenTable{kBinary[rng->NextBounded(3)], 2, alias, 0};
+}
+
+// A generated single-table predicate (SQL text + mirror application).
+struct GenFilter {
+  std::string sql;
+  bool is_const = false;
+  std::size_t i = 0;
+  ra::Cmp op = ra::Cmp::kEq;
+  std::size_t j = 0;
+  Value k = 0;
+};
+
+GenFilter DrawFilter(util::Rng* rng, const GenTable& table, bool qualify) {
+  GenFilter filter;
+  const std::string prefix = qualify ? table.alias + "." : std::string();
+  if (table.arity >= 2 && rng->NextBool(0.4)) {
+    filter.i = 1 + rng->NextBounded(table.arity);
+    do {
+      filter.j = 1 + rng->NextBounded(table.arity);
+    } while (filter.j == filter.i);
+    filter.op = DrawCmp(rng, false);
+    filter.sql = util::StrCat(prefix, "c", filter.i, " ", CmpSql(filter.op), " ",
+                              prefix, "c", filter.j);
+  } else {
+    filter.is_const = true;
+    filter.i = 1 + rng->NextBounded(table.arity);
+    filter.op = DrawCmp(rng, false);
+    filter.k = static_cast<Value>(rng->NextBounded(kSqlDomain) + 1);
+    filter.sql = util::StrCat(prefix, "c", filter.i, " ", CmpSql(filter.op), " ",
+                              filter.k);
+  }
+  return filter;
+}
+
+ra::ExprPtr ApplyFilter(ra::ExprPtr e, const GenFilter& filter) {
+  return filter.is_const ? MirrorColumnConst(e, filter.i, filter.op, filter.k)
+                         : MirrorColumnColumn(e, filter.i, filter.op, filter.j);
+}
+
+// Select list: either "*" (no projection) or explicit global columns.
+struct GenSelectList {
+  std::string sql = "*";
+  bool star = true;
+  std::vector<std::size_t> globals;
+};
+
+GenSelectList DrawSelectList(util::Rng* rng, const std::vector<GenTable>& tables,
+                             bool qualify) {
+  GenSelectList list;
+  if (rng->NextBool(0.3)) return list;  // SELECT *.
+  list.star = false;
+  const std::size_t count = 1 + rng->NextBounded(2);
+  std::string sql;
+  for (std::size_t c = 0; c < count; ++c) {
+    const GenTable& table = tables[rng->NextBounded(tables.size())];
+    const std::size_t local = 1 + rng->NextBounded(table.arity);
+    list.globals.push_back(table.offset + local);
+    if (c > 0) sql += ", ";
+    if (qualify) sql += table.alias + ".";
+    sql += util::StrCat("c", local);
+  }
+  list.sql = sql;
+  return list;
+}
+
+ra::ExprPtr ApplySelectList(ra::ExprPtr e, const GenSelectList& list) {
+  return list.star ? e : ra::Project(e, list.globals);
+}
+
+// --- One generator per family -------------------------------------------
+
+SqlRaPair GenFilterQuery(util::Rng* rng) {
+  static const char* const kTables[] = {"R", "S", "T", "U"};
+  const std::size_t pick = rng->NextBounded(4);
+  GenTable table{kTables[pick], pick == 1 ? std::size_t{1} : std::size_t{2},
+                 "", 0};
+  const bool with_alias = rng->NextBool();
+  table.alias = with_alias ? "a" : table.name;
+
+  std::vector<GenFilter> filters;
+  const std::size_t count = 1 + rng->NextBounded(2);
+  for (std::size_t i = 0; i < count; ++i) {
+    filters.push_back(DrawFilter(rng, table, /*qualify=*/false));
+  }
+  const GenSelectList list = DrawSelectList(rng, {table}, /*qualify=*/false);
+
+  std::string sql = util::StrCat("SELECT ", list.sql, " FROM ", table.name);
+  if (with_alias) sql += util::StrCat(" ", table.alias);
+  sql += " WHERE ";
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += filters[i].sql;
+  }
+
+  ra::ExprPtr e = ra::Rel(table.name, table.arity);
+  for (const GenFilter& filter : filters) e = ApplyFilter(e, filter);
+  return SqlRaPair{sql, ApplySelectList(e, list), "filter", true};
+}
+
+SqlRaPair GenJoin2Query(util::Rng* rng) {
+  GenTable a = PickBinary(rng, "a");
+  GenTable b = PickBinary(rng, "b");
+  b.offset = a.arity;
+
+  // Join atoms in WHERE order, oriented earlier-table-left in the mirror
+  // whichever way the SQL spells them (rule 2).
+  std::vector<ra::JoinAtom> atoms;
+  std::vector<std::string> conjuncts;
+  const std::size_t num_atoms = 1 + (rng->NextBool(0.3) ? 1 : 0);
+  for (std::size_t n = 0; n < num_atoms; ++n) {
+    const std::size_t i = 1 + rng->NextBounded(a.arity);
+    const std::size_t j = 1 + rng->NextBounded(b.arity);
+    const ra::Cmp op = DrawCmp(rng, true);
+    if (rng->NextBool()) {
+      conjuncts.push_back(util::StrCat("a.c", i, " ", CmpSql(op), " b.c", j));
+      atoms.push_back({a.offset + i, op, j});
+    } else {
+      conjuncts.push_back(util::StrCat("b.c", j, " ", CmpSql(op), " a.c", i));
+      atoms.push_back({a.offset + i, ra::MirrorCmp(op), j});
+    }
+  }
+
+  std::vector<GenFilter> a_filters, b_filters;
+  if (rng->NextBool(0.5)) {
+    GenTable& target = rng->NextBool() ? a : b;
+    GenFilter filter = DrawFilter(rng, target, /*qualify=*/true);
+    (&target == &a ? a_filters : b_filters).push_back(filter);
+    // Random position in the WHERE order (position does not change the
+    // tree: single-table steps and join atoms land in separate lists).
+    if (rng->NextBool()) {
+      conjuncts.insert(conjuncts.begin(), filter.sql);
+    } else {
+      conjuncts.push_back(filter.sql);
+    }
+  }
+
+  const GenSelectList list = DrawSelectList(rng, {a, b}, /*qualify=*/true);
+  std::string sql = util::StrCat("SELECT ", list.sql, " FROM ", a.name, " a, ",
+                                 b.name, " b WHERE ");
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += conjuncts[i];
+  }
+
+  ra::ExprPtr ea = ra::Rel(a.name, a.arity);
+  for (const GenFilter& filter : a_filters) ea = ApplyFilter(ea, filter);
+  ra::ExprPtr eb = ra::Rel(b.name, b.arity);
+  for (const GenFilter& filter : b_filters) eb = ApplyFilter(eb, filter);
+  return SqlRaPair{sql, ApplySelectList(ra::Join(ea, eb, atoms), list), "join2",
+                   true};
+}
+
+SqlRaPair GenChain3Query(util::Rng* rng) {
+  GenTable a = PickBinary(rng, "a");
+  GenTable b = PickBinary(rng, "b");
+  GenTable c = PickBinary(rng, "c");
+  b.offset = 2;
+  c.offset = 4;
+
+  std::vector<std::string> conjuncts = {"a.c2 = b.c1", "b.c2 = c.c1"};
+  std::vector<ra::JoinAtom> b_atoms = {{2, ra::Cmp::kEq, 1}};
+  std::vector<ra::JoinAtom> c_atoms = {{4, ra::Cmp::kEq, 1}};
+  const bool close_triangle = rng->NextBool(0.4);
+  if (close_triangle) {
+    conjuncts.push_back("a.c1 = c.c2");
+    c_atoms.push_back({1, ra::Cmp::kEq, 2});
+  }
+
+  const GenSelectList list = DrawSelectList(rng, {a, b, c}, /*qualify=*/true);
+  std::string sql = util::StrCat("SELECT ", list.sql, " FROM ", a.name, " a, ",
+                                 b.name, " b, ", c.name, " c WHERE ");
+  for (std::size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += conjuncts[i];
+  }
+
+  const ra::ExprPtr chain =
+      ra::Join(ra::Join(ra::Rel(a.name, 2), ra::Rel(b.name, 2), b_atoms),
+               ra::Rel(c.name, 2), c_atoms);
+  return SqlRaPair{sql, ApplySelectList(chain, list), "chain3", true};
+}
+
+SqlRaPair GenDivisionQuery(util::Rng* rng) {
+  // The FOR ALL idiom over the division instance {R/2, S/1}, varied in
+  // alias spelling, conjunct order and equality direction — all of which
+  // the frontend must normalize to the one textbook tree.
+  static const char* const kOuter[] = {"r", "x", "grp"};
+  static const char* const kMid[] = {"s", "d", "req"};
+  static const char* const kInner[] = {"r2", "y", "row"};
+  const std::string r = kOuter[rng->NextBounded(3)];
+  const std::string s = kMid[rng->NextBounded(3)];
+  const std::string r2 = kInner[rng->NextBounded(3)];
+
+  std::string tie_outer = rng->NextBool()
+                              ? util::StrCat(r2, ".c1 = ", r, ".c1")
+                              : util::StrCat(r, ".c1 = ", r2, ".c1");
+  std::string tie_mid = rng->NextBool()
+                            ? util::StrCat(r2, ".c2 = ", s, ".c1")
+                            : util::StrCat(s, ".c1 = ", r2, ".c2");
+  if (rng->NextBool()) std::swap(tie_outer, tie_mid);
+
+  const std::string sql = util::StrCat(
+      "SELECT ", r, ".c1 FROM R ", r, " WHERE NOT EXISTS (SELECT * FROM S ", s,
+      " WHERE NOT EXISTS (SELECT * FROM R ", r2, " WHERE ", tie_outer, " AND ",
+      tie_mid, "))");
+
+  const ra::ExprPtr rel_r = ra::Rel("R", 2);
+  const ra::ExprPtr cand = ra::Project(rel_r, {1});
+  const ra::ExprPtr expr = ra::Diff(
+      cand,
+      ra::Project(ra::Diff(ra::Product(cand, ra::Rel("S", 1)), rel_r), {1}));
+  return SqlRaPair{sql, expr, "division", true};
+}
+
+SqlRaPair GenSemiJoinQuery(util::Rng* rng) {
+  GenTable outer = PickBinary(rng, "a");
+  static const char* const kSub[] = {"R", "S", "T", "U"};
+  const std::size_t pick = rng->NextBounded(4);
+  GenTable sub{kSub[pick], pick == 1 ? std::size_t{1} : std::size_t{2}, "b", 0};
+  const bool negated = rng->NextBool();
+
+  // Correlated conjuncts (rule 3): subquery WHERE order, outer-left.
+  std::vector<ra::JoinAtom> atoms;
+  std::vector<std::string> sub_conjuncts;
+  const std::size_t num_corr =
+      1 + ((sub.arity >= 2 && rng->NextBool(0.3)) ? 1 : 0);
+  for (std::size_t n = 0; n < num_corr; ++n) {
+    const std::size_t i = 1 + rng->NextBounded(outer.arity);
+    const std::size_t j = 1 + rng->NextBounded(sub.arity);
+    const ra::Cmp op = n == 0 ? DrawCmp(rng, true) : ra::Cmp::kEq;
+    if (rng->NextBool()) {
+      sub_conjuncts.push_back(util::StrCat("a.c", i, " ", CmpSql(op), " b.c", j));
+      atoms.push_back({i, op, j});
+    } else {
+      sub_conjuncts.push_back(util::StrCat("b.c", j, " ", CmpSql(op), " a.c", i));
+      atoms.push_back({i, ra::MirrorCmp(op), j});
+    }
+  }
+  std::vector<GenFilter> sub_filters;
+  if (rng->NextBool(0.4)) {
+    GenFilter filter = DrawFilter(rng, sub, /*qualify=*/true);
+    sub_filters.push_back(filter);
+    if (rng->NextBool()) {
+      sub_conjuncts.insert(sub_conjuncts.begin(), filter.sql);
+    } else {
+      sub_conjuncts.push_back(filter.sql);
+    }
+  }
+
+  const GenSelectList list = DrawSelectList(rng, {outer}, /*qualify=*/true);
+  std::string sql = util::StrCat("SELECT ", list.sql, " FROM ", outer.name,
+                                 " a WHERE ", negated ? "NOT " : "",
+                                 "EXISTS (SELECT * FROM ", sub.name, " b WHERE ");
+  for (std::size_t i = 0; i < sub_conjuncts.size(); ++i) {
+    if (i > 0) sql += " AND ";
+    sql += sub_conjuncts[i];
+  }
+  sql += ")";
+
+  const ra::ExprPtr e = ra::Rel(outer.name, outer.arity);
+  ra::ExprPtr sub_expr = ra::Rel(sub.name, sub.arity);
+  for (const GenFilter& filter : sub_filters) {
+    sub_expr = ApplyFilter(sub_expr, filter);
+  }
+  const ra::ExprPtr applied = ra::SemiJoin(e, sub_expr, atoms);
+  return SqlRaPair{sql,
+                   ApplySelectList(negated ? ra::Diff(e, applied) : applied, list),
+                   "semijoin", true};
+}
+
+SqlRaPair GenInQuery(util::Rng* rng) {
+  GenTable outer = PickBinary(rng, "a");
+  static const char* const kSub[] = {"R", "S", "T", "U"};
+  const std::size_t pick = rng->NextBounded(4);
+  GenTable sub{kSub[pick], pick == 1 ? std::size_t{1} : std::size_t{2}, "b", 0};
+  const bool negated = rng->NextBool();
+  const std::size_t outer_col = 1 + rng->NextBounded(outer.arity);
+  const std::size_t sub_col = 1 + rng->NextBounded(sub.arity);
+
+  std::vector<GenFilter> sub_filters;
+  std::string sub_where;
+  if (rng->NextBool(0.4)) {
+    GenFilter filter = DrawFilter(rng, sub, /*qualify=*/false);
+    sub_filters.push_back(filter);
+    sub_where = util::StrCat(" WHERE ", filter.sql);
+  }
+
+  const GenSelectList list = DrawSelectList(rng, {outer}, /*qualify=*/true);
+  const std::string sql = util::StrCat(
+      "SELECT ", list.sql, " FROM ", outer.name, " a WHERE a.c", outer_col,
+      negated ? " NOT IN" : " IN", " (SELECT c", sub_col, " FROM ", sub.name,
+      " b", sub_where, ")");
+
+  const ra::ExprPtr e = ra::Rel(outer.name, outer.arity);
+  ra::ExprPtr sub_expr = ra::Rel(sub.name, sub.arity);
+  for (const GenFilter& filter : sub_filters) {
+    sub_expr = ApplyFilter(sub_expr, filter);
+  }
+  sub_expr = ra::Project(sub_expr, {sub_col});
+  const ra::ExprPtr applied =
+      ra::SemiJoin(e, sub_expr, {{outer_col, ra::Cmp::kEq, std::size_t{1}}});
+  return SqlRaPair{sql,
+                   ApplySelectList(negated ? ra::Diff(e, applied) : applied, list),
+                   "in", true};
+}
+
+SqlRaPair GenSetOpQuery(util::Rng* rng) {
+  // Two single-table selects projected to a shared arity, composed with a
+  // random set operation (rule 5).
+  const std::size_t arity = 1 + rng->NextBounded(2);
+  const auto side = [&](const char* table) {
+    GenTable t{table, 2, table, 0};
+    GenFilter filter = DrawFilter(rng, t, /*qualify=*/false);
+    std::string cols;
+    std::vector<std::size_t> globals;
+    for (std::size_t c = 0; c < arity; ++c) {
+      const std::size_t local = 1 + rng->NextBounded(2);
+      globals.push_back(local);
+      if (c > 0) cols += ", ";
+      cols += util::StrCat("c", local);
+    }
+    const std::string sql = util::StrCat("SELECT ", cols, " FROM ", table,
+                                         " WHERE ", filter.sql);
+    return std::make_pair(sql,
+                          ra::Project(ApplyFilter(ra::Rel(table, 2), filter),
+                                      globals));
+  };
+  const auto left = side("R");
+  const auto right = side(rng->NextBool() ? "T" : "U");
+
+  switch (rng->NextBounded(3)) {
+    case 0:
+      return SqlRaPair{util::StrCat(left.first, " UNION ", right.first),
+                       ra::Union(left.second, right.second), "setop", true};
+    case 1:
+      return SqlRaPair{util::StrCat(left.first, " EXCEPT ", right.first),
+                       ra::Diff(left.second, right.second), "setop", true};
+    default:
+      return SqlRaPair{
+          util::StrCat(left.first, " INTERSECT ", right.first),
+          ra::Diff(left.second, ra::Diff(left.second, right.second)), "setop",
+          true};
+  }
+}
+
+SqlRaPair GenGfQuery(std::size_t which, const core::Schema& schema) {
+  // Set-containment / division shapes via the Theorem 8 converse
+  // translation: the SA= tree is semantically equal to the SQL but
+  // structurally unrelated, so these pairs compare results only.
+  using gf::Atom;
+  using gf::Exists;
+  switch (which % 4) {
+    case 0:
+      // ∃y (R(x,y) ∧ S(y)) — x's with a required element.
+      return SqlRaPair{
+          "SELECT r.c1 FROM R r WHERE EXISTS (SELECT * FROM S s WHERE "
+          "s.c1 = r.c2)",
+          gf::GfToSaEq(*Exists(Atom("R", {"x", "y"}), {"y"}, Atom("S", {"y"})),
+                       {"x"}, schema),
+          "gfdiv", false};
+    case 1:
+      // ∃y (R(x,y) ∧ ¬S(y)) — x's with a non-required element.
+      return SqlRaPair{
+          "SELECT r.c1 FROM R r WHERE r.c2 NOT IN (SELECT c1 FROM S s)",
+          gf::GfToSaEq(*Exists(Atom("R", {"x", "y"}), {"y"},
+                               gf::Not(Atom("S", {"y"}))),
+                       {"x"}, schema),
+          "gfdiv", false};
+    case 2:
+      // ∃y R(x,y) ∧ ¬∃y (R(x,y) ∧ ¬S(y)) — division over nonempty groups.
+      return SqlRaPair{
+          "SELECT r.c1 FROM R r WHERE NOT EXISTS (SELECT * FROM R r2 WHERE "
+          "r2.c1 = r.c1 AND r2.c2 NOT IN (SELECT c1 FROM S s))",
+          gf::GfToSaEq(
+              *gf::And(Exists(Atom("R", {"x", "y"}), {"y"}, gf::True()),
+                       gf::Not(Exists(Atom("R", {"x", "y"}), {"y"},
+                                      gf::Not(Atom("S", {"y"}))))),
+              {"x"}, schema),
+          "gfdiv", false};
+    default:
+      // ∃y (R(x,y) ∧ ∃z T(y,z)) — a guarded two-step reach.
+      return SqlRaPair{
+          "SELECT r.c1 FROM R r WHERE EXISTS (SELECT * FROM T t WHERE "
+          "t.c1 = r.c2)",
+          gf::GfToSaEq(*Exists(Atom("R", {"x", "y"}), {"y"},
+                               Exists(Atom("T", {"y", "z"}), {"z"}, gf::True())),
+                       {"x"}, schema),
+          "gfdiv", false};
+  }
+}
+
+}  // namespace
+
+core::Database SqlWorkloadDatabase(std::uint64_t seed) {
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  schema.AddRelation("T", 2);
+  schema.AddRelation("U", 2);
+
+  DivisionConfig config;
+  config.num_groups = 40;
+  config.group_size = 6;
+  config.domain_size = kSqlDomain;
+  config.divisor_size = 3;
+  config.match_fraction = 0.3;
+  config.seed = seed;
+  DivisionInstance instance = MakeDivisionInstance(config);
+
+  core::Database db(schema);
+  db.SetRelation("R", std::move(instance.r));
+  db.SetRelation("S", std::move(instance.s));
+  db.SetRelation("T", UniformBinaryRelation(120, kSqlDomain,
+                                            seed ^ 0x9e3779b97f4a7c15ULL));
+  db.SetRelation("U", UniformBinaryRelation(100, kSqlDomain,
+                                            seed * 0x2545f4914f6cdd1dULL + 1));
+  return db;
+}
+
+std::vector<SqlRaPair> MakeSqlWorkload(const SqlWorkloadConfig& config) {
+  util::Rng rng(config.seed);
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 1);
+  schema.AddRelation("T", 2);
+  schema.AddRelation("U", 2);
+
+  std::vector<SqlRaPair> pairs;
+  pairs.reserve(config.count);
+  std::size_t gf_counter = 0;
+  for (std::size_t i = 0; i < config.count; ++i) {
+    // Round-robin over the families so every one of them gets at least
+    // count/8 pairs at every seed.
+    switch (i % 8) {
+      case 0: pairs.push_back(GenFilterQuery(&rng)); break;
+      case 1: pairs.push_back(GenJoin2Query(&rng)); break;
+      case 2: pairs.push_back(GenChain3Query(&rng)); break;
+      case 3: pairs.push_back(GenDivisionQuery(&rng)); break;
+      case 4: pairs.push_back(GenSemiJoinQuery(&rng)); break;
+      case 5: pairs.push_back(GenInQuery(&rng)); break;
+      case 6: pairs.push_back(GenSetOpQuery(&rng)); break;
+      default: pairs.push_back(GenGfQuery(gf_counter++, schema)); break;
+    }
+  }
+  return pairs;
+}
+
+SqlRaPair TriangleSqlPair() {
+  return SqlRaPair{
+      "SELECT * FROM R a, S b, T c WHERE a.c2 = b.c1 AND b.c2 = c.c1 AND "
+      "a.c1 = c.c2",
+      ra::Join(ra::Join(ra::Rel("R", 2), ra::Rel("S", 2), {{2, ra::Cmp::kEq, 1}}),
+               ra::Rel("T", 2), {{4, ra::Cmp::kEq, 1}, {1, ra::Cmp::kEq, 2}}),
+      "triangle", true};
+}
+
+core::Database SqlTriangleDatabase(std::size_t n, std::size_t d,
+                                   std::uint64_t seed) {
+  SETALG_CHECK(d > 0 && n >= d);
+  const std::size_t side = n / d;
+  Relation r(2), s(2), t(2);
+  for (std::size_t x = 0; x < side; ++x) {
+    for (std::size_t y = 0; y < d; ++y) {
+      r.Add({static_cast<Value>(1 + x), static_cast<Value>(100001 + y)});
+    }
+  }
+  for (std::size_t y = 0; y < d; ++y) {
+    for (std::size_t z = 0; z < side; ++z) {
+      s.Add({static_cast<Value>(100001 + y), static_cast<Value>(200001 + z)});
+    }
+  }
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.Add({static_cast<Value>(200001 + rng.NextBounded(side)),
+           static_cast<Value>(1 + rng.NextBounded(side))});
+  }
+  core::Schema schema;
+  schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2);
+  schema.AddRelation("T", 2);
+  core::Database db(schema);
+  db.SetRelation("R", std::move(r));
+  db.SetRelation("S", std::move(s));
+  db.SetRelation("T", std::move(t));
   return db;
 }
 

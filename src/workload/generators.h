@@ -1,14 +1,19 @@
 // Reproducible synthetic workloads for the experiments: set-valued
 // relations with controlled group counts / set sizes / skew, division
-// instances with controlled selectivity, and scalable database families
-// for the growth (dichotomy) measurements. Every generator is seeded.
+// instances with controlled selectivity, scalable database families
+// for the growth (dichotomy) measurements, and paired SQL/algebra
+// workloads for the differential SQL-frontend harness. Every generator
+// is seeded.
 #ifndef SETALG_WORKLOAD_GENERATORS_H_
 #define SETALG_WORKLOAD_GENERATORS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "core/relation.h"
+#include "ra/expr.h"
 #include "util/rng.h"
 
 namespace setalg::workload {
@@ -81,6 +86,59 @@ core::Database SparseBinaryDatabase(std::size_t n, std::uint64_t seed);
 /// Family over schema {R/2, T/2}: two uniform relations of n tuples each
 /// over a shared domain (for multi-relation expressions).
 core::Database TwoRelationDatabase(std::size_t n, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Paired SQL / algebra workloads (the tests/sql_test.cc differential
+// harness).
+//
+// Each pair carries one SQL statement and the ra::ExprPtr a correct
+// frontend must lower it to, built here by *independently* mirroring the
+// deterministic lowering rules documented in sql/analyzer.h. The harness
+// asserts sql::Compile produces a structurally equal tree, then runs both
+// sides through the engine and compares results and plan statistics.
+// ---------------------------------------------------------------------------
+
+/// One differential pair.
+struct SqlRaPair {
+  std::string sql;
+  ra::ExprPtr expr;     // The hand-built lowering mirror.
+  std::string family;   // "filter", "join2", "chain3", "division",
+                        // "semijoin", "in", "setop" or "gfdiv".
+  /// True for the mirrored families (the tree must match structurally and
+  /// plan statistics must agree). False for the gfdiv family, whose
+  /// expression comes from gf::GfToSaEq — semantically equal to the SQL
+  /// but a structurally different SA= tree, so only results compare.
+  bool compare_stats = true;
+};
+
+struct SqlWorkloadConfig {
+  std::size_t count = 500;
+  std::uint64_t seed = 1;
+};
+
+/// The database the SQL workload runs on, over schema {R/2, S/1, T/2,
+/// U/2}: R and S form a division instance (so the division family is
+/// non-trivial at every seed), T and U are uniform binary relations over
+/// the same element domain (so joins, IN and EXISTS have matches).
+core::Database SqlWorkloadDatabase(std::uint64_t seed);
+
+/// Generates config.count pairs over SqlWorkloadDatabase's schema. Every
+/// family occurs; the division family lowers to the exact textbook
+/// pattern the planner's division rewrite matches.
+std::vector<SqlRaPair> MakeSqlWorkload(const SqlWorkloadConfig& config);
+
+/// The fixed triangle pair: the SQL three-way chain that lowers to the
+/// binary join chain the planner collects into a multiway join, and that
+/// chain hand-built. Run it on SqlTriangleDatabase with multiway-enabled
+/// cost-based options and the planner routes it to the worst-case-optimal
+/// operator.
+SqlRaPair TriangleSqlPair();
+
+/// Skewed triangle database over schema {R/2, S/2, T/2} (n edges per
+/// relation, d distinct middle values) — the shape where the AGM bound
+/// beats every binary plan, mirroring the multiway test family.
+core::Database SqlTriangleDatabase(std::size_t n, std::size_t d,
+                                   std::uint64_t seed);
 
 }  // namespace setalg::workload
 

@@ -1,0 +1,395 @@
+// Concurrency soak for the setalgd serving path (src/server/).
+//
+// The property under test mirrors tests/txn_test.cc, one layer up: a
+// response's `version` field pins exactly which published snapshot the
+// statement saw, so every (statement, version, digest) a client records
+// must be reproducible by a serial, cache-free replay of that statement
+// against the snapshot published under that version — while N client
+// threads hammer one server over loopback with mixed QUERY / PREPARE /
+// EXECUTE traffic and a writer keeps committing randomized batches to
+// the shared txn::VersionedDatabase head. All sessions share the
+// process-wide plan and result caches; the replay uses neither, so any
+// cross-session cache pollution or snapshot tearing shows up as a
+// digest mismatch.
+//
+// Functional coverage rides along: ad-hoc parity with a local engine
+// run, PREPARE/EXECUTE (including revalidation across commits), ERR
+// responses that keep the session usable, PING/CLOSE, and graceful
+// Stop() mid-traffic.
+//
+// Reads SETALG_BATCH_SEED (default 1); CI runs the seed matrix under
+// ASan/UBSan and TSan — TSan is the point for the soak.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "sql/analyzer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "ra/parse.h"
+#include "txn/snapshot.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace setalg {
+namespace {
+
+std::uint64_t BaseSeed() {
+  const char* env = std::getenv("SETALG_BATCH_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(env, &end, 10);
+  return (end == env) ? 1 : seed;
+}
+
+/// The statements the soak sends — a mix of SQL (division idiom,
+/// semijoin, join) and RA text, all over SqlWorkloadDatabase's schema
+/// {R/2, S/1, T/2, U/2}.
+std::vector<std::string> SoakStatements() {
+  return {
+      "SELECT * FROM R",
+      "SELECT c1 FROM S",
+      "SELECT r.c1 FROM R r WHERE NOT EXISTS (SELECT * FROM S s WHERE "
+      "NOT EXISTS (SELECT * FROM R r2 WHERE r2.c1 = r.c1 AND r2.c2 = s.c1))",
+      "SELECT t.c1, u.c2 FROM T t, U u WHERE t.c2 = u.c1",
+      "SELECT r.c1 FROM R r WHERE EXISTS (SELECT * FROM S s WHERE "
+      "s.c1 = r.c2)",
+      "SELECT c1 FROM T WHERE c1 < c2",
+      "SELECT c1 FROM R UNION SELECT c1 FROM S",
+      "pi[1](R)",
+      "diff(pi[1](R), pi[1](join[2=1](R, S)))",
+  };
+}
+
+/// Compiles a soak statement the way the server does.
+ra::ExprPtr MustCompile(const std::string& statement,
+                        const core::Schema& schema) {
+  auto expr = sql::LooksLikeSql(statement) ? sql::Compile(statement, schema)
+                                           : ra::Parse(statement, schema);
+  SETALG_CHECK_STREAM(expr.ok()) << statement << ": " << expr.error();
+  return *expr;
+}
+
+struct ServerFixture {
+  std::shared_ptr<txn::VersionedDatabase> head;
+  std::unique_ptr<server::Server> server;
+  int port = 0;
+
+  explicit ServerFixture(const engine::EngineOptions& options,
+                         std::uint64_t seed) {
+    head = std::make_shared<txn::VersionedDatabase>(
+        workload::SqlWorkloadDatabase(seed));
+    server = std::make_unique<server::Server>(head, options, nullptr);
+    auto bound = server->Start(0);
+    SETALG_CHECK_STREAM(bound.ok()) << bound.error();
+    port = *bound;
+  }
+};
+
+TEST(ServerTest, AdHocParityWithLocalEngine) {
+  const std::uint64_t seed = BaseSeed();
+  ServerFixture fixture(engine::EngineOptions::CostBased(), seed);
+  auto client = server::Client::Connect("127.0.0.1", fixture.port);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const engine::Engine local{engine::EngineOptions::CostBased()};
+  const auto snapshot = fixture.head->snapshot();
+  for (const auto& statement : SoakStatements()) {
+    auto response = client->Roundtrip("QUERY " + statement);
+    ASSERT_TRUE(response.ok()) << statement << ": " << response.error();
+    ASSERT_TRUE(response->header.ok) << statement << ": "
+                                     << response->header.error;
+    EXPECT_EQ(response->header.version, snapshot->version()) << statement;
+
+    auto expr = MustCompile(statement, snapshot->schema());
+    auto run = local.Run(expr, *snapshot);
+    ASSERT_TRUE(run.ok()) << statement;
+    EXPECT_EQ(response->header.rows, run->relation.size()) << statement;
+    EXPECT_EQ(response->header.digest,
+              server::DigestToHex(server::RelationDigest(run->relation)))
+        << statement;
+    EXPECT_EQ(response->rows.size(), run->relation.size()) << statement;
+  }
+  client->Close();
+}
+
+TEST(ServerTest, PrepareExecuteAndRevalidationAcrossCommits) {
+  const std::uint64_t seed = BaseSeed();
+  ServerFixture fixture(engine::EngineOptions::CostBased(), seed);
+  auto client = server::Client::Connect("127.0.0.1", fixture.port);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const std::string statement = "SELECT c1 FROM R UNION SELECT c1 FROM S";
+  auto prepared = client->Roundtrip("PREPARE q1 " + statement);
+  ASSERT_TRUE(prepared.ok()) << prepared.error();
+  ASSERT_TRUE(prepared->header.ok) << prepared->header.error;
+  EXPECT_EQ(prepared->header.verb, "PREPARED");
+  EXPECT_EQ(prepared->header.name, "q1");
+
+  auto direct = client->Roundtrip("QUERY " + statement);
+  auto executed = client->Roundtrip("EXECUTE q1");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(executed.ok());
+  ASSERT_TRUE(executed->header.ok) << executed->header.error;
+  EXPECT_EQ(executed->header.digest, direct->header.digest);
+  EXPECT_EQ(executed->header.version, direct->header.version);
+
+  // Commit a change to R; the prepared handle must revalidate and serve
+  // the new version with the new answer.
+  core::Relation r(2);
+  r.Add({7, 8});
+  const auto published = fixture.head->SetRelation("R", std::move(r));
+  auto after = client->Roundtrip("EXECUTE q1");
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->header.ok) << after->header.error;
+  EXPECT_EQ(after->header.version, published->version());
+  EXPECT_NE(after->header.digest, executed->header.digest);
+
+  const engine::Engine local{engine::EngineOptions::CostBased()};
+  auto replay = local.Run(MustCompile(statement, published->schema()),
+                          *published);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(after->header.digest,
+            server::DigestToHex(server::RelationDigest(replay->relation)));
+
+  // EXECUTE of an unknown name is an error that keeps the session open.
+  auto unknown = client->Roundtrip("EXECUTE nope");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->header.ok);
+  auto ping = client->Roundtrip("PING");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->header.verb, "PONG");
+  client->Close();
+}
+
+TEST(ServerTest, ErrorsAreLocatedAndSessionSurvives) {
+  ServerFixture fixture(engine::EngineOptions{}, BaseSeed());
+  auto client = server::Client::Connect("127.0.0.1", fixture.port);
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const char* bad[] = {
+      "QUERY SELECT * FROM Nope",
+      "QUERY SELECT c9 FROM R",
+      "QUERY SELECT * FROM R WHERE",
+      "QUERY pi[9](R)",
+      "FROBNICATE",
+      "PREPARE onlyname",
+  };
+  for (const char* request : bad) {
+    auto response = client->Roundtrip(request);
+    ASSERT_TRUE(response.ok()) << request << ": " << response.error();
+    EXPECT_FALSE(response->header.ok) << request;
+    EXPECT_EQ(response->header.verb, "ERR") << request;
+    EXPECT_FALSE(response->header.error.empty()) << request;
+  }
+  // Compile errors from statements carry a location.
+  auto located = client->Roundtrip("QUERY SELECT * FROM Nope");
+  ASSERT_TRUE(located.ok());
+  std::size_t line = 0, column = 0;
+  EXPECT_TRUE(sql::ParseErrorLocation(located->header.error, &line, &column))
+      << located->header.error;
+
+  // The session is still fully usable.
+  auto good = client->Roundtrip("QUERY SELECT * FROM R");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->header.ok) << good->header.error;
+  client->Close();
+}
+
+// The soak. Clients record (statement, version, digest); a writer keeps
+// publishing randomized commits; afterwards every record is replayed
+// serially (fresh engine, no caches) against the snapshot that was
+// published under that version.
+TEST(ServerTest, ConcurrencySoakReplaysBitIdentical) {
+  const std::uint64_t seed = BaseSeed();
+  constexpr int kClients = 4;
+  constexpr int kStatementsPerClient = 48;
+  constexpr int kCommits = 40;
+
+  ServerFixture fixture(engine::EngineOptions::CostBased(), seed);
+  const auto statements = SoakStatements();
+
+  // version -> snapshot published under it, maintained by the writer.
+  std::mutex log_mu;
+  std::map<std::uint64_t, txn::SnapshotPtr> published;
+  {
+    const auto initial = fixture.head->snapshot();
+    published[initial->version()] = initial;
+  }
+
+  struct Record {
+    std::string statement;
+    std::uint64_t version = 0;
+    std::string digest;
+    std::size_t rows = 0;
+  };
+  std::vector<std::vector<Record>> records(kClients);
+  std::vector<std::string> failures;
+
+  std::thread writer([&] {
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+    for (int c = 0; c < kCommits; ++c) {
+      txn::SnapshotPtr snap;
+      if (rng.Next() % 3 == 0) {
+        // Multi-relation batch: replace T and U together.
+        txn::WriteBatch batch;
+        batch.Set("T", workload::UniformBinaryRelation(
+                           80 + rng.Next() % 80, 24, rng.Next()));
+        batch.Set("U", workload::UniformBinaryRelation(
+                           60 + rng.Next() % 80, 24, rng.Next()));
+        snap = fixture.head->Commit(std::move(batch));
+      } else if (rng.Next() % 2 == 0) {
+        // Divisor swap: S gets a fresh small set.
+        core::Relation s(1);
+        const std::size_t n = 2 + rng.Next() % 4;
+        for (std::size_t i = 0; i < n; ++i) {
+          s.Add({static_cast<core::Value>(1 + rng.Next() % 24)});
+        }
+        snap = fixture.head->SetRelation("S", std::move(s));
+      } else {
+        // Point mutation on R.
+        snap = fixture.head->Mutate("R", [&](core::Relation& r) {
+          r.Add({static_cast<core::Value>(1 + rng.Next() % 40),
+                 static_cast<core::Value>(1 + rng.Next() % 24)});
+        });
+      }
+      {
+        std::lock_guard<std::mutex> lock(log_mu);
+        published[snap->version()] = snap;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = server::Client::Connect("127.0.0.1", fixture.port);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(log_mu);
+        failures.push_back("connect: " + client.error());
+        return;
+      }
+      util::Rng rng(seed + 1000 + static_cast<std::uint64_t>(c));
+      // Each client prepares one statement under its own name.
+      const std::string prepared_statement =
+          statements[static_cast<std::size_t>(c) % statements.size()];
+      const std::string name = "p" + std::to_string(c);
+      auto prep = client->Roundtrip("PREPARE " + name + " " +
+                                    prepared_statement);
+      if (!prep.ok() || !prep->header.ok) {
+        std::lock_guard<std::mutex> lock(log_mu);
+        failures.push_back("prepare: " +
+                           (prep.ok() ? prep->header.error : prep.error()));
+        return;
+      }
+      for (int q = 0; q < kStatementsPerClient; ++q) {
+        std::string statement;
+        std::string request;
+        if (q % 5 == 4) {
+          statement = prepared_statement;
+          request = "EXECUTE " + name;
+        } else {
+          statement = statements[rng.Next() % statements.size()];
+          request = "QUERY " + statement;
+        }
+        auto response = client->Roundtrip(request);
+        if (!response.ok() || !response->header.ok) {
+          std::lock_guard<std::mutex> lock(log_mu);
+          failures.push_back(request + ": " +
+                             (response.ok() ? response->header.error
+                                            : response.error()));
+          return;
+        }
+        records[static_cast<std::size_t>(c)].push_back(
+            {statement, response->header.version, response->header.digest,
+             response->header.rows});
+      }
+      client->Close();
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  writer.join();
+  ASSERT_TRUE(failures.empty()) << failures.front();
+
+  // Serial replay: no shared caches, no plan cache, fresh engine.
+  const engine::Engine replayer{engine::EngineOptions::CostBased()};
+  const core::Schema& schema = fixture.head->snapshot()->schema();
+  std::map<std::string, ra::ExprPtr> compiled;
+  for (const auto& statement : statements) {
+    compiled[statement] = MustCompile(statement, schema);
+  }
+  std::size_t replayed = 0;
+  std::size_t distinct_versions_seen = 0;
+  {
+    std::map<std::uint64_t, bool> seen;
+    for (const auto& log : records) {
+      for (const auto& record : log) seen[record.version] = true;
+    }
+    distinct_versions_seen = seen.size();
+  }
+  for (const auto& log : records) {
+    ASSERT_EQ(log.size(), static_cast<std::size_t>(kStatementsPerClient));
+    for (const auto& record : log) {
+      auto it = published.find(record.version);
+      ASSERT_NE(it, published.end())
+          << "response pinned unpublished version " << record.version;
+      auto run = replayer.Run(compiled.at(record.statement), *it->second);
+      ASSERT_TRUE(run.ok()) << record.statement;
+      EXPECT_EQ(record.digest,
+                server::DigestToHex(server::RelationDigest(run->relation)))
+          << record.statement << " @v" << record.version;
+      EXPECT_EQ(record.rows, run->relation.size())
+          << record.statement << " @v" << record.version;
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed,
+            static_cast<std::size_t>(kClients * kStatementsPerClient));
+  // The writer really raced the readers: responses span multiple
+  // versions (40 commits against 192 statements makes a single-version
+  // run astronomically unlikely — it would mean every query finished
+  // before the first commit).
+  EXPECT_GT(distinct_versions_seen, 1u);
+  EXPECT_EQ(fixture.server->sessions_accepted(),
+            static_cast<std::size_t>(kClients));
+}
+
+TEST(ServerTest, GracefulStopMidTraffic) {
+  ServerFixture fixture(engine::EngineOptions{}, BaseSeed());
+  auto client = server::Client::Connect("127.0.0.1", fixture.port);
+  ASSERT_TRUE(client.ok()) << client.error();
+  auto ok = client->Roundtrip("QUERY SELECT * FROM R");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->header.ok);
+
+  fixture.server->Stop();
+  // The session socket is shut down: the next roundtrip fails cleanly.
+  auto after = client->Roundtrip("PING");
+  EXPECT_FALSE(after.ok());
+  // Stop is idempotent.
+  fixture.server->Stop();
+  // And new connections are refused.
+  auto late = server::Client::Connect("127.0.0.1", fixture.port);
+  if (late.ok()) {
+    auto response = late->Roundtrip("PING");
+    EXPECT_FALSE(response.ok());
+  }
+}
+
+}  // namespace
+}  // namespace setalg
