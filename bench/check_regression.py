@@ -45,7 +45,14 @@ bench/baseline/ and fails (exit 1) when:
      run at the largest n, or its recorded outcome is not "result-hit" —
      serving a stored relation must beat re-executing the plan by a wide
      margin, and must actually come from the cache.
-  9. The worst-case-optimal invariants on the skewed-triangle table
+  9. The self-tuning invariant on the skewed-containment table
+     (`calibrated_ms` in BENCH_setjoin.json) breaks at the largest
+     group count: the trace-calibrated cost model's chosen kernel must
+     run at least as fast as the uncalibrated model's choice
+     (CALIBRATED_RATIO_LIMIT, 1.0x, plus the usual sub-millisecond
+     slack) — histogram-aware costing exists to beat the uniform
+     assumption under skew, so losing to it is a regression.
+  10. The worst-case-optimal invariants on the skewed-triangle table
      (`multiway_ms` in BENCH_setjoin.json) break at the largest n: the
      cost model must route the chain to the multiway operator
      (`chosen_join` starts with "multiway"), the multiway run's max
@@ -92,6 +99,10 @@ PLANNING_SPEEDUP = 2.0      # Warm-cache planning vs fresh planning at max n.
 RESULT_CACHED_SPEEDUP = 2.0  # engine-planned vs a warm result-cache hit.
 REGRESSION_LIMIT = 1.30    # Normalized column vs baseline.
 ABS_SLACK_MS = 1.0         # Ignore sub-millisecond jitter in ratio checks.
+# Calibrated vs uncalibrated containment choice at max groups: the
+# histogram-informed pick must never lose to the uniform-assumption pick
+# on the skewed workload built to separate them.
+CALIBRATED_RATIO_LIMIT = 1.0
 # Multiway max intermediate vs the binary plan's at max n: the skewed
 # triangle's binary intermediate is n²/d tuples, the multiway operator's
 # footprint is output-bounded, so 0.5x is generous — a breach means the
@@ -100,7 +111,8 @@ MULTIWAY_INTERMEDIATE_FRACTION = 0.5
 
 FILES = {
     "BENCH_division.json": ("runtime_ms",),
-    "BENCH_setjoin.json": ("containment_ms", "equality_ms", "multiway_ms"),
+    "BENCH_setjoin.json": ("containment_ms", "equality_ms", "multiway_ms",
+                           "calibrated_ms"),
 }
 
 # table key -> (row axis key, reference column, tracked columns)
@@ -120,6 +132,7 @@ TRACKED = {
     "equality_ms": ("groups", "canonical-hash",
                     ["cost-based", "batched", "parallel", "prepared"]),
     "multiway_ms": ("n", "binary", ["multiway"]),
+    "calibrated_ms": ("groups", "uncalibrated", ["calibrated"]),
 }
 
 # Columns whose timings are only meaningful on multi-core runners: their
@@ -355,8 +368,52 @@ def check_result_cached_ratio(errors, data):
         )
 
 
+def check_calibrated_ratio(errors, data):
+    """Gate 9: the trace-calibrated pick vs the fixed model's pick."""
+    rows = data.get("calibrated_ms", [])
+    if not rows:
+        errors.append("calibrated_ms table missing from BENCH_setjoin.json")
+        return
+    row = max_row(rows, "groups")
+    groups = row["groups"]
+    uncal_ms = row.get("uncalibrated")
+    cal_ms = row.get("calibrated")
+    if uncal_ms is None or cal_ms is None:
+        errors.append(
+            f"column 'uncalibrated' or 'calibrated' missing from "
+            f"calibrated_ms at groups={groups}"
+        )
+        return
+    if uncal_ms <= 0 or cal_ms <= 0:
+        errors.append(
+            f"non-positive timings in calibrated_ms at groups={groups}: "
+            f"uncalibrated={uncal_ms}, calibrated={cal_ms}"
+        )
+        return
+    # Absolute slack only shields jitter-dominated sub-millisecond cells;
+    # on the skewed workload both cells run tens of milliseconds.
+    limit = CALIBRATED_RATIO_LIMIT * uncal_ms
+    if uncal_ms < ABS_SLACK_MS:
+        limit = max(limit, uncal_ms + ABS_SLACK_MS)
+    if cal_ms > limit:
+        errors.append(
+            f"calibrated containment at groups={groups} is {cal_ms:.3f}ms vs "
+            f"uncalibrated {uncal_ms:.3f}ms ({cal_ms / uncal_ms:.2f}x > "
+            f"{CALIBRATED_RATIO_LIMIT}x limit; choices: "
+            f"{row.get('calibrated_choice')} vs {row.get('uncalibrated_choice')}) "
+            f"— the histogram-informed model lost to the uniform assumption"
+        )
+    else:
+        print(
+            f"  ok: calibrated {cal_ms:.3f}ms "
+            f"({row.get('calibrated_choice')}) <= {CALIBRATED_RATIO_LIMIT}x "
+            f"uncalibrated {uncal_ms:.3f}ms ({row.get('uncalibrated_choice')}) "
+            f"at groups={groups}"
+        )
+
+
 def check_multiway_bound(errors, data):
-    """Gate 9: worst-case-optimal invariants on the skewed triangle."""
+    """Gate 10: worst-case-optimal invariants on the skewed triangle."""
     rows = data.get("multiway_ms", [])
     if not rows:
         errors.append("multiway_ms table missing from BENCH_setjoin.json")
@@ -559,6 +616,7 @@ def main():
             check_prepared_ratio(errors, current)
             check_result_cached_ratio(errors, current)
         if name == "BENCH_setjoin.json":
+            check_calibrated_ratio(errors, current)
             check_multiway_bound(errors, current)
         for table in tables:
             check_choices(errors, current, table)

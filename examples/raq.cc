@@ -52,6 +52,7 @@
 
 #include "core/csv.h"
 #include "core/database.h"
+#include "engine/calibration.h"
 #include "engine/engine.h"
 #include "engine/result_cache.h"
 #include "engine/shared_cache.h"
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   std::string mode = "planned";
   std::string connect;
   bool multiway = false;
+  bool calibrate = false;
   bool batched = false;
   bool threads_given = false;
   long long batch_size = static_cast<long long>(engine::kDefaultBatchSize);
@@ -117,6 +119,8 @@ int main(int argc, char** argv) {
       connect = args[++i];
     } else if (arg == "--multiway") {
       multiway = true;
+    } else if (arg == "--calibrate") {
+      calibrate = true;
     } else if (arg == "--plan-cache") {
       plan_cache_entries = 64;
       // Optional capacity operand (the next token, when numeric).
@@ -158,7 +162,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: raq NAME=ARITY:PATH [NAME=ARITY:PATH ...] [-v] "
                  "[--mode reference|planned|cost|batched|parallel] [--multiway] "
-                 "[--threads N] [--batch-size N] [--plan-cache [N]] "
+                 "[--calibrate] [--threads N] [--batch-size N] [--plan-cache [N]] "
                  "[--sessions N] [--connect HOST:PORT] -- STMT [STMT ...]\n"
                  "example: raq R=2:r.csv S=1:s.csv -- 'pi[1](join[2=1](R, S))'\n");
     return 2;
@@ -287,6 +291,9 @@ int main(int argc, char** argv) {
   if (batched) options = options.WithBatchSize(static_cast<std::size_t>(batch_size));
   if (threads_given) options = options.WithThreads(static_cast<std::size_t>(threads));
   if (multiway) options = options.WithMultiway();
+  // Statements run in order through one engine, so later statements plan
+  // with whatever the earlier ones taught the store.
+  if (calibrate) options = options.WithCalibration();
   options = options.WithPlanCache(static_cast<std::size_t>(plan_cache_entries));
 
   if (sessions > 0) {
@@ -426,6 +433,9 @@ int main(int argc, char** argv) {
                      choice.estimate.cost, choice.estimate.output_size);
       }
     }
+  }
+  if (verbose && options.calibration != nullptr) {
+    std::fprintf(stderr, "-- %s\n", options.calibration->Summary().c_str());
   }
   return exit_code;
 }

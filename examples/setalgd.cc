@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> relation_specs;
   std::string mode = "planned";
   bool multiway = false;
+  bool calibrate = false;
   long long threads = 1;
   bool threads_given = false;
   long long port = 0;
@@ -54,6 +55,8 @@ int main(int argc, char** argv) {
       mode = argv[++i];
     } else if (arg == "--multiway") {
       multiway = true;
+    } else if (arg == "--calibrate") {
+      calibrate = true;
     } else if (arg == "--threads") {
       if (i + 1 >= argc || !util::ParseInt64(argv[i + 1], &threads) || threads < 1) {
         std::fprintf(stderr, "--threads needs a positive integer\n");
@@ -69,7 +72,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: setalgd NAME=ARITY:PATH [NAME=ARITY:PATH ...] "
                  "[--port N] [--mode reference|planned|cost|batched|parallel] "
-                 "[--multiway] [--threads N]\n");
+                 "[--multiway] [--threads N] [--calibrate]\n");
     return 2;
   }
 
@@ -123,6 +126,9 @@ int main(int argc, char** argv) {
   }
   if (threads_given) options = options.WithThreads(static_cast<std::size_t>(threads));
   if (multiway) options = options.WithMultiway();
+  // One store for the whole process: every session the server spawns
+  // shares it, so each session's traffic tunes the others' plans.
+  if (calibrate) options = options.WithCalibration();
 
   core::Database db(schema);
   for (auto& [name, relation] : loaded) db.SetRelation(name, std::move(relation));

@@ -1,0 +1,106 @@
+#include "engine/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace setalg::engine {
+namespace {
+
+// Floor for sizes entering a log: a zero-row actual still pushes the
+// factor down without producing -infinity.
+double ClampSize(double x) { return std::max(0.5, x); }
+
+}  // namespace
+
+CalibrationStore::CalibrationStore(Params params)
+    : params_(params), stripes_(std::make_unique<Stripe[]>(kStripes)) {}
+
+CalibrationStore::Stripe& CalibrationStore::StripeFor(
+    const std::string& key) const {
+  return stripes_[std::hash<std::string>{}(key) % kStripes];
+}
+
+void CalibrationStore::ObserveOutput(const std::string& op_kind,
+                                     double estimated, double actual) {
+  const double residual =
+      std::log(ClampSize(actual)) - std::log(ClampSize(estimated));
+  const double clamp = std::log(params_.max_factor);
+  Stripe& stripe = StripeFor(op_kind);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Entry& entry = stripe.entries[op_kind];
+  // The estimate already carries the current factor, so the residual is
+  // the *remaining* error; stepping toward it converges (no oscillation).
+  entry.log_value += params_.learning_rate * residual;
+  entry.log_value = std::clamp(entry.log_value, -clamp, clamp);
+  ++entry.count;
+}
+
+void CalibrationStore::ObserveSelectivity(const std::string& key, double input,
+                                          double output) {
+  if (input <= 0.0) return;  // An empty input observes nothing.
+  const double observed = std::clamp(output / input, 1e-4, 1.0);
+  const double log_observed = std::log(observed);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Entry& entry = stripe.entries[key];
+  if (entry.count == 0) {
+    entry.log_value = log_observed;
+  } else {
+    entry.log_value +=
+        params_.learning_rate * (log_observed - entry.log_value);
+  }
+  ++entry.count;
+}
+
+double CalibrationStore::OutputFactor(const std::string& op_kind) const {
+  Stripe& stripe = StripeFor(op_kind);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.entries.find(op_kind);
+  if (it == stripe.entries.end() || it->second.count < params_.min_observations) {
+    return 1.0;
+  }
+  return std::exp(it->second.log_value);
+}
+
+double CalibrationStore::Selectivity(const std::string& key,
+                                     double fallback) const {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end() || it->second.count < params_.min_observations) {
+    return fallback;
+  }
+  return std::exp(it->second.log_value);
+}
+
+std::uint64_t CalibrationStore::observations() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mu);
+    for (const auto& [key, entry] : stripes_[i].entries) total += entry.count;
+  }
+  return total;
+}
+
+std::string CalibrationStore::Summary() const {
+  std::map<std::string, Entry> sorted;
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mu);
+    for (const auto& [key, entry] : stripes_[i].entries) sorted[key] = entry;
+  }
+  std::ostringstream out;
+  out << "calibration{";
+  bool first = true;
+  for (const auto& [key, entry] : sorted) {
+    if (!first) out << ", ";
+    first = false;
+    out << key << "=" << std::exp(entry.log_value) << " x" << entry.count;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace setalg::engine

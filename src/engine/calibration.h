@@ -1,0 +1,102 @@
+// Trace calibration: the self-tuning half of the cost model.
+//
+// Every Engine run already records estimated-vs-actual output sizes per
+// operator (PlanStats::ops). A CalibrationStore accumulates those pairs
+// — striped and process-wide, like SharedPlanCache, so every session of
+// a server shares one store — and fits two kinds of corrections with
+// exponential decay:
+//
+//   - per-operator-kind output factors ("out:division", "out:join", ...):
+//     multiplicative residuals in the log domain. Observed estimates
+//     already include the applied factor, so each observation nudges the
+//     factor by learning_rate · log(actual/estimated); the update
+//     converges instead of oscillating, and factors clamp to
+//     [1/max_factor, max_factor].
+//   - learned selectivities ("sel:select:=", "sel:semijoin", ...):
+//     a log-domain EWMA of observed output/input ratios, replacing the
+//     hand-fixed constants once min_observations have arrived.
+//
+// CostModel consults the store (engine/cost.h) when EngineOptions::
+// calibration is set; Engine::Run feeds it after every successful
+// execution. Until a key is warm (min_observations) the model's fixed
+// constants apply unchanged, so an empty store is bit-identical to no
+// store at all.
+#ifndef SETALG_ENGINE_CALIBRATION_H_
+#define SETALG_ENGINE_CALIBRATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace setalg::engine {
+
+/// Thread-safe store of learned cost corrections. Keys are small strings
+/// ("out:<operator-kind>", "sel:<site>"); entries live in 8 mutex-striped
+/// maps, so concurrent sessions feed and consult it without contention.
+class CalibrationStore {
+ public:
+  struct Params {
+    /// Per-observation step size of both updates (exponential decay:
+    /// older traffic fades with weight (1 - learning_rate)^age).
+    double learning_rate = 0.25;
+    /// Output factors clamp to [1/max_factor, max_factor].
+    double max_factor = 16.0;
+    /// Observations before a key starts to override the fixed constants.
+    std::uint64_t min_observations = 4;
+  };
+
+  CalibrationStore() : CalibrationStore(Params()) {}
+  explicit CalibrationStore(Params params);
+
+  CalibrationStore(const CalibrationStore&) = delete;
+  CalibrationStore& operator=(const CalibrationStore&) = delete;
+
+  // -- Feedback (Engine::Run, after every successful execution) -----------
+
+  /// One estimate/actual output-size pair for an operator kind.
+  void ObserveOutput(const std::string& op_kind, double estimated,
+                     double actual);
+
+  /// One observed input→output pair for a selectivity site.
+  void ObserveSelectivity(const std::string& key, double input, double output);
+
+  // -- Consumption (CostModel) ---------------------------------------------
+
+  /// Multiplier for estimated output sizes of `op_kind`; 1.0 until warm.
+  double OutputFactor(const std::string& op_kind) const;
+
+  /// Learned selectivity for `key`; `fallback` until warm.
+  double Selectivity(const std::string& key, double fallback) const;
+
+  /// Total observations across every key (feedback-loop liveness signal).
+  std::uint64_t observations() const;
+
+  /// Sorted "key=value ×count" dump of every entry (raq -v, debugging).
+  std::string Summary() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  struct Entry {
+    double log_value = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+  };
+  static constexpr std::size_t kStripes = 8;
+
+  Stripe& StripeFor(const std::string& key) const;
+
+  Params params_;
+  /// A fixed array (stripes hold a mutex and never move).
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace setalg::engine
+
+#endif  // SETALG_ENGINE_CALIBRATION_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "engine/calibration.h"
 #include "util/check.h"
 
 namespace setalg::engine {
@@ -43,6 +45,80 @@ double ColumnDistinct(const ExprEstimate& e, std::size_t column, std::size_t ari
   return NonZero(std::sqrt(NonZero(e.cardinality)));
 }
 
+// The calibration key of sigma[i op j] sites ("sel:select:=", ...).
+std::string SelectKey(ra::Cmp op) {
+  return std::string("sel:select:") + ra::CmpToString(op);
+}
+
+double ClampSelectivity(double s) { return std::clamp(s, 0.001, 1.0); }
+
+// P(A = B) for independent draws from two histogrammed columns: the
+// fraction of each side falling into the overlapping value range, divided
+// by the larger distinct count within it (the classic 1/max(d_a, d_b),
+// range-restricted).
+double HistogramEqSelectivity(const stats::Histogram& a,
+                              const stats::Histogram& b) {
+  if (a.empty() || b.empty()) return 0.1;
+  const core::Value lo = std::max(a.min_value, b.min_value);
+  const core::Value hi = std::min(a.upper.back(), b.upper.back());
+  if (lo > hi) return 0.001;  // Disjoint ranges: (almost) never equal.
+  const double below_a = lo > a.min_value ? a.SelectivityLeq(lo - 1) : 0.0;
+  const double below_b = lo > b.min_value ? b.SelectivityLeq(lo - 1) : 0.0;
+  const double fa = std::max(0.0, a.SelectivityLeq(hi) - below_a);
+  const double fb = std::max(0.0, b.SelectivityLeq(hi) - below_b);
+  const double da = std::max(
+      1.0, a.DistinctLeq(hi) - (lo > a.min_value ? a.DistinctLeq(lo - 1) : 0.0));
+  const double db = std::max(
+      1.0, b.DistinctLeq(hi) - (lo > b.min_value ? b.DistinctLeq(lo - 1) : 0.0));
+  return ClampSelectivity(fa * fb / std::max(da, db));
+}
+
+// P(A < B) for independent draws: sum over B's buckets of the bucket mass
+// times A's cumulative fraction strictly below the bucket midpoint.
+double HistogramLtSelectivity(const stats::Histogram& a,
+                              const stats::Histogram& b) {
+  if (a.empty() || b.empty()) return 0.45;
+  double p = 0.0;
+  core::Value lower = b.min_value;
+  for (std::size_t i = 0; i < b.buckets(); ++i) {
+    // Midpoint via the unsigned range width: the signed difference
+    // overflows for extreme bucket bounds.
+    const core::Value mid =
+        lower + static_cast<core::Value>(stats::RangeWidth(lower, b.upper[i]) / 2);
+    const double mass =
+        static_cast<double>(b.counts[i]) / static_cast<double>(b.total);
+    p += mass * (mid > std::numeric_limits<core::Value>::min()
+                     ? a.SelectivityLeq(mid - 1)
+                     : 0.0);
+    if (b.upper[i] == std::numeric_limits<core::Value>::max()) break;
+    lower = b.upper[i] + 1;
+  }
+  return ClampSelectivity(p);
+}
+
+// P(|S_g| <= |R_g|) for independent group draws from the two group-size
+// histograms. A containment pair is only feasible when the contained
+// group is no larger, so the output estimate scales by this mass —
+// under skewed group sizes most pairings are infeasible and the fixed
+// 0.1·min(g_r, g_s) guess is a large overestimate.
+double ContainmentFeasibility(const stats::Histogram& r_sizes,
+                              const stats::Histogram& s_sizes) {
+  if (r_sizes.empty() || s_sizes.empty()) return 1.0;
+  double p = 0.0;
+  core::Value lower = r_sizes.min_value;
+  for (std::size_t i = 0; i < r_sizes.buckets(); ++i) {
+    const core::Value mid =
+        lower +
+        static_cast<core::Value>(stats::RangeWidth(lower, r_sizes.upper[i]) / 2);
+    const double mass = static_cast<double>(r_sizes.counts[i]) /
+                        static_cast<double>(r_sizes.total);
+    p += mass * s_sizes.SelectivityLeq(mid);
+    if (r_sizes.upper[i] == std::numeric_limits<core::Value>::max()) break;
+    lower = r_sizes.upper[i] + 1;
+  }
+  return std::clamp(p, 0.001, 1.0);
+}
+
 ExprEstimate Unknown() {
   ExprEstimate e;
   e.cardinality = 1000.0;
@@ -77,6 +153,10 @@ ExprEstimate FromStats(const stats::RelationStats& stats) {
                     ? NonZero(stats.groups.avg_group_size)
                     : NonZero(e.cardinality) / e.key_distinct;
   e.exact = true;
+  if (!stats.columns.empty()) {
+    e.elem_expected_freq = stats.columns.back().histogram.ExpectedFrequency();
+  }
+  if (stats.arity == 2) e.group_sizes = stats.groups.size_histogram;
   return e;
 }
 
@@ -128,7 +208,15 @@ ExprEstimate CostModel::EstimateUncached(const ra::ExprPtr& expr) const {
     }
     case OpKind::kSelection: {
       const ExprEstimate a = Estimate(expr->child(0));
-      const double s = SelectionSelectivity(expr->selection_op());
+      double s = SelectionSelectivity(expr->selection_op());
+      if (calibration_ != nullptr) {
+        // Histograms (per-instance) beat the learned global selectivity
+        // (per-comparator), which beats the fixed constant.
+        const double hist = HistogramSelectionSelectivity(expr);
+        s = hist >= 0.0
+                ? hist
+                : calibration_->Selectivity(SelectKey(expr->selection_op()), s);
+      }
       return Derived(a.cardinality * s, a.key_distinct * s + 1, a.elem_distinct * s + 1);
     }
     case OpKind::kConstTag: {
@@ -150,17 +238,49 @@ ExprEstimate CostModel::EstimateUncached(const ra::ExprPtr& expr) const {
           cardinality *= SelectionSelectivity(atom.op);
         }
       }
+      if (calibration_ != nullptr) {
+        cardinality *= calibration_->OutputFactor("out:join");
+      }
       return Derived(cardinality, a.key_distinct,
                      right_arity > 0 ? b.elem_distinct : a.elem_distinct);
     }
     case OpKind::kSemiJoin: {
       const ExprEstimate a = Estimate(expr->child(0));
-      const double s = expr->atoms().empty() ? 1.0 : 0.5;
+      double s = expr->atoms().empty() ? 1.0 : 0.5;
+      if (calibration_ != nullptr && !expr->atoms().empty()) {
+        s = calibration_->Selectivity("sel:semijoin", s);
+      }
       return Derived(a.cardinality * s, a.key_distinct * s + 1, a.elem_distinct * s + 1);
     }
   }
   SETALG_CHECK_STREAM(false) << "unreachable";
   return Unknown();
+}
+
+double CostModel::HistogramSelectionSelectivity(const ra::ExprPtr& expr) const {
+  const ra::ExprPtr& child = expr->child(0);
+  if (provider_ == nullptr || child->kind() != OpKind::kRelation) return -1.0;
+  const stats::RelationStats* stats = provider_->Get(child->relation_name());
+  if (stats == nullptr) return -1.0;
+  const std::size_t i = expr->selection_i();
+  const std::size_t j = expr->selection_j();
+  if (i < 1 || j < 1 || i > stats->columns.size() || j > stats->columns.size()) {
+    return -1.0;
+  }
+  const stats::Histogram& a = stats->columns[i - 1].histogram;
+  const stats::Histogram& b = stats->columns[j - 1].histogram;
+  if (a.empty() || b.empty()) return -1.0;
+  switch (expr->selection_op()) {
+    case ra::Cmp::kEq:
+      return HistogramEqSelectivity(a, b);
+    case ra::Cmp::kNeq:
+      return ClampSelectivity(1.0 - HistogramEqSelectivity(a, b));
+    case ra::Cmp::kLt:
+      return HistogramLtSelectivity(a, b);
+    case ra::Cmp::kGt:
+      return HistogramLtSelectivity(b, a);
+  }
+  return -1.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -170,7 +290,7 @@ ExprEstimate CostModel::EstimateUncached(const ra::ExprPtr& expr) const {
 
 CostEstimate CostModel::EstimateDivision(setjoin::DivisionAlgorithm algorithm,
                                          const ExprEstimate& r, const ExprEstimate& s,
-                                         bool equality) {
+                                         bool equality) const {
   const double n = NonZero(r.cardinality);
   const double g = NonZero(r.key_distinct);
   const double m = NonZero(s.cardinality);
@@ -178,6 +298,13 @@ CostEstimate CostModel::EstimateDivision(setjoin::DivisionAlgorithm algorithm,
   // All algorithms emit the same result: a coarse fraction of the groups
   // (equality is stricter). The choice only hinges on cost.
   est.output_size = g * (equality ? 0.1 : 0.25);
+  if (calibration_ != nullptr) {
+    // The operator label distinguishes the flavors ("division=[...]" for
+    // equality division), so each learns its own correction.
+    est.output_size *=
+        calibration_->OutputFactor(equality ? "out:division=" : "out:division");
+    est.output_size = std::min(est.output_size, g);
+  }
   switch (algorithm) {
     case setjoin::DivisionAlgorithm::kNestedLoop:
       // Grouping pass + (A,B) hash index build + g·m membership probes.
@@ -213,7 +340,7 @@ CostEstimate CostModel::EstimateDivision(setjoin::DivisionAlgorithm algorithm,
 
 CostModel::DivisionChoice CostModel::ChooseDivision(const ExprEstimate& r,
                                                     const ExprEstimate& s,
-                                                    bool equality) {
+                                                    bool equality) const {
   // kHashDivision first: it wins ties (Graefe's all-round strongest).
   static constexpr setjoin::DivisionAlgorithm kCandidates[] = {
       setjoin::DivisionAlgorithm::kHashDivision,
@@ -236,7 +363,7 @@ CostModel::DivisionChoice CostModel::ChooseDivision(const ExprEstimate& r,
 
 CostEstimate CostModel::EstimateContainment(setjoin::ContainmentAlgorithm algorithm,
                                             const ExprEstimate& r,
-                                            const ExprEstimate& s) {
+                                            const ExprEstimate& s) const {
   const double nr = NonZero(r.cardinality);
   const double ns = NonZero(s.cardinality);
   const double gr = NonZero(r.key_distinct);
@@ -244,8 +371,24 @@ CostEstimate CostModel::EstimateContainment(setjoin::ContainmentAlgorithm algori
   const double kr = NonZero(r.avg_group);
   const double ks = NonZero(s.avg_group);
   const double domain = NonZero(r.elem_distinct);
+  // Expected posting length of one element probe into the containing
+  // side. nr/domain assumes a uniform element distribution; under skew
+  // the histogram's value-weighted expectation (heavy elements are both
+  // long postings *and* likely probes) is far larger — the error that
+  // made the inverted index look cheap on skewed inputs.
+  double expected_posting = nr / domain;
+  if (calibration_ != nullptr && r.elem_expected_freq > 0.0) {
+    expected_posting = r.elem_expected_freq;
+  }
   CostEstimate est;
   est.output_size = 0.1 * std::min(gr, gs) + 0.001 * gr * gs;
+  if (calibration_ != nullptr) {
+    if (!r.group_sizes.empty() && !s.group_sizes.empty()) {
+      est.output_size *= ContainmentFeasibility(r.group_sizes, s.group_sizes);
+    }
+    est.output_size *= calibration_->OutputFactor("out:set-containment-join");
+    est.output_size = std::min(est.output_size, gr * gs);
+  }
   const double pair_test = 0.5 * (kr + ks);  // Sorted-subset merge.
   switch (algorithm) {
     case setjoin::ContainmentAlgorithm::kNestedLoop:
@@ -264,14 +407,14 @@ CostEstimate CostModel::EstimateContainment(setjoin::ContainmentAlgorithm algori
       // Candidate groups are replicated to the partition of each of their
       // elements; each divisor group meets the ~n_r/D candidates stored in
       // its designated partition.
-      const double per_partition_pairs = gs * (nr / domain);
+      const double per_partition_pairs = gs * expected_posting;
       est.cost = kTupleOp * (nr + ns) + per_partition_pairs * pair_test;
       est.max_intermediate = 2 * nr + ns;
       break;
     }
     case setjoin::ContainmentAlgorithm::kInvertedIndex:
       // Postings build + one counting probe per (s element, posting hit).
-      est.cost = kHashProbe * nr + kHashProbe * ns * (nr / domain) +
+      est.cost = kHashProbe * nr + kHashProbe * ns * expected_posting +
                  kTupleOp * est.output_size;
       est.max_intermediate = nr + ns;
       break;
@@ -280,7 +423,7 @@ CostEstimate CostModel::EstimateContainment(setjoin::ContainmentAlgorithm algori
 }
 
 CostModel::ContainmentChoice CostModel::ChooseContainment(const ExprEstimate& r,
-                                                          const ExprEstimate& s) {
+                                                          const ExprEstimate& s) const {
   static constexpr setjoin::ContainmentAlgorithm kCandidates[] = {
       setjoin::ContainmentAlgorithm::kInvertedIndex,
       setjoin::ContainmentAlgorithm::kSignatureNestedLoop,
@@ -301,7 +444,7 @@ CostModel::ContainmentChoice CostModel::ChooseContainment(const ExprEstimate& r,
 
 CostEstimate CostModel::EstimateSetEquality(setjoin::EqualityJoinAlgorithm algorithm,
                                             const ExprEstimate& r,
-                                            const ExprEstimate& s) {
+                                            const ExprEstimate& s) const {
   const double nr = NonZero(r.cardinality);
   const double ns = NonZero(s.cardinality);
   const double gr = NonZero(r.key_distinct);
@@ -310,6 +453,10 @@ CostEstimate CostModel::EstimateSetEquality(setjoin::EqualityJoinAlgorithm algor
   const double ks = NonZero(s.avg_group);
   CostEstimate est;
   est.output_size = 0.1 * std::min(gr, gs) + 0.001 * gr * gs;
+  if (calibration_ != nullptr) {
+    est.output_size *= calibration_->OutputFactor("out:set-equality-join");
+    est.output_size = std::min(est.output_size, gr * gs);
+  }
   switch (algorithm) {
     case setjoin::EqualityJoinAlgorithm::kNestedLoop:
       est.cost = gr * gs * 0.5 * std::min(kr, ks);
@@ -326,7 +473,7 @@ CostEstimate CostModel::EstimateSetEquality(setjoin::EqualityJoinAlgorithm algor
 }
 
 CostModel::EqualityChoice CostModel::ChooseSetEquality(const ExprEstimate& r,
-                                                       const ExprEstimate& s) {
+                                                       const ExprEstimate& s) const {
   const CostEstimate hash = EstimateSetEquality(
       setjoin::EqualityJoinAlgorithm::kCanonicalHash, r, s);
   const CostEstimate nested =
@@ -355,7 +502,7 @@ constexpr double kTaskDispatch = 2000.0;
 CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
                                             double input_cardinality,
                                             std::size_t partitions,
-                                            std::size_t threads) {
+                                            std::size_t threads) const {
   const double p = NonZero(static_cast<double>(partitions));
   const double waves =
       std::ceil(p / NonZero(static_cast<double>(threads)));
@@ -374,7 +521,7 @@ CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
 CostModel::ParallelChoice CostModel::ChooseParallelism(const CostEstimate& serial,
                                                        double input_cardinality,
                                                        double key_distinct,
-                                                       std::size_t threads) {
+                                                       std::size_t threads) const {
   if (threads <= 1) return {1, serial};
   const std::size_t partitions = static_cast<std::size_t>(std::max(
       1.0, std::min(static_cast<double>(threads), NonZero(key_distinct))));
@@ -391,7 +538,7 @@ CostModel::ParallelChoice CostModel::ChooseParallelism(const CostEstimate& seria
 
 SemijoinStrategy CostModel::ChooseSemijoin(const ExprEstimate& left,
                                            const ExprEstimate& right,
-                                           const std::vector<ra::JoinAtom>& atoms) {
+                                           const std::vector<ra::JoinAtom>& atoms) const {
   // With an empty condition the generic path returns `left` outright; on
   // tiny inputs the fast kernels' index setup dominates their win.
   if (atoms.empty()) return SemijoinStrategy::kGeneric;
@@ -539,7 +686,7 @@ double AgmBound(const JoinHypergraph& graph) {
 }
 
 CostEstimate CostModel::EstimateMultiwayJoin(const JoinHypergraph& graph,
-                                             double output_guess) {
+                                             double output_guess) const {
   const double agm = AgmBound(graph);
   double sum_inputs = 0.0;
   for (const auto& edge : graph.edges) sum_inputs += NonZero(edge.cardinality);
@@ -558,7 +705,7 @@ CostEstimate CostModel::EstimateMultiwayJoin(const JoinHypergraph& graph,
 }
 
 CostEstimate CostModel::EstimateBinaryJoinChain(const JoinHypergraph& graph,
-                                                const std::vector<double>& interior_cards) {
+                                                const std::vector<double>& interior_cards) const {
   double sum_inputs = 0.0;
   for (const auto& edge : graph.edges) sum_inputs += NonZero(edge.cardinality);
   CostEstimate est;
@@ -578,7 +725,7 @@ CostEstimate CostModel::EstimateBinaryJoinChain(const JoinHypergraph& graph,
 
 CostModel::MultiwayChoice CostModel::ChooseMultiwayJoin(
     const JoinHypergraph& graph, const std::vector<double>& interior_cards,
-    bool cost_based) {
+    bool cost_based) const {
   MultiwayChoice choice;
   choice.agm_bound = AgmBound(graph);
   const double output_guess =
@@ -598,11 +745,16 @@ CostModel::MultiwayChoice CostModel::ChooseMultiwayJoin(
 CostEstimate CostModel::EstimateSemijoin(const ExprEstimate& left,
                                          const ExprEstimate& right,
                                          const std::vector<ra::JoinAtom>& atoms,
-                                         SemijoinStrategy strategy) {
+                                         SemijoinStrategy strategy) const {
   const double nl = NonZero(left.cardinality);
   const double nr = NonZero(right.cardinality);
+  double selectivity = 0.5;
+  if (calibration_ != nullptr && !atoms.empty()) {
+    selectivity = calibration_->Selectivity("sel:semijoin", selectivity);
+  }
   CostEstimate est;
-  est.output_size = atoms.empty() ? left.cardinality : 0.5 * left.cardinality;
+  est.output_size =
+      atoms.empty() ? left.cardinality : selectivity * left.cardinality;
   est.max_intermediate = est.output_size;
   if (atoms.empty()) {
     est.cost = kTupleOp * nl;  // Both paths copy the surviving side.

@@ -8,8 +8,14 @@
 // job is to separate the asymptotic regimes the paper identifies (e.g.
 // nested-loop division's g·m probes vs hash-division's single pass), not
 // to predict milliseconds. Every Engine run records estimated-vs-actual
-// output sizes in PlanStats, so the model's errors are observable and a
-// future PR can recalibrate the weights from real traces.
+// output sizes in PlanStats; with a CalibrationStore attached
+// (EngineOptions::WithCalibration) those pairs feed back as
+// per-operator-kind correction factors and learned selectivities, and
+// the formulas additionally consult the equi-depth histograms in stats::
+// (expected posting lengths under skew, group-size distributions,
+// column-vs-column selection selectivity). Without a store the fixed
+// constants below apply unchanged, bit-identical to the uncalibrated
+// model.
 //
 // To add a formula for a new operator: write an Estimate<Op> function
 // from ExprEstimate inputs to a CostEstimate, add a Choose<Op> that
@@ -46,6 +52,15 @@ struct ExprEstimate {
   /// True when the estimate is backed by actual stored-relation stats
   /// (a scan), not propagated guesses.
   bool exact = false;
+  /// Expected rows sharing a random row's last-column value (the
+  /// element-column histogram's ExpectedFrequency — the skew-aware
+  /// replacement for cardinality/elem_distinct). 0 when no histogram
+  /// backed the estimate. Only consulted by a calibrated model.
+  double elem_expected_freq = 0.0;
+  /// Group-size distribution of a grouped binary input; empty when
+  /// unavailable. Stored by value so estimates outlive the RelationStats
+  /// they came from (FromStats is often called on temporaries).
+  stats::Histogram group_sizes;
 };
 
 /// Converts one-pass relation statistics into the cost-formula view.
@@ -102,11 +117,19 @@ FractionalEdgeCover SolveFractionalEdgeCover(const JoinHypergraph& graph);
 /// Convenience: the bound alone. +infinity when infeasible or over caps.
 double AgmBound(const JoinHypergraph& graph);
 
+class CalibrationStore;  // engine/calibration.h
+
 class CostModel {
  public:
   /// `provider` may be nullptr: estimates then fall back to coarse
-  /// defaults and `exact` is never set.
-  explicit CostModel(const stats::StatsProvider* provider) : provider_(provider) {}
+  /// defaults and `exact` is never set. `calibration` may be nullptr (the
+  /// default): the model then prices with its fixed constants only —
+  /// bit-identical to the pre-calibration model. With a store attached,
+  /// warm correction factors, learned selectivities and histogram-derived
+  /// distributions refine the same formulas.
+  explicit CostModel(const stats::StatsProvider* provider,
+                     const CalibrationStore* calibration = nullptr)
+      : provider_(provider), calibration_(calibration) {}
 
   /// Bottom-up cardinality/shape estimation for a logical subexpression.
   /// Memoized per node, so shared-subexpression DAGs (which the executor
@@ -118,9 +141,9 @@ class CostModel {
   /// Cost of one division algorithm on dividend `r` (binary) and divisor
   /// `s` (unary). kClassicRa is estimated too (it is never chosen, but its
   /// Ω(g·m) intermediate makes the baseline visible in explains).
-  static CostEstimate EstimateDivision(setjoin::DivisionAlgorithm algorithm,
-                                       const ExprEstimate& r, const ExprEstimate& s,
-                                       bool equality);
+  CostEstimate EstimateDivision(setjoin::DivisionAlgorithm algorithm,
+                                const ExprEstimate& r, const ExprEstimate& s,
+                                bool equality) const;
 
   struct DivisionChoice {
     setjoin::DivisionAlgorithm algorithm;
@@ -128,34 +151,34 @@ class CostModel {
   };
   /// The cheapest direct algorithm (never kClassicRa; ties break toward
   /// hash-division, the strongest all-round kernel in Graefe's study).
-  static DivisionChoice ChooseDivision(const ExprEstimate& r, const ExprEstimate& s,
-                                       bool equality);
+  DivisionChoice ChooseDivision(const ExprEstimate& r, const ExprEstimate& s,
+                                bool equality) const;
 
   // -- Set-containment join ------------------------------------------------
 
-  static CostEstimate EstimateContainment(setjoin::ContainmentAlgorithm algorithm,
-                                          const ExprEstimate& r,
-                                          const ExprEstimate& s);
+  CostEstimate EstimateContainment(setjoin::ContainmentAlgorithm algorithm,
+                                   const ExprEstimate& r,
+                                   const ExprEstimate& s) const;
 
   struct ContainmentChoice {
     setjoin::ContainmentAlgorithm algorithm;
     CostEstimate estimate;
   };
-  static ContainmentChoice ChooseContainment(const ExprEstimate& r,
-                                             const ExprEstimate& s);
+  ContainmentChoice ChooseContainment(const ExprEstimate& r,
+                                      const ExprEstimate& s) const;
 
   // -- Set-equality join ---------------------------------------------------
 
-  static CostEstimate EstimateSetEquality(setjoin::EqualityJoinAlgorithm algorithm,
-                                          const ExprEstimate& r,
-                                          const ExprEstimate& s);
+  CostEstimate EstimateSetEquality(setjoin::EqualityJoinAlgorithm algorithm,
+                                   const ExprEstimate& r,
+                                   const ExprEstimate& s) const;
 
   struct EqualityChoice {
     setjoin::EqualityJoinAlgorithm algorithm;
     CostEstimate estimate;
   };
-  static EqualityChoice ChooseSetEquality(const ExprEstimate& r,
-                                          const ExprEstimate& s);
+  EqualityChoice ChooseSetEquality(const ExprEstimate& r,
+                                   const ExprEstimate& s) const;
 
   // -- Partitioned (parallel) execution --------------------------------------
 
@@ -165,10 +188,10 @@ class CostModel {
   /// `input_cardinality` tuples, the kernel work spread over
   /// ceil(partitions / threads) waves, a per-partition dispatch overhead,
   /// and a serial merge of the per-partition outputs.
-  static CostEstimate EstimatePartitioned(const CostEstimate& serial,
-                                          double input_cardinality,
-                                          std::size_t partitions,
-                                          std::size_t threads);
+  CostEstimate EstimatePartitioned(const CostEstimate& serial,
+                                   double input_cardinality,
+                                   std::size_t partitions,
+                                   std::size_t threads) const;
 
   struct ParallelChoice {
     /// 1 = stay serial; otherwise the chosen fan-out width.
@@ -179,22 +202,22 @@ class CostModel {
   /// `threads` ways (capped by `key_distinct` — more partitions than
   /// groups only buys empty tasks) iff that prices below the serial
   /// alternative. With threads <= 1 the answer is always serial.
-  static ParallelChoice ChooseParallelism(const CostEstimate& serial,
-                                          double input_cardinality,
-                                          double key_distinct, std::size_t threads);
+  ParallelChoice ChooseParallelism(const CostEstimate& serial,
+                                   double input_cardinality,
+                                   double key_distinct, std::size_t threads) const;
 
   // -- Semijoin ------------------------------------------------------------
 
   /// Kernel choice for left ⋉_θ right: the sa:: fast kernels win except on
   /// inputs so small that their setup work dominates.
-  static SemijoinStrategy ChooseSemijoin(const ExprEstimate& left,
-                                         const ExprEstimate& right,
-                                         const std::vector<ra::JoinAtom>& atoms);
+  SemijoinStrategy ChooseSemijoin(const ExprEstimate& left,
+                                  const ExprEstimate& right,
+                                  const std::vector<ra::JoinAtom>& atoms) const;
 
-  static CostEstimate EstimateSemijoin(const ExprEstimate& left,
-                                       const ExprEstimate& right,
-                                       const std::vector<ra::JoinAtom>& atoms,
-                                       SemijoinStrategy strategy);
+  CostEstimate EstimateSemijoin(const ExprEstimate& left,
+                                const ExprEstimate& right,
+                                const std::vector<ra::JoinAtom>& atoms,
+                                SemijoinStrategy strategy) const;
 
   // -- Multiway (worst-case-optimal) join ------------------------------------
 
@@ -203,15 +226,15 @@ class CostModel {
   /// chain root's propagated cardinality estimate; the reported output and
   /// max intermediate are its minimum with the AGM bound (the kernel never
   /// materializes more than the output).
-  static CostEstimate EstimateMultiwayJoin(const JoinHypergraph& graph,
-                                           double output_guess);
+  CostEstimate EstimateMultiwayJoin(const JoinHypergraph& graph,
+                                    double output_guess) const;
 
   /// Prices the written binary-join chain over the same inputs:
   /// `interior_cards` are the cardinality estimates of every interior
   /// (join/selection/projection) node, root last. Max intermediate is the
   /// largest interior estimate — the quantity the AGM bound budgets.
-  static CostEstimate EstimateBinaryJoinChain(const JoinHypergraph& graph,
-                                              const std::vector<double>& interior_cards);
+  CostEstimate EstimateBinaryJoinChain(const JoinHypergraph& graph,
+                                       const std::vector<double>& interior_cards) const;
 
   struct MultiwayChoice {
     bool use_multiway = false;
@@ -225,14 +248,20 @@ class CostModel {
   /// plan's estimated max intermediate exceeds the AGM bound — the
   /// paper's division dichotomy generalized. Never routes when the LP is
   /// infeasible or the hypergraph exceeds the arity caps.
-  static MultiwayChoice ChooseMultiwayJoin(const JoinHypergraph& graph,
-                                           const std::vector<double>& interior_cards,
-                                           bool cost_based);
+  MultiwayChoice ChooseMultiwayJoin(const JoinHypergraph& graph,
+                                    const std::vector<double>& interior_cards,
+                                    bool cost_based) const;
 
  private:
   ExprEstimate EstimateUncached(const ra::ExprPtr& expr) const;
 
+  /// Selectivity of sigma[i op j] from the two columns' histograms when
+  /// the selection sits directly on a stored scan; negative when the
+  /// histograms (or the provider) are unavailable.
+  double HistogramSelectionSelectivity(const ra::ExprPtr& expr) const;
+
   const stats::StatsProvider* provider_;
+  const CalibrationStore* calibration_;
   mutable std::unordered_map<const ra::Expr*, ExprEstimate> memo_;
 };
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/calibration.h"
 #include "engine/parallel.h"
 #include "engine/result_cache.h"
 #include "engine/shared_cache.h"
@@ -28,6 +29,52 @@ OpStats MakeOpStats(const PhysicalOp* op, std::size_t output_size,
     entry.estimated_cost = estimate->second.cost;
   }
   return entry;
+}
+
+// Label prefix up to the first of "[( " — the calibration op-kind, e.g.
+// "division=" from "division=[hash-division]" or "join" from "join[2=1]".
+std::string OpKindOf(const std::string& label) {
+  return label.substr(0, label.find_first_of("[( "));
+}
+
+// Feeds one finished run's estimate/actual pairs into the calibration
+// store: every estimated operator contributes an output-size residual,
+// and selections/semijoins additionally contribute observed
+// input-to-output selectivities (their input is the first child's
+// recorded output in the same ops list).
+void FeedCalibration(CalibrationStore* store, const PlanStats& stats) {
+  std::unordered_map<const PhysicalOp*, std::size_t> outputs;
+  for (const OpStats& op : stats.ops) {
+    if (op.op != nullptr) outputs[op.op] = op.output_size;
+  }
+  for (const OpStats& op : stats.ops) {
+    const std::string kind = OpKindOf(op.label);
+    if (op.has_estimate) {
+      store->ObserveOutput("out:" + kind, op.estimated_output,
+                           static_cast<double>(op.output_size));
+    }
+    if (op.op == nullptr || op.op->children().empty()) continue;
+    auto in = outputs.find(op.op->child(0).get());
+    if (in == outputs.end()) continue;
+    const double input = static_cast<double>(in->second);
+    if (kind == "select") {
+      // "select[1<2]": the comparator between the columns, "!=" first so
+      // its '=' is not mistaken for equality.
+      const std::string& l = op.label;
+      const char* cmp = l.find("!=") != std::string::npos   ? "!="
+                        : l.find('=') != std::string::npos  ? "="
+                        : l.find('<') != std::string::npos  ? "<"
+                        : l.find('>') != std::string::npos  ? ">"
+                                                            : nullptr;
+      if (cmp != nullptr) {
+        store->ObserveSelectivity(std::string("sel:select:") + cmp, input,
+                                  static_cast<double>(op.output_size));
+      }
+    } else if (kind == "semijoin") {
+      store->ObserveSelectivity("sel:semijoin", input,
+                                static_cast<double>(op.output_size));
+    }
+  }
 }
 
 // Post-order DAG execution with memoization: shared operators run once.
@@ -500,6 +547,9 @@ util::Result<RunResult> Engine::RunImpl(const PhysicalPlan& plan,
     auto out = executor.Run(plan.root);
     if (!out.ok()) return util::Result<RunResult>::Error(out.error());
     result.relation = std::move(*out);
+    if (options_.calibration != nullptr) {
+      FeedCalibration(options_.calibration.get(), result.stats);
+    }
     return result;
   }
   Executor executor(&db, &options_, &plan, &result.stats, pool.get());
@@ -507,6 +557,9 @@ util::Result<RunResult> Engine::RunImpl(const PhysicalPlan& plan,
     return util::Result<RunResult>::Error(executor.error());
   }
   result.relation = executor.TakeOutput(plan.root);
+  if (options_.calibration != nullptr) {
+    FeedCalibration(options_.calibration.get(), result.stats);
+  }
   return result;
 }
 

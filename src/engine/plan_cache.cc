@@ -132,7 +132,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
   // minus the lowering: no validation, no pattern matching, no tree walk
   // beyond the recorded choice points.
   PhysicalPlan& plan = entry.plan;
-  const CostModel model(stats);
+  const CostModel model(stats, options.calibration.get());
   const bool cost_based = options.cost_based && stats != nullptr;
   std::unordered_map<const PhysicalOp*, NewDecision> flips;
   // Fresh dedicated estimates for routed multiway points, applied after
@@ -148,7 +148,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
       const ExprEstimate s_est = model.Estimate(point.right);
       setjoin::DivisionAlgorithm algorithm = options.division_algorithm;
       if (cost_based) {
-        const auto choice = CostModel::ChooseDivision(r_est, s_est, point.equality);
+        const auto choice = model.ChooseDivision(r_est, s_est, point.equality);
         algorithm = choice.algorithm;
         entries.push_back({point.equality ? "equality-division" : "division",
                            setjoin::DivisionAlgorithmToString(algorithm),
@@ -156,8 +156,8 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
       }
       std::size_t partitions = 0;
       if (options.threads > 1 && cost_based) {
-        const auto parallel = CostModel::ChooseParallelism(
-            CostModel::EstimateDivision(algorithm, r_est, s_est, point.equality),
+        const auto parallel = model.ChooseParallelism(
+            model.EstimateDivision(algorithm, r_est, s_est, point.equality),
             r_est.cardinality + s_est.cardinality, r_est.key_distinct,
             options.threads);
         entries.push_back({point.equality ? "equality-division-execution"
@@ -201,7 +201,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
         interior_cards.push_back(model.Estimate(node).cardinality);
       }
       const auto choice =
-          CostModel::ChooseMultiwayJoin(graph, interior_cards, cost_based);
+          model.ChooseMultiwayJoin(graph, interior_cards, cost_based);
       if (cost_based) {
         entries.push_back(
             {"join-chain",
@@ -216,7 +216,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
         std::size_t partitions = 0;
         if (options.threads > 1 && cost_based) {
           const ra::ExprPtr& key_leaf = point.multiway_inputs[point.multiway_key_leaf];
-          const auto parallel = CostModel::ChooseParallelism(
+          const auto parallel = model.ChooseParallelism(
               choice.multiway, sum_inputs,
               EstimateColumnDistinct(model.Estimate(key_leaf),
                                      point.multiway_key_column, key_leaf->arity()),
@@ -246,9 +246,9 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
       if (cost_based) {
         const ExprEstimate l = model.Estimate(point.left);
         const ExprEstimate r = model.Estimate(point.right);
-        strategy = CostModel::ChooseSemijoin(l, r, point.atoms);
+        strategy = model.ChooseSemijoin(l, r, point.atoms);
         const CostEstimate estimate =
-            CostModel::EstimateSemijoin(l, r, point.atoms, strategy);
+            model.EstimateSemijoin(l, r, point.atoms, strategy);
         entries.push_back({"semijoin",
                            strategy == SemijoinStrategy::kFastKernel ? "fast-kernel"
                                                                      : "generic",
@@ -263,7 +263,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
         if (eq == nullptr) {
           partitions = 1;
         } else if (options.threads > 1) {
-          const auto parallel = CostModel::ChooseParallelism(
+          const auto parallel = model.ChooseParallelism(
               estimate, l.cardinality + r.cardinality,
               EstimateColumnDistinct(l, eq->left, point.left->arity()),
               options.threads);
@@ -318,7 +318,7 @@ CacheOutcome RevalidateCachedPlan(CachedPlan& entry, const core::DatabaseView& d
   if (stats != nullptr) {
     for (const ChoicePoint& point : plan.choice_points) {
       if (point.kind != ChoicePoint::Kind::kDivision) continue;
-      plan.estimates[point.op] = CostModel::EstimateDivision(
+      plan.estimates[point.op] = model.EstimateDivision(
           point.division_algorithm, model.Estimate(point.left),
           model.Estimate(point.right), point.equality);
     }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "engine/calibration.h"
 #include "engine/cost.h"
 #include "engine/multiway.h"
 #include "util/check.h"
@@ -86,7 +87,7 @@ std::optional<DivisionMatch> MatchEqualityDivision(const ExprPtr& e) {
 class Lowering {
  public:
   Lowering(const EngineOptions& options, const stats::StatsProvider* stats)
-      : options_(options), stats_(stats), model_(stats) {}
+      : options_(options), stats_(stats), model_(stats, options.calibration.get()) {}
 
   PhysicalOpPtr Lower(const ExprPtr& e) {
     auto it = memo_.find(e.get());
@@ -134,7 +135,7 @@ class Lowering {
   std::size_t PartitionsFor(const char* site, const CostEstimate& serial,
                             double input_cardinality, double key_distinct) {
     if (options_.threads <= 1 || !CostBased()) return 0;
-    const CostModel::ParallelChoice choice = CostModel::ChooseParallelism(
+    const CostModel::ParallelChoice choice = model_.ChooseParallelism(
         serial, input_cardinality, key_distinct, options_.threads);
     choices_.push_back({site, ParallelChoiceLabel(choice.partitions),
                         choice.estimate});
@@ -155,8 +156,8 @@ class Lowering {
     if (!CostBased()) return {Strategy(), 0, first_choice, 0};
     const ExprEstimate l = model_.Estimate(left);
     const ExprEstimate r = model_.Estimate(right);
-    const SemijoinStrategy strategy = CostModel::ChooseSemijoin(l, r, atoms);
-    const CostEstimate estimate = CostModel::EstimateSemijoin(l, r, atoms, strategy);
+    const SemijoinStrategy strategy = model_.ChooseSemijoin(l, r, atoms);
+    const CostEstimate estimate = model_.EstimateSemijoin(l, r, atoms, strategy);
     choices_.push_back(
         {"semijoin",
          strategy == SemijoinStrategy::kFastKernel ? "fast-kernel" : "generic",
@@ -210,7 +211,7 @@ class Lowering {
     const ExprEstimate s_est = model_.Estimate(m.s);
     const std::size_t first_choice = choices_.size();
     if (CostBased()) {
-      const auto choice = CostModel::ChooseDivision(r_est, s_est, equality);
+      const auto choice = model_.ChooseDivision(r_est, s_est, equality);
       algorithm = choice.algorithm;
       choices_.push_back({equality ? "equality-division" : "division",
                           setjoin::DivisionAlgorithmToString(algorithm),
@@ -220,14 +221,14 @@ class Lowering {
     rewrites_.push_back(DivisionRewriteNote(algorithm, equality, CostBased()));
     const std::size_t partitions = PartitionsFor(
         equality ? "equality-division-execution" : "division-execution",
-        CostModel::EstimateDivision(algorithm, r_est, s_est, equality),
+        model_.EstimateDivision(algorithm, r_est, s_est, equality),
         r_est.cardinality + s_est.cardinality, r_est.key_distinct);
     const std::size_t num_choices = choices_.size() - first_choice;
     PhysicalOpPtr op = MakeDivision(Lower(m.r), Lower(m.s), algorithm, equality, source,
                                     partitions);
     if (stats_ != nullptr) {
       estimates_[op.get()] =
-          CostModel::EstimateDivision(algorithm, r_est, s_est, equality);
+          model_.EstimateDivision(algorithm, r_est, s_est, equality);
     }
     ChoicePoint point;
     point.kind = ChoicePoint::Kind::kDivision;
@@ -364,7 +365,7 @@ class Lowering {
       interior_cards.push_back(model_.Estimate(node).cardinality);
     }
     const CostModel::MultiwayChoice choice =
-        CostModel::ChooseMultiwayJoin(graph, interior_cards, CostBased());
+        model_.ChooseMultiwayJoin(graph, interior_cards, CostBased());
     if (!std::isfinite(choice.agm_bound)) return nullptr;
     if (!has_agm_bound_) {  // The plan-level bound: first chain collected.
       agm_bound_ = choice.agm_bound;
@@ -606,6 +607,14 @@ EngineOptions EngineOptions::Parallel(std::size_t threads, std::size_t batch_siz
   return options;
 }
 
+EngineOptions EngineOptions::WithCalibration(
+    std::shared_ptr<CalibrationStore> store) const {
+  EngineOptions o = *this;
+  o.calibration =
+      store != nullptr ? std::move(store) : std::make_shared<CalibrationStore>();
+  return o;
+}
+
 std::uint64_t OptionsFingerprint(const EngineOptions& options) {
   std::uint64_t h = util::kFnvOffsetBasis;
   auto mix = [&h](std::uint64_t value) { h = util::HashCombine(h, value); };
@@ -622,6 +631,10 @@ std::uint64_t OptionsFingerprint(const EngineOptions& options) {
   mix(options.threads);
   mix(options.collect_node_stats);
   mix(options.max_intermediate_budget);
+  // A calibrated model prices (and so lowers) differently from an
+  // uncalibrated one; keep their cache entries apart. Store contents
+  // drift over time either way — revalidation handles that.
+  mix(options.calibration != nullptr);
   return h;
 }
 

@@ -29,8 +29,9 @@
 
 namespace setalg::engine {
 
-class SharedPlanCache;  // engine/shared_cache.h
-class ResultCache;      // engine/result_cache.h
+class SharedPlanCache;   // engine/shared_cache.h
+class ResultCache;       // engine/result_cache.h
+class CalibrationStore;  // engine/calibration.h
 
 /// Knobs for planning and execution.
 struct EngineOptions {
@@ -134,6 +135,14 @@ struct EngineOptions {
   /// from OptionsFingerprint (cache wiring, not semantics).
   std::shared_ptr<ResultCache> result_cache;
 
+  /// Self-tuning cost corrections (engine/calibration.h): the cost model
+  /// consults learned output factors, selectivities and the stats
+  /// histograms, and Engine::Run feeds each run's estimate/actual pairs
+  /// back. Shareable across engines and threads like the caches above —
+  /// but unlike them it DOES change which plans get picked, so
+  /// OptionsFingerprint mixes its presence.
+  std::shared_ptr<CalibrationStore> calibration;
+
   /// Record one OpStats entry per executed operator (max/total intermediate
   /// sizes are tracked regardless).
   bool collect_node_stats = true;
@@ -201,6 +210,11 @@ struct EngineOptions {
     o.result_cache = std::move(results);
     return o;
   }
+
+  /// Attaches a calibration store (a fresh one when `store` is null).
+  /// Defined in planner.cc — make_shared needs the complete type.
+  EngineOptions WithCalibration(
+      std::shared_ptr<CalibrationStore> store = nullptr) const;
 };
 
 /// Deterministic hash of every EngineOptions field that can change what a

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <optional>
 
 #include "core/value.h"
 #include "util/hash.h"
@@ -27,13 +28,16 @@ std::string NextWord(const std::string& text, std::size_t* pos) {
   return word;
 }
 
-/// Value of a "key=value" field, or empty when the key does not match.
-std::string FieldValue(const std::string& word, const char* key) {
+/// Value of a "key=value" field, or nullopt when the key does not match.
+/// A present key with an empty value ("digest=") returns an empty string
+/// — distinct from nullopt, so callers can report it precisely instead
+/// of misfiling the word as an unknown field.
+std::optional<std::string> FieldValue(const std::string& word, const char* key) {
   const std::size_t n = std::string(key).size();
-  if (word.size() > n + 1 && word.compare(0, n, key) == 0 && word[n] == '=') {
+  if (word.size() >= n + 1 && word.compare(0, n, key) == 0 && word[n] == '=') {
     return word.substr(n + 1);
   }
-  return std::string();
+  return std::nullopt;
 }
 
 }  // namespace
@@ -102,24 +106,32 @@ util::Result<ResponseHeader> ParseResponseHeader(const std::string& line) {
     header.ok = true;
     while (pos < line.size()) {
       const std::string word = NextWord(line, &pos);
-      if (auto v = FieldValue(word, "rows"); !v.empty()) {
+      if (auto v = FieldValue(word, "rows")) {
         long long rows = 0;
-        if (!util::ParseInt64(v, &rows) || rows < 0) {
+        if (!util::ParseInt64(*v, &rows) || rows < 0) {
           return util::Result<ResponseHeader>::Error(
               util::StrCat("bad rows field '", word, "'"));
         }
         header.rows = static_cast<std::size_t>(rows);
-      } else if (auto v2 = FieldValue(word, "version"); !v2.empty()) {
+      } else if (auto v2 = FieldValue(word, "version")) {
         long long version = 0;
-        if (!util::ParseInt64(v2, &version) || version < 0) {
+        if (!util::ParseInt64(*v2, &version) || version < 0) {
           return util::Result<ResponseHeader>::Error(
               util::StrCat("bad version field '", word, "'"));
         }
         header.version = static_cast<std::uint64_t>(version);
-      } else if (auto v3 = FieldValue(word, "digest"); !v3.empty()) {
-        header.digest = v3;
-      } else if (auto v4 = FieldValue(word, "cache"); !v4.empty()) {
-        header.cache = v4;
+      } else if (auto v3 = FieldValue(word, "digest")) {
+        if (v3->empty()) {
+          return util::Result<ResponseHeader>::Error(
+              util::StrCat("empty digest field '", word, "'"));
+        }
+        header.digest = *v3;
+      } else if (auto v4 = FieldValue(word, "cache")) {
+        if (v4->empty()) {
+          return util::Result<ResponseHeader>::Error(
+              util::StrCat("empty cache field '", word, "'"));
+        }
+        header.cache = *v4;
       } else {
         return util::Result<ResponseHeader>::Error(
             util::StrCat("unknown OK field '", word, "'"));

@@ -1,6 +1,7 @@
 #include "stats/stats.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <unordered_set>
 
@@ -8,9 +9,105 @@
 
 namespace setalg::stats {
 
+std::uint64_t RangeWidth(core::Value lo, core::Value hi) {
+  if (lo > hi) return 0;
+  // Unsigned subtraction is well-defined for any pair of int64 values
+  // (the signed difference overflows for e.g. lo = INT64_MIN, hi > 0).
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  return diff == std::numeric_limits<std::uint64_t>::max() ? diff : diff + 1;
+}
+
 std::uint64_t ColumnStats::Width() const {
   if (distinct == 0) return 0;
-  return static_cast<std::uint64_t>(max_value - min_value) + 1;
+  return RangeWidth(min_value, max_value);
+}
+
+Histogram BuildHistogram(const std::vector<core::Value>& sorted_values,
+                         std::size_t max_buckets) {
+  Histogram h;
+  if (sorted_values.empty() || max_buckets == 0) return h;
+  h.min_value = sorted_values.front();
+  h.total = sorted_values.size();
+  const std::uint64_t depth = (h.total + max_buckets - 1) / max_buckets;
+  std::uint64_t count = 0;
+  std::uint64_t distinct = 0;
+  for (std::size_t i = 0; i < sorted_values.size();) {
+    // Runs of equal values go into one bucket whole, so a bucket boundary
+    // is always a value boundary.
+    std::size_t j = i;
+    while (j < sorted_values.size() && sorted_values[j] == sorted_values[i]) ++j;
+    count += j - i;
+    ++distinct;
+    if (count >= depth || j == sorted_values.size()) {
+      h.upper.push_back(sorted_values[i]);
+      h.counts.push_back(count);
+      h.distincts.push_back(distinct);
+      count = 0;
+      distinct = 0;
+    }
+    i = j;
+  }
+  return h;
+}
+
+double Histogram::SelectivityLeq(core::Value v) const {
+  if (total == 0 || v < min_value) return 0.0;
+  double rows = 0.0;
+  core::Value lower = min_value;
+  for (std::size_t b = 0; b < buckets(); ++b) {
+    if (v >= upper[b]) {
+      rows += static_cast<double>(counts[b]);
+      // upper[b] == INT64_MAX only in the last bucket (values ascend).
+      if (upper[b] == std::numeric_limits<core::Value>::max()) break;
+      lower = upper[b] + 1;
+      continue;
+    }
+    const double width = static_cast<double>(RangeWidth(lower, upper[b]));
+    const double covered = static_cast<double>(RangeWidth(lower, v));
+    rows += static_cast<double>(counts[b]) *
+            std::min(1.0, covered / std::max(1.0, width));
+    break;
+  }
+  return rows / static_cast<double>(total);
+}
+
+double Histogram::DistinctLeq(core::Value v) const {
+  if (total == 0 || v < min_value) return 0.0;
+  double values = 0.0;
+  core::Value lower = min_value;
+  for (std::size_t b = 0; b < buckets(); ++b) {
+    if (v >= upper[b]) {
+      values += static_cast<double>(distincts[b]);
+      if (upper[b] == std::numeric_limits<core::Value>::max()) break;
+      lower = upper[b] + 1;
+      continue;
+    }
+    const double width = static_cast<double>(RangeWidth(lower, upper[b]));
+    const double covered = static_cast<double>(RangeWidth(lower, v));
+    values += static_cast<double>(distincts[b]) *
+              std::min(1.0, covered / std::max(1.0, width));
+    break;
+  }
+  return values;
+}
+
+double Histogram::ExpectedFrequency() const {
+  if (total == 0) return 0.0;
+  double expected = 0.0;
+  for (std::size_t b = 0; b < buckets(); ++b) {
+    const double c = static_cast<double>(counts[b]);
+    const double d = std::max(1.0, static_cast<double>(distincts[b]));
+    expected += (c / static_cast<double>(total)) * (c / d);
+  }
+  return expected;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  out << "hist{buckets=" << buckets() << ", total=" << total << ", efreq="
+      << ExpectedFrequency() << "}";
+  return out.str();
 }
 
 RelationStats ComputeRelationStats(const core::Relation& relation) {
@@ -28,6 +125,14 @@ RelationStats ComputeRelationStats(const core::Relation& relation) {
     seen[c].reserve(relation.size() * 2);
   }
 
+  // Per-column value streams for the histograms: column 0 arrives sorted
+  // (the storage is lexicographic), the others sort once after the scan.
+  std::vector<std::vector<core::Value>> values(relation.arity());
+  for (std::size_t c = 0; c < relation.arity(); ++c) {
+    values[c].reserve(relation.size());
+  }
+  std::vector<core::Value> group_sizes;
+
   const bool binary = relation.arity() == 2;
   core::Value run_key = relation.tuple(0)[0];
   std::size_t run_length = 0;
@@ -38,6 +143,7 @@ RelationStats ComputeRelationStats(const core::Relation& relation) {
     g.min_group_size =
         g.num_groups == 1 ? length : std::min(g.min_group_size, length);
     g.max_group_size = std::max(g.max_group_size, length);
+    group_sizes.push_back(static_cast<core::Value>(length));
   };
 
   for (std::size_t i = 0; i < relation.size(); ++i) {
@@ -51,6 +157,7 @@ RelationStats ComputeRelationStats(const core::Relation& relation) {
         col.max_value = std::max(col.max_value, t[c]);
       }
       if (c > 0) seen[c].insert(t[c]);
+      values[c].push_back(t[c]);
     }
     if (t[0] != run_key) {
       ++stats.columns[0].distinct;
@@ -68,6 +175,12 @@ RelationStats ComputeRelationStats(const core::Relation& relation) {
   if (binary && stats.groups.num_groups > 0) {
     stats.groups.avg_group_size = static_cast<double>(stats.cardinality) /
                                   static_cast<double>(stats.groups.num_groups);
+    std::sort(group_sizes.begin(), group_sizes.end());
+    stats.groups.size_histogram = BuildHistogram(group_sizes);
+  }
+  for (std::size_t c = 0; c < relation.arity(); ++c) {
+    if (c > 0) std::sort(values[c].begin(), values[c].end());
+    stats.columns[c].histogram = BuildHistogram(values[c]);
   }
   return stats;
 }
@@ -78,11 +191,12 @@ std::string RelationStats::ToString() const {
   for (std::size_t c = 0; c < columns.size(); ++c) {
     out << " col" << c + 1 << "{distinct=" << columns[c].distinct
         << ", range=[" << columns[c].min_value << "," << columns[c].max_value
-        << "]}";
+        << "], efreq=" << columns[c].histogram.ExpectedFrequency() << "}";
   }
   if (arity == 2) {
     out << " groups{n=" << groups.num_groups << ", size=" << groups.min_group_size
-        << "/" << groups.avg_group_size << "/" << groups.max_group_size << "}";
+        << "/" << groups.avg_group_size << "/" << groups.max_group_size
+        << ", " << groups.size_histogram.ToString() << "}";
   }
   return out.str();
 }

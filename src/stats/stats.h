@@ -5,9 +5,12 @@
 // divisor size — not just on |D|. This module computes exactly those
 // shape parameters in a single pass over each stored relation:
 //   - cardinality,
-//   - per-column distinct counts and value range (domain width),
+//   - per-column distinct counts, value range (domain width) and an
+//     equi-depth histogram (value distribution, per-bucket distinct
+//     counts — the skew signal the containment-join formulas need),
 //   - for binary relations, the group profile on column 1
-//     (number of groups, min/avg/max element-set size).
+//     (number of groups, min/avg/max element-set size and the full
+//     group-size distribution as a histogram).
 //
 // stats::DatabaseStats caches the per-relation statistics against
 // core::Database::relation_version(), so repeated Engine runs over an
@@ -19,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/database.h"
 #include "core/relation.h"
@@ -26,14 +30,62 @@
 
 namespace setalg::stats {
 
+/// Width of the inclusive value range [lo, hi], computed in unsigned
+/// arithmetic so extreme ranges (e.g. lo = INT64_MIN) never overflow;
+/// saturates at UINT64_MAX when the range covers the whole int64 domain.
+/// 0 when lo > hi.
+std::uint64_t RangeWidth(core::Value lo, core::Value hi);
+
+/// Default bucket budget of the equi-depth histograms below.
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+/// An equi-depth histogram over one value stream: buckets of roughly
+/// equal row counts, with equal values never straddling a boundary.
+/// Each bucket also carries its distinct-value count, so heavy hitters
+/// (few values absorbing a whole bucket) stay visible — the shape the
+/// min/avg/max summaries erase.
+struct Histogram {
+  core::Value min_value = 0;
+  std::vector<core::Value> upper;        // Inclusive upper bound per bucket.
+  std::vector<std::uint64_t> counts;     // Rows per bucket.
+  std::vector<std::uint64_t> distincts;  // Distinct values per bucket.
+  std::uint64_t total = 0;               // Sum of counts.
+
+  bool empty() const { return total == 0; }
+  std::size_t buckets() const { return counts.size(); }
+
+  /// Fraction of rows with value <= v, interpolating uniformly inside
+  /// the bucket containing v. 0 for an empty histogram.
+  double SelectivityLeq(core::Value v) const;
+
+  /// Approximate number of distinct values <= v (same interpolation).
+  double DistinctLeq(core::Value v) const;
+
+  /// Expected number of rows sharing the value of a row drawn uniformly:
+  /// sum_b (count_b/total)·(count_b/distinct_b). Under a uniform
+  /// distribution this is total/distinct; skew pushes it far higher —
+  /// exactly the expected posting length an inverted-index probe pays.
+  double ExpectedFrequency() const;
+
+  std::string ToString() const;
+};
+
+/// Builds an equi-depth histogram from an already-sorted (ascending,
+/// duplicates retained) value vector.
+Histogram BuildHistogram(const std::vector<core::Value>& sorted_values,
+                         std::size_t max_buckets = kHistogramBuckets);
+
 /// Per-column statistics.
 struct ColumnStats {
   std::size_t distinct = 0;
   core::Value min_value = 0;
   core::Value max_value = 0;
+  /// Equi-depth value distribution (empty for an empty column).
+  Histogram histogram;
 
   /// max - min + 1 for a nonempty column, else 0. An upper bound on
-  /// `distinct` for integer-interned values.
+  /// `distinct` for integer-interned values. Computed via RangeWidth, so
+  /// extreme ranges saturate instead of overflowing.
   std::uint64_t Width() const;
 };
 
@@ -45,6 +97,10 @@ struct GroupStats {
   std::size_t min_group_size = 0;
   std::size_t max_group_size = 0;
   double avg_group_size = 0.0;
+  /// Distribution of group sizes (one entry per group, value = size) —
+  /// what lets the cost model price "how many divisor groups can fit in
+  /// a candidate group" instead of assuming every group is average.
+  Histogram size_histogram;
 };
 
 /// Statistics of one relation, computed in a single pass.
@@ -59,7 +115,9 @@ struct RelationStats {
 };
 
 /// Computes the statistics of `relation` in one pass over its normalized
-/// (sorted, deduplicated) storage. Cost: O(n) hash-set inserts per column.
+/// (sorted, deduplicated) storage. Cost: O(n) hash-set inserts per column
+/// plus one O(n log n) sort per non-leading column for its histogram
+/// (column 1 and the group sizes fall out of the sorted storage).
 RelationStats ComputeRelationStats(const core::Relation& relation);
 
 /// Read access to statistics of stored relations by name. Implementations

@@ -141,16 +141,17 @@ TEST(CostModel, DivisionFormulasSeparateTheAsymptoticRegimes) {
   const ExprEstimate s = EstimateOf(instance.s);
   ASSERT_TRUE(r.exact);
 
-  const auto choice = CostModel::ChooseDivision(r, s, /*equality=*/false);
+  const CostModel model(nullptr);
+  const auto choice = model.ChooseDivision(r, s, /*equality=*/false);
   EXPECT_EQ(choice.algorithm, setjoin::DivisionAlgorithm::kHashDivision);
 
   // The g·m-probing algorithms must price far above the single-pass ones
   // at this shape, and the classic plan's intermediate must reflect the
   // Ω(n²) product (Proposition 26).
   const auto nested =
-      CostModel::EstimateDivision(setjoin::DivisionAlgorithm::kNestedLoop, r, s, false);
+      model.EstimateDivision(setjoin::DivisionAlgorithm::kNestedLoop, r, s, false);
   const auto classic =
-      CostModel::EstimateDivision(setjoin::DivisionAlgorithm::kClassicRa, r, s, false);
+      model.EstimateDivision(setjoin::DivisionAlgorithm::kClassicRa, r, s, false);
   EXPECT_GT(nested.cost, 4 * choice.estimate.cost);
   EXPECT_GT(classic.max_intermediate, 10 * choice.estimate.max_intermediate);
 }
@@ -165,7 +166,7 @@ TEST(CostModel, PicksHashSetJoinsAtBenchScale) {
   config.seed = 29;
   const auto instance = workload::MakeSetJoinInstance(config);
   const auto equality =
-      CostModel::ChooseSetEquality(EstimateOf(instance.r), EstimateOf(instance.s));
+      CostModel(nullptr).ChooseSetEquality(EstimateOf(instance.r), EstimateOf(instance.s));
   EXPECT_EQ(equality.algorithm, setjoin::EqualityJoinAlgorithm::kCanonicalHash);
 
   workload::SetJoinConfig containment_config;
@@ -176,10 +177,10 @@ TEST(CostModel, PicksHashSetJoinsAtBenchScale) {
   containment_config.domain_size = 1000;
   const auto big = workload::MakeSetJoinInstance(containment_config);
   const auto containment =
-      CostModel::ChooseContainment(EstimateOf(big.r), EstimateOf(big.s));
+      CostModel(nullptr).ChooseContainment(EstimateOf(big.r), EstimateOf(big.s));
   // At scale the counting inverted index must beat the plain nested loop
   // by a wide margin in the model, as it does in the measurements.
-  const auto nested = CostModel::EstimateContainment(
+  const auto nested = CostModel(nullptr).EstimateContainment(
       setjoin::ContainmentAlgorithm::kNestedLoop, EstimateOf(big.r), EstimateOf(big.s));
   EXPECT_NE(containment.algorithm, setjoin::ContainmentAlgorithm::kNestedLoop);
   EXPECT_GT(nested.cost, 4 * containment.estimate.cost);
@@ -189,26 +190,27 @@ TEST(CostModel, ParallelismPricingSeparatesTinyFromBenchScaleInputs) {
   const auto instance = BenchInstance(16000);
   const ExprEstimate r = EstimateOf(instance.r);
   const ExprEstimate s = EstimateOf(instance.s);
-  const auto serial = CostModel::ChooseDivision(r, s, /*equality=*/false).estimate;
+  const CostModel model(nullptr);
+  const auto serial = model.ChooseDivision(r, s, /*equality=*/false).estimate;
 
   // At bench scale, a 4-wide pool must price the partitioned plan under
   // the serial one; on a tiny input the dispatch overhead must keep the
   // site serial; with one thread the question never arises.
-  const auto at_scale = CostModel::ChooseParallelism(
+  const auto at_scale = model.ChooseParallelism(
       serial, r.cardinality + s.cardinality, r.key_distinct, 4);
   EXPECT_GT(at_scale.partitions, 1u);
   EXPECT_LT(at_scale.estimate.cost, serial.cost);
 
   CostEstimate tiny_serial{/*cost=*/200.0, /*output_size=*/10.0,
                            /*max_intermediate=*/10.0};
-  EXPECT_EQ(CostModel::ChooseParallelism(tiny_serial, 100.0, 20.0, 4).partitions, 1u);
-  EXPECT_EQ(CostModel::ChooseParallelism(serial, r.cardinality, r.key_distinct, 1)
+  EXPECT_EQ(model.ChooseParallelism(tiny_serial, 100.0, 20.0, 4).partitions, 1u);
+  EXPECT_EQ(model.ChooseParallelism(serial, r.cardinality, r.key_distinct, 1)
                 .partitions,
             1u);
 
   // More partitions than groups buys only empty tasks: the fan-out is
   // capped by the distinct-key estimate.
-  const auto few_keys = CostModel::ChooseParallelism(
+  const auto few_keys = model.ChooseParallelism(
       CostEstimate{1e9, 100.0, 100.0}, 1e6, /*key_distinct=*/3.0, 16);
   EXPECT_LE(few_keys.partitions, 3u);
 }
@@ -273,9 +275,10 @@ TEST(CostModel, SemijoinKernelChoiceDegradesToGenericOnTinyInputs) {
   ExprEstimate big;
   big.cardinality = 100000;
   const std::vector<ra::JoinAtom> eq = {{1, ra::Cmp::kEq, 1}};
-  EXPECT_EQ(CostModel::ChooseSemijoin(tiny, tiny, eq), SemijoinStrategy::kGeneric);
-  EXPECT_EQ(CostModel::ChooseSemijoin(big, big, eq), SemijoinStrategy::kFastKernel);
-  EXPECT_EQ(CostModel::ChooseSemijoin(big, big, {}), SemijoinStrategy::kGeneric);
+  const CostModel model(nullptr);
+  EXPECT_EQ(model.ChooseSemijoin(tiny, tiny, eq), SemijoinStrategy::kGeneric);
+  EXPECT_EQ(model.ChooseSemijoin(big, big, eq), SemijoinStrategy::kFastKernel);
+  EXPECT_EQ(model.ChooseSemijoin(big, big, {}), SemijoinStrategy::kGeneric);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,118 @@
+// Tests for the setalgd line protocol (server/protocol.h): request and
+// response-header parsing, including the field-level negatives — most
+// importantly empty-valued OK fields like "digest=", which the parser
+// used to misfile as unknown fields.
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace setalg::server {
+namespace {
+
+using setalg::testing::MakeRel;
+
+TEST(ParseRequest, RecognizesEveryVerb) {
+  auto query = ParseRequest("QUERY pi[1](R)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->kind, Request::Kind::kQuery);
+  EXPECT_EQ(query->statement, "pi[1](R)");
+
+  auto prepare = ParseRequest("PREPARE q1 div(R, S)");
+  ASSERT_TRUE(prepare.ok());
+  EXPECT_EQ(prepare->kind, Request::Kind::kPrepare);
+  EXPECT_EQ(prepare->name, "q1");
+  EXPECT_EQ(prepare->statement, "div(R, S)");
+
+  auto execute = ParseRequest("EXECUTE q1");
+  ASSERT_TRUE(execute.ok());
+  EXPECT_EQ(execute->kind, Request::Kind::kExecute);
+  EXPECT_EQ(execute->name, "q1");
+
+  EXPECT_EQ(ParseRequest("PING")->kind, Request::Kind::kPing);
+  EXPECT_EQ(ParseRequest("CLOSE")->kind, Request::Kind::kClose);
+}
+
+TEST(ParseRequest, RejectsMissingOperandsAndUnknownVerbs) {
+  EXPECT_FALSE(ParseRequest("QUERY").ok());
+  EXPECT_FALSE(ParseRequest("PREPARE q1").ok());
+  EXPECT_FALSE(ParseRequest("EXECUTE q1 extra").ok());
+  EXPECT_FALSE(ParseRequest("query lowercase").ok());
+  EXPECT_FALSE(ParseRequest("").ok());
+}
+
+TEST(ParseResponseHeader, RoundTripsTheFormatters) {
+  const std::string ok = FormatOkHeader(12, 34, 0xdeadbeefu, "plan-hit");
+  auto header = ParseResponseHeader(ok);
+  ASSERT_TRUE(header.ok()) << header.error();
+  EXPECT_TRUE(header->ok);
+  EXPECT_EQ(header->rows, 12u);
+  EXPECT_EQ(header->version, 34u);
+  EXPECT_EQ(header->digest, DigestToHex(0xdeadbeefu));
+  EXPECT_EQ(header->cache, "plan-hit");
+
+  auto prepared = ParseResponseHeader(FormatPreparedHeader("q2"));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->name, "q2");
+
+  auto err = ParseResponseHeader(FormatErrHeader("1:5: bad\nthing"));
+  ASSERT_TRUE(err.ok());
+  EXPECT_FALSE(err->ok);
+  EXPECT_EQ(err->error, "1:5: bad thing");
+}
+
+TEST(ParseResponseHeader, EmptyValuedFieldsAreReportedPrecisely) {
+  // "digest=" is a present key with an empty value — a malformed server
+  // response, but it must be diagnosed as such, not as an unknown field
+  // (the old parser required at least one value character to match the
+  // key at all).
+  auto digest = ParseResponseHeader("OK rows=1 version=2 digest= cache=miss");
+  ASSERT_FALSE(digest.ok());
+  EXPECT_NE(digest.error().find("empty digest field"), std::string::npos)
+      << digest.error();
+
+  auto cache = ParseResponseHeader("OK rows=1 version=2 digest=00ff cache=");
+  ASSERT_FALSE(cache.ok());
+  EXPECT_NE(cache.error().find("empty cache field"), std::string::npos)
+      << cache.error();
+
+  // Empty numeric values flow into the numeric-field diagnostics.
+  auto rows = ParseResponseHeader("OK rows= version=2");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.error().find("bad rows field"), std::string::npos)
+      << rows.error();
+
+  auto version = ParseResponseHeader("OK rows=1 version=");
+  ASSERT_FALSE(version.ok());
+  EXPECT_NE(version.error().find("bad version field"), std::string::npos)
+      << version.error();
+
+  // Genuinely unknown fields still say so.
+  auto unknown = ParseResponseHeader("OK rows=1 wat=1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("unknown OK field 'wat=1'"), std::string::npos)
+      << unknown.error();
+}
+
+TEST(ParseResponseHeader, RejectsMalformedNumericFields) {
+  EXPECT_FALSE(ParseResponseHeader("OK rows=abc").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK rows=-3").ok());
+  EXPECT_FALSE(ParseResponseHeader("OK version=1x").ok());
+  EXPECT_FALSE(ParseResponseHeader("PREPARED").ok());
+  EXPECT_FALSE(ParseResponseHeader("HELLO world").ok());
+}
+
+TEST(RelationDigest, SensitiveToContentArityAndOrder) {
+  const auto a = MakeRel(2, {{1, 2}, {3, 4}});
+  const auto b = MakeRel(2, {{1, 2}, {3, 5}});
+  EXPECT_NE(RelationDigest(a), RelationDigest(b));
+  // Same flat values, different arity.
+  const auto flat2 = MakeRel(2, {{1, 2}});
+  const auto flat1 = MakeRel(1, {{1}, {2}});
+  EXPECT_NE(RelationDigest(flat2), RelationDigest(flat1));
+  EXPECT_EQ(DigestToHex(0).size(), 16u);
+  EXPECT_EQ(DigestToHex(0xabcdefu), "0000000000abcdef");
+}
+
+}  // namespace
+}  // namespace setalg::server

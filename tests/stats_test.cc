@@ -3,8 +3,12 @@
 // against core::Database's mutation counters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "core/database.h"
 #include "stats/stats.h"
@@ -127,6 +131,110 @@ TEST(RelationStats, MatchesBruteForceOnWorkloadInstances) {
     ExpectSameStats(ComputeRelationStats(instance.r), BruteForceStats(instance.r));
     ExpectSameStats(ComputeRelationStats(instance.s), BruteForceStats(instance.s));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Range widths and histograms.
+// ---------------------------------------------------------------------------
+
+TEST(RelationStats, WidthSurvivesExtremeValueRanges) {
+  constexpr core::Value kMin = std::numeric_limits<core::Value>::min();
+  constexpr core::Value kMax = std::numeric_limits<core::Value>::max();
+
+  // The full int64 span: the signed subtraction max - min is UB; the
+  // unsigned path saturates at UINT64_MAX (one short of the true span,
+  // the closest representable answer).
+  const RelationStats full = ComputeRelationStats(MakeRel(1, {{kMin}, {kMax}}));
+  EXPECT_EQ(full.columns[0].Width(), std::numeric_limits<std::uint64_t>::max());
+
+  // A wide-but-representable range crossing zero.
+  const RelationStats wide = ComputeRelationStats(MakeRel(1, {{kMin}, {5}}));
+  EXPECT_EQ(wide.columns[0].Width(),
+            static_cast<std::uint64_t>(kMax) + 2u + 5u);
+
+  // Single extreme values behave like any other point range.
+  EXPECT_EQ(ComputeRelationStats(MakeRel(1, {{kMin}})).columns[0].Width(), 1u);
+  EXPECT_EQ(ComputeRelationStats(MakeRel(1, {{kMax}})).columns[0].Width(), 1u);
+
+  EXPECT_EQ(RangeWidth(10, 3), 0u);
+  EXPECT_EQ(RangeWidth(kMin, kMax), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(RangeWidth(-3, 3), 7u);
+}
+
+TEST(Histogram, EmptyAndSingleValueColumns) {
+  const Histogram empty = BuildHistogram({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.buckets(), 0u);
+  EXPECT_DOUBLE_EQ(empty.SelectivityLeq(100), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ExpectedFrequency(), 0.0);
+
+  const Histogram single = BuildHistogram({7, 7, 7, 7});
+  ASSERT_EQ(single.buckets(), 1u);
+  EXPECT_EQ(single.total, 4u);
+  EXPECT_EQ(single.counts[0], 4u);
+  EXPECT_EQ(single.distincts[0], 1u);
+  EXPECT_DOUBLE_EQ(single.SelectivityLeq(6), 0.0);
+  EXPECT_DOUBLE_EQ(single.SelectivityLeq(7), 1.0);
+  EXPECT_DOUBLE_EQ(single.SelectivityLeq(1000), 1.0);
+  // Every row shares its value with all four rows.
+  EXPECT_DOUBLE_EQ(single.ExpectedFrequency(), 4.0);
+}
+
+TEST(Histogram, EqualValuesNeverStraddleABucketBoundary) {
+  // 8 copies each of 4 values into at most 4 buckets of depth 8: each
+  // value must land whole in its own bucket.
+  std::vector<core::Value> values;
+  for (core::Value v = 1; v <= 4; ++v) {
+    for (int i = 0; i < 8; ++i) values.push_back(v);
+  }
+  const Histogram h = BuildHistogram(values, 4);
+  ASSERT_EQ(h.buckets(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(h.counts[b], 8u) << "bucket " << b;
+    EXPECT_EQ(h.distincts[b], 1u) << "bucket " << b;
+    EXPECT_EQ(h.upper[b], static_cast<core::Value>(b + 1));
+  }
+  // Cumulative fractions at the boundaries are exact.
+  EXPECT_DOUBLE_EQ(h.SelectivityLeq(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.DistinctLeq(2), 2.0);
+}
+
+TEST(Histogram, SkewedColumnKeepsItsHeavyHitterVisible) {
+  // One value holds 90 of 100 rows: expected frequency must reflect that
+  // a random row's value matches ~81 rows, not the uniform 100/11.
+  std::vector<core::Value> values(90, 42);
+  for (core::Value v = 0; v < 10; ++v) values.push_back(100 + v);
+  std::sort(values.begin(), values.end());
+  const Histogram h = BuildHistogram(values, 8);
+  EXPECT_GT(h.ExpectedFrequency(), 70.0);
+  // Uniform over the same count/distinct shape would be 100/11 ≈ 9.
+  EXPECT_LT(h.ExpectedFrequency(), 90.0 + 1.0);
+  EXPECT_DOUBLE_EQ(h.SelectivityLeq(42), 0.9);
+}
+
+TEST(Histogram, ExtremeValueBucketsDoNotOverflow) {
+  constexpr core::Value kMin = std::numeric_limits<core::Value>::min();
+  constexpr core::Value kMax = std::numeric_limits<core::Value>::max();
+  const Histogram h = BuildHistogram({kMin, -1, 0, 1, kMax}, 2);
+  ASSERT_GE(h.buckets(), 1u);
+  EXPECT_EQ(h.total, 5u);
+  EXPECT_DOUBLE_EQ(h.SelectivityLeq(kMax), 1.0);
+  EXPECT_GE(h.SelectivityLeq(0), 0.0);
+  EXPECT_LE(h.SelectivityLeq(0), 1.0);
+  EXPECT_GT(h.ExpectedFrequency(), 0.0);
+}
+
+TEST(RelationStats, GroupSizeHistogramTracksTheDistribution) {
+  // Groups of sizes 1, 1, 1, 5: min/avg/max alone cannot distinguish
+  // this from {2, 2, 2, 2}; the size histogram can.
+  const auto r = MakeRel(2, {{1, 10}, {2, 10}, {3, 10},
+                             {4, 1}, {4, 2}, {4, 3}, {4, 4}, {4, 5}});
+  const RelationStats stats = ComputeRelationStats(r);
+  const Histogram& sizes = stats.groups.size_histogram;
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.total, 4u);  // One sample per group.
+  EXPECT_DOUBLE_EQ(sizes.SelectivityLeq(1), 0.75);
+  EXPECT_DOUBLE_EQ(sizes.SelectivityLeq(5), 1.0);
 }
 
 // ---------------------------------------------------------------------------
