@@ -502,7 +502,8 @@ constexpr double kTaskDispatch = 2000.0;
 CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
                                             double input_cardinality,
                                             std::size_t partitions,
-                                            std::size_t threads) const {
+                                            std::size_t threads,
+                                            bool aligned) const {
   const double p = NonZero(static_cast<double>(partitions));
   const double waves =
       std::ceil(p / NonZero(static_cast<double>(threads)));
@@ -511,7 +512,10 @@ CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
   // Partition slices replace the serial kernel's working set; the merge
   // buffers the same output once more.
   est.max_intermediate = serial.max_intermediate + serial.output_size;
-  est.cost = kPartitionTuple * NonZero(input_cardinality)  // Serial split.
+  // A shard-aligned input needs no partitioning pass: the stored shards
+  // are the partitions (engine::ShardAlignedSlices).
+  const double split = aligned ? 0.0 : kPartitionTuple * NonZero(input_cardinality);
+  est.cost = split                                         // Serial split.
              + serial.cost * waves / p                     // Kernel, in waves.
              + kTaskDispatch * p                           // Fan-out/fan-in sync.
              + kTupleOp * serial.output_size;              // Serial merge.
@@ -521,13 +525,14 @@ CostEstimate CostModel::EstimatePartitioned(const CostEstimate& serial,
 CostModel::ParallelChoice CostModel::ChooseParallelism(const CostEstimate& serial,
                                                        double input_cardinality,
                                                        double key_distinct,
-                                                       std::size_t threads) const {
+                                                       std::size_t threads,
+                                                       bool aligned) const {
   if (threads <= 1) return {1, serial};
   const std::size_t partitions = static_cast<std::size_t>(std::max(
       1.0, std::min(static_cast<double>(threads), NonZero(key_distinct))));
   if (partitions <= 1) return {1, serial};
   const CostEstimate partitioned =
-      EstimatePartitioned(serial, input_cardinality, partitions, threads);
+      EstimatePartitioned(serial, input_cardinality, partitions, threads, aligned);
   if (partitioned.cost < serial.cost) return {partitions, partitioned};
   return {1, serial};
 }

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 #include <unordered_map>
@@ -23,13 +24,19 @@
 namespace setalg::server {
 namespace {
 
+/// Longest accepted request line. A client that streams more than this
+/// without a newline gets "ERR line too long" and is disconnected — the
+/// per-session read buffer stays bounded no matter what arrives.
+constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;  // 1 MiB
+
 /// Writes the whole buffer, swallowing EPIPE (a client that hung up
-/// mid-response just ends the session).
+/// mid-response just ends the session). Retries on EINTR.
 bool WriteAll(int fd, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -37,7 +44,9 @@ bool WriteAll(int fd, const std::string& data) {
 }
 
 /// Buffered line reader over a socket; lines are '\n'-terminated,
-/// carriage returns stripped.
+/// carriage returns stripped. Lines are capped at kMaxLineBytes:
+/// ReadLine then fails with overflowed() set and the caller drops the
+/// connection.
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
@@ -52,16 +61,26 @@ class LineReader {
         if (!line->empty() && line->back() == '\r') line->pop_back();
         return true;
       }
+      if (buffer_.size() > kMaxLineBytes) {
+        overflowed_ = true;
+        return false;
+      }
       char chunk[4096];
       const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return false;
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
   }
 
+  /// True when the last ReadLine failed because the line-length cap was
+  /// exceeded (rather than EOF or a socket error).
+  bool overflowed() const { return overflowed_; }
+
  private:
   int fd_;
   std::string buffer_;
+  bool overflowed_ = false;
 };
 
 }  // namespace
@@ -123,12 +142,13 @@ void Server::Stop() {
     return;
   }
   // Unblock accept(), then every session's recv(); the loops observe the
-  // shutdown and exit after flushing their in-flight response.
+  // shutdown and exit after flushing their in-flight response. Sessions
+  // that already finished closed their own fd (fd == -1).
   ::shutdown(listen_fd_, SHUT_RDWR);
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (const auto& session : sessions_) {
-      ::shutdown(session->fd, SHUT_RDWR);
+      if (session->fd >= 0) ::shutdown(session->fd, SHUT_RDWR);
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -139,19 +159,49 @@ void Server::Stop() {
   }
   for (auto& session : sessions) {
     if (session->thread.joinable()) session->thread.join();
-    ::close(session->fd);
+    if (session->fd >= 0) ::close(session->fd);
   }
   ::close(listen_fd_);
   listen_fd_ = -1;
+}
+
+std::size_t Server::live_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+void Server::ReapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto keep = sessions_.begin();
+    for (auto& session : sessions_) {
+      if (session->done.load()) {
+        finished.push_back(std::move(session));
+      } else {
+        *keep++ = std::move(session);
+      }
+    }
+    sessions_.erase(keep, sessions_.end());
+  }
+  // done == true means the loop already released sessions_mu_ and is
+  // about to return, so these joins do not block on session work.
+  for (auto& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
 }
 
 void Server::AcceptLoop() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
+      if (errno == EINTR && running_.load()) continue;
       if (!running_.load()) break;
       continue;
     }
+    // Sweep finished sessions on every accept so the session list tracks
+    // live connections instead of total connections served.
+    ReapFinishedSessions();
     sessions_accepted_.fetch_add(1);
     auto session = std::make_unique<Session>();
     session->fd = fd;
@@ -162,11 +212,22 @@ void Server::AcceptLoop() {
       break;
     }
     sessions_.push_back(std::move(session));
-    raw->thread = std::thread([this, fd] { SessionLoop(fd); });
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
   }
 }
 
-void Server::SessionLoop(int fd) {
+void Server::SessionLoop(Session* session) {
+  ServeSession(session->fd);
+  // Close under sessions_mu_ so Stop() never shuts down a closed (and
+  // possibly reused) descriptor; mark done last so the reaper only sees
+  // sessions whose fd is already released.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  ::close(session->fd);
+  session->fd = -1;
+  session->done.store(true);
+}
+
+void Server::ServeSession(int fd) {
   // One engine per session: prepared handles are session-scoped, and the
   // shared caches (copied into options_) do the cross-session sharing.
   const engine::Engine engine(options_);
@@ -256,6 +317,11 @@ void Server::SessionLoop(int fd) {
         continue;
       }
     }
+  }
+  if (reader.overflowed()) {
+    // Best effort — the connection is dropped either way, keeping the
+    // read buffer bounded at kMaxLineBytes per session.
+    respond_error("line too long");
   }
 }
 

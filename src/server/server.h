@@ -63,14 +63,28 @@ class Server {
   /// Number of sessions accepted so far (monotonic; for tests).
   std::size_t sessions_accepted() const { return sessions_accepted_.load(); }
 
+  /// Number of sessions not yet reaped (live connections plus finished
+  /// ones awaiting the accept loop's next sweep; for tests). Bounded by
+  /// the live connection count plus the finished sessions since the last
+  /// accept — it does not grow with total connections served.
+  std::size_t live_sessions() const;
+
  private:
   struct Session {
     int fd = -1;
     std::thread thread;
+    /// Set (under sessions_mu_, after the fd is closed) when the session
+    /// loop has returned; the accept loop reaps done sessions.
+    std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
-  void SessionLoop(int fd);
+  void SessionLoop(Session* session);
+  /// The protocol loop proper; returns when the client hangs up, CLOSEs,
+  /// a write fails, or the reader hits the line-length cap.
+  void ServeSession(int fd);
+  /// Joins and destroys every done session (swept from AcceptLoop).
+  void ReapFinishedSessions();
 
   std::shared_ptr<txn::VersionedDatabase> head_;
   engine::EngineOptions options_;
@@ -82,7 +96,7 @@ class Server {
   std::atomic<std::size_t> sessions_accepted_{0};
   std::thread accept_thread_;
 
-  std::mutex sessions_mu_;
+  mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;
 };
 

@@ -1,0 +1,135 @@
+#include "txn/sharded.h"
+
+#include <utility>
+
+#include "setjoin/grouped.h"
+#include "util/check.h"
+
+namespace setalg::txn {
+namespace {
+
+// Routes every row of a normalized relation to its shard. Rows are
+// visited in sorted order, so each shard is already sorted and
+// duplicate-free — Normalize() is the no-op fast path (the same argument
+// as engine::PartitionByColumn, with which this must agree).
+ShardedSnapshot::ShardVectorPtr SliceRelation(const core::Relation& relation,
+                                              std::size_t key_column,
+                                              std::size_t shards) {
+  auto out = std::make_shared<ShardedSnapshot::ShardVector>();
+  out->reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) out->emplace_back(relation.arity());
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    const core::TupleView row = relation.tuple(i);
+    (*out)[setjoin::PartitionOfKey(row[key_column - 1], shards)].Add(row);
+  }
+  for (auto& shard : *out) shard.Normalize();
+  return out;
+}
+
+}  // namespace
+
+std::size_t ShardedSnapshot::shard_key_column(const std::string& name) const {
+  auto it = key_columns_.find(name);
+  return it == key_columns_.end() ? 0 : it->second;
+}
+
+const core::Relation& ShardedSnapshot::shard(const std::string& name,
+                                             std::size_t s) const {
+  auto it = shards_.find(name);
+  SETALG_CHECK_STREAM(it != shards_.end()) << "relation not sharded: " << name;
+  SETALG_CHECK(s < it->second->size());
+  return (*it->second)[s];
+}
+
+const stats::RelationStats* ShardedSnapshot::ShardStatsLocked(
+    const std::string& name, std::size_t s) const {
+  auto& slots = shard_stats_[name];
+  if (slots.empty()) slots.resize(shard_count_);
+  SETALG_CHECK(s < slots.size());
+  if (slots[s] == nullptr) {
+    slots[s] = std::make_unique<stats::RelationStats>(
+        stats::ComputeRelationStats(shard(name, s)));
+  }
+  return slots[s].get();
+}
+
+const stats::RelationStats* ShardedSnapshot::ShardStats(const std::string& name,
+                                                        std::size_t s) const {
+  if (shard_key_column(name) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(shard_stats_mu_);
+  return ShardStatsLocked(name, s);
+}
+
+const stats::RelationStats* ShardedSnapshot::Get(const std::string& name) const {
+  const std::size_t key = shard_key_column(name);
+  if (key == 0) return Snapshot::Get(name);
+  // A binary relation sharded on column 2 splits its column-1 groups
+  // across shards, so the group profile would not merge exactly — use
+  // the direct computation there.
+  if (schema().Arity(name) == 2 && key != 1) return Snapshot::Get(name);
+  std::lock_guard<std::mutex> lock(shard_stats_mu_);
+  auto it = merged_stats_.find(name);
+  if (it == merged_stats_.end()) {
+    std::vector<const stats::RelationStats*> parts;
+    parts.reserve(shard_count_);
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      parts.push_back(ShardStatsLocked(name, s));
+    }
+    it = merged_stats_.emplace(name, stats::MergeShardStats(parts, key)).first;
+  }
+  return &it->second;
+}
+
+ShardedDatabase::ShardedDatabase(core::Schema schema, ShardingOptions options)
+    : VersionedDatabase(std::move(schema)), options_(std::move(options)) {
+  SETALG_CHECK(options_.shards >= 1);
+  RepublishHead();
+}
+
+ShardedDatabase::ShardedDatabase(const core::Database& db, ShardingOptions options)
+    : VersionedDatabase(db), options_(std::move(options)) {
+  SETALG_CHECK(options_.shards >= 1);
+  RepublishHead();
+}
+
+ShardedDatabase::ShardedDatabase(const core::Database& db, std::size_t shards)
+    : ShardedDatabase(db, ShardingOptions{shards, {}}) {}
+
+std::size_t ShardedDatabase::KeyColumnFor(const std::string& name,
+                                          std::size_t arity) const {
+  auto it = options_.key_columns.find(name);
+  const std::size_t key = it == options_.key_columns.end() ? 1 : it->second;
+  if (key == 0 || key > arity) return 0;
+  return key;
+}
+
+SnapshotPtr ShardedDatabase::MakeSnapshot(
+    Snapshot::RelationMap relations,
+    std::unordered_map<std::string, std::uint64_t> versions,
+    std::uint64_t version, const Snapshot* prev) const {
+  const auto* sharded_prev = dynamic_cast<const ShardedSnapshot*>(prev);
+  std::unordered_map<std::string, std::size_t> key_columns;
+  std::unordered_map<std::string, ShardedSnapshot::ShardVectorPtr> shards;
+  for (const auto& [name, relation] : relations) {
+    const std::size_t key = KeyColumnFor(name, relation->arity());
+    if (key == 0) continue;
+    key_columns.emplace(name, key);
+    if (sharded_prev != nullptr) {
+      auto prev_relation = sharded_prev->relations_.find(name);
+      auto prev_shards = sharded_prev->shards_.find(name);
+      if (prev_relation != sharded_prev->relations_.end() &&
+          prev_relation->second == relation &&
+          prev_shards != sharded_prev->shards_.end()) {
+        // Untouched by this commit: the slices are still exact.
+        shards.emplace(name, prev_shards->second);
+        continue;
+      }
+    }
+    shards.emplace(name, SliceRelation(*relation, key, options_.shards));
+  }
+  return SnapshotPtr(new ShardedSnapshot(
+      schema(), std::move(relations), std::move(versions), id(), version,
+      options_.shards, std::move(key_columns), std::move(shards)));
+}
+
+}  // namespace setalg::txn

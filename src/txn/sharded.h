@@ -1,0 +1,133 @@
+// Sharded MVCC storage: a VersionedDatabase head whose snapshots also
+// carry every relation pre-partitioned into K shards, routed by
+// setjoin::PartitionOfKey on a declared key column — the exact routing
+// the parallel executor's partition pass uses, so a partitioned operator
+// whose partitioning column matches the shard key can consume the shards
+// directly (via core::ShardedView) and skip the partition pass entirely.
+//
+// Sharding is pure representation. Snapshot::relation() still returns
+// the full combined relation, the head id and per-relation version
+// counters are exactly the plain VersionedDatabase's, and therefore the
+// (id, version vector) cache keys, stats::DatabaseStats and every
+// Engine::Run overload work unchanged. Shard slices are copy-on-write at
+// relation granularity: a commit re-slices only the relations it
+// touched; untouched relations share the previous snapshot's slice
+// vector by shared_ptr.
+#ifndef SETALG_TXN_SHARDED_H_
+#define SETALG_TXN_SHARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/relation.h"
+#include "core/schema.h"
+#include "stats/stats.h"
+#include "txn/snapshot.h"
+
+namespace setalg::txn {
+
+/// How a ShardedDatabase splits its relations.
+struct ShardingOptions {
+  /// Number of shards every sharded relation is split into (>= 1).
+  std::size_t shards = 1;
+  /// 1-based shard key column per relation. Relations absent from the
+  /// map shard on column 1 (when their arity allows it — the column the
+  /// grouped operators partition on); an explicit 0 keeps a relation
+  /// unsharded.
+  std::unordered_map<std::string, std::size_t> key_columns;
+};
+
+/// One immutable published version of a sharded head: a plain Snapshot
+/// (full relations, lazy statistics) that additionally exposes the
+/// per-shard slices through core::ShardedView. Full-relation statistics
+/// of sharded relations are aggregated from lazily computed per-shard
+/// statistics (stats::MergeShardStats), so the per-shard shapes feed the
+/// same cost formulas the unsharded provider does.
+class ShardedSnapshot final : public Snapshot, public core::ShardedView {
+ public:
+  using ShardVector = std::vector<core::Relation>;
+  using ShardVectorPtr = std::shared_ptr<const ShardVector>;
+
+  std::size_t shard_count() const override { return shard_count_; }
+  std::size_t shard_key_column(const std::string& name) const override;
+  const core::Relation& shard(const std::string& name,
+                              std::size_t s) const override;
+
+  /// Lazily computed statistics of shard `s` of a sharded relation; same
+  /// thread-safety contract as Get(). nullptr for unsharded names.
+  const stats::RelationStats* ShardStats(const std::string& name,
+                                         std::size_t s) const;
+
+  /// stats::StatsProvider: sharded relations aggregate their per-shard
+  /// statistics; unsharded relations (and binary relations sharded on a
+  /// column whose group profile would not merge exactly) fall back to
+  /// the direct full-relation computation.
+  const stats::RelationStats* Get(const std::string& name) const override;
+
+ private:
+  friend class ShardedDatabase;
+
+  ShardedSnapshot(core::Schema schema, RelationMap relations,
+                  std::unordered_map<std::string, std::uint64_t> versions,
+                  std::uint64_t id, std::uint64_t version,
+                  std::size_t shard_count,
+                  std::unordered_map<std::string, std::size_t> key_columns,
+                  std::unordered_map<std::string, ShardVectorPtr> shards)
+      : Snapshot(std::move(schema), std::move(relations), std::move(versions),
+                 id, version),
+        shard_count_(shard_count),
+        key_columns_(std::move(key_columns)),
+        shards_(std::move(shards)) {}
+
+  const stats::RelationStats* ShardStatsLocked(const std::string& name,
+                                               std::size_t s) const;
+
+  std::size_t shard_count_ = 1;
+  // 1-based shard key per sharded relation; absence means unsharded.
+  std::unordered_map<std::string, std::size_t> key_columns_;
+  std::unordered_map<std::string, ShardVectorPtr> shards_;
+
+  // Lazy per-shard and merged statistics (same stability argument as the
+  // base snapshot's stats_: entries are inserted once, never replaced).
+  mutable std::mutex shard_stats_mu_;
+  mutable std::unordered_map<std::string,
+                             std::vector<std::unique_ptr<stats::RelationStats>>>
+      shard_stats_;
+  mutable std::unordered_map<std::string, stats::RelationStats> merged_stats_;
+};
+
+/// A sharded head: same commit protocol, ids and version vectors as
+/// VersionedDatabase, publishing ShardedSnapshots. Commits pay one
+/// re-slice pass per touched relation so every reader gets the partition
+/// pass for free.
+class ShardedDatabase : public VersionedDatabase {
+ public:
+  ShardedDatabase(core::Schema schema, ShardingOptions options);
+  ShardedDatabase(const core::Database& db, ShardingOptions options);
+
+  /// Shards every relation on column 1 into `shards` shards.
+  ShardedDatabase(const core::Database& db, std::size_t shards);
+
+  std::size_t shard_count() const { return options_.shards; }
+
+ protected:
+  SnapshotPtr MakeSnapshot(Snapshot::RelationMap relations,
+                           std::unordered_map<std::string, std::uint64_t> versions,
+                           std::uint64_t version,
+                           const Snapshot* prev) const override;
+
+ private:
+  /// The effective 1-based shard key of `name` (0 = unsharded).
+  std::size_t KeyColumnFor(const std::string& name, std::size_t arity) const;
+
+  ShardingOptions options_;
+};
+
+}  // namespace setalg::txn
+
+#endif  // SETALG_TXN_SHARDED_H_

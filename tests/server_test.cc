@@ -21,6 +21,12 @@
 // ASan/UBSan and TSan — TSan is the point for the soak.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -367,6 +373,76 @@ TEST(ServerTest, ConcurrencySoakReplaysBitIdentical) {
   EXPECT_GT(distinct_versions_seen, 1u);
   EXPECT_EQ(fixture.server->sessions_accepted(),
             static_cast<std::size_t>(kClients));
+}
+
+// Sequential connect/query/close cycles must not accumulate session
+// state: the accept loop reaps finished sessions, so the tracked count
+// stays bounded by live connections, not total connections served.
+TEST(ServerTest, ConnectionChurnKeepsSessionListBounded) {
+  ServerFixture fixture(engine::EngineOptions{}, BaseSeed());
+  constexpr std::size_t kCycles = 32;
+  for (std::size_t i = 0; i < kCycles; ++i) {
+    auto client = server::Client::Connect("127.0.0.1", fixture.port);
+    ASSERT_TRUE(client.ok()) << client.error();
+    auto response = client->Roundtrip("QUERY SELECT * FROM R");
+    ASSERT_TRUE(response.ok()) << response.error();
+    EXPECT_TRUE(response->header.ok) << response->header.error;
+    client->Close();
+  }
+  EXPECT_EQ(fixture.server->sessions_accepted(), kCycles);
+
+  // Reaping happens on the accept path, and a just-closed client's
+  // session thread needs a moment to observe EOF — so probe with fresh
+  // connections (each accept sweeps) until the backlog drains to at most
+  // the probe's own not-yet-reaped session.
+  std::size_t live = kCycles;
+  for (int attempt = 0; attempt < 200 && live > 1; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto probe = server::Client::Connect("127.0.0.1", fixture.port);
+    ASSERT_TRUE(probe.ok()) << probe.error();
+    auto ping = probe->Roundtrip("PING");
+    ASSERT_TRUE(ping.ok()) << ping.error();
+    probe->Close();
+    live = fixture.server->live_sessions();
+  }
+  EXPECT_LE(live, 1u);
+}
+
+// A request line past the 1 MiB cap draws "ERR line too long" and a
+// dropped connection; the per-session read buffer stays bounded. Uses a
+// raw socket because Client::Roundtrip always appends the newline this
+// test must withhold. The payload is exactly one byte over the cap so
+// the server consumes all of it before erroring — the close is then a
+// clean FIN (an unread tail would turn it into an RST that could race
+// ahead of the error response).
+TEST(ServerTest, OversizedLineGetsErrorAndDisconnect) {
+  ServerFixture fixture(engine::EngineOptions{}, BaseSeed());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(fixture.port));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::string payload((std::size_t{1} << 20) + 1, 'x');
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << "send failed after " << sent << " bytes";
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("ERR"), std::string::npos) << received;
+  EXPECT_NE(received.find("line too long"), std::string::npos) << received;
 }
 
 TEST(ServerTest, GracefulStopMidTraffic) {
